@@ -1,0 +1,87 @@
+// Ablation: error-correction coding on top of OTAM (§9.3's closing
+// remark, quantified).
+//
+// Analytic waterfall curves for uncoded / Hamming(7,4) / K=3
+// convolutional decoding, anchored by a sample-level spot check through
+// the full modulator/demodulator.
+#include <cstdio>
+
+#include "mmx/common/rng.hpp"
+#include "mmx/common/units.hpp"
+#include "mmx/dsp/noise.hpp"
+#include "mmx/phy/ber.hpp"
+#include "mmx/phy/coding.hpp"
+#include "mmx/phy/joint.hpp"
+#include "mmx/phy/otam.hpp"
+#include "mmx/phy/preamble.hpp"
+
+using namespace mmx;
+using namespace mmx::phy;
+
+namespace {
+
+/// Sample-level residual BER of a coded body at a given capture SNR.
+double measured_coded_ber(CodingProfile profile, double snr_db, Rng& rng) {
+  PhyConfig cfg;
+  cfg.symbol_rate_hz = 1e6;
+  cfg.samples_per_symbol = 16;
+  cfg.fsk_freq0_hz = -2e6;
+  cfg.fsk_freq1_hz = 2e6;
+  rf::SpdtSwitch sw;
+  const OtamChannel ch{{0.25, 0.0}, {1.0, 0.0}};
+  const Bits& preamble = default_preamble();
+
+  std::size_t errors = 0;
+  std::size_t counted = 0;
+  for (int frame = 0; frame < 10; ++frame) {
+    Bits body(1200);
+    for (int& b : body) b = rng.uniform_int(0, 1);
+    Bits bits = preamble;
+    const Bits coded = encode_body(body, profile);
+    bits.insert(bits.end(), coded.begin(), coded.end());
+    auto rx = otam_synthesize(bits, cfg, ch, sw);
+    dsp::add_awgn(rx, dsp::mean_power(rx) / db_to_lin(snr_db), rng);
+    const JointDecision d = joint_demodulate(rx, cfg, preamble);
+    Bits rx_body(d.bits.begin() + static_cast<long>(preamble.size()), d.bits.end());
+    if (profile != CodingProfile::kNone) {
+      rx_body.resize(coded.size());
+      try {
+        rx_body = decode_body(rx_body, profile);
+      } catch (const std::invalid_argument&) {
+        errors += body.size() / 2;  // undecodable frame ~ coin flips
+        counted += body.size();
+        continue;
+      }
+    } else {
+      rx_body.resize(body.size());
+    }
+    for (std::size_t i = 0; i < body.size() && i < rx_body.size(); ++i) {
+      errors += (rx_body[i] != body[i]);
+    }
+    counted += body.size();
+  }
+  return static_cast<double>(errors) / static_cast<double>(counted);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Ablation: FEC on OTAM (analytic waterfalls + sample-level check) ===\n");
+  std::puts("  raw BER      Hamming(7,4)   conv K=3 (hard)");
+  for (double p : {1e-1, 3e-2, 1e-2, 3e-3, 1e-3, 1e-4}) {
+    std::printf("  %8.0e   %12.2e   %14.2e\n", p, ber_hamming74(p), ber_conv_k3(p));
+  }
+
+  std::puts("\n--- sample-level spot check at marginal SNR (full modem in the loop) ---");
+  Rng rng(77);
+  std::puts("  capture SNR   uncoded BER   Hamming BER   conv BER");
+  for (double snr : {2.0, 4.0, 6.0}) {
+    const double none = measured_coded_ber(CodingProfile::kNone, snr, rng);
+    const double ham = measured_coded_ber(CodingProfile::kHamming, snr, rng);
+    const double conv = measured_coded_ber(CodingProfile::kConvolutional, snr, rng);
+    std::printf("  %8.1f dB   %11.4f   %11.4f   %8.4f\n", snr, none, ham, conv);
+  }
+  std::puts("\nreading: a couple of dB of coding gain turns the paper's residual");
+  std::puts("1e-3-class physical BER into link-layer-clean delivery (§9.3).");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation: Table 1's nJ/bit translated into battery life.
+//
+// The deployment question behind the paper's energy-efficiency claim:
+// how long does a battery-powered camera live on each radio? The radio
+// that empties its daily queue fastest sleeps longest.
+#include <cstdio>
+#include <vector>
+
+#include "mmx/sim/energy.hpp"
+
+using namespace mmx::sim;
+
+int main() {
+  const std::vector<RadioProfile> radios = {mmx_radio_profile(), wifi_radio_profile(),
+                                            bluetooth_radio_profile()};
+  struct Workload {
+    const char* name;
+    double bits_per_day;
+  };
+  const std::vector<Workload> loads = {
+      {"sensor (1 kB/min)", 1024.0 * 8.0 * 60.0 * 24.0},
+      {"motion cam (2 GB/day)", 16e9},
+      {"stream cam (2 Mbps 24/7)", 2e6 * 86400.0},
+      {"4K cam (12 Mbps 24/7)", 12e6 * 86400.0},
+  };
+  const double battery_wh = 10.0;  // ~2700 mAh at 3.7 V
+
+  std::puts("=== Battery life on a 10 Wh pack (days; '-' = radio cannot carry it) ===\n");
+  std::printf("  %-26s", "workload");
+  for (const auto& r : radios) std::printf("%16s", r.name.c_str());
+  std::printf("\n");
+  for (const auto& w : loads) {
+    std::printf("  %-26s", w.name);
+    for (const auto& r : radios) {
+      if (can_sustain(r, w.bits_per_day)) {
+        std::printf("%16.1f", battery_life_days(r, w.bits_per_day, battery_wh));
+      } else {
+        std::printf("%16s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::puts("\nreading: mmX's 11 nJ/bit + microwatt sleep beats WiFi on every video");
+  std::puts("workload; Bluetooth wins only where its 1 Mbps ceiling suffices.");
+  return 0;
+}

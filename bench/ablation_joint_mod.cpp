@@ -1,0 +1,66 @@
+// Ablation: ASK-only vs FSK-only vs joint decoding (§6.3).
+//
+// Sweep the beam-level ratio |h0|/|h1| through the inversion point and
+// measure sample-level bit error rates for each decoder. The paper's
+// claim: "FSK or ASK alone is not sufficient to decode the signal in all
+// scenarios ... utilizing joint ASK-FSK modulations is essential".
+#include <cstdio>
+
+#include "mmx/common/rng.hpp"
+#include "mmx/common/units.hpp"
+#include "mmx/dsp/noise.hpp"
+#include "mmx/phy/ask.hpp"
+#include "mmx/phy/fsk.hpp"
+#include "mmx/phy/joint.hpp"
+#include "mmx/phy/otam.hpp"
+
+using namespace mmx;
+using namespace mmx::phy;
+
+int main() {
+  Rng rng(3);
+  PhyConfig cfg;
+  cfg.symbol_rate_hz = 1e6;
+  cfg.samples_per_symbol = 16;
+  cfg.fsk_freq0_hz = -2e6;
+  cfg.fsk_freq1_hz = 2e6;
+  rf::SpdtSwitch sw;
+
+  const Bits prefix{1, 0, 1, 0, 1, 1, 0, 0};
+  const int kBitsPerPoint = 4000;
+  const double snr_db = 18.0;
+
+  std::puts("=== Ablation: ASK-only vs FSK-only vs joint decoding (18 dB SNR) ===");
+  std::puts("level ratio |h0|/|h1| sweeps through the ambiguous point (1.0)\n");
+  std::puts("  |h0|/|h1| [dB]   BER ask-only   BER fsk-only   BER joint");
+
+  for (double ratio_db : {-20.0, -10.0, -3.0, -1.0, 0.0, 1.0, 3.0, 10.0, 20.0}) {
+    const double h0 = db_to_amp(ratio_db);
+    const OtamChannel ch{{h0, 0.0}, {1.0, 0.0}};
+    std::size_t err_ask = 0;
+    std::size_t err_fsk = 0;
+    std::size_t err_joint = 0;
+    std::size_t total = 0;
+    Bits bits = prefix;
+    for (int i = 0; i < kBitsPerPoint; ++i) bits.push_back(rng.uniform_int(0, 1));
+    auto rx = otam_synthesize(bits, cfg, ch, sw);
+    dsp::add_awgn(rx, dsp::mean_power(rx) / db_to_lin(snr_db), rng);
+
+    const AskDecision ask = ask_demodulate(rx, cfg, prefix);
+    const FskDecision fsk = fsk_demodulate(rx, cfg);
+    const JointDecision joint = joint_demodulate(rx, cfg, prefix);
+    for (std::size_t i = prefix.size(); i < bits.size(); ++i) {
+      err_ask += (ask.bits[i] != bits[i]);
+      err_fsk += (fsk.bits[i] != bits[i]);
+      err_joint += (joint.bits[i] != bits[i]);
+      ++total;
+    }
+    std::printf("  %14.0f   %12.4f   %12.4f   %9.4f\n", ratio_db,
+                static_cast<double>(err_ask) / total, static_cast<double>(err_fsk) / total,
+                static_cast<double>(err_joint) / total);
+  }
+
+  std::puts("\nexpected shape: ASK collapses to ~0.5 at ratio 0 dB; FSK is flat;");
+  std::puts("joint tracks the better branch everywhere (the paper's §6.3 argument).");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation: orthogonal vs non-orthogonal beam pair (§6.2, Fig. 5).
+//
+// The design question the paper answers with Fig. 5: if the two beams
+// are not orthogonal, how often do the two OTAM levels collide (contrast
+// too small to decode by ASK)? We compare the paper's pair against a
+// deliberately non-orthogonal pair (both beams in phase, slightly
+// different spacings) over random placements, with and without blockage.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "mmx/antenna/array.hpp"
+#include "mmx/channel/beam_channel.hpp"
+#include "mmx/channel/blockage.hpp"
+#include "mmx/common/rng.hpp"
+#include "mmx/common/units.hpp"
+
+#include "testbed.hpp"
+
+using namespace mmx;
+
+namespace {
+
+/// Fading-averaged contrast between two transmit patterns (incoherent
+/// path-power sums — the level a time-averaged measurement sees).
+double contrast_db(const channel::RayTracer& tracer, const channel::Pose& node,
+                   const antenna::LinearArray& a0, const antenna::LinearArray& a1,
+                   const channel::Pose& ap, const antenna::Element& ap_ant) {
+  double p0 = 0.0;
+  double p1 = 0.0;
+  for (const auto& path : tracer.trace(node.position, ap.position)) {
+    const double dep = wrap_angle(path.departure_rad - node.orientation_rad);
+    const double arr = wrap_angle(path.arrival_rad - ap.orientation_rad);
+    const double a = std::abs(channel::RayTracer::path_amplitude(path, 24.125e9)) *
+                     ap_ant.amplitude(arr);
+    p0 += std::norm(a0.field(dep)) * a * a;
+    p1 += std::norm(a1.field(dep)) * a * a;
+  }
+  if (p0 <= 0.0 || p1 <= 0.0) return 200.0;
+  return std::abs(lin_to_db(p1 / p0));
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(5);
+  const channel::Pose ap = bench::lab_ap_pose();
+  antenna::Dipole ap_ant;
+  const double f = 24.125e9;
+  const double lambda = wavelength(f);
+  auto patch = std::make_shared<antenna::Patch>(6.0);
+  const double a = 1.0 / std::sqrt(2.0);
+
+  // Paper's orthogonal pair: in-phase + anti-phase at d = lambda.
+  antenna::LinearArray orth1(patch, lambda, {{a, 0.0}, {a, 0.0}}, f);
+  antenna::LinearArray orth0(patch, lambda, {{a, 0.0}, {-a, 0.0}}, f);
+  // Non-orthogonal strawman (Fig. 5a): two similar in-phase beams with
+  // slightly different spacings — both peak broadside.
+  antenna::LinearArray non1(patch, lambda, {{a, 0.0}, {a, 0.0}}, f);
+  antenna::LinearArray non0(patch, 0.8 * lambda, {{a, 0.0}, {a, 0.0}}, f);
+
+  const int kTrials = 2000;
+  const double kAmbiguous_db = 1.5;  // below ~1.5 dB of contrast ASK is unreliable
+  int ambiguous_orth = 0;
+  int ambiguous_non = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    channel::Room room = bench::furnished_lab();
+    const Vec2 pos{rng.uniform(0.5, 3.5), rng.uniform(0.3, 4.8)};
+    if (rng.chance(0.5)) bench::park_person(room, pos, ap.position);
+    channel::RayTracer tracer(room);
+    const double toward_ap = (ap.position - pos).angle();
+    const channel::Pose node{pos, toward_ap + deg_to_rad(rng.uniform(-60.0, 60.0))};
+    if (contrast_db(tracer, node, orth0, orth1, ap, ap_ant) < kAmbiguous_db) ++ambiguous_orth;
+    if (contrast_db(tracer, node, non0, non1, ap, ap_ant) < kAmbiguous_db) ++ambiguous_non;
+  }
+
+  std::puts("=== Ablation: orthogonal vs non-orthogonal beam patterns (Fig. 5) ===");
+  std::puts("paper: orthogonality 'reduces the probability of getting similar losses'");
+  std::printf("ambiguity threshold: contrast < %.0f dB over %d random placements\n\n",
+              kAmbiguous_db, kTrials);
+  std::printf("  non-orthogonal pair ambiguous: %5.1f%%\n",
+              100.0 * ambiguous_non / kTrials);
+  std::printf("  orthogonal pair ambiguous:     %5.1f%%   (paper: <10%% residual, absorbed by FSK)\n",
+              100.0 * ambiguous_orth / kTrials);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation: TMA vs Hybrid MIMO at the AP for spatial multiplexing
+// (paper §7b's two options, quantified).
+//
+// Hybrid MIMO separates co-channel nodes with independent digital beams
+// (better SIR); the TMA does it with one RF chain and N switches (a
+// fraction of the power and cost). This bench prints the trade the paper
+// resolves in the TMA's favour for IoT.
+#include <cstdio>
+#include <vector>
+
+#include "mmx/antenna/tma.hpp"
+#include "mmx/baseline/hybrid_mimo.hpp"
+#include "mmx/common/units.hpp"
+#include "mmx/rf/budget.hpp"
+
+using namespace mmx;
+
+int main() {
+  std::puts("=== Ablation: SDM receiver — Time-Modulated Array vs Hybrid MIMO ===\n");
+
+  auto tma = antenna::TimeModulatedArray::progressive(
+      antenna::TmaSpec{.num_elements = 8}, 0.0625, 0.45);
+  baseline::HybridMimoAp mimo;
+
+  std::puts("  co-channel nodes    TMA min SIR    MIMO min SIR");
+  for (int k : {2, 3, 4}) {
+    std::vector<double> bearings;
+    std::vector<int> harmonics;
+    // Nodes near every other TMA slot, with a realistic ~2 degree
+    // placement offset so neither receiver sits in an exact pattern null.
+    for (int i = 0; i < k; ++i) {
+      const int m = (i - k / 2) * 2;
+      bearings.push_back(tma.steered_angle(m) + 0.035 * ((i % 2 == 0) ? 1.0 : -1.0));
+      harmonics.push_back(m);
+    }
+    const double tma_sir = tma.demux_sir_db(bearings, harmonics);
+    const double mimo_sir = mimo.plan(bearings).min_sir_db;
+    std::printf("  %16d    %8.1f dB    %9.1f dB\n", k, tma_sir, mimo_sir);
+  }
+
+  const double tma_power = 0.5;  // one mmX receive chain + switch drivers
+  std::puts("\n  receiver            power        component cost");
+  std::printf("  TMA (1 chain)     %5.1f W        ~$%.0f (mmX AP BoM)\n", tma_power,
+              rf::mmx_ap_budget().total_cost_usd());
+  std::printf("  hybrid MIMO       %5.1f W        ~$%.0f (%zu chains x %zu elements)\n",
+              mimo.total_power_w(), mimo.total_cost_usd(), mimo.spec().num_chains,
+              mimo.spec().elements_per_chain);
+
+  std::puts("\npaper's §7b verdict: hybrid MIMO matches (or with more elements beats)");
+  std::puts("the TMA's separation and scales past the harmonic budget — but it needs");
+  std::puts("one full mmWave chain per co-channel node: \"power hungry and costly\".");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 9: example received waveforms at the AP.
+//
+// (a) the usual case: the two beams' path losses differ -> the envelope
+//     carries the bits (decode via ASK);
+// (b) the rare equal-loss case: the envelope is flat but the per-bit
+//     carrier frequency differs -> decode via FSK.
+#include <cstdio>
+
+#include "mmx/common/rng.hpp"
+#include "mmx/common/units.hpp"
+#include "mmx/dsp/envelope.hpp"
+#include "mmx/dsp/noise.hpp"
+#include "mmx/phy/joint.hpp"
+#include "mmx/phy/otam.hpp"
+
+using namespace mmx;
+using namespace mmx::phy;
+
+namespace {
+
+void run_case(const char* label, const OtamChannel& ch, Rng& rng) {
+  PhyConfig cfg;
+  cfg.symbol_rate_hz = 1e6;
+  cfg.samples_per_symbol = 50;  // 500 samples over 10 bits, like the figure
+  cfg.fsk_freq0_hz = -2e6;
+  cfg.fsk_freq1_hz = 2e6;
+  rf::SpdtSwitch sw;
+
+  const Bits prefix{1, 0, 1, 0};
+  Bits bits = prefix;
+  for (int b : {1, 1, 0, 1, 0, 0}) bits.push_back(b);
+
+  auto rx = otam_synthesize(bits, cfg, ch, sw);
+  dsp::add_awgn(rx, dsp::mean_power(rx) / db_to_lin(22.0), rng);
+
+  std::printf("--- %s ---\n", label);
+  const auto env = dsp::symbol_envelopes(rx, cfg.samples_per_symbol, cfg.guard_frac);
+  std::printf("  bit:       ");
+  for (int b : bits) std::printf("   %d  ", b);
+  std::printf("\n  envelope:  ");
+  for (double e : env) std::printf("%5.2f ", e / env[0]);
+  std::printf(" (relative to first symbol)\n");
+
+  const JointDecision d = joint_demodulate(rx, cfg, prefix);
+  const char* mode = d.mode == DecisionMode::kAsk    ? "ASK"
+                     : d.mode == DecisionMode::kFsk  ? "FSK"
+                                                     : "joint";
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) errors += (d.bits[i] != bits[i]);
+  std::printf("  decoded via %s | ASK separation d'=%.2f | FSK margin %.2f | bit errors %zu/%zu\n\n",
+              mode, d.ask_separation, d.fsk_margin, errors, bits.size());
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Figure 9: measured signal at the AP, two channel cases ===");
+  std::puts("paper: (a) unequal path losses -> ASK decodes; (b) equal losses -> FSK decodes");
+  std::puts("");
+  Rng rng(7);
+  // (a) Beam 1 12 dB above Beam 0 (LoS vs NLoS).
+  run_case("case (a): different path losses (ASK-decodable)",
+           OtamChannel{{0.25, 0.0}, {1.0, 0.0}}, rng);
+  // (b) both beams land at the same level.
+  run_case("case (b): equal path losses (FSK rescues the packet)",
+           OtamChannel{{0.6, 0.0}, {0.6, 0.0}}, rng);
+  return 0;
+}

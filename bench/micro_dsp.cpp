@@ -1,0 +1,120 @@
+// Microbenchmarks (google-benchmark): throughput of the primitives the
+// AP runs per received sample — the budget that decides how many nodes
+// one AP CPU can demodulate in real time.
+#include <benchmark/benchmark.h>
+
+#include "mmx/channel/beam_channel.hpp"
+#include "mmx/common/rng.hpp"
+#include "mmx/dsp/fft.hpp"
+#include "mmx/dsp/fir.hpp"
+#include "mmx/dsp/goertzel.hpp"
+#include "mmx/dsp/noise.hpp"
+#include "mmx/common/units.hpp"
+#include "mmx/phy/joint.hpp"
+#include "mmx/phy/otam.hpp"
+
+using namespace mmx;
+
+namespace {
+
+dsp::Cvec noise_block(std::size_t n) {
+  Rng rng(1);
+  return dsp::awgn(n, 1.0, rng);
+}
+
+void BM_Fft(benchmark::State& state) {
+  dsp::Cvec x = noise_block(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    dsp::Cvec y = x;
+    dsp::fft_inplace(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fft)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Goertzel(benchmark::State& state) {
+  const dsp::Cvec x = noise_block(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::goertzel_power(x, 1e6, 16e6));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Goertzel)->Arg(16)->Arg(256);
+
+void BM_FirFilter(benchmark::State& state) {
+  dsp::FirFilter fir(dsp::design_lowpass(16e6, 2e6, 63));
+  const dsp::Cvec x = noise_block(4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fir.process(x).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_FirFilter);
+
+void BM_OtamSynthesize(benchmark::State& state) {
+  Rng rng(2);
+  phy::PhyConfig cfg;
+  cfg.symbol_rate_hz = 1e6;
+  cfg.samples_per_symbol = 16;
+  cfg.fsk_freq0_hz = -2e6;
+  cfg.fsk_freq1_hz = 2e6;
+  rf::SpdtSwitch sw;
+  phy::Bits bits(1000);
+  for (int& b : bits) b = rng.uniform_int(0, 1);
+  const phy::OtamChannel ch{{1e-4, 0.0}, {1e-3, 0.0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phy::otam_synthesize(bits, cfg, ch, sw).data());
+  }
+  state.SetItemsProcessed(state.iterations() * bits.size());
+}
+BENCHMARK(BM_OtamSynthesize);
+
+void BM_JointDemodulate(benchmark::State& state) {
+  Rng rng(3);
+  phy::PhyConfig cfg;
+  cfg.symbol_rate_hz = 1e6;
+  cfg.samples_per_symbol = 16;
+  cfg.fsk_freq0_hz = -2e6;
+  cfg.fsk_freq1_hz = 2e6;
+  rf::SpdtSwitch sw;
+  phy::Bits bits{1, 0, 1, 0};
+  for (int i = 0; i < 1000; ++i) bits.push_back(rng.uniform_int(0, 1));
+  const phy::OtamChannel ch{{1e-4, 0.0}, {1e-3, 0.0}};
+  auto rx = phy::otam_synthesize(bits, cfg, ch, sw);
+  dsp::add_awgn_snr(rx, 20.0, rng);
+  const phy::Bits prefix{1, 0, 1, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phy::joint_demodulate(rx, cfg, prefix).bits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * bits.size());
+}
+BENCHMARK(BM_JointDemodulate);
+
+void BM_RayTrace(benchmark::State& state) {
+  channel::Room room(6.0, 4.0);
+  room.add_blocker(channel::human_blocker({3.0, 2.0}));
+  channel::RayTracer tracer(room);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracer.trace({1.0, 2.0}, {5.0, 2.5}));
+  }
+}
+BENCHMARK(BM_RayTrace);
+
+void BM_BeamGains(benchmark::State& state) {
+  channel::Room room(6.0, 4.0);
+  channel::RayTracer tracer(room);
+  antenna::MmxBeamPair beams;
+  antenna::Dipole ap_ant;
+  const channel::Pose node{{1.0, 2.0}, 0.3};
+  const channel::Pose ap{{5.0, 2.0}, kPi};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        channel::compute_beam_gains(tracer, node, beams, ap, ap_ant, 24.125e9));
+  }
+}
+BENCHMARK(BM_BeamGains);
+
+}  // namespace
+
+BENCHMARK_MAIN();

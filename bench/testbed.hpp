@@ -1,0 +1,17 @@
+// Shared experiment testbed for the figure-reproduction benches —
+// thin aliases over the library's canonical presets
+// (mmx/channel/presets.hpp) so benches, tests and examples measure the
+// same world.
+#pragma once
+
+#include "mmx/channel/presets.hpp"
+
+namespace mmx::bench {
+
+inline channel::Room furnished_lab() { return channel::furnished_lab(); }
+inline channel::Pose lab_ap_pose() { return channel::furnished_lab_ap(); }
+inline std::size_t park_person(channel::Room& room, Vec2 node, Vec2 ap) {
+  return channel::park_person(room, node, ap);
+}
+
+}  // namespace mmx::bench

@@ -1,0 +1,68 @@
+// Apartment: one mmX hub serving devices through real interior walls.
+//
+// 24 GHz penetrates drywall with single-digit dB of loss but is stopped
+// cold by metal and concrete — so a one-hub apartment works if the floor
+// plan is framed in drywall and fails across the concrete service core.
+// This example walks a floor plan and prints per-device link budgets and
+// deliveries, including the doorway detours reflections find.
+#include <cstdio>
+#include <vector>
+
+#include "mmx/common/units.hpp"
+#include "mmx/core/network.hpp"
+
+int main() {
+  using namespace mmx;
+
+  // 10 x 6 m apartment. Living room right, bedroom top-left, kitchen
+  // bottom-left. Interior framing is drywall with doorway gaps; the
+  // fridge wall is effectively metal.
+  channel::Room flat(10.0, 6.0);
+  // Bedroom wall: x = 4, upper half, doorway at y in [3.0, 3.9].
+  flat.add_partition({{4.0, 3.9}, {4.0, 6.0}}, channel::drywall());
+  flat.add_partition({{4.0, 3.0}, {4.0, 3.0 + 1e-6}}, channel::drywall());  // jamb stub
+  // Kitchen wall: x = 4, lower half, doorway at y in [2.1, 3.0].
+  flat.add_partition({{4.0, 0.0}, {4.0, 2.1}}, channel::drywall());
+  // Fridge + oven line along the kitchen's interior wall.
+  flat.add_partition({{3.2, 0.2}, {3.2, 1.6}}, channel::metal());
+
+  // Hub on the living-room wall.
+  core::Network net(flat, channel::Pose{{9.6, 3.0}, kPi});
+
+  struct Device {
+    const char* name;
+    channel::Pose pose;
+    double rate;
+  };
+  const std::vector<Device> devices = {
+      {"tv-streamer (living)", {{6.5, 3.0}, 0.0}, 20_Mbps},
+      {"cam-front-door (living)", {{7.5, 5.5}, deg_to_rad(-50.0)}, 8_Mbps},
+      {"cam-bedroom", {{1.0, 5.0}, deg_to_rad(-20.0)}, 8_Mbps},
+      {"sensor-bedroom", {{0.6, 4.2}, 0.0}, 1_Mbps},
+      {"cam-kitchen", {{1.0, 1.8}, deg_to_rad(10.0)}, 8_Mbps},
+      {"sensor-behind-fridge", {{2.9, 0.9}, 0.0}, 1_Mbps},
+  };
+
+  std::puts("=== apartment: one hub, three rooms, real walls ===\n");
+  std::puts("  device                      SNR      contrast   delivered   note");
+  const std::vector<std::uint8_t> payload(128, 0x7E);
+  for (const Device& d : devices) {
+    const auto id = net.join(d.pose, d.rate);
+    if (!id) {
+      std::printf("  %-26s  JOIN DENIED\n", d.name);
+      continue;
+    }
+    const auto link = net.measure(*id);
+    const auto rep = net.send(*id, payload);
+    const char* note = link.snr_db > 15.0  ? "clean"
+                       : link.snr_db > 5.0 ? "through-wall"
+                                           : "shadowed";
+    std::printf("  %-26s %5.1f dB   %5.1f dB   %-9s   %s\n", d.name, link.snr_db,
+                link.contrast_db, rep.delivered ? "yes" : "NO", note);
+  }
+
+  std::puts("\nreading: drywall rooms stay connected (a few dB of through-wall");
+  std::puts("loss, doorway reflections helping); the metal fridge line casts a");
+  std::puts("true shadow — plan hub placement around metal, not around drywall.");
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "mmx/antenna/array.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::antenna {
+
+LinearArray::LinearArray(std::shared_ptr<const Element> element, double spacing_m,
+                         std::vector<std::complex<double>> weights, double freq_hz)
+    : element_(std::move(element)),
+      spacing_m_(spacing_m),
+      weights_(std::move(weights)),
+      freq_hz_(freq_hz),
+      k_(wavenumber(freq_hz)) {
+  if (!element_) throw std::invalid_argument("LinearArray: null element");
+  if (spacing_m <= 0.0) throw std::invalid_argument("LinearArray: spacing must be > 0");
+  if (weights_.empty()) throw std::invalid_argument("LinearArray: need at least one element");
+  if (freq_hz <= 0.0) throw std::invalid_argument("LinearArray: frequency must be > 0");
+}
+
+std::complex<double> LinearArray::array_factor(double theta) const {
+  const double psi = k_ * spacing_m_ * std::sin(theta);
+  std::complex<double> acc{0.0, 0.0};
+  for (std::size_t n = 0; n < weights_.size(); ++n) {
+    const double ph = psi * static_cast<double>(n);
+    acc += weights_[n] * std::complex<double>{std::cos(ph), std::sin(ph)};
+  }
+  return acc;
+}
+
+std::complex<double> LinearArray::field(double theta) const {
+  return element_->amplitude(theta) * array_factor(theta);
+}
+
+double LinearArray::amplitude(double theta) const { return std::abs(field(theta)); }
+
+double LinearArray::gain_dbi(double theta) const {
+  const double a = amplitude(theta);
+  if (a <= 1e-12) return -200.0;
+  return amp_to_db(a);
+}
+
+std::vector<std::complex<double>> steering_weights(std::size_t n, double spacing_m,
+                                                   double freq_hz, double theta0) {
+  if (n == 0) throw std::invalid_argument("steering_weights: n must be > 0");
+  const double k = wavenumber(freq_hz);
+  std::vector<std::complex<double>> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ph = -k * spacing_m * std::sin(theta0) * static_cast<double>(i);
+    w[i] = std::complex<double>{std::cos(ph), std::sin(ph)};
+  }
+  return w;
+}
+
+}  // namespace mmx::antenna

@@ -1,0 +1,58 @@
+#include "mmx/antenna/element.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::antenna {
+
+double Element::gain_dbi(double theta) const {
+  const double a = amplitude(theta);
+  if (a <= 0.0) return -200.0;  // clamp true nulls for dB reporting
+  return amp_to_db(a);
+}
+
+Patch::Patch(double peak_gain_dbi, double q, double back_lobe_db)
+    : peak_gain_dbi_(peak_gain_dbi), q_(q) {
+  if (q <= 0.0) throw std::invalid_argument("Patch: q must be > 0");
+  if (back_lobe_db <= 0.0) throw std::invalid_argument("Patch: back lobe must be > 0 dB down");
+  peak_amp_ = db_to_amp(peak_gain_dbi);
+  back_floor_amp_ = peak_amp_ * db_to_amp(-back_lobe_db);
+}
+
+double Patch::amplitude(double theta) const {
+  const double t = wrap_angle(theta);
+  if (std::abs(t) >= kPi / 2.0) return back_floor_amp_;
+  const double shape = std::pow(std::cos(t), q_);
+  return std::max(peak_amp_ * shape, back_floor_amp_);
+}
+
+namespace {
+
+/// Cosine exponent q such that cos^q(hpbw/2) = 1/sqrt(2) (half power).
+double q_for_hpbw(double hpbw_deg) {
+  const double half = deg_to_rad(hpbw_deg / 2.0);
+  const double c = std::cos(half);
+  if (c <= 0.0 || c >= 1.0) throw std::invalid_argument("hpbw out of range");
+  return std::log(1.0 / std::sqrt(2.0)) / std::log(c);
+}
+
+}  // namespace
+
+Dipole::Dipole(double peak_gain_dbi, double hpbw_deg)
+    : peak_gain_dbi_(peak_gain_dbi), hpbw_deg_(hpbw_deg), q_(q_for_hpbw(hpbw_deg)) {
+  peak_amp_ = db_to_amp(peak_gain_dbi);
+}
+
+double Dipole::amplitude(double theta) const {
+  const double t = wrap_angle(theta);
+  if (std::abs(t) >= kPi / 2.0) {
+    // Printed dipole above a ground plane: weak back radiation, -20 dB.
+    return peak_amp_ * db_to_amp(-20.0);
+  }
+  return peak_amp_ * std::pow(std::cos(t), q_);
+}
+
+}  // namespace mmx::antenna

@@ -1,0 +1,53 @@
+// Uniform linear array with arbitrary complex excitation.
+//
+// The mmX node's two fixed beams are 2-element patch arrays with 0 and
+// 180 degree excitation (paper §6.2, §8.1); this class is the general
+// machinery behind them and behind the TMA's instantaneous patterns.
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "mmx/antenna/element.hpp"
+
+namespace mmx::antenna {
+
+class LinearArray {
+ public:
+  /// `element`: shared element pattern (all elements identical).
+  /// `spacing_m`: inter-element spacing. `weights`: per-element complex
+  /// excitation (amplitude+phase).
+  LinearArray(std::shared_ptr<const Element> element, double spacing_m,
+              std::vector<std::complex<double>> weights, double freq_hz);
+
+  /// Complex field at azimuth theta: element(theta) * sum_n w_n e^{j k n d sin theta}.
+  std::complex<double> field(double theta) const;
+
+  /// Field amplitude |field| at theta.
+  double amplitude(double theta) const;
+
+  /// Power gain [dBi] at theta (clamped at -200 dB in nulls).
+  double gain_dbi(double theta) const;
+
+  /// Array factor alone (no element pattern), normalized so that uniform
+  /// in-phase excitation gives N at the steering peak.
+  std::complex<double> array_factor(double theta) const;
+
+  std::size_t size() const { return weights_.size(); }
+  double spacing_m() const { return spacing_m_; }
+  double frequency_hz() const { return freq_hz_; }
+
+ private:
+  std::shared_ptr<const Element> element_;
+  double spacing_m_;
+  std::vector<std::complex<double>> weights_;
+  double freq_hz_;
+  double k_;  // wavenumber
+};
+
+/// Phase weights steering an N-element array's main lobe to `theta0`.
+std::vector<std::complex<double>> steering_weights(std::size_t n, double spacing_m,
+                                                   double freq_hz, double theta0);
+
+}  // namespace mmx::antenna

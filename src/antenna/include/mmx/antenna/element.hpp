@@ -1,0 +1,68 @@
+// Antenna element models.
+//
+// All patterns are azimuth-plane amplitude patterns: `amplitude(theta)`
+// returns the field (voltage) gain relative to isotropic at azimuth
+// `theta` (radians, 0 = boresight, positive CCW). Power gain in dBi is
+// 20*log10(amplitude). Elevation behaviour is folded into the peak gain
+// figure, mirroring how the paper reports its patterns (Fig. 8 is an
+// azimuth cut).
+#pragma once
+
+#include <memory>
+
+namespace mmx::antenna {
+
+class Element {
+ public:
+  virtual ~Element() = default;
+
+  /// Field (amplitude) gain at azimuth theta [rad] relative to isotropic.
+  virtual double amplitude(double theta) const = 0;
+
+  /// Power gain [dBi] at azimuth theta.
+  double gain_dbi(double theta) const;
+};
+
+/// Ideal isotropic radiator (0 dBi everywhere) — test reference.
+class Isotropic final : public Element {
+ public:
+  double amplitude(double /*theta*/) const override { return 1.0; }
+};
+
+/// Microstrip patch: cos^q(theta) front-hemisphere pattern with a small
+/// back-lobe floor. Default q gives the ~65 degree elevation/azimuth HPBW
+/// of a standard half-wave patch (paper §9.1) and ~6 dBi peak gain.
+class Patch final : public Element {
+ public:
+  /// `peak_gain_dbi`: boresight gain. `q`: cosine exponent controlling
+  /// beamwidth. `back_lobe_db`: back-hemisphere level below peak.
+  explicit Patch(double peak_gain_dbi = 6.0, double q = 1.0, double back_lobe_db = 25.0);
+
+  double amplitude(double theta) const override;
+
+  double peak_gain_dbi() const { return peak_gain_dbi_; }
+
+ private:
+  double peak_gain_dbi_;
+  double q_;
+  double back_floor_amp_;
+  double peak_amp_;
+};
+
+/// The AP's printed dipole: 5 dBi gain, ~62 degree HPBW (paper §8.2).
+class Dipole final : public Element {
+ public:
+  explicit Dipole(double peak_gain_dbi = 5.0, double hpbw_deg = 62.0);
+
+  double amplitude(double theta) const override;
+
+  double hpbw_deg() const { return hpbw_deg_; }
+
+ private:
+  double peak_gain_dbi_;
+  double hpbw_deg_;
+  double q_;  // cosine exponent fitted to the HPBW
+  double peak_amp_;
+};
+
+}  // namespace mmx::antenna

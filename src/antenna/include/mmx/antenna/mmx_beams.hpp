@@ -1,0 +1,51 @@
+// The mmX node's orthogonal fixed-beam pair (paper §6.2, §8.1, Fig. 8).
+//
+// Beam 1: two patches excited in phase -> broadside main lobe (theta=0)
+//         with nulls at +/-30 degrees.
+// Beam 0: the same geometry excited 180 degrees out of phase -> null at
+//         broadside, two arms peaking near +/-30 degrees.
+//
+// Orthogonality means each beam has a null at the other's peak(s); it is
+// what keeps the two OTAM signal levels distinguishable at almost every
+// AP bearing, and it falls out of the lambda element spacing chosen here.
+#pragma once
+
+#include <memory>
+
+#include "mmx/antenna/array.hpp"
+
+namespace mmx::antenna {
+
+struct BeamPairSpec {
+  double freq_hz = 24.125e9;   ///< design frequency (ISM band centre)
+  double patch_gain_dbi = 6.0;
+  /// Element spacing in wavelengths. 1.0 puts Beam 1's nulls and Beam 0's
+  /// peaks both at +/-30 degrees (sin theta = lambda/(2 d)).
+  double spacing_wavelengths = 1.0;
+};
+
+class MmxBeamPair {
+ public:
+  explicit MmxBeamPair(BeamPairSpec spec = {});
+
+  /// Complex field of beam 0 or 1 at azimuth theta (node frame; 0 =
+  /// boresight / board normal).
+  std::complex<double> field(int beam, double theta) const;
+
+  double amplitude(int beam, double theta) const;
+  double gain_dbi(int beam, double theta) const;
+
+  const LinearArray& beam(int beam) const;
+
+  /// Angle of Beam 0's positive-side peak (should be ~ +30 degrees).
+  double beam0_peak_angle() const;
+
+  const BeamPairSpec& spec() const { return spec_; }
+
+ private:
+  BeamPairSpec spec_;
+  std::unique_ptr<LinearArray> beam0_;
+  std::unique_ptr<LinearArray> beam1_;
+};
+
+}  // namespace mmx::antenna

@@ -1,0 +1,43 @@
+// Measurement-style metrics over radiation patterns — the quantities the
+// paper reads off Fig. 8 (peak directions, HPBW, null depths, field of
+// view).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace mmx::antenna {
+
+/// A pattern is any azimuth -> amplitude (field gain) function.
+using Pattern = std::function<double(double)>;
+
+/// Sampled pattern maximum over [lo, hi] (radians), `samples` points.
+struct PatternPeak {
+  double angle;
+  double amplitude;
+};
+PatternPeak find_peak(const Pattern& p, double lo, double hi, int samples = 2048);
+
+/// Half-power beamwidth [rad] of the lobe containing `peak_angle`:
+/// distance between the -3 dB crossings either side of the peak.
+double half_power_beamwidth(const Pattern& p, double peak_angle, int samples = 4096);
+
+/// Depth [dB] of `p` at `angle` below its global peak over [-pi, pi]
+/// (positive number; bigger = deeper null).
+double depth_below_peak_db(const Pattern& p, double angle);
+
+/// Orthogonality metric for a beam pair: the worse (smaller) of the two
+/// cross-isolation figures — beam A's level at beam B's peak, in dB below
+/// beam A's own peak, and vice versa.
+double pair_orthogonality_db(const Pattern& a, const Pattern& b);
+
+/// Azimuth-plane directivity [dB]: peak power over the circular average
+/// of the pattern (2-D analogue of antenna directivity; exact for
+/// azimuth-cut comparisons).
+double azimuth_directivity_db(const Pattern& p, int samples = 4096);
+
+/// Contiguous field of view [rad] around boresight where
+/// max(a, b) stays within `drop_db` of the pair's global peak.
+double field_of_view(const Pattern& a, const Pattern& b, double drop_db, int samples = 4096);
+
+}  // namespace mmx::antenna

@@ -1,0 +1,46 @@
+#include "mmx/antenna/mmx_beams.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::antenna {
+
+MmxBeamPair::MmxBeamPair(BeamPairSpec spec) : spec_(spec) {
+  if (spec_.spacing_wavelengths <= 0.0)
+    throw std::invalid_argument("MmxBeamPair: spacing must be > 0 wavelengths");
+  const double d = spec_.spacing_wavelengths * wavelength(spec_.freq_hz);
+  auto patch = std::make_shared<Patch>(spec_.patch_gain_dbi);
+  // Weights carry a 1/sqrt(2) amplitude so total radiated power matches a
+  // single element fed with the same source power (the SPDT routes the
+  // full carrier into one 2-element array at a time).
+  const double a = 1.0 / std::sqrt(2.0);
+  beam1_ = std::make_unique<LinearArray>(
+      patch, d, std::vector<std::complex<double>>{{a, 0.0}, {a, 0.0}}, spec_.freq_hz);
+  beam0_ = std::make_unique<LinearArray>(
+      patch, d, std::vector<std::complex<double>>{{a, 0.0}, {-a, 0.0}}, spec_.freq_hz);
+}
+
+const LinearArray& MmxBeamPair::beam(int beam) const {
+  if (beam == 0) return *beam0_;
+  if (beam == 1) return *beam1_;
+  throw std::invalid_argument("MmxBeamPair: beam must be 0 or 1");
+}
+
+std::complex<double> MmxBeamPair::field(int b, double theta) const {
+  return beam(b).field(theta);
+}
+
+double MmxBeamPair::amplitude(int b, double theta) const { return beam(b).amplitude(theta); }
+
+double MmxBeamPair::gain_dbi(int b, double theta) const { return beam(b).gain_dbi(theta); }
+
+double MmxBeamPair::beam0_peak_angle() const {
+  // sin(theta) = lambda / (2 d) gives the anti-phase array's first peak.
+  const double s = 1.0 / (2.0 * spec_.spacing_wavelengths);
+  if (s >= 1.0) throw std::logic_error("MmxBeamPair: spacing too small for a real peak");
+  return std::asin(s);
+}
+
+}  // namespace mmx::antenna

@@ -1,0 +1,94 @@
+#include "mmx/antenna/pattern_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::antenna {
+
+PatternPeak find_peak(const Pattern& p, double lo, double hi, int samples) {
+  if (samples < 2) throw std::invalid_argument("find_peak: need >= 2 samples");
+  if (lo >= hi) throw std::invalid_argument("find_peak: lo must be < hi");
+  PatternPeak best{lo, p(lo)};
+  for (int i = 1; i < samples; ++i) {
+    const double t = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(samples - 1);
+    const double a = p(t);
+    if (a > best.amplitude) best = {t, a};
+  }
+  return best;
+}
+
+double half_power_beamwidth(const Pattern& p, double peak_angle, int samples) {
+  const double peak = p(peak_angle);
+  if (peak <= 0.0) throw std::invalid_argument("half_power_beamwidth: no power at peak");
+  const double half = peak / std::sqrt(2.0);
+  const double step = kTwoPi / static_cast<double>(samples);
+  double upper = peak_angle;
+  for (double t = peak_angle; t < peak_angle + kPi; t += step) {
+    if (p(t) < half) break;
+    upper = t;
+  }
+  double lower = peak_angle;
+  for (double t = peak_angle; t > peak_angle - kPi; t -= step) {
+    if (p(t) < half) break;
+    lower = t;
+  }
+  return upper - lower;
+}
+
+double depth_below_peak_db(const Pattern& p, double angle) {
+  const PatternPeak peak = find_peak(p, -kPi, kPi);
+  const double at = p(angle);
+  if (at <= 0.0) return 200.0;  // exact null, clamp
+  return amp_to_db(peak.amplitude / at);
+}
+
+double pair_orthogonality_db(const Pattern& a, const Pattern& b) {
+  const PatternPeak pa = find_peak(a, -kPi, kPi);
+  const PatternPeak pb = find_peak(b, -kPi, kPi);
+  const double a_at_b = a(pb.angle);
+  const double b_at_a = b(pa.angle);
+  const double iso_a = (a_at_b <= 0.0) ? 200.0 : amp_to_db(pa.amplitude / a_at_b);
+  const double iso_b = (b_at_a <= 0.0) ? 200.0 : amp_to_db(pb.amplitude / b_at_a);
+  return std::min(iso_a, iso_b);
+}
+
+double azimuth_directivity_db(const Pattern& p, int samples) {
+  if (samples < 8) throw std::invalid_argument("azimuth_directivity_db: need >= 8 samples");
+  double peak = 0.0;
+  double mean_power = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double t = -kPi + kTwoPi * static_cast<double>(i) / static_cast<double>(samples);
+    const double a = p(t);
+    peak = std::max(peak, a * a);
+    mean_power += a * a;
+  }
+  mean_power /= static_cast<double>(samples);
+  if (mean_power <= 0.0) throw std::invalid_argument("azimuth_directivity_db: zero pattern");
+  return lin_to_db(peak / mean_power);
+}
+
+double field_of_view(const Pattern& a, const Pattern& b, double drop_db, int samples) {
+  if (drop_db <= 0.0) throw std::invalid_argument("field_of_view: drop must be > 0 dB");
+  const PatternPeak pa = find_peak(a, -kPi, kPi);
+  const PatternPeak pb = find_peak(b, -kPi, kPi);
+  const double peak = std::max(pa.amplitude, pb.amplitude);
+  const double floor = peak * db_to_amp(-drop_db);
+  const double step = kTwoPi / static_cast<double>(samples);
+  // Expand outward from boresight until coverage drops below the floor.
+  double upper = 0.0;
+  for (double t = 0.0; t <= kPi; t += step) {
+    if (std::max(a(t), b(t)) < floor) break;
+    upper = t;
+  }
+  double lower = 0.0;
+  for (double t = 0.0; t >= -kPi; t -= step) {
+    if (std::max(a(t), b(t)) < floor) break;
+    lower = t;
+  }
+  return upper - lower;
+}
+
+}  // namespace mmx::antenna

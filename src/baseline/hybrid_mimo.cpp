@@ -1,0 +1,66 @@
+#include "mmx/baseline/hybrid_mimo.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::baseline {
+
+HybridMimoAp::HybridMimoAp(HybridMimoSpec spec) : spec_(spec) {
+  if (spec.num_chains == 0) throw std::invalid_argument("HybridMimoAp: need chains");
+  if (spec.elements_per_chain == 0) throw std::invalid_argument("HybridMimoAp: need elements");
+  if (spec.spacing_wavelengths <= 0.0)
+    throw std::invalid_argument("HybridMimoAp: spacing must be > 0");
+}
+
+double HybridMimoAp::chain_pattern(double steer_rad, double theta) const {
+  // Uniform array factor steered to steer_rad, normalized to 1 at peak.
+  const double n = static_cast<double>(spec_.elements_per_chain);
+  const double psi = kTwoPi * spec_.spacing_wavelengths *
+                     (std::sin(theta) - std::sin(steer_rad));
+  if (std::abs(psi) < 1e-12) return 1.0;
+  const double num = std::sin(n * psi / 2.0);
+  const double den = n * std::sin(psi / 2.0);
+  const double af = num / den;
+  return af * af;
+}
+
+MimoPlan HybridMimoAp::plan(std::span<const double> bearings_rad) const {
+  if (bearings_rad.empty()) throw std::invalid_argument("HybridMimoAp: no bearings");
+  if (bearings_rad.size() > spec_.num_chains)
+    throw std::invalid_argument("HybridMimoAp: more nodes than chains");
+  MimoPlan out;
+  out.assignments.reserve(bearings_rad.size());
+  for (std::size_t i = 0; i < bearings_rad.size(); ++i) {
+    out.assignments.push_back({i, bearings_rad[i]});
+  }
+  double worst = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < bearings_rad.size(); ++i) {
+    const double wanted = chain_pattern(bearings_rad[i], bearings_rad[i]);  // == 1
+    double interference = 0.0;
+    for (std::size_t j = 0; j < bearings_rad.size(); ++j) {
+      if (j == i) continue;
+      interference += chain_pattern(bearings_rad[i], bearings_rad[j]);
+    }
+    const double sir = (interference <= 0.0) ? 200.0 : lin_to_db(wanted / interference);
+    worst = std::min(worst, sir);
+  }
+  out.min_sir_db = worst;
+  return out;
+}
+
+double HybridMimoAp::total_power_w() const {
+  const double chains = static_cast<double>(spec_.num_chains);
+  const double elements = chains * static_cast<double>(spec_.elements_per_chain);
+  return chains * spec_.chain_power_w + elements * spec_.element_power_w;
+}
+
+double HybridMimoAp::total_cost_usd() const {
+  const double chains = static_cast<double>(spec_.num_chains);
+  const double elements = chains * static_cast<double>(spec_.elements_per_chain);
+  return chains * spec_.chain_cost_usd + elements * spec_.element_cost_usd;
+}
+
+}  // namespace mmx::baseline

@@ -1,0 +1,65 @@
+// Hybrid MIMO array — the AP-side alternative to the TMA (paper §7b).
+//
+// "The AP uses multiple mmWave chains connected to one or multiple
+// arrays which create independent beams toward different directions...
+// However, since this architecture requires multiple mmWave chains, it
+// is power hungry and costly for IoT applications."
+//
+// Each chain digitally processes its own steered analog beam, so
+// co-channel nodes are separated by beam selectivity. This model
+// quantifies both sides of the trade: the (often better) separation and
+// the per-chain power/cost bill the paper refuses to pay.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mmx::baseline {
+
+struct HybridMimoSpec {
+  std::size_t num_chains = 4;           ///< simultaneous co-channel nodes served
+  std::size_t elements_per_chain = 16;
+  double spacing_wavelengths = 0.5;
+  /// Power of one full mmWave chain (mixer + LO buffer + ADC + baseband).
+  double chain_power_w = 2.5;
+  /// Per-element phase shifter + LNA power.
+  double element_power_w = 0.15;
+  /// Component cost: chain (mixer+PLL+ADC) and per-element (shifter+LNA).
+  double chain_cost_usd = 210.0;   ///< HMC8191-class mixer + PLL + ADC
+  double element_cost_usd = 220.0; ///< HMC933-class shifter + HMC342 LNA
+};
+
+struct MimoAssignment {
+  std::size_t node_index;
+  double steer_angle_rad;  ///< each chain simply steers at its node
+};
+
+struct MimoPlan {
+  std::vector<MimoAssignment> assignments;
+  double min_sir_db = 0.0;
+};
+
+class HybridMimoAp {
+ public:
+  explicit HybridMimoAp(HybridMimoSpec spec = {});
+
+  /// Normalized power pattern of one steered chain: |AF(theta)|^2 / N^2
+  /// with the main lobe at `steer_rad`.
+  double chain_pattern(double steer_rad, double theta) const;
+
+  /// Serve co-channel nodes at `bearings`: chain i steers at node i;
+  /// min-over-nodes SIR from the other nodes' leakage through chain i's
+  /// pattern. Throws if more nodes than chains.
+  MimoPlan plan(std::span<const double> bearings_rad) const;
+
+  /// Whole-array receiver power/cost (all chains + all elements).
+  double total_power_w() const;
+  double total_cost_usd() const;
+
+  const HybridMimoSpec& spec() const { return spec_; }
+
+ private:
+  HybridMimoSpec spec_;
+};
+
+}  // namespace mmx::baseline

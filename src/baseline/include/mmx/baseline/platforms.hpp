@@ -1,0 +1,33 @@
+// Platform comparison models behind Table 1.
+//
+// Literature figures for MiRa, OpenMili/Pasternack, WiFi 802.11n and
+// Bluetooth, plus the mmX row computed live from this library's own
+// budget models — so if the BoM changes, Table 1 changes with it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mmx::baseline {
+
+struct PlatformSpec {
+  std::string name;
+  double carrier_hz;
+  double cost_usd;
+  double power_w;
+  double tx_power_dbm;
+  double bandwidth_hz;
+  double bitrate_bps;
+  double range_m;
+
+  /// nJ/bit at the platform's peak rate.
+  double energy_per_bit_nj() const;
+};
+
+/// All rows of Table 1 (mmX first, computed from rf::mmx_node_budget()).
+std::vector<PlatformSpec> table1_platforms();
+
+/// Convenience lookups used by tests/benches.
+const PlatformSpec& platform(const std::vector<PlatformSpec>& rows, const std::string& name);
+
+}  // namespace mmx::baseline

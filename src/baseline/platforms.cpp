@@ -1,0 +1,36 @@
+#include "mmx/baseline/platforms.hpp"
+
+#include <stdexcept>
+
+#include "mmx/rf/budget.hpp"
+
+namespace mmx::baseline {
+
+double PlatformSpec::energy_per_bit_nj() const {
+  if (bitrate_bps <= 0.0) throw std::logic_error("PlatformSpec: bitrate must be > 0");
+  return power_w / bitrate_bps * 1e9;
+}
+
+std::vector<PlatformSpec> table1_platforms() {
+  const rf::Budget node = rf::mmx_node_budget();
+  std::vector<PlatformSpec> rows;
+  // mmX row derives from our own component models (§8.1/§9.1): 24 GHz,
+  // 100 Mbps at 18 m, 10 dBm radiated.
+  rows.push_back({"mmX", 24.0e9, node.total_cost_usd(), node.total_power_w(), 10.0, 250e6,
+                  100e6, 18.0});
+  // Published figures (Table 1 citations).
+  rows.push_back({"MiRa", 24.0e9, 7000.0, 11.6, 10.0, 250e6, 1e9, 100.0});
+  rows.push_back({"OpenMili/Pasternack", 60.0e9, 8000.0, 5.0, 12.0, 1e9, 1.3e9, 11.0});
+  rows.push_back({"WiFi (802.11n)", 2.4e9, 10.0, 2.1, 30.0, 70e6, 120e6, 50.0});
+  rows.push_back({"Bluetooth", 2.4e9, 10.0, 0.029, 5.0, 1e6, 1e6, 10.0});
+  return rows;
+}
+
+const PlatformSpec& platform(const std::vector<PlatformSpec>& rows, const std::string& name) {
+  for (const PlatformSpec& p : rows) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("platform: unknown name " + name);
+}
+
+}  // namespace mmx::baseline

@@ -1,0 +1,32 @@
+#include "mmx/channel/blockage.hpp"
+
+#include <stdexcept>
+
+namespace mmx::channel {
+
+WalkingCrowd::WalkingCrowd(Room& room, std::size_t count, double speed_mps, Rng& rng)
+    : room_(&room) {
+  walkers_.reserve(count);
+  blocker_ids_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Vec2 start{rng.uniform(0.3, room.width() - 0.3), rng.uniform(0.3, room.height() - 0.3)};
+    walkers_.emplace_back(start, room.width(), room.height(), speed_mps, rng);
+    blocker_ids_.push_back(room.add_blocker(human_blocker(start)));
+  }
+}
+
+void WalkingCrowd::update(double dt, Rng& rng) {
+  for (std::size_t i = 0; i < walkers_.size(); ++i) {
+    walkers_[i].update(dt, rng);
+    room_->move_blocker(blocker_ids_[i], walkers_[i].position());
+  }
+}
+
+std::size_t park_blocker_on_los(Room& room, Vec2 a, Vec2 b, double frac) {
+  if (frac <= 0.0 || frac >= 1.0)
+    throw std::invalid_argument("park_blocker_on_los: frac must be in (0,1)");
+  const Vec2 p = a + (b - a) * frac;
+  return room.add_blocker(human_blocker(p));
+}
+
+}  // namespace mmx::channel

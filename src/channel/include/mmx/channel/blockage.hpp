@@ -1,0 +1,38 @@
+// Dynamic blockage scenarios.
+//
+// The paper's SNR experiments (§9.2) run with "people walking around" and
+// one person parked on the LoS path for the whole experiment. These
+// helpers bind mobility models to the Room's blocker list.
+#pragma once
+
+#include <vector>
+
+#include "mmx/channel/mobility.hpp"
+#include "mmx/channel/room.hpp"
+
+namespace mmx::channel {
+
+/// A crowd of random-waypoint walkers registered as blockers in a room.
+class WalkingCrowd {
+ public:
+  /// Spawns `count` human blockers at uniform positions.
+  WalkingCrowd(Room& room, std::size_t count, double speed_mps, Rng& rng);
+
+  /// Advance all walkers and update their blocker discs in the room.
+  void update(double dt, Rng& rng);
+
+  std::size_t size() const { return walkers_.size(); }
+
+ private:
+  Room* room_;  // non-owning
+  std::vector<RandomWaypoint> walkers_;
+  std::vector<std::size_t> blocker_ids_;
+};
+
+/// Park a human blocker on the straight line between two points —
+/// the paper's "one person was blocking the line-of-sight path between
+/// the node and the AP for the entire duration of the experiment".
+/// `frac` in (0,1) picks where along the segment. Returns blocker index.
+std::size_t park_blocker_on_los(Room& room, Vec2 a, Vec2 b, double frac = 0.5);
+
+}  // namespace mmx::channel

@@ -1,0 +1,53 @@
+// Mobility models for blockers and nodes.
+#pragma once
+
+#include "mmx/common/geometry.hpp"
+#include "mmx/common/rng.hpp"
+
+namespace mmx::channel {
+
+/// Classic random-waypoint walker inside a rectangular area: pick a
+/// uniform target, walk to it at constant speed, repeat.
+class RandomWaypoint {
+ public:
+  /// Area is [margin, w-margin] x [margin, h-margin].
+  RandomWaypoint(Vec2 start, double area_w, double area_h, double speed_mps, Rng& rng,
+                 double margin = 0.3);
+
+  /// Advance by dt seconds.
+  void update(double dt, Rng& rng);
+
+  Vec2 position() const { return pos_; }
+  Vec2 target() const { return target_; }
+  double speed() const { return speed_; }
+
+ private:
+  Vec2 pick_target(Rng& rng) const;
+
+  Vec2 pos_;
+  Vec2 target_;
+  double area_w_;
+  double area_h_;
+  double speed_;
+  double margin_;
+};
+
+/// Back-and-forth pacer between two points (a person pacing across the
+/// LoS, a sliding door...).
+class Pacer {
+ public:
+  Pacer(Vec2 a, Vec2 b, double speed_mps);
+
+  void update(double dt);
+
+  Vec2 position() const { return pos_; }
+
+ private:
+  Vec2 a_;
+  Vec2 b_;
+  Vec2 pos_;
+  double speed_;
+  int dir_ = +1;  // +1: toward b, -1: toward a
+};
+
+}  // namespace mmx::channel

@@ -1,0 +1,27 @@
+// Canonical experiment environments, shared by benches, tests and
+// examples so every consumer measures the same world.
+#pragma once
+
+#include "mmx/channel/beam_channel.hpp"
+#include "mmx/channel/room.hpp"
+
+namespace mmx::channel {
+
+/// The paper's furnished 4 x 6 m lab (§9): metal cabinets/closets lining
+/// the side walls, metal desk edges mid-room, glass window and
+/// whiteboard on the short walls. AP at the middle of the y=6 wall.
+Room furnished_lab();
+
+/// AP placement matching `furnished_lab`.
+Pose furnished_lab_ap();
+
+/// The long 22 x 8 m hall used for the range sweeps (Fig. 12); AP at
+/// (21, 4) facing down the hall.
+Room range_hall();
+Pose range_hall_ap();
+
+/// Park the blocking person on the node->AP line, centred but never
+/// closer than ~1 m to the AP (§9.2's experiment). Returns blocker index.
+std::size_t park_person(Room& room, Vec2 node, Vec2 ap);
+
+}  // namespace mmx::channel

@@ -1,0 +1,24 @@
+// Propagation-loss primitives for 24 GHz indoor links.
+#pragma once
+
+#include <complex>
+
+namespace mmx::channel {
+
+/// Free-space (Friis) power loss [dB] — positive number.
+double free_space_loss_db(double distance_m, double freq_hz);
+
+/// Atmospheric (oxygen + water vapour) absorption [dB] over a path. At
+/// 24 GHz this is ~0.2 dB/km — negligible indoors but modelled so range
+/// sweeps degrade honestly at scale.
+double atmospheric_loss_db(double distance_m, double freq_hz);
+
+/// Total propagation loss of a path [dB]: free space + atmospheric +
+/// `extra_db` (reflections, blockers).
+double path_loss_db(double distance_m, double freq_hz, double extra_db = 0.0);
+
+/// Complex amplitude gain of a path: magnitude from `path_loss_db`, phase
+/// from the electrical length (-k * d).
+std::complex<double> path_gain(double distance_m, double freq_hz, double extra_db = 0.0);
+
+}  // namespace mmx::channel

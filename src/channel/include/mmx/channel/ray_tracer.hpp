@@ -1,0 +1,79 @@
+// Image-method ray tracer: LoS + first-order specular reflections.
+//
+// Past mmWave measurement studies show "typically there are a few paths"
+// between two nodes (paper §2, citing BeamSpy) — LoS plus a handful of
+// single-bounce reflections dominate. The tracer enumerates exactly
+// those, with per-path departure/arrival angles so directional antenna
+// patterns can be applied at both ends, and blocker crossings so human
+// blockage shows up as the 10-15 dB penalty the paper relies on.
+#pragma once
+
+#include <complex>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "mmx/channel/room.hpp"
+
+namespace mmx::channel {
+
+enum class PathKind { kLineOfSight, kReflected, kDoubleReflected };
+
+struct Path {
+  PathKind kind = PathKind::kLineOfSight;
+  double length_m = 0.0;
+  /// Departure direction at the transmitter (global frame angle).
+  double departure_rad = 0.0;
+  /// Arrival direction at the receiver: the direction the energy comes
+  /// *from*, seen from the receiver (global frame angle).
+  double arrival_rad = 0.0;
+  /// Loss beyond free space: reflection loss + blocker losses [dB].
+  double excess_loss_db = 0.0;
+  /// Number of blockers the path crosses.
+  int blocker_crossings = 0;
+  /// Index of the (first) reflecting wall in Room::walls().
+  int wall_index = -1;
+  /// Second wall for double-bounce paths.
+  int wall_index2 = -1;
+  /// Reflection points (first / second bounce).
+  Vec2 via{};
+  Vec2 via2{};
+};
+
+class RayTracer {
+ public:
+  explicit RayTracer(const Room& room);
+
+  /// All propagation paths tx -> rx: the (possibly blocked) LoS plus one
+  /// single-bounce reflection per visible wall/reflector, and — with
+  /// `max_bounces` >= 2 — ordered double bounces (image-of-image method).
+  /// Paths whose total excess loss exceeds `max_excess_loss_db` are
+  /// dropped.
+  std::vector<Path> trace(Vec2 tx, Vec2 rx, double max_excess_loss_db = 60.0,
+                          int max_bounces = 1) const;
+
+  /// Complex amplitude gain of one path at `freq_hz` (isotropic ends).
+  static std::complex<double> path_amplitude(const Path& path, double freq_hz);
+
+  /// Power-weighted RMS delay spread [s] of a path set at `freq_hz` —
+  /// the metric that says whether a channel is flat across an mmX FDM
+  /// channel (indoor mmWave: a few ns, i.e. flat over tens of MHz).
+  static double rms_delay_spread_s(std::span<const Path> paths, double freq_hz);
+
+  const Room& room() const { return *room_; }
+
+ private:
+  /// Sum of blocker losses along segment [a, b], scaled by `loss_scale`
+  /// (1.0 for LoS, less for reflected paths whose 3-D elevation spread
+  /// partially routes around a standing blocker); also counts crossings.
+  double blocker_loss_db(Vec2 a, Vec2 b, int& crossings, double loss_scale) const;
+
+  /// Sum of partition transmission losses along segment [a, b], skipping
+  /// the walls in `skip` (a leg's own reflecting wall touches the leg at
+  /// its endpoint and must not count as a crossing).
+  double transmission_loss_db(Vec2 a, Vec2 b, std::initializer_list<int> skip) const;
+
+  const Room* room_;  // non-owning; Room must outlive the tracer
+};
+
+}  // namespace mmx::channel

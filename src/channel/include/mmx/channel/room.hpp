@@ -1,0 +1,89 @@
+// Room geometry for the 2-D mmWave ray tracer.
+//
+// The paper's experiments run in a 6 m x 4 m lab with "standard furniture
+// such as desks, chairs, computers and closets" (§9) — i.e. plenty of
+// reflectors — and people acting as blockers. A Room is a rectangle of
+// walls (each with a reflection loss), optional extra reflector segments
+// (furniture, whiteboards), and cylindrical blockers (people).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mmx/common/geometry.hpp"
+
+namespace mmx::channel {
+
+struct Material {
+  std::string name;
+  /// Power lost on reflection [dB]. The paper's operating premise (§6.1):
+  /// NLoS paths run 10-20 dB below LoS; the reflection loss is the main
+  /// contributor on top of the longer path.
+  double reflection_loss_db;
+  /// Power lost passing THROUGH the material [dB] — only applied by
+  /// partitions (see Room::add_partition); furniture reflectors sit below
+  /// the antenna plane and do not shadow.
+  double transmission_loss_db = 0.0;
+};
+
+/// Common indoor materials at 24 GHz.
+Material drywall();       // ~12 dB reflection loss
+Material concrete();      // ~9 dB
+Material metal();         // ~2 dB (strong reflector)
+Material glass();         // ~8 dB
+Material wood_furniture(); // ~14 dB
+
+struct Wall {
+  Segment segment;
+  Material material;
+  /// True for full-height partitions that attenuate rays crossing them;
+  /// false for furniture (reflects, but the LoS passes over it).
+  bool blocks_transmission = false;
+};
+
+/// A cylindrical obstruction (a person, a pillar) that attenuates any ray
+/// crossing it. Paper §6.1: a blocked path runs 10-15 dB below NLoS.
+struct Blocker {
+  Vec2 center;
+  double radius;
+  double loss_db;
+};
+
+/// A standing/walking person: ~0.25 m radius, ~15 dB of mmWave loss.
+Blocker human_blocker(Vec2 center);
+
+class Room {
+ public:
+  /// Axis-aligned rectangular room [0,width] x [0,height] with all four
+  /// walls of `wall_material`.
+  Room(double width_m, double height_m, Material wall_material = drywall());
+
+  /// Add an interior reflector (furniture, metal cabinet...). Reflects
+  /// but does not shadow (below the antenna plane).
+  void add_reflector(Segment segment, Material material);
+
+  /// Add a full-height interior partition: reflects AND attenuates every
+  /// ray crossing it by the material's transmission loss (multi-room
+  /// deployments, §4's smart-home hub scenario).
+  void add_partition(Segment segment, Material material);
+
+  /// Add a blocker; returns its index for later moves/removal.
+  std::size_t add_blocker(Blocker blocker);
+  void move_blocker(std::size_t index, Vec2 new_center);
+  void clear_blockers();
+
+  bool contains(Vec2 p) const;
+
+  double width() const { return width_; }
+  double height() const { return height_; }
+  const std::vector<Wall>& walls() const { return walls_; }
+  const std::vector<Blocker>& blockers() const { return blockers_; }
+
+ private:
+  double width_;
+  double height_;
+  std::vector<Wall> walls_;
+  std::vector<Blocker> blockers_;
+};
+
+}  // namespace mmx::channel

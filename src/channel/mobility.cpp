@@ -1,0 +1,60 @@
+#include "mmx/channel/mobility.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mmx::channel {
+
+RandomWaypoint::RandomWaypoint(Vec2 start, double area_w, double area_h, double speed_mps,
+                               Rng& rng, double margin)
+    : pos_(start), area_w_(area_w), area_h_(area_h), speed_(speed_mps), margin_(margin) {
+  if (speed_mps <= 0.0) throw std::invalid_argument("RandomWaypoint: speed must be > 0");
+  if (area_w <= 2.0 * margin || area_h <= 2.0 * margin)
+    throw std::invalid_argument("RandomWaypoint: area too small for margin");
+  target_ = pick_target(rng);
+}
+
+Vec2 RandomWaypoint::pick_target(Rng& rng) const {
+  return {rng.uniform(margin_, area_w_ - margin_), rng.uniform(margin_, area_h_ - margin_)};
+}
+
+void RandomWaypoint::update(double dt, Rng& rng) {
+  if (dt < 0.0) throw std::invalid_argument("RandomWaypoint: negative dt");
+  double remaining = speed_ * dt;
+  while (remaining > 0.0) {
+    const double to_target = distance(pos_, target_);
+    if (to_target <= remaining) {
+      pos_ = target_;
+      remaining -= to_target;
+      target_ = pick_target(rng);
+      if (to_target == 0.0) break;  // degenerate: target == pos
+    } else {
+      pos_ = pos_ + (target_ - pos_).normalized() * remaining;
+      remaining = 0.0;
+    }
+  }
+}
+
+Pacer::Pacer(Vec2 a, Vec2 b, double speed_mps) : a_(a), b_(b), pos_(a), speed_(speed_mps) {
+  if (speed_mps <= 0.0) throw std::invalid_argument("Pacer: speed must be > 0");
+  if (a == b) throw std::invalid_argument("Pacer: endpoints must differ");
+}
+
+void Pacer::update(double dt) {
+  if (dt < 0.0) throw std::invalid_argument("Pacer: negative dt");
+  double remaining = speed_ * dt;
+  while (remaining > 0.0) {
+    const Vec2 goal = (dir_ > 0) ? b_ : a_;
+    const double to_goal = distance(pos_, goal);
+    if (to_goal <= remaining) {
+      pos_ = goal;
+      remaining -= to_goal;
+      dir_ = -dir_;
+    } else {
+      pos_ = pos_ + (goal - pos_).normalized() * remaining;
+      remaining = 0.0;
+    }
+  }
+}
+
+}  // namespace mmx::channel

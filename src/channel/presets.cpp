@@ -1,0 +1,37 @@
+#include "mmx/channel/presets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mmx/channel/blockage.hpp"
+#include "mmx/common/units.hpp"
+
+namespace mmx::channel {
+
+Room furnished_lab() {
+  Room room(4.0, 6.0);
+  // Wall-lining closets/cabinets (strong reflectors below LoS height).
+  room.add_reflector({{0.05, 0.3}, {0.05, 5.5}}, metal());
+  room.add_reflector({{3.95, 0.3}, {3.95, 5.5}}, metal());
+  // Desks with computer cases mid-room.
+  room.add_reflector({{0.6, 1.2}, {1.8, 1.2}}, metal());
+  room.add_reflector({{2.2, 3.4}, {3.4, 3.4}}, metal());
+  // Window on the far wall, whiteboard near the AP wall.
+  room.add_reflector({{0.8, 0.06}, {3.2, 0.06}}, glass());
+  room.add_reflector({{1.0, 5.94}, {3.0, 5.94}}, glass());
+  return room;
+}
+
+Pose furnished_lab_ap() { return {{2.0, 5.9}, -kPi / 2.0}; }
+
+Room range_hall() { return Room(22.0, 8.0); }
+
+Pose range_hall_ap() { return {{21.0, 4.0}, kPi}; }
+
+std::size_t park_person(Room& room, Vec2 node, Vec2 ap) {
+  const double d = distance(node, ap);
+  const double frac = std::min(0.5, 1.0 / d);
+  return park_blocker_on_los(room, node, ap, frac);
+}
+
+}  // namespace mmx::channel

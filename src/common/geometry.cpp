@@ -1,0 +1,58 @@
+#include "mmx/common/geometry.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx {
+
+double Vec2::norm() const { return std::hypot(x, y); }
+
+Vec2 Vec2::normalized() const {
+  const double n = norm();
+  if (n == 0.0) throw std::domain_error("Vec2::normalized: zero-length vector");
+  return {x / n, y / n};
+}
+
+double Vec2::angle() const { return std::atan2(y, x); }
+
+Vec2 unit_vector(double rad) { return {std::cos(rad), std::sin(rad)}; }
+
+double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+Vec2 Segment::mirror(Vec2 p) const {
+  const Vec2 d = (b - a).normalized();
+  const Vec2 ap = p - a;
+  // Project onto the line, then reflect across it.
+  const Vec2 proj = a + d * ap.dot(d);
+  return proj * 2.0 - p;
+}
+
+std::optional<Vec2> Segment::intersect(Vec2 p, Vec2 q) const {
+  const Vec2 r = b - a;
+  const Vec2 s = q - p;
+  const double denom = r.cross(s);
+  if (denom == 0.0) return std::nullopt;  // parallel or collinear
+  const Vec2 ap = p - a;
+  const double t = ap.cross(s) / denom;  // position along this segment
+  const double u = ap.cross(r) / denom;  // position along [p, q]
+  constexpr double kEps = 1e-12;
+  if (t < -kEps || t > 1.0 + kEps || u < -kEps || u > 1.0 + kEps) return std::nullopt;
+  return a + r * t;
+}
+
+bool segment_hits_disc(Vec2 p, Vec2 q, Vec2 c, double r) {
+  return point_segment_distance(c, p, q) < r;
+}
+
+double point_segment_distance(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const double len_sq = ab.norm_sq();
+  if (len_sq == 0.0) return distance(p, a);
+  double t = (p - a).dot(ab) / len_sq;
+  t = std::fmax(0.0, std::fmin(1.0, t));
+  return distance(p, a + ab * t);
+}
+
+}  // namespace mmx

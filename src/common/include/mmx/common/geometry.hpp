@@ -1,0 +1,65 @@
+// Minimal 2-D geometry toolkit for the mmX room-scale ray tracer.
+//
+// The channel model works in a 2-D azimuth plane (the paper's experiments
+// vary x/y location and azimuth orientation; elevation is folded into the
+// antenna element pattern). Everything here is exact, allocation-free
+// value types.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace mmx {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  double norm() const;
+  double norm_sq() const { return x * x + y * y; }
+  /// Unit vector in the same direction. Requires non-zero length.
+  Vec2 normalized() const;
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// 2-D cross product (z-component of the 3-D cross).
+  constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+  /// Angle of the vector measured CCW from +x axis, in (-pi, pi].
+  double angle() const;
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+/// Unit vector at angle `rad` (CCW from +x).
+Vec2 unit_vector(double rad);
+
+double distance(Vec2 a, Vec2 b);
+
+/// A wall / reflector: a finite line segment with a reflection loss.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  /// Mirror a point across the infinite line through this segment.
+  Vec2 mirror(Vec2 p) const;
+
+  /// Intersection of this segment with segment [p, q], if any.
+  /// Collinear overlaps return nullopt (treated as grazing, no hit).
+  std::optional<Vec2> intersect(Vec2 p, Vec2 q) const;
+
+  double length() const { return distance(a, b); }
+};
+
+/// True if segment [p, q] passes through a disc (centre c, radius r).
+/// Endpoints lying exactly on the boundary do not count as crossing.
+bool segment_hits_disc(Vec2 p, Vec2 q, Vec2 c, double r);
+
+/// Shortest distance from point `p` to segment [a, b].
+double point_segment_distance(Vec2 p, Vec2 a, Vec2 b);
+
+}  // namespace mmx

@@ -1,0 +1,113 @@
+// Units, physical constants and dB arithmetic used throughout mmX.
+//
+// Conventions:
+//   * All linear powers are in watts, all linear voltages/amplitudes in
+//     volts, all frequencies in hertz, all distances in metres, all angles
+//     in radians unless a name says otherwise (e.g. `deg`, `_dbm`).
+//   * "dB" quantities are plain doubles; the *_db / *_dbm suffix in a name
+//     is the unit marker. Conversion helpers below are the only place the
+//     10^(x/10) arithmetic appears.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace mmx {
+
+// ---------------------------------------------------------------------------
+// Physical constants
+// ---------------------------------------------------------------------------
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Standard noise reference temperature [K] (290 K, IEEE definition).
+inline constexpr double kT0Kelvin = 290.0;
+
+/// Thermal noise density at T0 [dBm/Hz]: 10*log10(k*T0*1000) = -173.98.
+inline constexpr double kThermalNoiseDbmPerHz = -173.975;
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+// ---------------------------------------------------------------------------
+// mmX band plan (paper §7a, §8.1)
+// ---------------------------------------------------------------------------
+
+/// Centre of the 24 GHz ISM band used by mmX [Hz].
+inline constexpr double kIsmCenterHz = 24.125e9;
+
+/// Lower / upper edges of the 24 GHz ISM band [Hz] (250 MHz wide).
+inline constexpr double kIsmLowHz = 24.0e9;
+inline constexpr double kIsmHighHz = 24.25e9;
+
+/// Total unlicensed bandwidth at 24 GHz [Hz] (paper: 250 MHz).
+inline constexpr double kIsmBandwidthHz = kIsmHighHz - kIsmLowHz;
+
+// ---------------------------------------------------------------------------
+// dB / linear conversions
+// ---------------------------------------------------------------------------
+
+/// Power ratio -> dB. Requires ratio > 0.
+inline double lin_to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+/// dB -> power ratio.
+inline double db_to_lin(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Amplitude (voltage) ratio -> dB.
+inline double amp_to_db(double ratio) { return 20.0 * std::log10(ratio); }
+
+/// dB -> amplitude (voltage) ratio.
+inline double db_to_amp(double db) { return std::pow(10.0, db / 20.0); }
+
+/// Watts -> dBm.
+inline double watt_to_dbm(double watts) { return 10.0 * std::log10(watts * 1e3); }
+
+/// dBm -> watts.
+inline double dbm_to_watt(double dbm) { return std::pow(10.0, dbm / 10.0) * 1e-3; }
+
+// ---------------------------------------------------------------------------
+// Angles
+// ---------------------------------------------------------------------------
+
+inline constexpr double deg_to_rad(double deg) { return deg * kPi / 180.0; }
+inline constexpr double rad_to_deg(double rad) { return rad * 180.0 / kPi; }
+
+/// Wrap an angle to (-pi, pi].
+double wrap_angle(double rad);
+
+// ---------------------------------------------------------------------------
+// Waves
+// ---------------------------------------------------------------------------
+
+/// Free-space wavelength [m] for a carrier frequency [Hz].
+inline double wavelength(double freq_hz) { return kSpeedOfLight / freq_hz; }
+
+/// Wavenumber k = 2*pi/lambda [rad/m].
+inline double wavenumber(double freq_hz) { return kTwoPi / wavelength(freq_hz); }
+
+/// Friis free-space path loss [dB] (positive number) at distance d [m].
+/// FSPL = 20 log10(4 pi d / lambda). Requires d > 0.
+double friis_path_loss_db(double distance_m, double freq_hz);
+
+/// Thermal noise floor [dBm] integrated over `bandwidth_hz`, with an
+/// optional receiver noise figure [dB].
+double thermal_noise_dbm(double bandwidth_hz, double noise_figure_db = 0.0);
+
+// ---------------------------------------------------------------------------
+// User-facing literal-ish helpers (readability in configs/tests)
+// ---------------------------------------------------------------------------
+
+inline constexpr double operator""_GHz(long double v) { return static_cast<double>(v) * 1e9; }
+inline constexpr double operator""_GHz(unsigned long long v) { return static_cast<double>(v) * 1e9; }
+inline constexpr double operator""_MHz(long double v) { return static_cast<double>(v) * 1e6; }
+inline constexpr double operator""_MHz(unsigned long long v) { return static_cast<double>(v) * 1e6; }
+inline constexpr double operator""_kHz(long double v) { return static_cast<double>(v) * 1e3; }
+inline constexpr double operator""_kHz(unsigned long long v) { return static_cast<double>(v) * 1e3; }
+inline constexpr double operator""_Mbps(long double v) { return static_cast<double>(v) * 1e6; }
+inline constexpr double operator""_Mbps(unsigned long long v) { return static_cast<double>(v) * 1e6; }
+
+}  // namespace mmx

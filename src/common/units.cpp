@@ -1,0 +1,24 @@
+#include "mmx/common/units.hpp"
+
+#include <stdexcept>
+
+namespace mmx {
+
+double wrap_angle(double rad) {
+  double a = std::fmod(rad + kPi, kTwoPi);
+  if (a <= 0.0) a += kTwoPi;
+  return a - kPi;
+}
+
+double friis_path_loss_db(double distance_m, double freq_hz) {
+  if (distance_m <= 0.0) throw std::invalid_argument("friis_path_loss_db: distance must be > 0");
+  if (freq_hz <= 0.0) throw std::invalid_argument("friis_path_loss_db: frequency must be > 0");
+  return 20.0 * std::log10(4.0 * kPi * distance_m / wavelength(freq_hz));
+}
+
+double thermal_noise_dbm(double bandwidth_hz, double noise_figure_db) {
+  if (bandwidth_hz <= 0.0) throw std::invalid_argument("thermal_noise_dbm: bandwidth must be > 0");
+  return kThermalNoiseDbmPerHz + 10.0 * std::log10(bandwidth_hz) + noise_figure_db;
+}
+
+}  // namespace mmx

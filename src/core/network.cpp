@@ -1,0 +1,145 @@
+#include "mmx/core/network.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/channel/ray_tracer.hpp"
+#include "mmx/common/units.hpp"
+#include "mmx/dsp/noise.hpp"
+#include "mmx/phy/preamble.hpp"
+
+namespace mmx::core {
+
+Network::Network(channel::Room room, channel::Pose ap_pose, NetworkSpec spec)
+    : room_(std::move(room)),
+      spec_(spec),
+      ap_(ap_pose, spec.ap),
+      budget_(spec.budget),
+      rng_(spec.noise_seed) {
+  if (!room_.contains(ap_pose.position)) throw std::invalid_argument("Network: AP outside room");
+}
+
+std::optional<std::uint16_t> Network::join(const channel::Pose& pose, double rate_bps) {
+  if (!room_.contains(pose.position)) throw std::invalid_argument("Network: node outside room");
+  const std::uint16_t id = next_id_++;
+  const double bearing =
+      wrap_angle((pose.position - ap_.pose().position).angle() - ap_.pose().orientation_rad);
+  const auto reply = ap_.handle_init(mac::ChannelRequest{id, rate_bps, bearing});
+  const auto* grant = std::get_if<mac::ChannelGrant>(&reply);
+  if (!grant) return std::nullopt;
+  Node node(id, pose, spec_.node);
+  node.configure(*grant);
+  nodes_.emplace(id, std::move(node));
+  return id;
+}
+
+void Network::leave(std::uint16_t id) {
+  if (nodes_.erase(id) > 0) ap_.release(id);
+}
+
+void Network::set_pose(std::uint16_t id, const channel::Pose& pose) {
+  if (!room_.contains(pose.position)) throw std::invalid_argument("Network: node outside room");
+  node(id).set_pose(pose);
+}
+
+Node& Network::node(std::uint16_t id) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw std::out_of_range("Network: unknown node");
+  return it->second;
+}
+
+const Node& Network::node(std::uint16_t id) const {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw std::out_of_range("Network: unknown node");
+  return it->second;
+}
+
+phy::OtamChannel Network::channel_for(std::uint16_t id) const {
+  const Node& n = node(id);
+  channel::RayTracer tracer(room_);
+  const auto g = channel::compute_beam_gains(tracer, n.pose(), n.beams(), ap_.pose(),
+                                             ap_.antenna(), spec_.freq_hz);
+  return {g.h0, g.h1};
+}
+
+sim::OtamLink Network::measure(std::uint16_t id) const {
+  const Node& n = node(id);
+  channel::RayTracer tracer(room_);
+  const auto g = channel::compute_beam_gains(tracer, n.pose(), n.beams(), ap_.pose(),
+                                             ap_.antenna(), spec_.freq_hz);
+  return budget_.evaluate_otam(g, n.spdt());
+}
+
+sim::OtamLink Network::measure_fixed_beam(std::uint16_t id) const {
+  const Node& n = node(id);
+  channel::RayTracer tracer(room_);
+  const auto g = channel::compute_beam_gains(tracer, n.pose(), n.beams(), ap_.pose(),
+                                             ap_.antenna(), spec_.freq_hz);
+  return budget_.evaluate_fixed_beam(g);
+}
+
+Network::ReliableReport Network::send_reliable(std::uint16_t id,
+                                               std::span<const std::uint8_t> payload,
+                                               mac::ArqConfig arq_cfg) {
+  mac::ArqSender arq(arq_cfg);
+  const std::uint16_t seq = next_seq_;  // send() will consume sequence numbers
+  arq.offer(seq);
+
+  ReliableReport out;
+  while (arq.next_action() == mac::ArqSender::Action::kTransmit) {
+    arq.on_transmitted();
+    out.last = send(id, payload);
+    ++out.attempts;
+    if (out.last.delivered) {
+      arq.on_ack(seq);  // the AP's ack arrives on the reliable side channel
+      out.delivered = true;
+      return out;
+    }
+    arq.on_timeout();
+  }
+  return out;
+}
+
+SendReport Network::send(std::uint16_t id, std::span<const std::uint8_t> payload,
+                         phy::CodingProfile profile) {
+  Node& n = node(id);
+
+  phy::Frame frame;
+  frame.node_id = id;
+  frame.seq = next_seq_++;
+  frame.payload.assign(payload.begin(), payload.end());
+
+  const phy::OtamChannel ch = channel_for(id);
+  dsp::Cvec rx;
+  if (profile == phy::CodingProfile::kNone) {
+    rx = n.transmit_frame(frame, ch);
+  } else {
+    const phy::Bits raw = phy::encode_frame(frame, phy::default_preamble());
+    phy::Bits bits(phy::default_preamble());
+    const phy::Bits body(raw.begin() + static_cast<long>(bits.size()), raw.end());
+    const phy::Bits coded = phy::encode_body(body, profile);
+    bits.insert(bits.end(), coded.begin(), coded.end());
+    rx = phy::otam_synthesize(bits, n.phy_config(), ch, n.spdt(),
+                              std::sqrt(dbm_to_watt(12.0)));
+  }
+  // Implementation loss (calibrated once; see sim::LinkBudgetSpec).
+  const double impl = db_to_amp(-spec_.budget.implementation_loss_db);
+  for (auto& s : rx) s *= impl;
+  // Trailing dead air so a late sync estimate keeps the last symbol.
+  rx.resize(rx.size() + 4 * n.phy_config().samples_per_symbol, dsp::Complex{});
+  dsp::add_awgn(rx, dbm_to_watt(ap_.noise_floor_dbm()), rng_);
+
+  const Reception rec = ap_.receive(rx, n.phy_config(), profile);
+  const sim::OtamLink link = measure(id);
+
+  SendReport report;
+  report.snr_db = link.snr_db;
+  report.contrast_db = link.contrast_db;
+  report.mode = rec.mode;
+  report.inverted = rec.inverted;
+  report.payload_bytes = payload.size();
+  report.delivered = rec.frame.has_value() && *rec.frame == frame;
+  return report;
+}
+
+}  // namespace mmx::core

@@ -1,0 +1,31 @@
+#include "mmx/dsp/agc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mmx::dsp {
+
+Agc::Agc(double target_rms, double alpha) : target_rms_(target_rms), alpha_(alpha) {
+  if (target_rms <= 0.0) throw std::invalid_argument("Agc: target_rms must be > 0");
+  if (alpha <= 0.0 || alpha > 1.0) throw std::invalid_argument("Agc: alpha must be in (0, 1]");
+}
+
+Complex Agc::process(Complex x) {
+  const double mag = std::abs(x);
+  level_ = (1.0 - alpha_) * level_ + alpha_ * mag;
+  if (level_ > 1e-300) gain_ = target_rms_ / level_;
+  return x * gain_;
+}
+
+Cvec Agc::process(std::span<const Complex> x) {
+  Cvec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = process(x[i]);
+  return out;
+}
+
+void Agc::reset() {
+  gain_ = 1.0;
+  level_ = 0.0;
+}
+
+}  // namespace mmx::dsp

@@ -1,0 +1,37 @@
+#include "mmx/dsp/envelope.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/dsp/fir.hpp"
+
+namespace mmx::dsp {
+
+Rvec envelope(std::span<const Complex> x, std::size_t smooth_len) {
+  if (smooth_len == 0) throw std::invalid_argument("envelope: smooth_len must be > 0");
+  Rvec env(x.size());
+  MovingAverage ma(smooth_len);
+  for (std::size_t i = 0; i < x.size(); ++i) env[i] = ma.process(std::abs(x[i]));
+  return env;
+}
+
+Rvec symbol_envelopes(std::span<const Complex> x, std::size_t samples_per_symbol,
+                      double guard_frac) {
+  if (samples_per_symbol == 0)
+    throw std::invalid_argument("symbol_envelopes: samples_per_symbol must be > 0");
+  if (guard_frac < 0.0 || guard_frac >= 0.5)
+    throw std::invalid_argument("symbol_envelopes: guard_frac must be in [0, 0.5)");
+  const std::size_t n_sym = x.size() / samples_per_symbol;
+  const auto guard = static_cast<std::size_t>(guard_frac * static_cast<double>(samples_per_symbol));
+  Rvec out(n_sym, 0.0);
+  for (std::size_t s = 0; s < n_sym; ++s) {
+    const std::size_t begin = s * samples_per_symbol + guard;
+    const std::size_t end = (s + 1) * samples_per_symbol - guard;
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) acc += std::abs(x[i]);
+    out[s] = acc / static_cast<double>(end - begin);
+  }
+  return out;
+}
+
+}  // namespace mmx::dsp

@@ -1,0 +1,116 @@
+#include "mmx/dsp/fft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::dsp {
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void bit_reverse_permute(std::span<Complex> x) {
+  const std::size_t n = x.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+}
+
+void fft_core(std::span<Complex> x, bool inverse) {
+  const std::size_t n = x.size();
+  if (!is_pow2(n)) throw std::invalid_argument("fft: size must be a power of two");
+  bit_reverse_permute(x);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
+    const Complex wlen{std::cos(ang), std::sin(ang)};
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = x[i + k];
+        const Complex v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (Complex& s : x) s *= inv;
+  }
+}
+
+}  // namespace
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_inplace(std::span<Complex> x) { fft_core(x, /*inverse=*/false); }
+void ifft_inplace(std::span<Complex> x) { fft_core(x, /*inverse=*/true); }
+
+Cvec fft(std::span<const Complex> x) {
+  Cvec out(x.begin(), x.end());
+  out.resize(next_pow2(std::max<std::size_t>(1, out.size())), Complex{});
+  fft_inplace(out);
+  return out;
+}
+
+Cvec ifft(std::span<const Complex> x) {
+  Cvec out(x.begin(), x.end());
+  out.resize(next_pow2(std::max<std::size_t>(1, out.size())), Complex{});
+  ifft_inplace(out);
+  return out;
+}
+
+Rvec power_spectrum(std::span<const Complex> x, WindowKind window) {
+  Cvec buf(x.begin(), x.end());
+  const Rvec w = make_window(window, buf.size());
+  apply_window(buf, w);
+  buf.resize(next_pow2(std::max<std::size_t>(1, buf.size())), Complex{});
+  fft_inplace(buf);
+  Rvec p(buf.size());
+  const double inv_n = 1.0 / static_cast<double>(buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) p[i] = std::norm(buf[i]) * inv_n;
+  return p;
+}
+
+double bin_frequency(std::size_t k, std::size_t n, double sample_rate_hz) {
+  if (n == 0) throw std::invalid_argument("bin_frequency: n must be > 0");
+  const double kk = (k < n / 2) ? static_cast<double>(k)
+                                : static_cast<double>(k) - static_cast<double>(n);
+  return kk * sample_rate_hz / static_cast<double>(n);
+}
+
+std::size_t peak_bin(std::span<const double> spectrum) {
+  if (spectrum.empty()) throw std::invalid_argument("peak_bin: empty spectrum");
+  return static_cast<std::size_t>(
+      std::distance(spectrum.begin(), std::max_element(spectrum.begin(), spectrum.end())));
+}
+
+double estimate_tone_frequency(std::span<const Complex> x, double sample_rate_hz) {
+  if (x.size() < 8) throw std::invalid_argument("estimate_tone_frequency: need >= 8 samples");
+  const Rvec p = power_spectrum(x);
+  const std::size_t n = p.size();
+  const std::size_t k = peak_bin(p);
+  // 3-point parabolic interpolation on log power (wraps circularly).
+  const double pl = std::log(p[(k + n - 1) % n] + 1e-300);
+  const double pc = std::log(p[k] + 1e-300);
+  const double pr = std::log(p[(k + 1) % n] + 1e-300);
+  const double denom = pl - 2.0 * pc + pr;
+  const double delta = (denom == 0.0) ? 0.0 : 0.5 * (pl - pr) / denom;
+  double kk = (k < n / 2) ? static_cast<double>(k)
+                          : static_cast<double>(k) - static_cast<double>(n);
+  kk += std::clamp(delta, -0.5, 0.5);
+  return kk * sample_rate_hz / static_cast<double>(n);
+}
+
+}  // namespace mmx::dsp

@@ -1,0 +1,57 @@
+#include "mmx/dsp/goertzel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::dsp {
+
+Complex goertzel(std::span<const Complex> x, double freq_hz, double sample_rate_hz) {
+  if (sample_rate_hz <= 0.0) throw std::invalid_argument("goertzel: sample rate must be > 0");
+  // Direct correlation form: X(f) = sum x[n] e^{-j w n}. For complex input
+  // this is both simpler and numerically safer than the classic recursive
+  // real-input Goertzel, with identical O(N) cost.
+  const double w = kTwoPi * freq_hz / sample_rate_hz;
+  Complex acc{0.0, 0.0};
+  double phase = 0.0;
+  for (const Complex& s : x) {
+    acc += s * Complex{std::cos(phase), -std::sin(phase)};
+    phase = wrap_angle(phase + w);
+  }
+  return acc;
+}
+
+double goertzel_power(std::span<const Complex> x, double freq_hz, double sample_rate_hz) {
+  if (x.empty()) return 0.0;
+  const Complex c = goertzel(x, freq_hz, sample_rate_hz);
+  const double n = static_cast<double>(x.size());
+  return std::norm(c) / (n * n);
+}
+
+GoertzelBin::GoertzelBin(double freq_hz, double sample_rate_hz) {
+  if (sample_rate_hz <= 0.0) throw std::invalid_argument("GoertzelBin: sample rate must be > 0");
+  w_ = kTwoPi * freq_hz / sample_rate_hz;
+}
+
+void GoertzelBin::push(Complex x) {
+  acc_ += x * Complex{std::cos(phase_), -std::sin(phase_)};
+  phase_ = wrap_angle(phase_ + w_);
+  ++n_;
+}
+
+Complex GoertzelBin::coefficient() const { return acc_; }
+
+double GoertzelBin::power() const {
+  if (n_ == 0) return 0.0;
+  const double n = static_cast<double>(n_);
+  return std::norm(acc_) / (n * n);
+}
+
+void GoertzelBin::reset() {
+  acc_ = Complex{0.0, 0.0};
+  phase_ = 0.0;
+  n_ = 0;
+}
+
+}  // namespace mmx::dsp

@@ -1,0 +1,72 @@
+#include "mmx/dsp/impairments.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::dsp {
+namespace {
+
+std::pair<Complex, Complex> alpha_beta(const IqImbalance& imb) {
+  const double g = db_to_amp(imb.gain_db);
+  const Complex ge{g * std::cos(imb.phase_rad), g * std::sin(imb.phase_rad)};
+  return {(1.0 + ge) / 2.0, (1.0 - ge) / 2.0};
+}
+
+}  // namespace
+
+Cvec apply_iq_imbalance(std::span<const Complex> x, const IqImbalance& imb) {
+  const auto [alpha, beta] = alpha_beta(imb);
+  Cvec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = alpha * x[i] + beta * std::conj(x[i]);
+  return out;
+}
+
+Cvec apply_dc_offset(std::span<const Complex> x, Complex offset) {
+  Cvec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + offset;
+  return out;
+}
+
+double image_rejection_db(const IqImbalance& imb) {
+  const auto [alpha, beta] = alpha_beta(imb);
+  if (std::norm(beta) == 0.0) return 200.0;
+  return lin_to_db(std::norm(alpha) / std::norm(beta));
+}
+
+void IqCompensator::estimate(std::span<const Complex> y) {
+  if (y.size() < 16) throw std::invalid_argument("IqCompensator: block too short");
+  Complex mean{0.0, 0.0};
+  for (const Complex& s : y) mean += s;
+  mean /= static_cast<double>(y.size());
+  dc_ = mean;
+
+  // After DC removal: y' = alpha x + beta conj(x). For a circular signal
+  // E[x^2] = 0, so E[y'^2] = 2 alpha beta E[|x|^2] while
+  // E[|y'|^2] ~ |alpha|^2 E[|x|^2]; the ratio estimates 2 beta / alpha*.
+  // z = y' - w conj(y') cancels the image exactly when w = beta/alpha*,
+  // i.e. half the measured ratio.
+  Complex c2{0.0, 0.0};
+  double p = 0.0;
+  for (const Complex& s : y) {
+    const Complex yc = s - dc_;
+    c2 += yc * yc;
+    p += std::norm(yc);
+  }
+  if (p == 0.0) throw std::invalid_argument("IqCompensator: zero-power block");
+  w_ = c2 / (2.0 * p);
+}
+
+Cvec IqCompensator::process(std::span<const Complex> y) const {
+  Cvec out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const Complex yc = y[i] - dc_;
+    out[i] = yc - w_ * std::conj(yc);
+  }
+  return out;
+}
+
+double IqCompensator::estimated_image_ratio() const { return std::norm(w_); }
+
+}  // namespace mmx::dsp

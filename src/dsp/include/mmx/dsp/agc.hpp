@@ -1,0 +1,31 @@
+// Automatic gain control.
+//
+// The AP's SDR front end normalizes the wildly varying OTAM amplitudes
+// (LoS vs blocked paths differ by 20-35 dB) into the ADC's useful range.
+#pragma once
+
+#include "mmx/dsp/types.hpp"
+
+namespace mmx::dsp {
+
+/// First-order feedback AGC driving the block RMS toward a target level.
+class Agc {
+ public:
+  /// `target_rms` is the desired output RMS; `alpha` in (0, 1] is the
+  /// tracking rate (1 = instant).
+  Agc(double target_rms = 1.0, double alpha = 0.05);
+
+  Complex process(Complex x);
+  Cvec process(std::span<const Complex> x);
+
+  double gain() const { return gain_; }
+  void reset();
+
+ private:
+  double target_rms_;
+  double alpha_;
+  double gain_ = 1.0;
+  double level_ = 0.0;  // tracked envelope estimate
+};
+
+}  // namespace mmx::dsp

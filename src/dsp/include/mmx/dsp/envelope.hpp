@@ -1,0 +1,25 @@
+// Envelope detection for ASK demodulation.
+//
+// The AP decodes OTAM's over-the-air ASK by tracking the received carrier
+// amplitude (paper Fig. 9a). At complex baseband the envelope is |x[n]|;
+// a smoothing filter suppresses noise within a symbol.
+#pragma once
+
+#include <cstddef>
+
+#include "mmx/dsp/types.hpp"
+
+namespace mmx::dsp {
+
+/// Instantaneous envelope |x[n]| smoothed with a boxcar of `smooth_len`
+/// samples (1 = no smoothing).
+Rvec envelope(std::span<const Complex> x, std::size_t smooth_len = 1);
+
+/// Mean envelope per symbol: splits `x` into consecutive symbols of
+/// `samples_per_symbol` and returns the average |x| in (a centred window
+/// of) each. `guard_frac` in [0, 0.5) trims that fraction from both ends
+/// of the symbol to avoid switch-transition samples.
+Rvec symbol_envelopes(std::span<const Complex> x, std::size_t samples_per_symbol,
+                      double guard_frac = 0.1);
+
+}  // namespace mmx::dsp

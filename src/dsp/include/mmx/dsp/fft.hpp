@@ -1,0 +1,45 @@
+// Radix-2 FFT and spectral helpers.
+//
+// The AP separates FDM channels and TMA harmonics in the frequency
+// domain; this in-place iterative FFT is the workhorse for that and for
+// the FSK discriminator's spectral view.
+#pragma once
+
+#include <cstddef>
+
+#include "mmx/dsp/types.hpp"
+#include "mmx/dsp/window.hpp"
+
+namespace mmx::dsp {
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+/// In-place forward FFT. Size must be a power of two.
+void fft_inplace(std::span<Complex> x);
+
+/// In-place inverse FFT (includes the 1/N normalization).
+void ifft_inplace(std::span<Complex> x);
+
+/// Out-of-place convenience wrappers; input is zero-padded to a power of
+/// two if necessary.
+Cvec fft(std::span<const Complex> x);
+Cvec ifft(std::span<const Complex> x);
+
+/// Power spectrum |FFT|^2 / N with an optional analysis window; bin k
+/// corresponds to frequency k*fs/N for k < N/2 and (k-N)*fs/N above.
+Rvec power_spectrum(std::span<const Complex> x, WindowKind window = WindowKind::kHann);
+
+/// Frequency [Hz] of FFT bin `k` given `n` bins at sample rate `fs`
+/// (negative frequencies for k >= n/2).
+double bin_frequency(std::size_t k, std::size_t n, double sample_rate_hz);
+
+/// Index of the strongest bin of a power spectrum.
+std::size_t peak_bin(std::span<const double> spectrum);
+
+/// Estimate the dominant tone frequency of a block by peak-picking the
+/// spectrum with 3-point parabolic interpolation. Requires at least 8
+/// samples.
+double estimate_tone_frequency(std::span<const Complex> x, double sample_rate_hz);
+
+}  // namespace mmx::dsp

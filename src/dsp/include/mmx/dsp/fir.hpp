@@ -1,0 +1,66 @@
+// FIR filter design (windowed-sinc) and streaming application.
+//
+// Used by the AP's baseband processor for channelization, envelope
+// smoothing and anti-alias filtering before decimation. The coupled-line
+// microstrip filter on the AP front end (paper §8.2) is modelled in
+// `mmx::rf`; this file is the *digital* filtering substrate.
+#pragma once
+
+#include <cstddef>
+
+#include "mmx/dsp/types.hpp"
+#include "mmx/dsp/window.hpp"
+
+namespace mmx::dsp {
+
+/// Design a linear-phase low-pass FIR with the windowed-sinc method.
+/// `cutoff_hz` is the -6 dB edge; `taps` must be odd so there is a true
+/// centre tap (group delay = (taps-1)/2 samples).
+Rvec design_lowpass(double sample_rate_hz, double cutoff_hz, std::size_t taps,
+                    WindowKind window = WindowKind::kHamming);
+
+/// Design a band-pass FIR centred on [low_hz, high_hz] (positive
+/// frequencies of the underlying real prototype).
+Rvec design_bandpass(double sample_rate_hz, double low_hz, double high_hz, std::size_t taps,
+                     WindowKind window = WindowKind::kHamming);
+
+/// Streaming FIR filter with persistent state; safe to feed sample-by-
+/// sample or in blocks. Real taps applied to complex samples.
+class FirFilter {
+ public:
+  explicit FirFilter(Rvec taps);
+
+  Complex process(Complex x);
+  Cvec process(std::span<const Complex> x);
+  void reset();
+
+  std::size_t num_taps() const { return taps_.size(); }
+  /// Group delay of a symmetric (linear-phase) design, in samples.
+  std::size_t group_delay() const { return (taps_.size() - 1) / 2; }
+  const Rvec& taps() const { return taps_; }
+
+  /// Complex frequency response at `freq_hz` for the given sample rate.
+  Complex frequency_response(double freq_hz, double sample_rate_hz) const;
+
+ private:
+  Rvec taps_;
+  Cvec delay_;          // circular delay line
+  std::size_t head_ = 0;
+};
+
+/// Simple boxcar moving average over `len` samples (streaming).
+class MovingAverage {
+ public:
+  explicit MovingAverage(std::size_t len);
+  double process(double x);
+  void reset();
+  std::size_t length() const { return buf_.size(); }
+
+ private:
+  Rvec buf_;
+  std::size_t head_ = 0;
+  std::size_t filled_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace mmx::dsp

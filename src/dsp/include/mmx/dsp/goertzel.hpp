@@ -1,0 +1,41 @@
+// Goertzel single-bin DFT.
+//
+// The FSK half of the joint ASK-FSK demodulator (paper §6.3) only needs
+// the energy at two known tone frequencies per symbol; Goertzel computes
+// that in O(N) per tone without a full FFT.
+#pragma once
+
+#include <cstddef>
+
+#include "mmx/dsp/types.hpp"
+
+namespace mmx::dsp {
+
+/// Complex Goertzel: DFT coefficient of `x` at `freq_hz` (not normalized
+/// by N). Works at arbitrary (non-bin-aligned) frequencies.
+Complex goertzel(std::span<const Complex> x, double freq_hz, double sample_rate_hz);
+
+/// Energy |X(f)|^2 / N^2 at `freq_hz` — a mean-power-like quantity
+/// comparable across block lengths.
+double goertzel_power(std::span<const Complex> x, double freq_hz, double sample_rate_hz);
+
+/// Streaming Goertzel accumulator: feed samples, read power at the end.
+class GoertzelBin {
+ public:
+  GoertzelBin(double freq_hz, double sample_rate_hz);
+  void push(Complex x);
+  /// DFT coefficient accumulated so far.
+  Complex coefficient() const;
+  /// |X|^2 / n^2 over samples seen so far (0 if none).
+  double power() const;
+  void reset();
+  std::size_t count() const { return n_; }
+
+ private:
+  double w_;  // radians/sample
+  Complex acc_{0.0, 0.0};
+  double phase_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+}  // namespace mmx::dsp

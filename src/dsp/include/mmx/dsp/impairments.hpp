@@ -1,0 +1,51 @@
+// Receiver front-end impairments and their compensation.
+//
+// The AP's analog downconversion (sub-harmonic mixer into a direct-
+// sampling baseband) introduces I/Q gain & phase imbalance and DC
+// offset — the classic image and carrier-leak artifacts a USRP capture
+// shows. The models below inject them; the blind compensator removes
+// them, keeping the FSK discriminator's image rejection honest.
+#pragma once
+
+#include "mmx/dsp/types.hpp"
+
+namespace mmx::dsp {
+
+struct IqImbalance {
+  double gain_db = 0.0;     ///< Q-rail gain error relative to I
+  double phase_rad = 0.0;   ///< quadrature skew
+};
+
+/// Apply imbalance: y = alpha * x + beta * conj(x), with
+/// alpha = (1 + g e^{j phi}) / 2, beta = (1 - g e^{j phi}) / 2.
+Cvec apply_iq_imbalance(std::span<const Complex> x, const IqImbalance& imb);
+
+/// Add a constant DC (carrier-leak) offset.
+Cvec apply_dc_offset(std::span<const Complex> x, Complex offset);
+
+/// Image rejection ratio [dB] implied by an imbalance: |alpha|^2/|beta|^2.
+double image_rejection_db(const IqImbalance& imb);
+
+/// Blind I/Q + DC compensator (Moseley-Slump style): estimates the DC
+/// from the block mean and the image term from E[y^2] / E[|y|^2], then
+/// inverts. One-shot, block-based.
+class IqCompensator {
+ public:
+  /// Estimate the correction from a representative block.
+  void estimate(std::span<const Complex> y);
+
+  /// Apply the current correction.
+  Cvec process(std::span<const Complex> y) const;
+
+  /// Estimated interference-to-signal ratio of the image term (linear).
+  double estimated_image_ratio() const;
+
+  Complex dc() const { return dc_; }
+  Complex w() const { return w_; }
+
+ private:
+  Complex dc_{0.0, 0.0};
+  Complex w_{0.0, 0.0};  // image-cancellation weight: z = y' - w * conj(y')
+};
+
+}  // namespace mmx::dsp

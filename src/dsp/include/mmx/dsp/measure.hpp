@@ -1,0 +1,18 @@
+// Link-quality measurement helpers.
+#pragma once
+
+#include <span>
+
+#include "mmx/dsp/types.hpp"
+
+namespace mmx::dsp {
+
+/// SNR [dB] of `received` against a known `reference` block, after fitting
+/// a single complex gain (so absolute level and phase don't matter).
+/// Returns a clamped 200 dB for a numerically perfect match.
+double estimate_snr_db(std::span<const Complex> received, std::span<const Complex> reference);
+
+/// RMS error-vector magnitude (linear, not percent) against a reference.
+double evm_rms(std::span<const Complex> received, std::span<const Complex> reference);
+
+}  // namespace mmx::dsp

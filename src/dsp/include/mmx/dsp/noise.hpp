@@ -1,0 +1,19 @@
+// Additive white Gaussian noise generation.
+#pragma once
+
+#include "mmx/common/rng.hpp"
+#include "mmx/dsp/types.hpp"
+
+namespace mmx::dsp {
+
+/// Complex AWGN block with total mean power `power` (split evenly between
+/// I and Q).
+Cvec awgn(std::size_t n, double power, Rng& rng);
+
+/// Add AWGN of mean power `power` to `x` in place.
+void add_awgn(std::span<Complex> x, double power, Rng& rng);
+
+/// Add noise at `snr_db` below the measured mean power of `x`.
+void add_awgn_snr(std::span<Complex> x, double snr_db, Rng& rng);
+
+}  // namespace mmx::dsp

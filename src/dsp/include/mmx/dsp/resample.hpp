@@ -1,0 +1,32 @@
+// Integer-factor rate conversion with anti-alias / anti-image filtering.
+//
+// The AP captures wide chunks of the ISM band and decimates each FDM
+// channel down to its own symbol-rate stream.
+#pragma once
+
+#include <cstddef>
+
+#include "mmx/dsp/types.hpp"
+
+namespace mmx::dsp {
+
+/// Decimate by `factor` after a windowed-sinc anti-alias low-pass
+/// (cutoff at 0.45 * new Nyquist). factor == 1 returns a copy.
+Cvec decimate(std::span<const Complex> x, std::size_t factor, std::size_t taps = 63);
+
+/// Zero-stuff upsample by `factor` followed by an anti-image low-pass and
+/// gain restore. factor == 1 returns a copy.
+Cvec upsample(std::span<const Complex> x, std::size_t factor, std::size_t taps = 63);
+
+/// Frequency-shift a block by `offset_hz` (multiply by a complex
+/// exponential) — used to centre an FDM channel before decimation.
+Cvec frequency_shift(std::span<const Complex> x, double offset_hz, double sample_rate_hz);
+
+/// Rational-factor resampling by L/M (upsample by L, anti-image/alias
+/// filter, decimate by M). Output length ~= n * L / M. Needed when an
+/// FDM channel's symbol rate is not an integer divisor of the SDR
+/// capture rate (e.g. 64 Msps capture -> 12.5 MHz channel: L/M = 25/128).
+Cvec resample_rational(std::span<const Complex> x, std::size_t up, std::size_t down,
+                       std::size_t taps = 127);
+
+}  // namespace mmx::dsp

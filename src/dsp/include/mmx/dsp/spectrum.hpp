@@ -1,0 +1,45 @@
+// Occupied-bandwidth and spectral-containment measurements.
+//
+// Regulators (and the FDM allocator) care where a transmission's power
+// actually sits: the occupied bandwidth must fit inside the granted
+// channel, guard bands included.
+#pragma once
+
+#include "mmx/dsp/types.hpp"
+
+namespace mmx::dsp {
+
+struct ObwResult {
+  double low_hz;        ///< lower edge of the occupied band
+  double high_hz;       ///< upper edge
+  double bandwidth_hz;  ///< high - low
+  double center_hz;     ///< power centroid
+};
+
+/// x%-occupied bandwidth (default 99%): the narrowest frequency interval
+/// (by trimming equal power tails) containing `fraction` of the signal
+/// power. Needs >= 64 samples.
+ObwResult occupied_bandwidth(std::span<const Complex> x, double sample_rate_hz,
+                             double fraction = 0.99);
+
+/// Fraction of the signal power inside [low_hz, high_hz].
+double power_in_band(std::span<const Complex> x, double sample_rate_hz, double low_hz,
+                     double high_hz);
+
+struct DetectedChannel {
+  double center_hz;        ///< channel-grid centre within the capture
+  double power_db;         ///< integrated channel power [dB, arbitrary ref]
+  double above_floor_db;   ///< margin over the median-channel floor
+};
+
+/// Energy-detection band scan: split the capture's spectrum into a grid
+/// of `channel_bw_hz` channels and report every channel whose integrated
+/// power exceeds the median channel by `threshold_db`. This is the AP's
+/// "who is transmitting right now" primitive (occupancy monitoring,
+/// rogue-emitter detection).
+std::vector<DetectedChannel> detect_active_channels(std::span<const Complex> x,
+                                                    double sample_rate_hz,
+                                                    double channel_bw_hz,
+                                                    double threshold_db = 10.0);
+
+}  // namespace mmx::dsp

@@ -1,0 +1,53 @@
+// Numerically controlled oscillator and tone synthesis.
+//
+// The mmX node's entire transmitter is "a sine wave steered between two
+// beams" (paper §5.1), so phase-continuous tone generation is the
+// fundamental transmit primitive of the whole simulator.
+#pragma once
+
+#include <cstddef>
+
+#include "mmx/dsp/types.hpp"
+
+namespace mmx::dsp {
+
+/// Phase-continuous complex oscillator.
+///
+/// Frequency may be retuned at any sample boundary without a phase jump —
+/// exactly how the node's VCO behaves when the controller nudges the
+/// tuning voltage for FSK (paper §6.3).
+class Nco {
+ public:
+  /// `sample_rate_hz` is the complex baseband sample rate. `freq_hz` is the
+  /// (possibly negative) baseband offset frequency.
+  Nco(double sample_rate_hz, double freq_hz = 0.0);
+
+  /// Change frequency; takes effect from the next sample, phase-continuous.
+  void set_frequency(double freq_hz);
+  double frequency() const { return freq_hz_; }
+  double phase() const { return phase_; }
+  void set_phase(double rad) { phase_ = rad; }
+
+  /// Produce the next sample (unit amplitude) and advance the phase.
+  Complex next();
+
+  /// Produce `n` samples into a new vector.
+  Cvec generate(std::size_t n);
+
+  double sample_rate() const { return sample_rate_hz_; }
+
+ private:
+  double sample_rate_hz_;
+  double freq_hz_;
+  double phase_ = 0.0;  // radians
+  double step_ = 0.0;   // radians per sample
+};
+
+/// One-shot unit tone: n samples of exp(j 2 pi f t) at the given start phase.
+Cvec tone(double sample_rate_hz, double freq_hz, std::size_t n, double phase0 = 0.0);
+
+/// Linear chirp from f0 to f1 over n samples (used in tests as a
+/// wideband probe).
+Cvec chirp(double sample_rate_hz, double f0_hz, double f1_hz, std::size_t n);
+
+}  // namespace mmx::dsp

@@ -1,0 +1,35 @@
+// Core sample types for the mmX baseband DSP library.
+//
+// All signal processing operates on complex baseband samples (`Cvec`).
+// Real passband signals only exist conceptually; the simulator works at
+// complex envelope level, which is what the USRP-based AP in the paper
+// captures after downconversion.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace mmx::dsp {
+
+using Complex = std::complex<double>;
+using Cvec = std::vector<Complex>;
+using Rvec = std::vector<double>;
+
+/// Mean power (|x|^2 averaged) of a block. Empty input -> 0.
+double mean_power(std::span<const Complex> x);
+
+/// Root-mean-square magnitude of a block. Empty input -> 0.
+double rms(std::span<const Complex> x);
+
+/// Scale a signal in place so its mean power becomes `target_power`.
+/// A zero signal is left untouched.
+void set_mean_power(std::span<Complex> x, double target_power);
+
+/// Element-wise a += b. Sizes must match.
+void add_into(std::span<Complex> a, std::span<const Complex> b);
+
+/// Magnitudes of a complex block.
+Rvec magnitudes(std::span<const Complex> x);
+
+}  // namespace mmx::dsp

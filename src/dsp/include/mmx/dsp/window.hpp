@@ -1,0 +1,18 @@
+// Window functions for FIR design and spectral analysis.
+#pragma once
+
+#include <cstddef>
+
+#include "mmx/dsp/types.hpp"
+
+namespace mmx::dsp {
+
+enum class WindowKind { kRect, kHann, kHamming, kBlackman };
+
+/// Generate an n-point symmetric window of the given kind.
+Rvec make_window(WindowKind kind, std::size_t n);
+
+/// Apply a window in place (sizes must match).
+void apply_window(std::span<Complex> x, std::span<const double> w);
+
+}  // namespace mmx::dsp

@@ -1,0 +1,74 @@
+#include "mmx/dsp/types.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/dsp/measure.hpp"
+
+namespace mmx::dsp {
+
+double mean_power(std::span<const Complex> x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (const Complex& s : x) acc += std::norm(s);
+  return acc / static_cast<double>(x.size());
+}
+
+double rms(std::span<const Complex> x) { return std::sqrt(mean_power(x)); }
+
+void set_mean_power(std::span<Complex> x, double target_power) {
+  const double p = mean_power(x);
+  if (p == 0.0) return;
+  const double g = std::sqrt(target_power / p);
+  for (Complex& s : x) s *= g;
+}
+
+void add_into(std::span<Complex> a, std::span<const Complex> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("add_into: size mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+Rvec magnitudes(std::span<const Complex> x) {
+  Rvec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::abs(x[i]);
+  return out;
+}
+
+double estimate_snr_db(std::span<const Complex> received, std::span<const Complex> reference) {
+  if (received.size() != reference.size() || received.empty())
+    throw std::invalid_argument("estimate_snr_db: blocks must be equal-sized and non-empty");
+  // Least-squares complex gain aligning the reference to the received block,
+  // then SNR = |g.ref|^2 / |rx - g.ref|^2.
+  Complex num{0.0, 0.0};
+  double den = 0.0;
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    num += received[i] * std::conj(reference[i]);
+    den += std::norm(reference[i]);
+  }
+  if (den == 0.0) throw std::invalid_argument("estimate_snr_db: zero reference");
+  const Complex g = num / den;
+  double sig = 0.0;
+  double err = 0.0;
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    const Complex fit = g * reference[i];
+    sig += std::norm(fit);
+    err += std::norm(received[i] - fit);
+  }
+  if (err == 0.0) return 200.0;  // numerically noiseless; clamp
+  return 10.0 * std::log10(sig / err);
+}
+
+double evm_rms(std::span<const Complex> received, std::span<const Complex> reference) {
+  if (received.size() != reference.size() || received.empty())
+    throw std::invalid_argument("evm_rms: blocks must be equal-sized and non-empty");
+  double err = 0.0;
+  double ref = 0.0;
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    err += std::norm(received[i] - reference[i]);
+    ref += std::norm(reference[i]);
+  }
+  if (ref == 0.0) throw std::invalid_argument("evm_rms: zero reference");
+  return std::sqrt(err / ref);
+}
+
+}  // namespace mmx::dsp

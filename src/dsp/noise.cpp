@@ -1,0 +1,29 @@
+#include "mmx/dsp/noise.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::dsp {
+
+Cvec awgn(std::size_t n, double power, Rng& rng) {
+  if (power < 0.0) throw std::invalid_argument("awgn: power must be >= 0");
+  const double sigma = std::sqrt(power / 2.0);
+  Cvec out(n);
+  for (Complex& s : out) s = Complex{rng.gaussian(sigma), rng.gaussian(sigma)};
+  return out;
+}
+
+void add_awgn(std::span<Complex> x, double power, Rng& rng) {
+  if (power < 0.0) throw std::invalid_argument("add_awgn: power must be >= 0");
+  const double sigma = std::sqrt(power / 2.0);
+  for (Complex& s : x) s += Complex{rng.gaussian(sigma), rng.gaussian(sigma)};
+}
+
+void add_awgn_snr(std::span<Complex> x, double snr_db, Rng& rng) {
+  const double sig = mean_power(x);
+  add_awgn(x, sig / db_to_lin(snr_db), rng);
+}
+
+}  // namespace mmx::dsp

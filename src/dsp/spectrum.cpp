@@ -1,0 +1,118 @@
+#include "mmx/dsp/spectrum.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "mmx/dsp/fft.hpp"
+
+namespace mmx::dsp {
+namespace {
+
+/// Power spectrum reordered to ascending frequency with a matching
+/// frequency axis.
+std::pair<Rvec, Rvec> sorted_spectrum(std::span<const Complex> x, double fs) {
+  const Rvec p = power_spectrum(x);
+  const std::size_t n = p.size();
+  Rvec power(n);
+  Rvec freq(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Map bin k to its (negative-aware) frequency, then shift so index 0
+    // is the most negative frequency.
+    const std::size_t shifted = (k + n / 2) % n;
+    power[k] = p[shifted];
+    freq[k] = bin_frequency(shifted, n, fs);
+  }
+  return {power, freq};
+}
+
+}  // namespace
+
+ObwResult occupied_bandwidth(std::span<const Complex> x, double sample_rate_hz,
+                             double fraction) {
+  if (x.size() < 64) throw std::invalid_argument("occupied_bandwidth: need >= 64 samples");
+  if (fraction <= 0.0 || fraction >= 1.0)
+    throw std::invalid_argument("occupied_bandwidth: fraction must be in (0, 1)");
+  const auto [power, freq] = sorted_spectrum(x, sample_rate_hz);
+
+  double total = 0.0;
+  double centroid = 0.0;
+  for (std::size_t k = 0; k < power.size(); ++k) {
+    total += power[k];
+    centroid += power[k] * freq[k];
+  }
+  if (total <= 0.0) throw std::invalid_argument("occupied_bandwidth: zero-power signal");
+  centroid /= total;
+
+  // Trim (1-fraction)/2 of the power from each tail.
+  const double tail = total * (1.0 - fraction) / 2.0;
+  std::size_t lo = 0;
+  double acc = 0.0;
+  while (lo < power.size() && acc + power[lo] < tail) acc += power[lo++];
+  std::size_t hi = power.size() - 1;
+  acc = 0.0;
+  while (hi > lo && acc + power[hi] < tail) acc += power[hi--];
+
+  ObwResult r;
+  r.low_hz = freq[lo];
+  r.high_hz = freq[hi];
+  r.bandwidth_hz = r.high_hz - r.low_hz;
+  r.center_hz = centroid;
+  return r;
+}
+
+double power_in_band(std::span<const Complex> x, double sample_rate_hz, double low_hz,
+                     double high_hz) {
+  if (low_hz >= high_hz) throw std::invalid_argument("power_in_band: low must be < high");
+  const auto [power, freq] = sorted_spectrum(x, sample_rate_hz);
+  double total = 0.0;
+  double in_band = 0.0;
+  for (std::size_t k = 0; k < power.size(); ++k) {
+    total += power[k];
+    if (freq[k] >= low_hz && freq[k] <= high_hz) in_band += power[k];
+  }
+  if (total <= 0.0) throw std::invalid_argument("power_in_band: zero-power signal");
+  return in_band / total;
+}
+
+std::vector<DetectedChannel> detect_active_channels(std::span<const Complex> x,
+                                                    double sample_rate_hz,
+                                                    double channel_bw_hz,
+                                                    double threshold_db) {
+  if (x.size() < 64) throw std::invalid_argument("detect_active_channels: need >= 64 samples");
+  if (channel_bw_hz <= 0.0 || channel_bw_hz > sample_rate_hz)
+    throw std::invalid_argument("detect_active_channels: bad channel bandwidth");
+  if (threshold_db <= 0.0)
+    throw std::invalid_argument("detect_active_channels: threshold must be > 0 dB");
+  const auto [power, freq] = sorted_spectrum(x, sample_rate_hz);
+
+  const auto n_channels =
+      static_cast<std::size_t>(std::floor(sample_rate_hz / channel_bw_hz));
+  if (n_channels == 0) return {};
+  std::vector<double> ch_power(n_channels, 0.0);
+  for (std::size_t k = 0; k < power.size(); ++k) {
+    const double pos = (freq[k] + sample_rate_hz / 2.0) / channel_bw_hz;
+    const auto idx = static_cast<std::size_t>(std::min(
+        static_cast<double>(n_channels - 1), std::max(0.0, std::floor(pos))));
+    ch_power[idx] += power[k];
+  }
+
+  std::vector<double> sorted = ch_power;
+  std::sort(sorted.begin(), sorted.end());
+  const double floor_power = std::max(sorted[sorted.size() / 2], 1e-300);
+
+  std::vector<DetectedChannel> out;
+  for (std::size_t c = 0; c < n_channels; ++c) {
+    const double margin = 10.0 * std::log10(std::max(ch_power[c], 1e-300) / floor_power);
+    if (margin >= threshold_db) {
+      DetectedChannel d;
+      d.center_hz = -sample_rate_hz / 2.0 + (static_cast<double>(c) + 0.5) * channel_bw_hz;
+      d.power_db = 10.0 * std::log10(std::max(ch_power[c], 1e-300));
+      d.above_floor_db = margin;
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+}  // namespace mmx::dsp

@@ -1,0 +1,54 @@
+#include "mmx/dsp/tone.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::dsp {
+
+Nco::Nco(double sample_rate_hz, double freq_hz) : sample_rate_hz_(sample_rate_hz) {
+  if (sample_rate_hz <= 0.0) throw std::invalid_argument("Nco: sample rate must be > 0");
+  set_frequency(freq_hz);
+}
+
+void Nco::set_frequency(double freq_hz) {
+  if (std::abs(freq_hz) > sample_rate_hz_ / 2.0)
+    throw std::invalid_argument("Nco: frequency exceeds Nyquist");
+  freq_hz_ = freq_hz;
+  step_ = kTwoPi * freq_hz / sample_rate_hz_;
+}
+
+Complex Nco::next() {
+  const Complex s{std::cos(phase_), std::sin(phase_)};
+  phase_ = wrap_angle(phase_ + step_);
+  return s;
+}
+
+Cvec Nco::generate(std::size_t n) {
+  Cvec out(n);
+  for (Complex& s : out) s = next();
+  return out;
+}
+
+Cvec tone(double sample_rate_hz, double freq_hz, std::size_t n, double phase0) {
+  Nco nco(sample_rate_hz, freq_hz);
+  nco.set_phase(phase0);
+  return nco.generate(n);
+}
+
+Cvec chirp(double sample_rate_hz, double f0_hz, double f1_hz, std::size_t n) {
+  if (sample_rate_hz <= 0.0) throw std::invalid_argument("chirp: sample rate must be > 0");
+  Cvec out(n);
+  if (n == 0) return out;
+  const double df = (f1_hz - f0_hz) / static_cast<double>(n);
+  double phase = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = Complex{std::cos(phase), std::sin(phase)};
+    const double f = f0_hz + df * static_cast<double>(i);
+    phase = wrap_angle(phase + kTwoPi * f / sample_rate_hz);
+  }
+  return out;
+}
+
+}  // namespace mmx::dsp

@@ -1,0 +1,79 @@
+#include "mmx/mac/allocator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmx::mac {
+
+double required_bandwidth_hz(double rate_bps, double spectral_efficiency) {
+  if (rate_bps <= 0.0) throw std::invalid_argument("required_bandwidth_hz: rate must be > 0");
+  if (spectral_efficiency <= 0.0)
+    throw std::invalid_argument("required_bandwidth_hz: efficiency must be > 0");
+  return rate_bps / spectral_efficiency;
+}
+
+FdmAllocator::FdmAllocator(double band_low_hz, double band_high_hz, double guard_hz)
+    : low_(band_low_hz), high_(band_high_hz), guard_(guard_hz) {
+  if (band_low_hz >= band_high_hz) throw std::invalid_argument("FdmAllocator: empty band");
+  if (guard_hz < 0.0) throw std::invalid_argument("FdmAllocator: guard must be >= 0");
+}
+
+std::optional<ChannelAllocation> FdmAllocator::allocate(std::uint16_t node_id,
+                                                        double bandwidth_hz) {
+  if (bandwidth_hz <= 0.0) throw std::invalid_argument("FdmAllocator: bandwidth must be > 0");
+  if (by_node_.contains(node_id))
+    throw std::invalid_argument("FdmAllocator: node already holds a channel");
+
+  // Sorted occupied intervals.
+  std::vector<ChannelAllocation> used;
+  used.reserve(by_node_.size());
+  for (const auto& [id, ch] : by_node_) used.push_back(ch);
+  std::sort(used.begin(), used.end(),
+            [](const auto& a, const auto& b) { return a.low_hz() < b.low_hz(); });
+
+  // First-fit over the gaps (guard applies between channels, not at the
+  // band edges).
+  double cursor = low_;
+  for (std::size_t i = 0; i <= used.size(); ++i) {
+    const double gap_end = (i < used.size()) ? used[i].low_hz() - guard_ : high_;
+    if (gap_end - cursor >= bandwidth_hz) {
+      ChannelAllocation ch{cursor + bandwidth_hz / 2.0, bandwidth_hz};
+      by_node_[node_id] = ch;
+      return ch;
+    }
+    if (i < used.size()) cursor = used[i].high_hz() + guard_;
+  }
+  return std::nullopt;
+}
+
+bool FdmAllocator::release(std::uint16_t node_id) { return by_node_.erase(node_id) > 0; }
+
+std::optional<ChannelAllocation> FdmAllocator::lookup(std::uint16_t node_id) const {
+  const auto it = by_node_.find(node_id);
+  if (it == by_node_.end()) return std::nullopt;
+  return it->second;
+}
+
+double FdmAllocator::free_bandwidth_hz() const {
+  double used = 0.0;
+  for (const auto& [id, ch] : by_node_) used += ch.bandwidth_hz;
+  return (high_ - low_) - used;
+}
+
+double FdmAllocator::largest_gap_hz() const {
+  std::vector<ChannelAllocation> used;
+  used.reserve(by_node_.size());
+  for (const auto& [id, ch] : by_node_) used.push_back(ch);
+  std::sort(used.begin(), used.end(),
+            [](const auto& a, const auto& b) { return a.low_hz() < b.low_hz(); });
+  double best = 0.0;
+  double cursor = low_;
+  for (std::size_t i = 0; i <= used.size(); ++i) {
+    const double gap_end = (i < used.size()) ? used[i].low_hz() - guard_ : high_;
+    best = std::max(best, gap_end - cursor);
+    if (i < used.size()) cursor = used[i].high_hz() + guard_;
+  }
+  return std::max(0.0, best);
+}
+
+}  // namespace mmx::mac

@@ -1,0 +1,63 @@
+// FDM channel allocation (paper §7a).
+//
+// "mmX divides the available spectrum between nodes depending on their
+// data rate demand... The channels are specified by the AP to each node
+// in the initialization stage." The allocator manages the 250 MHz ISM
+// band as a 1-D free list with guard bands, sized per node from its rate
+// demand and the modulation's spectral efficiency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace mmx::mac {
+
+struct ChannelAllocation {
+  double center_hz = 0.0;
+  double bandwidth_hz = 0.0;
+
+  double low_hz() const { return center_hz - bandwidth_hz / 2.0; }
+  double high_hz() const { return center_hz + bandwidth_hz / 2.0; }
+  bool operator==(const ChannelAllocation&) const = default;
+};
+
+/// Bandwidth a node needs for `rate_bps` with OTAM's ASK-FSK modulation.
+/// OOK-style signalling occupies ~(1/efficiency) Hz per bit/s, plus the
+/// FSK tone spread.
+double required_bandwidth_hz(double rate_bps, double spectral_efficiency = 0.8);
+
+class FdmAllocator {
+ public:
+  /// Band [low, high] with `guard_hz` kept between adjacent channels.
+  FdmAllocator(double band_low_hz, double band_high_hz, double guard_hz = 1e6);
+
+  /// First-fit allocation. Returns nullopt when no contiguous gap fits.
+  std::optional<ChannelAllocation> allocate(std::uint16_t node_id, double bandwidth_hz);
+
+  /// Release a node's channel; false if the node held none.
+  bool release(std::uint16_t node_id);
+
+  std::optional<ChannelAllocation> lookup(std::uint16_t node_id) const;
+
+  /// Total un-allocated spectrum (ignores fragmentation).
+  double free_bandwidth_hz() const;
+
+  /// Largest single allocatable channel right now (respects guards).
+  double largest_gap_hz() const;
+
+  std::size_t num_allocations() const { return by_node_.size(); }
+  const std::map<std::uint16_t, ChannelAllocation>& allocations() const { return by_node_; }
+
+  double band_low_hz() const { return low_; }
+  double band_high_hz() const { return high_; }
+
+ private:
+  double low_;
+  double high_;
+  double guard_;
+  std::map<std::uint16_t, ChannelAllocation> by_node_;
+};
+
+}  // namespace mmx::mac

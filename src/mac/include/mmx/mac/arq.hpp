@@ -1,0 +1,81 @@
+// Stop-and-wait ARQ controller.
+//
+// The paper's PHY leaves residual errors to "an error correction coding
+// scheme" (§9.3); a deployment also needs retransmission for the bursts
+// FEC can't cover (someone stands up mid-frame). This is the pure state
+// machine — transport-agnostic and fully unit-testable; mmx::core wires
+// it to the sample-level link.
+#pragma once
+
+#include <cstdint>
+
+namespace mmx::mac {
+
+struct ArqConfig {
+  int max_retries = 4;       ///< attempts after the first transmission
+  double timeout_s = 2e-3;   ///< ack wait per attempt
+};
+
+struct ArqStats {
+  std::uint64_t transmissions = 0;  ///< frames put on the air
+  std::uint64_t delivered = 0;      ///< acked payloads
+  std::uint64_t gave_up = 0;        ///< payloads dropped after retries
+  std::uint64_t duplicate_acks = 0;
+};
+
+/// One-outstanding-frame sender. Drive it with offer() / on_ack() /
+/// on_timeout(); poll next_action() to learn what to do.
+class ArqSender {
+ public:
+  enum class Action { kIdle, kTransmit, kWaitAck };
+
+  explicit ArqSender(ArqConfig cfg = {});
+
+  /// Accept a new payload; returns false if one is still in flight.
+  bool offer(std::uint16_t seq);
+
+  /// The transport transmitted the current frame.
+  void on_transmitted();
+
+  /// Ack for `seq` arrived. Out-of-order/duplicate acks are counted and
+  /// ignored.
+  void on_ack(std::uint16_t seq);
+
+  /// The ack timer expired.
+  void on_timeout();
+
+  Action next_action() const;
+  std::uint16_t current_seq() const { return seq_; }
+  int attempts() const { return attempts_; }
+  const ArqStats& stats() const { return stats_; }
+  const ArqConfig& config() const { return cfg_; }
+
+ private:
+  ArqConfig cfg_;
+  ArqStats stats_;
+  std::uint16_t seq_ = 0;
+  int attempts_ = 0;
+  bool in_flight_ = false;   // payload accepted, not yet resolved
+  bool awaiting_ack_ = false;
+};
+
+/// Receiver-side duplicate filter: tracks the last delivered sequence
+/// per node so retransmissions are acked but not re-delivered.
+class ArqReceiver {
+ public:
+  /// Returns true if the frame is new (deliver to the application);
+  /// false if it is a duplicate (ack it again, do not deliver).
+  bool accept(std::uint16_t node_id, std::uint16_t seq);
+
+ private:
+  // Tiny open map (node counts are small in mmX deployments).
+  struct Entry {
+    std::uint16_t node_id;
+    std::uint16_t last_seq;
+    bool valid = false;
+  };
+  static constexpr std::size_t kSlots = 256;
+  Entry slots_[kSlots]{};
+};
+
+}  // namespace mmx::mac

@@ -1,0 +1,99 @@
+// The mmX initialization protocol (paper §4, §7).
+//
+// AP side of the one-shot bootstrap: nodes ask for a data rate over the
+// WiFi/BT side channel; the AP sizes a channel from the rate, allocates
+// FDM spectrum, and when the band is exhausted starts sharing channels
+// spatially (SDM groups separated by TMA harmonics). Each grant also
+// carries the two VCO tuning voltages realizing the node's ASK-FSK tone
+// pair inside its channel.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "mmx/mac/allocator.hpp"
+#include "mmx/mac/sdm.hpp"
+#include "mmx/mac/side_channel.hpp"
+#include "mmx/rf/vco.hpp"
+
+namespace mmx::mac {
+
+/// One usable TMA harmonic and the direction it steers to (set by the
+/// AP's switching design; see antenna::TimeModulatedArray::progressive).
+struct HarmonicSlot {
+  int harmonic;
+  double angle_rad;
+};
+
+/// Steered directions of the default AP TMA (8 elements, d = lambda/2,
+/// delay 0.0625): sin(theta_m) = 0.125 m for m in {-4..4}.
+std::vector<HarmonicSlot> default_sdm_slots();
+
+struct InitConfig {
+  double spectral_efficiency = 0.8;  ///< bit/s/Hz of OTAM's ASK-FSK
+  double guard_hz = 1e6;
+  /// FSK tone separation as a fraction of channel bandwidth (tones sit at
+  /// centre -/+ this fraction of bandwidth).
+  double fsk_fraction = 0.4;
+  /// Max nodes sharing one frequency channel through the TMA.
+  int sdm_capacity = 3;
+  /// Bearings closer than this cannot share a channel (harmonic lobes
+  /// would overlap).
+  double min_bearing_separation_rad = 0.45;
+  /// Usable TMA harmonics; empty = populated with default_sdm_slots().
+  std::vector<HarmonicSlot> sdm_slots;
+  /// A node may only take a harmonic whose steered direction is within
+  /// this angle of its bearing (beyond it the harmonic's array gain at
+  /// the node collapses).
+  double max_harmonic_mismatch_rad = 0.07;
+};
+
+class InitProtocol {
+ public:
+  InitProtocol(FdmAllocator allocator, rf::Vco node_vco, InitConfig cfg = {});
+
+  /// Process one request: FDM first, SDM sharing when the band is full.
+  /// Returns a grant or a deny.
+  SideChannelMessage handle(const ChannelRequest& request);
+
+  /// Drain the AP side of a SideChannel: handle every pending request and
+  /// queue the responses back. Returns the number processed.
+  std::size_t serve(SideChannel& channel, Rng& rng);
+
+  /// All grants issued so far, keyed by node.
+  const std::map<std::uint16_t, ChannelGrant>& grants() const { return grants_; }
+
+  /// Release a node's resources.
+  bool release(std::uint16_t node_id);
+
+  /// Renegotiate a node's rate (a camera switching quality tiers). The
+  /// old channel is freed first so the allocator can reuse or grow it;
+  /// if the new demand cannot be met, the old grant is restored
+  /// (best-effort) and a deny is returned.
+  SideChannelMessage modify_rate(std::uint16_t node_id, double new_rate_bps);
+
+  const FdmAllocator& allocator() const { return allocator_; }
+
+ private:
+  struct SharedChannel {
+    ChannelAllocation channel;
+    std::vector<std::uint16_t> members;
+    std::vector<double> bearings;
+    std::vector<int> harmonics;
+  };
+
+  ChannelGrant make_grant(std::uint16_t node_id, const ChannelAllocation& ch, int harmonic) const;
+  SideChannelMessage try_sdm(const ChannelRequest& request);
+  /// Free harmonic slot steering closest to `bearing_rad`, within the
+  /// mismatch tolerance; nullopt when none qualifies.
+  std::optional<int> best_free_slot(const std::vector<int>& used, double bearing_rad) const;
+
+  FdmAllocator allocator_;
+  rf::Vco node_vco_;
+  InitConfig cfg_;
+  std::map<std::uint16_t, ChannelGrant> grants_;
+  std::map<std::uint16_t, double> holder_bearings_;
+  std::vector<SharedChannel> shared_;
+};
+
+}  // namespace mmx::mac

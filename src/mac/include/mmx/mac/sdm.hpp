@@ -1,0 +1,51 @@
+// Spatial-division multiplexing scheduler over the AP's Time-Modulated
+// Array (paper §7b).
+//
+// When the demanded bandwidth exceeds the ISM band, nodes must share
+// frequency channels; the TMA separates co-channel nodes by mapping their
+// arrival bearings onto different switching harmonics. The scheduler
+// assigns each bearing to the closest steered harmonic and reports the
+// resulting worst-case signal-to-interference ratio.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mmx/antenna/tma.hpp"
+
+namespace mmx::mac {
+
+struct SdmAssignment {
+  std::size_t node_index;   ///< index into the input bearing list
+  int harmonic;             ///< TMA harmonic carrying this node
+  double steered_angle_rad; ///< where that harmonic points
+};
+
+struct SdmPlan {
+  std::vector<SdmAssignment> assignments;
+  double min_sir_db = 0.0;  ///< worst co-channel separation in the group
+};
+
+class SdmScheduler {
+ public:
+  /// `max_harmonic`: harmonics 0..max_harmonic are usable (each consumes
+  /// `switch_rate` Hz of IF spectrum at the AP).
+  SdmScheduler(antenna::TmaSpec spec, double delay_frac = 0.125, double tau = 0.45,
+               int max_harmonic = 3);
+
+  /// Greedy assignment: each bearing takes the free harmonic whose
+  /// steered direction is closest. Throws if there are more bearings
+  /// than usable harmonics.
+  SdmPlan plan(std::span<const double> bearings_rad) const;
+
+  /// Number of co-channel nodes one TMA group can carry.
+  int capacity() const { return max_harmonic_ + 1; }
+
+  const antenna::TimeModulatedArray& tma() const { return tma_; }
+
+ private:
+  antenna::TimeModulatedArray tma_;
+  int max_harmonic_;
+};
+
+}  // namespace mmx::mac

@@ -1,0 +1,63 @@
+// Out-of-band initialization link (paper §7a: "The initialization takes
+// place only once using a WiFi or Bluetooth module").
+//
+// Modelled as a reliable bidirectional message pipe with optional loss
+// (for retry testing). Message payloads are the init-protocol PDUs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <variant>
+
+#include "mmx/common/rng.hpp"
+#include "mmx/mac/allocator.hpp"
+
+namespace mmx::mac {
+
+/// Node -> AP: "I need this data rate" (the AP derives bandwidth and, for
+/// SDM grouping, uses the node's registration bearing).
+struct ChannelRequest {
+  std::uint16_t node_id = 0;
+  double rate_bps = 0.0;
+  double bearing_rad = 0.0;  ///< AP-frame azimuth learned at registration
+};
+
+/// AP -> node: assigned channel + modulation parameters.
+struct ChannelGrant {
+  std::uint16_t node_id = 0;
+  ChannelAllocation channel;
+  int sdm_harmonic = 0;        ///< 0 = plain FDM
+  double vco_tune_v0 = 0.0;    ///< tuning voltage for bit-0 tone
+  double vco_tune_v1 = 0.0;    ///< tuning voltage for bit-1 tone
+};
+
+/// AP -> node: request denied (no spectrum / no harmonic).
+struct ChannelDeny {
+  std::uint16_t node_id = 0;
+};
+
+using SideChannelMessage = std::variant<ChannelRequest, ChannelGrant, ChannelDeny>;
+
+/// Half-duplex message pipe with independent directions.
+class SideChannel {
+ public:
+  /// `drop_probability` models the lossy bootstrap radio.
+  explicit SideChannel(double drop_probability = 0.0);
+
+  void node_to_ap(const SideChannelMessage& msg, Rng& rng);
+  void ap_to_node(const SideChannelMessage& msg, Rng& rng);
+
+  std::optional<SideChannelMessage> poll_at_ap();
+  std::optional<SideChannelMessage> poll_at_node();
+
+  std::size_t pending_at_ap() const { return to_ap_.size(); }
+  std::size_t pending_at_node() const { return to_node_.size(); }
+
+ private:
+  double drop_probability_;
+  std::deque<SideChannelMessage> to_ap_;
+  std::deque<SideChannelMessage> to_node_;
+};
+
+}  // namespace mmx::mac

@@ -1,0 +1,181 @@
+#include "mmx/mac/init_protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mmx::mac {
+
+std::vector<HarmonicSlot> default_sdm_slots() {
+  // sin(theta_m) = m * delay / spacing = 0.125 m for the default
+  // progressive TMA (delay 0.0625, d = lambda/2): nine slots on a ~7
+  // degree pitch covering +/-30 degrees.
+  std::vector<HarmonicSlot> slots;
+  for (int m : {0, 1, -1, 2, -2, 3, -3, 4, -4}) slots.push_back({m, std::asin(0.125 * m)});
+  return slots;
+}
+
+InitProtocol::InitProtocol(FdmAllocator allocator, rf::Vco node_vco, InitConfig cfg)
+    : allocator_(std::move(allocator)), node_vco_(node_vco), cfg_(std::move(cfg)) {
+  if (cfg_.spectral_efficiency <= 0.0)
+    throw std::invalid_argument("InitProtocol: spectral efficiency must be > 0");
+  if (cfg_.fsk_fraction <= 0.0 || cfg_.fsk_fraction >= 0.5)
+    throw std::invalid_argument("InitProtocol: fsk_fraction must be in (0, 0.5)");
+  if (cfg_.sdm_capacity < 1)
+    throw std::invalid_argument("InitProtocol: sdm_capacity must be >= 1");
+  if (cfg_.sdm_slots.empty()) cfg_.sdm_slots = default_sdm_slots();
+}
+
+ChannelGrant InitProtocol::make_grant(std::uint16_t node_id, const ChannelAllocation& ch,
+                                      int harmonic) const {
+  ChannelGrant g;
+  g.node_id = node_id;
+  g.channel = ch;
+  g.sdm_harmonic = harmonic;
+  const double df = cfg_.fsk_fraction * ch.bandwidth_hz;
+  g.vco_tune_v0 = node_vco_.voltage_for(ch.center_hz - df);
+  g.vco_tune_v1 = node_vco_.voltage_for(ch.center_hz + df);
+  return g;
+}
+
+SideChannelMessage InitProtocol::handle(const ChannelRequest& request) {
+  if (request.rate_bps <= 0.0) return ChannelDeny{request.node_id};
+  if (grants_.contains(request.node_id)) return grants_.at(request.node_id);  // idempotent
+  holder_bearings_[request.node_id] = request.bearing_rad;
+
+  const double bw = required_bandwidth_hz(request.rate_bps, cfg_.spectral_efficiency);
+  // The node's VCO must be able to reach both tones.
+  if (const auto ch = allocator_.allocate(request.node_id, bw)) {
+    if (!node_vco_.covers(ch->low_hz()) || !node_vco_.covers(ch->high_hz())) {
+      allocator_.release(request.node_id);
+      return ChannelDeny{request.node_id};
+    }
+    ChannelGrant g = make_grant(request.node_id, *ch, 0);
+    grants_[request.node_id] = g;
+    return g;
+  }
+  return try_sdm(request);
+}
+
+std::optional<int> InitProtocol::best_free_slot(const std::vector<int>& used,
+                                                double bearing_rad) const {
+  std::optional<int> best;
+  double best_err = cfg_.max_harmonic_mismatch_rad;
+  for (const HarmonicSlot& slot : cfg_.sdm_slots) {
+    if (std::find(used.begin(), used.end(), slot.harmonic) != used.end()) continue;
+    const double err = std::abs(bearing_rad - slot.angle_rad);
+    if (err <= best_err) {
+      best_err = err;
+      best = slot.harmonic;
+    }
+  }
+  return best;
+}
+
+SideChannelMessage InitProtocol::try_sdm(const ChannelRequest& request) {
+  const double bw = required_bandwidth_hz(request.rate_bps, cfg_.spectral_efficiency);
+  // Join an existing shared pool or convert an FDM holder's channel into
+  // a shared one — member channels must be at least as wide as requested,
+  // bearings must be separable, and a TMA harmonic must steer close
+  // enough to the newcomer's bearing.
+  auto bearing_ok = [&](const std::vector<double>& bearings) {
+    return std::all_of(bearings.begin(), bearings.end(), [&](double b) {
+      return std::abs(b - request.bearing_rad) >= cfg_.min_bearing_separation_rad;
+    });
+  };
+
+  // 1) Existing shared channels with a suitable free harmonic.
+  for (SharedChannel& sc : shared_) {
+    if (sc.channel.bandwidth_hz + 1e-6 < bw) continue;
+    if (static_cast<int>(sc.members.size()) >= cfg_.sdm_capacity) continue;
+    if (!bearing_ok(sc.bearings)) continue;
+    const auto slot = best_free_slot(sc.harmonics, request.bearing_rad);
+    if (!slot) continue;
+    sc.members.push_back(request.node_id);
+    sc.bearings.push_back(request.bearing_rad);
+    sc.harmonics.push_back(*slot);
+    ChannelGrant g = make_grant(request.node_id, sc.channel, *slot);
+    grants_[request.node_id] = g;
+    return g;
+  }
+
+  // 2) Convert a wide-enough FDM-only channel into a shared channel. The
+  // incumbent keeps transmitting as before; the AP re-points it onto the
+  // harmonic nearest its bearing and gives the newcomer another slot.
+  for (const auto& [holder, ch] : allocator_.allocations()) {
+    if (ch.bandwidth_hz + 1e-6 < bw) continue;
+    if (!grants_.contains(holder)) continue;
+    const bool already_shared =
+        std::any_of(shared_.begin(), shared_.end(),
+                    [&](const SharedChannel& sc) { return sc.channel == ch; });
+    if (already_shared) continue;
+    const double holder_bearing =
+        holder_bearings_.contains(holder) ? holder_bearings_.at(holder) : 0.0;
+    if (std::abs(holder_bearing - request.bearing_rad) < cfg_.min_bearing_separation_rad)
+      continue;
+    const auto holder_slot = best_free_slot({}, holder_bearing);
+    if (!holder_slot) continue;
+    const auto new_slot = best_free_slot({*holder_slot}, request.bearing_rad);
+    if (!new_slot) continue;
+
+    SharedChannel sc;
+    sc.channel = ch;
+    sc.members = {holder, request.node_id};
+    sc.bearings = {holder_bearing, request.bearing_rad};
+    sc.harmonics = {*holder_slot, *new_slot};
+    shared_.push_back(sc);
+    // Update the incumbent's grant with its (possibly nonzero) harmonic.
+    grants_[holder] = make_grant(holder, ch, *holder_slot);
+    ChannelGrant g = make_grant(request.node_id, ch, *new_slot);
+    grants_[request.node_id] = g;
+    return g;
+  }
+  return ChannelDeny{request.node_id};
+}
+
+SideChannelMessage InitProtocol::modify_rate(std::uint16_t node_id, double new_rate_bps) {
+  if (!grants_.contains(node_id)) return ChannelDeny{node_id};
+  const double bearing =
+      holder_bearings_.contains(node_id) ? holder_bearings_.at(node_id) : 0.0;
+  const double old_rate =
+      grants_.at(node_id).channel.bandwidth_hz * cfg_.spectral_efficiency;
+  release(node_id);
+  const auto reply = handle(ChannelRequest{node_id, new_rate_bps, bearing});
+  if (std::get_if<ChannelGrant>(&reply)) return reply;
+  // Could not satisfy the new demand: put the node back on its old rate
+  // (the spectrum we just freed is still the largest fit for it).
+  const auto restore = handle(ChannelRequest{node_id, old_rate, bearing});
+  (void)restore;  // best effort; the caller still sees the deny
+  return ChannelDeny{node_id};
+}
+
+std::size_t InitProtocol::serve(SideChannel& channel, Rng& rng) {
+  std::size_t n = 0;
+  while (auto msg = channel.poll_at_ap()) {
+    if (const auto* req = std::get_if<ChannelRequest>(&*msg)) {
+      channel.ap_to_node(handle(*req), rng);
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool InitProtocol::release(std::uint16_t node_id) {
+  const bool had = grants_.erase(node_id) > 0;
+  allocator_.release(node_id);
+  holder_bearings_.erase(node_id);
+  for (SharedChannel& sc : shared_) {
+    for (std::size_t i = 0; i < sc.members.size(); ++i) {
+      if (sc.members[i] == node_id) {
+        sc.members.erase(sc.members.begin() + static_cast<long>(i));
+        sc.bearings.erase(sc.bearings.begin() + static_cast<long>(i));
+        sc.harmonics.erase(sc.harmonics.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+  }
+  std::erase_if(shared_, [](const SharedChannel& sc) { return sc.members.empty(); });
+  return had;
+}
+
+}  // namespace mmx::mac

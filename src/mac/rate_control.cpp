@@ -1,0 +1,33 @@
+#include "mmx/mac/rate_control.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmx::mac {
+
+RateController::RateController(double initial_rate_bps, RateControlConfig cfg)
+    : cfg_(cfg), rate_(initial_rate_bps) {
+  if (cfg.min_rate_bps <= 0.0 || cfg.min_rate_bps > cfg.max_rate_bps)
+    throw std::invalid_argument("RateController: need 0 < min <= max rate");
+  if (cfg.backoff_factor <= 0.0 || cfg.backoff_factor >= 1.0)
+    throw std::invalid_argument("RateController: backoff factor must be in (0,1)");
+  if (cfg.recovery_step_bps <= 0.0)
+    throw std::invalid_argument("RateController: recovery step must be > 0");
+  if (cfg.failures_to_backoff < 1)
+    throw std::invalid_argument("RateController: failures_to_backoff must be >= 1");
+  if (initial_rate_bps < cfg.min_rate_bps || initial_rate_bps > cfg.max_rate_bps)
+    throw std::invalid_argument("RateController: initial rate outside [min, max]");
+}
+
+void RateController::on_success() {
+  fails_ = 0;
+  rate_ = std::min(cfg_.max_rate_bps, rate_ + cfg_.recovery_step_bps);
+}
+
+void RateController::on_failure() {
+  if (++fails_ < cfg_.failures_to_backoff) return;
+  fails_ = 0;
+  rate_ = std::max(cfg_.min_rate_bps, rate_ * cfg_.backoff_factor);
+}
+
+}  // namespace mmx::mac

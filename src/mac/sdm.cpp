@@ -1,0 +1,83 @@
+#include "mmx/mac/sdm.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+#include <stdexcept>
+
+namespace mmx::mac {
+
+SdmScheduler::SdmScheduler(antenna::TmaSpec spec, double delay_frac, double tau,
+                           int max_harmonic)
+    : tma_(antenna::TimeModulatedArray::progressive(spec, delay_frac, tau)),
+      max_harmonic_(max_harmonic) {
+  if (max_harmonic < 0) throw std::invalid_argument("SdmScheduler: max_harmonic must be >= 0");
+  // All usable harmonics must steer to real angles.
+  for (int m = 0; m <= max_harmonic; ++m) (void)tma_.steered_angle(m);
+}
+
+SdmPlan SdmScheduler::plan(std::span<const double> bearings_rad) const {
+  if (bearings_rad.empty()) throw std::invalid_argument("SdmScheduler: no bearings");
+  if (bearings_rad.size() > static_cast<std::size_t>(capacity()))
+    throw std::invalid_argument("SdmScheduler: more nodes than harmonics in one group");
+
+  // Greedy: process bearings in sorted order, pair with sorted harmonics'
+  // steered angles (both monotonic -> optimal for the 1-D matching).
+  std::vector<std::size_t> order(bearings_rad.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return bearings_rad[a] < bearings_rad[b]; });
+
+  std::vector<int> harmonics(static_cast<std::size_t>(max_harmonic_) + 1);
+  for (int m = 0; m <= max_harmonic_; ++m) harmonics[static_cast<std::size_t>(m)] = m;
+  std::sort(harmonics.begin(), harmonics.end(), [&](int a, int b) {
+    return tma_.steered_angle(a) < tma_.steered_angle(b);
+  });
+
+  // Optimal monotone matching of the k sorted bearings onto a subset of
+  // the sorted harmonic directions (classic assignment DP: match bearing
+  // i to harmonic j or skip harmonic j).
+  const std::size_t k = bearings_rad.size();
+  const std::size_t h = harmonics.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> dp(k + 1, std::vector<double>(h + 1, kInf));
+  for (std::size_t j = 0; j <= h; ++j) dp[0][j] = 0.0;
+  for (std::size_t i = 1; i <= k; ++i) {
+    for (std::size_t j = i; j <= h; ++j) {
+      const double match = dp[i - 1][j - 1] +
+                           std::abs(bearings_rad[order[i - 1]] -
+                                    tma_.steered_angle(harmonics[j - 1]));
+      dp[i][j] = std::min(dp[i][j - 1], match);
+    }
+  }
+  // Back-track the chosen harmonics.
+  std::vector<int> chosen(k);
+  {
+    std::size_t i = k;
+    std::size_t j = h;
+    while (i > 0) {
+      if (j > i && dp[i][j] == dp[i][j - 1]) {
+        --j;
+        continue;
+      }
+      chosen[i - 1] = harmonics[j - 1];
+      --i;
+      --j;
+    }
+  }
+
+  SdmPlan out;
+  out.assignments.resize(k);
+  std::vector<double> thetas(k);
+  std::vector<int> assigned(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const int m = chosen[i];
+    out.assignments[i] = {order[i], m, tma_.steered_angle(m)};
+    thetas[i] = bearings_rad[order[i]];
+    assigned[i] = m;
+  }
+  out.min_sir_db = (k > 1) ? tma_.demux_sir_db(thetas, assigned) : 200.0;
+  return out;
+}
+
+}  // namespace mmx::mac

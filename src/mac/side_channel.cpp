@@ -1,0 +1,34 @@
+#include "mmx/mac/side_channel.hpp"
+
+#include <stdexcept>
+
+namespace mmx::mac {
+
+SideChannel::SideChannel(double drop_probability) : drop_probability_(drop_probability) {
+  if (drop_probability < 0.0 || drop_probability >= 1.0)
+    throw std::invalid_argument("SideChannel: drop probability must be in [0, 1)");
+}
+
+void SideChannel::node_to_ap(const SideChannelMessage& msg, Rng& rng) {
+  if (!rng.chance(drop_probability_)) to_ap_.push_back(msg);
+}
+
+void SideChannel::ap_to_node(const SideChannelMessage& msg, Rng& rng) {
+  if (!rng.chance(drop_probability_)) to_node_.push_back(msg);
+}
+
+std::optional<SideChannelMessage> SideChannel::poll_at_ap() {
+  if (to_ap_.empty()) return std::nullopt;
+  SideChannelMessage msg = to_ap_.front();
+  to_ap_.pop_front();
+  return msg;
+}
+
+std::optional<SideChannelMessage> SideChannel::poll_at_node() {
+  if (to_node_.empty()) return std::nullopt;
+  SideChannelMessage msg = to_node_.front();
+  to_node_.pop_front();
+  return msg;
+}
+
+}  // namespace mmx::mac

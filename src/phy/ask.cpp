@@ -1,0 +1,134 @@
+#include "mmx/phy/ask.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/dsp/envelope.hpp"
+#include "mmx/dsp/tone.hpp"
+
+namespace mmx::phy {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// 1-D 2-means split of the envelope values: {low mean, high mean,
+/// midpoint threshold}.
+struct TwoMeans {
+  double low;
+  double high;
+  double threshold;
+};
+
+TwoMeans two_means(std::span<const double> v) {
+  const auto [mn, mx] = std::minmax_element(v.begin(), v.end());
+  double lo = *mn;
+  double hi = *mx;
+  for (int iter = 0; iter < 32; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    double slo = 0.0;
+    double shi = 0.0;
+    std::size_t nlo = 0;
+    std::size_t nhi = 0;
+    for (double x : v) {
+      if (x < mid) {
+        slo += x;
+        ++nlo;
+      } else {
+        shi += x;
+        ++nhi;
+      }
+    }
+    const double new_lo = (nlo > 0) ? slo / static_cast<double>(nlo) : lo;
+    const double new_hi = (nhi > 0) ? shi / static_cast<double>(nhi) : hi;
+    if (std::abs(new_lo - lo) < kEps && std::abs(new_hi - hi) < kEps) break;
+    lo = new_lo;
+    hi = new_hi;
+  }
+  return {lo, hi, (lo + hi) / 2.0};
+}
+
+double stddev_around(std::span<const double> v, double mean, double threshold, bool upper) {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (double x : v) {
+    const bool is_upper = x >= threshold;
+    if (is_upper != upper) continue;
+    acc += (x - mean) * (x - mean);
+    ++n;
+  }
+  return (n > 0) ? std::sqrt(acc / static_cast<double>(n)) : 0.0;
+}
+
+}  // namespace
+
+dsp::Cvec ask_modulate(const Bits& bits, const PhyConfig& cfg, AskLevels levels) {
+  cfg.validate();
+  if (levels.amp1 <= levels.amp0)
+    throw std::invalid_argument("ask_modulate: amp1 must exceed amp0");
+  dsp::Nco nco(cfg.sample_rate_hz(), 0.0);
+  dsp::Cvec out;
+  out.reserve(bits.size() * cfg.samples_per_symbol);
+  for (int b : bits) {
+    if (b != 0 && b != 1) throw std::invalid_argument("ask_modulate: bits must be 0/1");
+    const double a = b ? levels.amp1 : levels.amp0;
+    for (std::size_t i = 0; i < cfg.samples_per_symbol; ++i) out.push_back(a * nco.next());
+  }
+  return out;
+}
+
+AskDecision ask_demodulate(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
+                           const Bits& known_prefix) {
+  cfg.validate();
+  const dsp::Rvec env = dsp::symbol_envelopes(rx, cfg.samples_per_symbol, cfg.guard_frac);
+  if (env.empty()) throw std::invalid_argument("ask_demodulate: no full symbol in capture");
+  if (known_prefix.size() > env.size())
+    throw std::invalid_argument("ask_demodulate: prefix longer than capture");
+
+  AskDecision d;
+  double mu0 = 0.0;
+  double mu1 = 0.0;
+  if (!known_prefix.empty()) {
+    // Learn the two levels from the training bits (paper §6.1: preamble
+    // bits distinguish Beam 0's level from Beam 1's).
+    std::size_t n0 = 0;
+    std::size_t n1 = 0;
+    for (std::size_t i = 0; i < known_prefix.size(); ++i) {
+      if (known_prefix[i]) {
+        mu1 += env[i];
+        ++n1;
+      } else {
+        mu0 += env[i];
+        ++n0;
+      }
+    }
+    if (n0 == 0 || n1 == 0)
+      throw std::invalid_argument("ask_demodulate: prefix must contain both bit values");
+    mu0 /= static_cast<double>(n0);
+    mu1 /= static_cast<double>(n1);
+    d.inverted = mu1 < mu0;  // blocked-LoS case: bright level means 0
+    d.threshold = (mu0 + mu1) / 2.0;
+  } else {
+    const TwoMeans tm = two_means(env);
+    mu0 = tm.low;
+    mu1 = tm.high;
+    d.threshold = tm.threshold;
+    d.inverted = false;
+  }
+
+  const double hi = std::max(mu0, mu1);
+  const double lo = std::min(mu0, mu1);
+  const double s_hi = stddev_around(env, hi, d.threshold, true);
+  const double s_lo = stddev_around(env, lo, d.threshold, false);
+  d.separation = (hi - lo) / (s_hi + s_lo + kEps);
+
+  d.bits.reserve(env.size());
+  for (double e : env) {
+    int bit = (e >= d.threshold) ? 1 : 0;
+    if (d.inverted) bit ^= 1;
+    d.bits.push_back(bit);
+  }
+  return d;
+}
+
+}  // namespace mmx::phy

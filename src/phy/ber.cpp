@@ -1,0 +1,87 @@
+#include "mmx/phy/ber.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mmx::phy {
+
+double q_function(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+double ber_ook_coherent(double snr) {
+  if (snr < 0.0) throw std::invalid_argument("ber_ook_coherent: snr must be >= 0");
+  return q_function(std::sqrt(snr));
+}
+
+double ber_ook_noncoherent(double snr) {
+  if (snr < 0.0) throw std::invalid_argument("ber_ook_noncoherent: snr must be >= 0");
+  return std::min(0.5, 0.5 * std::exp(-snr / 2.0));
+}
+
+double ber_bfsk_coherent(double snr) {
+  if (snr < 0.0) throw std::invalid_argument("ber_bfsk_coherent: snr must be >= 0");
+  return q_function(std::sqrt(snr));
+}
+
+double ber_bfsk_noncoherent(double snr) {
+  if (snr < 0.0) throw std::invalid_argument("ber_bfsk_noncoherent: snr must be >= 0");
+  return std::min(0.5, 0.5 * std::exp(-snr / 2.0));
+}
+
+double ber_two_level(double amp1, double amp0, double noise_power, std::size_t n_avg) {
+  if (noise_power <= 0.0) throw std::invalid_argument("ber_two_level: noise power must be > 0");
+  if (n_avg == 0) throw std::invalid_argument("ber_two_level: n_avg must be > 0");
+  if (amp1 < 0.0 || amp0 < 0.0) throw std::invalid_argument("ber_two_level: amplitudes >= 0");
+  // Envelope noise std dev ~ sqrt(noise_power/2); averaging n samples per
+  // symbol shrinks it by sqrt(n).
+  const double sigma = std::sqrt(noise_power / 2.0 / static_cast<double>(n_avg));
+  return q_function(std::abs(amp1 - amp0) / (2.0 * sigma));
+}
+
+double ber_joint(double ask_ber, double fsk_ber) {
+  if (ask_ber < 0.0 || ask_ber > 0.5 || fsk_ber < 0.0 || fsk_ber > 0.5)
+    throw std::invalid_argument("ber_joint: branch BERs must be in [0, 0.5]");
+  return std::min(ask_ber, fsk_ber);
+}
+
+double ber_hamming74(double raw_ber) {
+  if (raw_ber < 0.0 || raw_ber > 0.5)
+    throw std::invalid_argument("ber_hamming74: raw BER must be in [0, 0.5]");
+  const double p = raw_ber;
+  const double q = 1.0 - p;
+  // P(block has >= 2 errors) = 1 - q^7 - 7 p q^6. A failing block
+  // miscorrects to a neighbouring codeword; on average ~3/7 of its data
+  // bits end up wrong — fold to a per-bit figure.
+  const double p_block_fail = 1.0 - std::pow(q, 7.0) - 7.0 * p * std::pow(q, 6.0);
+  return std::min(0.5, p_block_fail * 3.0 / 7.0);
+}
+
+double ber_conv_k3(double raw_ber) {
+  if (raw_ber < 0.0 || raw_ber > 0.5)
+    throw std::invalid_argument("ber_conv_k3: raw BER must be in [0, 0.5]");
+  // Union bound leading term for d_free = 5 (hard decision):
+  // Pb ~ B_5 * sum_{k=3}^{5} C(5,k) p^k (1-p)^{5-k}, B_5 = 1 for (7,5).
+  const double p = raw_ber;
+  const double q = 1.0 - p;
+  const double pd = 10.0 * p * p * p * q * q + 5.0 * p * p * p * p * q +
+                    p * p * p * p * p;
+  return std::min(0.5, pd);
+}
+
+double snr_for_ber_ook(double target_ber) {
+  if (target_ber <= 0.0 || target_ber >= 0.5)
+    throw std::invalid_argument("snr_for_ber_ook: target must be in (0, 0.5)");
+  double lo = 0.0;
+  double hi = 1e6;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = (lo + hi) / 2.0;
+    if (ber_ook_coherent(mid) > target_ber) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace mmx::phy

@@ -1,0 +1,61 @@
+#include "mmx/phy/cfo.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/dsp/fft.hpp"
+#include "mmx/dsp/resample.hpp"
+
+namespace mmx::phy {
+
+CfoEstimate estimate_cfo(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
+                         const Bits& prefix) {
+  cfg.validate();
+  if (prefix.size() < 4) throw std::invalid_argument("estimate_cfo: need >= 4 training bits");
+  if (cfg.samples_per_symbol < 8)
+    throw std::invalid_argument("estimate_cfo: need >= 8 samples per symbol");
+  const std::size_t sps = cfg.samples_per_symbol;
+  if (rx.size() < prefix.size() * sps)
+    throw std::invalid_argument("estimate_cfo: capture shorter than the training prefix");
+
+  const double fs = cfg.sample_rate_hz();
+  double weighted_offset = 0.0;
+  double weight_sum = 0.0;
+  double residual_acc = 0.0;
+  std::size_t measured = 0;
+
+  for (std::size_t s = 0; s < prefix.size(); ++s) {
+    const std::span<const dsp::Complex> sym = rx.subspan(s * sps, sps);
+    const double power = dsp::mean_power(sym);
+    if (power <= 0.0) continue;
+    const double expected = prefix[s] ? cfg.fsk_freq1_hz : cfg.fsk_freq0_hz;
+    const double seen = dsp::estimate_tone_frequency(sym, fs);
+    const double delta = seen - expected;
+    // A short symbol's FFT bin is coarse; weight by symbol power so weak
+    // (possibly blocked-beam) symbols don't dominate.
+    weighted_offset += power * delta;
+    weight_sum += power;
+    ++measured;
+  }
+  if (weight_sum <= 0.0 || measured < 4)
+    throw std::invalid_argument("estimate_cfo: training symbols carry no power");
+
+  CfoEstimate est;
+  est.offset_hz = weighted_offset / weight_sum;
+  for (std::size_t s = 0; s < prefix.size(); ++s) {
+    const std::span<const dsp::Complex> sym = rx.subspan(s * sps, sps);
+    if (dsp::mean_power(sym) <= 0.0) continue;
+    const double expected = prefix[s] ? cfg.fsk_freq1_hz : cfg.fsk_freq0_hz;
+    const double seen = dsp::estimate_tone_frequency(sym, fs);
+    residual_acc += std::abs(seen - expected - est.offset_hz);
+  }
+  est.residual_hz = residual_acc / static_cast<double>(measured);
+  return est;
+}
+
+dsp::Cvec correct_cfo(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
+                      double offset_hz) {
+  return dsp::frequency_shift(rx, -offset_hz, cfg.sample_rate_hz());
+}
+
+}  // namespace mmx::phy

@@ -1,0 +1,111 @@
+#include "mmx/phy/coding.hpp"
+
+#include <stdexcept>
+
+#include "mmx/phy/fec.hpp"
+#include "mmx/phy/scrambler.hpp"
+
+namespace mmx::phy {
+namespace {
+
+constexpr std::size_t kLenBits = 16;
+
+Bits with_length_prefix(const Bits& body) {
+  if (body.size() >= (1u << kLenBits))
+    throw std::invalid_argument("encode_body: body too long for the length prefix");
+  Bits out;
+  out.reserve(kLenBits + body.size());
+  for (int i = static_cast<int>(kLenBits) - 1; i >= 0; --i) {
+    out.push_back(static_cast<int>((body.size() >> i) & 1u));
+  }
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Bits strip_length_prefix(const Bits& data) {
+  if (data.size() < kLenBits) throw std::invalid_argument("decode_body: truncated prefix");
+  std::size_t len = 0;
+  for (std::size_t i = 0; i < kLenBits; ++i) {
+    len = (len << 1) | static_cast<std::size_t>(data[i]);
+  }
+  if (data.size() < kLenBits + len)
+    throw std::invalid_argument("decode_body: body shorter than its declared length");
+  return Bits(data.begin() + kLenBits, data.begin() + static_cast<long>(kLenBits + len));
+}
+
+void pad_to_multiple(Bits& bits, std::size_t m) {
+  while (bits.size() % m != 0) bits.push_back(0);
+}
+
+}  // namespace
+
+double coding_rate(CodingProfile profile) {
+  switch (profile) {
+    case CodingProfile::kNone:
+      return 1.0;
+    case CodingProfile::kHamming:
+      return 4.0 / 7.0;
+    case CodingProfile::kConvolutional:
+      return 0.5;
+  }
+  throw std::invalid_argument("coding_rate: unknown profile");
+}
+
+std::size_t coded_length_bits(std::size_t body_bits, CodingProfile profile) {
+  const std::size_t n = kLenBits + body_bits;
+  switch (profile) {
+    case CodingProfile::kNone:
+      return body_bits;
+    case CodingProfile::kHamming: {
+      const std::size_t padded = (n + 3) / 4 * 4;
+      return padded / 4 * 7;
+    }
+    case CodingProfile::kConvolutional:
+      return 2 * (n + 2);
+  }
+  throw std::invalid_argument("coded_length_bits: unknown profile");
+}
+
+Bits encode_body(const Bits& body, CodingProfile profile) {
+  if (profile == CodingProfile::kNone) return body;
+  Bits data = with_length_prefix(body);
+  data = scramble(data);
+  switch (profile) {
+    case CodingProfile::kHamming: {
+      pad_to_multiple(data, 4);
+      Bits coded = hamming74_encode(data);
+      // One bit per codeword per column: adjacent channel bits land in
+      // different codewords, so a burst of up to codewords-many bits
+      // costs each codeword at most one error.
+      return interleave(coded, coded.size() / 7, 7);
+    }
+    case CodingProfile::kConvolutional:
+      return conv_encode(data);
+    case CodingProfile::kNone:
+      break;
+  }
+  throw std::invalid_argument("encode_body: unknown profile");
+}
+
+Bits decode_body(const Bits& coded, CodingProfile profile) {
+  if (profile == CodingProfile::kNone) return coded;
+  Bits data;
+  switch (profile) {
+    case CodingProfile::kHamming: {
+      if (coded.size() % 7 != 0)
+        throw std::invalid_argument("decode_body: Hamming body must be a multiple of 7 bits");
+      const Bits deinter = deinterleave(coded, coded.size() / 7, 7);
+      data = hamming74_decode(deinter);
+      break;
+    }
+    case CodingProfile::kConvolutional:
+      data = conv_decode(coded);
+      break;
+    case CodingProfile::kNone:
+      break;
+  }
+  data = descramble(data);
+  return strip_length_prefix(data);
+}
+
+}  // namespace mmx::phy

@@ -1,0 +1,204 @@
+#include "mmx/phy/fec.hpp"
+
+#include <array>
+#include <limits>
+#include <stdexcept>
+
+namespace mmx::phy {
+namespace {
+
+void check_binary(const Bits& bits) {
+  for (int b : bits)
+    if (b != 0 && b != 1) throw std::invalid_argument("FEC: bits must be 0/1");
+}
+
+}  // namespace
+
+Bits hamming74_encode(const Bits& data) {
+  check_binary(data);
+  if (data.size() % 4 != 0)
+    throw std::invalid_argument("hamming74_encode: length must be a multiple of 4");
+  Bits out;
+  out.reserve(data.size() / 4 * 7);
+  for (std::size_t i = 0; i < data.size(); i += 4) {
+    const int d0 = data[i];
+    const int d1 = data[i + 1];
+    const int d2 = data[i + 2];
+    const int d3 = data[i + 3];
+    // Systematic layout [d0 d1 d2 d3 p0 p1 p2].
+    const int p0 = d0 ^ d1 ^ d2;
+    const int p1 = d1 ^ d2 ^ d3;
+    const int p2 = d0 ^ d1 ^ d3;
+    out.insert(out.end(), {d0, d1, d2, d3, p0, p1, p2});
+  }
+  return out;
+}
+
+Bits hamming74_decode(const Bits& coded) {
+  check_binary(coded);
+  if (coded.size() % 7 != 0)
+    throw std::invalid_argument("hamming74_decode: length must be a multiple of 7");
+  Bits out;
+  out.reserve(coded.size() / 7 * 4);
+  for (std::size_t i = 0; i < coded.size(); i += 7) {
+    std::array<int, 7> w{coded[i],     coded[i + 1], coded[i + 2], coded[i + 3],
+                         coded[i + 4], coded[i + 5], coded[i + 6]};
+    const int s0 = w[0] ^ w[1] ^ w[2] ^ w[4];
+    const int s1 = w[1] ^ w[2] ^ w[3] ^ w[5];
+    const int s2 = w[0] ^ w[1] ^ w[3] ^ w[6];
+    const int syndrome = (s2 << 2) | (s1 << 1) | s0;
+    // Syndrome -> error position for [d0 d1 d2 d3 p0 p1 p2]:
+    // d0: s0,s2 -> 101b=5; d1: s0,s1,s2 -> 111b=7; d2: s0,s1 -> 011b=3;
+    // d3: s1,s2 -> 110b=6; p0: 001b=1; p1: 010b=2; p2: 100b=4.
+    static constexpr std::array<int, 8> kErrPos = {-1, 4, 5, 2, 6, 0, 3, 1};
+    const int pos = kErrPos[static_cast<std::size_t>(syndrome)];
+    if (pos >= 0) w[static_cast<std::size_t>(pos)] ^= 1;
+    out.insert(out.end(), {w[0], w[1], w[2], w[3]});
+  }
+  return out;
+}
+
+Bits repetition_encode(const Bits& data, std::size_t factor) {
+  check_binary(data);
+  if (factor == 0 || factor % 2 == 0)
+    throw std::invalid_argument("repetition_encode: factor must be odd");
+  Bits out;
+  out.reserve(data.size() * factor);
+  for (int b : data)
+    for (std::size_t k = 0; k < factor; ++k) out.push_back(b);
+  return out;
+}
+
+Bits repetition_decode(const Bits& coded, std::size_t factor) {
+  check_binary(coded);
+  if (factor == 0 || factor % 2 == 0)
+    throw std::invalid_argument("repetition_decode: factor must be odd");
+  if (coded.size() % factor != 0)
+    throw std::invalid_argument("repetition_decode: length not a multiple of factor");
+  Bits out;
+  out.reserve(coded.size() / factor);
+  for (std::size_t i = 0; i < coded.size(); i += factor) {
+    std::size_t ones = 0;
+    for (std::size_t k = 0; k < factor; ++k) ones += static_cast<std::size_t>(coded[i + k]);
+    out.push_back(ones > factor / 2 ? 1 : 0);
+  }
+  return out;
+}
+
+Bits interleave(const Bits& bits, std::size_t rows, std::size_t cols) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("interleave: rows/cols must be > 0");
+  if (bits.size() != rows * cols)
+    throw std::invalid_argument("interleave: length must equal rows*cols");
+  Bits out;
+  out.reserve(bits.size());
+  for (std::size_t c = 0; c < cols; ++c)
+    for (std::size_t r = 0; r < rows; ++r) out.push_back(bits[r * cols + c]);
+  return out;
+}
+
+Bits deinterleave(const Bits& bits, std::size_t rows, std::size_t cols) {
+  // Reading column-wise is its own inverse with swapped dimensions.
+  return interleave(bits, cols, rows);
+}
+
+namespace {
+
+/// K=3 feed-forward encoder, generators g0 = 111 (7), g1 = 101 (5).
+inline std::pair<int, int> conv_output(int state, int bit) {
+  const int reg = (bit << 2) | state;  // [newest b, s1, s0]
+  const int o0 = ((reg >> 2) ^ (reg >> 1) ^ reg) & 1;  // 7
+  const int o1 = ((reg >> 2) ^ reg) & 1;               // 5
+  return {o0, o1};
+}
+
+inline int conv_next_state(int state, int bit) { return ((bit << 1) | (state >> 1)); }
+
+}  // namespace
+
+Bits conv_encode(const Bits& data) {
+  check_binary(data);
+  Bits out;
+  out.reserve(2 * (data.size() + 2));
+  int state = 0;
+  auto push = [&](int bit) {
+    const auto [o0, o1] = conv_output(state, bit);
+    out.push_back(o0);
+    out.push_back(o1);
+    state = conv_next_state(state, bit);
+  };
+  for (int b : data) push(b);
+  push(0);  // flush tail
+  push(0);
+  return out;
+}
+
+namespace {
+
+/// Shared Viterbi trellis over per-(step, output-bit) branch costs.
+/// `cost(t, which, bit_value)` returns the cost of output bit `which`
+/// of step `t` taking the value `bit_value`.
+template <typename CostFn>
+Bits viterbi_decode(std::size_t steps, CostFn cost) {
+  constexpr int kStates = 4;
+  constexpr double kInf = std::numeric_limits<double>::max() / 4.0;
+
+  std::vector<std::array<double, kStates>> metric(steps + 1);
+  std::vector<std::array<int, kStates>> prev_state(steps + 1);
+  std::vector<std::array<int, kStates>> prev_bit(steps + 1);
+  metric[0].fill(kInf);
+  metric[0][0] = 0.0;
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    metric[t + 1].fill(kInf);
+    for (int s = 0; s < kStates; ++s) {
+      if (metric[t][static_cast<std::size_t>(s)] >= kInf) continue;
+      for (int b = 0; b <= 1; ++b) {
+        const auto [o0, o1] = conv_output(s, b);
+        const int ns = conv_next_state(s, b);
+        const double c =
+            metric[t][static_cast<std::size_t>(s)] + cost(t, 0, o0) + cost(t, 1, o1);
+        if (c < metric[t + 1][static_cast<std::size_t>(ns)]) {
+          metric[t + 1][static_cast<std::size_t>(ns)] = c;
+          prev_state[t + 1][static_cast<std::size_t>(ns)] = s;
+          prev_bit[t + 1][static_cast<std::size_t>(ns)] = b;
+        }
+      }
+    }
+  }
+
+  // Tail forces the final state to 0.
+  int state = 0;
+  Bits reversed;
+  reversed.reserve(steps);
+  for (std::size_t t = steps; t > 0; --t) {
+    reversed.push_back(prev_bit[t][static_cast<std::size_t>(state)]);
+    state = prev_state[t][static_cast<std::size_t>(state)];
+  }
+  Bits out(reversed.rbegin(), reversed.rend());
+  out.resize(out.size() - 2);  // drop the flush bits
+  return out;
+}
+
+}  // namespace
+
+Bits conv_decode(const Bits& coded) {
+  check_binary(coded);
+  if (coded.size() < 8 || coded.size() % 2 != 0)
+    throw std::invalid_argument("conv_decode: length must be even and >= 8");
+  return viterbi_decode(coded.size() / 2, [&](std::size_t t, int which, int bit) {
+    return (coded[2 * t + static_cast<std::size_t>(which)] != bit) ? 1.0 : 0.0;
+  });
+}
+
+Bits conv_decode_soft(const std::vector<double>& llrs) {
+  if (llrs.size() < 8 || llrs.size() % 2 != 0)
+    throw std::invalid_argument("conv_decode_soft: length must be even and >= 8");
+  // Branch cost of hypothesizing `bit`: -bit_sign * llr (favour the sign
+  // the channel reported, weighted by confidence).
+  return viterbi_decode(llrs.size() / 2, [&](std::size_t t, int which, int bit) {
+    const double llr = llrs[2 * t + static_cast<std::size_t>(which)];
+    return (bit == 1) ? -llr : llr;
+  });
+}
+
+}  // namespace mmx::phy

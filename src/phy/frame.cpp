@@ -1,0 +1,87 @@
+#include "mmx/phy/frame.hpp"
+
+#include <stdexcept>
+
+#include "mmx/phy/crc.hpp"
+
+namespace mmx::phy {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 6;  // node_id(2) + seq(2) + len(2)
+constexpr std::size_t kCrcBytes = 2;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t pos) {
+  return static_cast<std::uint16_t>((in[pos] << 8) | in[pos + 1]);
+}
+
+}  // namespace
+
+Bits bytes_to_bits(std::span<const std::uint8_t> bytes) {
+  Bits bits;
+  bits.reserve(bytes.size() * 8);
+  for (std::uint8_t b : bytes) {
+    for (int i = 7; i >= 0; --i) bits.push_back((b >> i) & 1);
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> bits_to_bytes(const Bits& bits) {
+  if (bits.size() % 8 != 0) throw std::invalid_argument("bits_to_bytes: length not a multiple of 8");
+  std::vector<std::uint8_t> bytes(bits.size() / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] != 0 && bits[i] != 1) throw std::invalid_argument("bits_to_bytes: bits must be 0/1");
+    bytes[i / 8] = static_cast<std::uint8_t>((bytes[i / 8] << 1) | bits[i]);
+  }
+  return bytes;
+}
+
+Bits encode_frame(const Frame& frame, const Bits& preamble) {
+  if (frame.payload.size() > kMaxPayloadBytes)
+    throw std::invalid_argument("encode_frame: payload too large");
+  std::vector<std::uint8_t> body;
+  body.reserve(kHeaderBytes + frame.payload.size() + kCrcBytes);
+  put_u16(body, frame.node_id);
+  put_u16(body, frame.seq);
+  put_u16(body, static_cast<std::uint16_t>(frame.payload.size()));
+  body.insert(body.end(), frame.payload.begin(), frame.payload.end());
+  put_u16(body, crc16(body));
+
+  Bits bits = preamble;
+  const Bits body_bits = bytes_to_bits(body);
+  bits.insert(bits.end(), body_bits.begin(), body_bits.end());
+  return bits;
+}
+
+std::optional<Frame> decode_frame(const Bits& bits) {
+  if (bits.size() < (kHeaderBytes + kCrcBytes) * 8) return std::nullopt;
+  // Header first: read the length, then re-slice.
+  const Bits header_bits(bits.begin(), bits.begin() + kHeaderBytes * 8);
+  const auto header = bits_to_bytes(header_bits);
+  const std::uint16_t len = get_u16(header, 4);
+  if (len > kMaxPayloadBytes) return std::nullopt;
+  const std::size_t total_bits = (kHeaderBytes + len + kCrcBytes) * 8;
+  if (bits.size() < total_bits) return std::nullopt;
+
+  const Bits body_bits(bits.begin(), bits.begin() + total_bits);
+  const auto body = bits_to_bytes(body_bits);
+  const std::span<const std::uint8_t> without_crc(body.data(), body.size() - kCrcBytes);
+  const std::uint16_t expect = get_u16(body, body.size() - kCrcBytes);
+  if (crc16(without_crc) != expect) return std::nullopt;
+
+  Frame f;
+  f.node_id = get_u16(body, 0);
+  f.seq = get_u16(body, 2);
+  f.payload.assign(body.begin() + kHeaderBytes, body.end() - kCrcBytes);
+  return f;
+}
+
+std::size_t frame_length_bits(std::size_t payload_bytes, std::size_t preamble_bits) {
+  return preamble_bits + (kHeaderBytes + payload_bytes + kCrcBytes) * 8;
+}
+
+}  // namespace mmx::phy

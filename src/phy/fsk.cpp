@@ -1,0 +1,47 @@
+#include "mmx/phy/fsk.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/dsp/goertzel.hpp"
+#include "mmx/dsp/tone.hpp"
+
+namespace mmx::phy {
+
+dsp::Cvec fsk_modulate(const Bits& bits, const PhyConfig& cfg) {
+  cfg.validate();
+  dsp::Nco nco(cfg.sample_rate_hz(), cfg.fsk_freq0_hz);
+  dsp::Cvec out;
+  out.reserve(bits.size() * cfg.samples_per_symbol);
+  for (int b : bits) {
+    if (b != 0 && b != 1) throw std::invalid_argument("fsk_modulate: bits must be 0/1");
+    nco.set_frequency(b ? cfg.fsk_freq1_hz : cfg.fsk_freq0_hz);
+    for (std::size_t i = 0; i < cfg.samples_per_symbol; ++i) out.push_back(nco.next());
+  }
+  return out;
+}
+
+FskDecision fsk_demodulate(std::span<const dsp::Complex> rx, const PhyConfig& cfg) {
+  cfg.validate();
+  const std::size_t sps = cfg.samples_per_symbol;
+  const std::size_t n_sym = rx.size() / sps;
+  if (n_sym == 0) throw std::invalid_argument("fsk_demodulate: no full symbol in capture");
+  const auto guard = static_cast<std::size_t>(cfg.guard_frac * static_cast<double>(sps));
+  const double fs = cfg.sample_rate_hz();
+
+  FskDecision d;
+  d.bits.reserve(n_sym);
+  double margin_acc = 0.0;
+  for (std::size_t s = 0; s < n_sym; ++s) {
+    const std::span<const dsp::Complex> sym = rx.subspan(s * sps + guard, sps - 2 * guard);
+    const double p0 = dsp::goertzel_power(sym, cfg.fsk_freq0_hz, fs);
+    const double p1 = dsp::goertzel_power(sym, cfg.fsk_freq1_hz, fs);
+    d.bits.push_back(p1 > p0 ? 1 : 0);
+    const double tot = p0 + p1;
+    margin_acc += (tot > 0.0) ? std::abs(p1 - p0) / tot : 0.0;
+  }
+  d.margin = margin_acc / static_cast<double>(n_sym);
+  return d;
+}
+
+}  // namespace mmx::phy

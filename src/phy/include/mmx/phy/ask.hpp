@@ -1,0 +1,34 @@
+// Conventional ASK (OOK-style) modulation — the "without OTAM" baseline
+// where the node modulates at the board and transmits on one fixed beam
+// (paper §9.2 scenario 1), and the ASK half of the joint demodulator.
+#pragma once
+
+#include "mmx/dsp/types.hpp"
+#include "mmx/phy/config.hpp"
+
+namespace mmx::phy {
+
+struct AskLevels {
+  double amp1 = 1.0;   ///< carrier amplitude for bit 1
+  double amp0 = 0.1;   ///< carrier amplitude for bit 0 (non-zero OOK floor)
+};
+
+/// Generate the complex-baseband ASK waveform for a bit stream at the
+/// channel-centre tone (0 Hz offset), phase-continuous.
+dsp::Cvec ask_modulate(const Bits& bits, const PhyConfig& cfg, AskLevels levels = {});
+
+struct AskDecision {
+  Bits bits;
+  double threshold = 0.0;     ///< amplitude threshold used
+  double separation = 0.0;    ///< |mu1 - mu0| / (sigma1 + sigma0 + eps): quality
+  bool inverted = false;      ///< true if level mapping was flipped
+};
+
+/// Envelope-detect and threshold. With `known_prefix` non-empty, the
+/// threshold and polarity are learned from those leading training bits
+/// (OTAM's preamble mechanism, §6.1); otherwise 2-means clustering on the
+/// symbol envelopes decides, and polarity defaults to bright=1.
+AskDecision ask_demodulate(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
+                           const Bits& known_prefix = {});
+
+}  // namespace mmx::phy

@@ -1,0 +1,57 @@
+// Analytic BER models ("standard BER tables", paper §9.3 and ref [43]).
+//
+// The paper converts measured SNR into BER through closed-form results
+// for ASK/OOK; we implement those plus the FSK forms the joint scheme
+// falls back on. All `snr` arguments are linear average SNR (signal
+// power / noise power in the symbol bandwidth) unless stated otherwise.
+#pragma once
+
+#include <cstddef>
+
+namespace mmx::phy {
+
+/// Gaussian tail Q(x) = P(N(0,1) > x), accurate over the full range via
+/// erfc.
+double q_function(double x);
+
+/// Coherent OOK/ASK with matched threshold: Pb = Q(sqrt(snr)).
+/// (Levels 0/A, avg SNR = A^2/(2 sigma^2 * 2); algebra folds to Q(sqrt).)
+double ber_ook_coherent(double snr);
+
+/// Non-coherent (envelope-detected) OOK: Pb ~ 0.5 exp(-snr/2).
+double ber_ook_noncoherent(double snr);
+
+/// Coherent binary FSK: Pb = Q(sqrt(snr)).
+double ber_bfsk_coherent(double snr);
+
+/// Non-coherent binary FSK: Pb = 0.5 exp(-snr/2).
+double ber_bfsk_noncoherent(double snr);
+
+/// Two-level ASK with arbitrary amplitudes (the OTAM case: levels |h1|,
+/// |h0| times TX amplitude) under envelope detection approximated as
+/// Gaussian: Pb = Q(|a1 - a0| / (2 sigma)), sigma^2 = noise_power / 2
+/// per quadrature, halved again by per-symbol averaging over n_avg
+/// independent samples.
+double ber_two_level(double amp1, double amp0, double noise_power, std::size_t n_avg = 1);
+
+/// Joint ASK-FSK selection decoding: the demodulator picks the better
+/// branch, so Pb ~ min(ask, fsk) (paper §6.3's "always decodable" claim).
+double ber_joint(double ask_ber, double fsk_ber);
+
+/// Invert `ber_ook_coherent`: the linear SNR at which it hits `target`.
+double snr_for_ber_ook(double target_ber);
+
+/// BER floor/clamp used when reporting (the paper plots "<1e-15" as its
+/// leftmost CDF bin).
+inline constexpr double kBerFloor = 1e-15;
+
+/// Residual bit error rate of Hamming(7,4) (with ideal interleaving)
+/// over a channel with raw BER p: a block fails when >= 2 of its 7 bits
+/// flip; surviving errors land on ~half the data bits of the block.
+double ber_hamming74(double raw_ber);
+
+/// First-event-bounded residual BER of the K=3 rate-1/2 convolutional
+/// code (hard decisions, d_free = 5): union-bound leading term.
+double ber_conv_k3(double raw_ber);
+
+}  // namespace mmx::phy

@@ -1,0 +1,36 @@
+// Carrier frequency offset (CFO) estimation and correction.
+//
+// The node's free-running VCO lands each tone only as accurately as its
+// tuning DAC and temperature allow — hundreds of kHz of offset are
+// normal (Fig. 7's Kv is ~200 MHz/V, so 1 mV of drift is 200 kHz). The
+// AP estimates the common offset from the preamble's known tone plan and
+// de-rotates the capture before demodulation.
+#pragma once
+
+#include <optional>
+
+#include "mmx/dsp/types.hpp"
+#include "mmx/phy/config.hpp"
+
+namespace mmx::phy {
+
+struct CfoEstimate {
+  double offset_hz = 0.0;
+  /// Mean tone-fit residual [Hz] — large residual means the capture did
+  /// not look like the expected preamble (estimate untrustworthy).
+  double residual_hz = 0.0;
+};
+
+/// Estimate the common frequency offset from a symbol-aligned capture
+/// whose first `prefix.size()` symbols are known training bits: each
+/// training symbol's dominant tone is measured and compared with the
+/// tone it should carry; the power-weighted mean mismatch is the CFO.
+/// Requires at least 4 training symbols and >= 8 samples per symbol.
+CfoEstimate estimate_cfo(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
+                         const Bits& prefix);
+
+/// De-rotate a capture by `offset_hz`.
+dsp::Cvec correct_cfo(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
+                      double offset_hz);
+
+}  // namespace mmx::phy

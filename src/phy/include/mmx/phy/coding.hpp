@@ -1,0 +1,35 @@
+// Coding profiles: the FEC pipeline a frame's body runs through.
+//
+// §9.3's closing remark — the physical BER "can be reduced even further
+// by using an error correction coding scheme" — realized as selectable
+// profiles. The preamble is never coded (it must stay a known pattern);
+// the header+payload+CRC body is scrambled (whitened) and FEC-encoded.
+#pragma once
+
+#include "mmx/phy/config.hpp"
+
+namespace mmx::phy {
+
+enum class CodingProfile {
+  kNone,          ///< raw body (rate 1)
+  kHamming,       ///< scramble + Hamming(7,4) + 14x7 block interleave (rate 4/7)
+  kConvolutional, ///< scramble + K=3 rate-1/2 Viterbi
+};
+
+/// Encode a frame body (everything after the preamble) under a profile.
+Bits encode_body(const Bits& body, CodingProfile profile);
+
+/// Invert `encode_body`. The input length must be consistent with the
+/// profile's block structure (callers pass whole received bodies; excess
+/// trailing bits from padding are removed using the embedded length).
+Bits decode_body(const Bits& coded, CodingProfile profile);
+
+/// Coded length in bits for a given body length (includes padding and
+/// the 16-bit length prefix added by the coded profiles).
+std::size_t coded_length_bits(std::size_t body_bits, CodingProfile profile);
+
+/// Rate of the profile (information bits per channel bit), ignoring the
+/// small length-prefix overhead.
+double coding_rate(CodingProfile profile);
+
+}  // namespace mmx::phy

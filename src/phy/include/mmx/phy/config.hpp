@@ -1,0 +1,47 @@
+// PHY-layer configuration shared by modulators and demodulators.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace mmx::phy {
+
+struct PhyConfig {
+  /// Symbol (bit) rate — one OTAM beam toggle per bit, capped at the
+  /// SPDT's 100 MHz (paper §9.1).
+  double symbol_rate_hz = 10e6;
+  /// Complex baseband samples per symbol.
+  std::size_t samples_per_symbol = 16;
+  /// FSK tone offsets from channel centre for bits 0 / 1 (paper §6.3:
+  /// the VCO is nudged so each beam carries a slightly different tone).
+  /// Defaults put the tones 2 symbol-rates apart — orthogonal over one
+  /// symbol and trivially separable by Goertzel.
+  double fsk_freq0_hz = -10e6;
+  double fsk_freq1_hz = +10e6;
+  /// Fraction of each symbol trimmed at both ends before measuring
+  /// (switch transition guard).
+  double guard_frac = 0.15;
+
+  double sample_rate_hz() const {
+    return symbol_rate_hz * static_cast<double>(samples_per_symbol);
+  }
+
+  void validate() const {
+    if (symbol_rate_hz <= 0.0) throw std::invalid_argument("PhyConfig: symbol rate must be > 0");
+    if (samples_per_symbol < 4)
+      throw std::invalid_argument("PhyConfig: need >= 4 samples per symbol");
+    if (guard_frac < 0.0 || guard_frac >= 0.5)
+      throw std::invalid_argument("PhyConfig: guard_frac must be in [0, 0.5)");
+    const double nyq = sample_rate_hz() / 2.0;
+    if (fsk_freq0_hz <= -nyq || fsk_freq0_hz >= nyq || fsk_freq1_hz <= -nyq ||
+        fsk_freq1_hz >= nyq)
+      throw std::invalid_argument("PhyConfig: FSK tones exceed Nyquist");
+    if (fsk_freq0_hz == fsk_freq1_hz)
+      throw std::invalid_argument("PhyConfig: FSK tones must differ");
+  }
+};
+
+using Bits = std::vector<int>;  // each element 0 or 1
+
+}  // namespace mmx::phy

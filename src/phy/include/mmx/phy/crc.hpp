@@ -1,0 +1,16 @@
+// Cyclic redundancy checks for mmX frames.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mmx::phy {
+
+/// CRC-16/CCITT-FALSE: poly 0x1021, init 0xFFFF, no reflection.
+std::uint16_t crc16(std::span<const std::uint8_t> data);
+
+/// CRC-32 (IEEE 802.3): reflected poly 0xEDB88320, init/final 0xFFFFFFFF.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+}  // namespace mmx::phy

@@ -1,0 +1,54 @@
+// Forward error correction.
+//
+// The paper notes the physical BER "can be reduced even further by using
+// an error correction coding scheme" (§9.3). These are the codes a
+// real deployment would bolt on: Hamming(7,4) for cheap single-error
+// correction, repetition for brutally simple robustness, a block
+// interleaver to break burst errors from blockage transients, and a
+// K=3 rate-1/2 convolutional code with Viterbi decoding.
+#pragma once
+
+#include <cstddef>
+
+#include "mmx/phy/config.hpp"
+
+namespace mmx::phy {
+
+// --- Hamming(7,4) ----------------------------------------------------------
+
+/// Encode: every 4 data bits -> 7 coded bits. Input length must be a
+/// multiple of 4.
+Bits hamming74_encode(const Bits& data);
+
+/// Decode with single-error correction per block. Input length must be a
+/// multiple of 7.
+Bits hamming74_decode(const Bits& coded);
+
+// --- Repetition ------------------------------------------------------------
+
+Bits repetition_encode(const Bits& data, std::size_t factor = 3);
+/// Majority-vote decode; `factor` must be odd.
+Bits repetition_decode(const Bits& coded, std::size_t factor = 3);
+
+// --- Block interleaver -----------------------------------------------------
+
+/// Write row-wise into a rows x cols matrix, read column-wise. Input
+/// length must equal rows*cols.
+Bits interleave(const Bits& bits, std::size_t rows, std::size_t cols);
+Bits deinterleave(const Bits& bits, std::size_t rows, std::size_t cols);
+
+// --- Convolutional (K=3, rate 1/2, polys 7/5) -------------------------------
+
+/// Encode with 2 tail bits to flush the trellis: output is 2*(n+2) bits.
+Bits conv_encode(const Bits& data);
+
+/// Hard-decision Viterbi decode; input length must be even and >= 8.
+/// Returns the data bits (tail removed).
+Bits conv_decode(const Bits& coded);
+
+/// Soft-decision Viterbi: each element of `llrs` is a log-likelihood
+/// ratio (positive = bit 1 more likely); length must be even and >= 8.
+/// Gains ~2 dB over hard decisions at moderate SNR.
+Bits conv_decode_soft(const std::vector<double>& llrs);
+
+}  // namespace mmx::phy

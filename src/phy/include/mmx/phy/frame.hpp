@@ -1,0 +1,43 @@
+// Packet framing: preamble | header | payload | CRC-16.
+//
+// "Similar to most wireless communication systems, each mmX's packet has
+// known preamble bits" (paper §6.1). The header carries the node id
+// (which also selects the FDM channel at the AP), a sequence number and
+// the payload length.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mmx/phy/config.hpp"
+
+namespace mmx::phy {
+
+struct Frame {
+  std::uint16_t node_id = 0;
+  std::uint16_t seq = 0;
+  std::vector<std::uint8_t> payload;
+
+  bool operator==(const Frame&) const = default;
+};
+
+inline constexpr std::size_t kMaxPayloadBytes = 2048;
+
+/// Bit/byte packing helpers (MSB first).
+Bits bytes_to_bits(std::span<const std::uint8_t> bytes);
+std::vector<std::uint8_t> bits_to_bytes(const Bits& bits);
+
+/// Serialize: preamble + header(6 bytes) + payload + crc16(2 bytes), as
+/// bits ready for the OTAM transmitter.
+Bits encode_frame(const Frame& frame, const Bits& preamble);
+
+/// Parse bits positioned right AFTER the preamble. Returns nullopt on
+/// truncation, bad length, or CRC failure.
+std::optional<Frame> decode_frame(const Bits& bits);
+
+/// Total frame length in bits for a payload size (incl. preamble).
+std::size_t frame_length_bits(std::size_t payload_bytes, std::size_t preamble_bits);
+
+}  // namespace mmx::phy

@@ -1,0 +1,28 @@
+// Binary FSK — the second half of mmX's joint ASK-FSK modulation
+// (paper §6.3). The node realizes it by nudging the VCO tuning voltage
+// per beam, so bit 0 and bit 1 ride slightly different carrier offsets.
+#pragma once
+
+#include "mmx/dsp/types.hpp"
+#include "mmx/phy/config.hpp"
+
+namespace mmx::phy {
+
+/// Phase-continuous BFSK waveform: bit 0 -> cfg.fsk_freq0_hz,
+/// bit 1 -> cfg.fsk_freq1_hz, both at unit amplitude.
+dsp::Cvec fsk_modulate(const Bits& bits, const PhyConfig& cfg);
+
+struct FskDecision {
+  Bits bits;
+  /// Mean per-symbol tone-power margin |P1 - P0| / (P1 + P0): quality in
+  /// [0, 1]; ~1 means clean discrimination.
+  double margin = 0.0;
+};
+
+/// Non-coherent tone discrimination: per-symbol Goertzel power at the two
+/// tone frequencies, larger wins. Amplitude-agnostic — this is what
+/// rescues OTAM when the two beams' path losses happen to be equal
+/// (Fig. 9b).
+FskDecision fsk_demodulate(std::span<const dsp::Complex> rx, const PhyConfig& cfg);
+
+}  // namespace mmx::phy

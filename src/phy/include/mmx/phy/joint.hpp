@@ -1,0 +1,34 @@
+// Joint ASK-FSK demodulation (paper §6.3, Fig. 9).
+//
+// Per symbol the AP measures the carrier envelope (ASK statistic) and the
+// tone powers at the two FSK frequencies (FSK statistic). When the two
+// beams' path losses differ, the envelope decides (Fig. 9a); in the <10%
+// of placements where they are nearly equal, the tone frequency decides
+// (Fig. 9b). The demodulator fuses both with reliability weights learned
+// from the known preamble, so "the AP can always decode the signal".
+#pragma once
+
+#include "mmx/dsp/types.hpp"
+#include "mmx/phy/config.hpp"
+
+namespace mmx::phy {
+
+enum class DecisionMode { kAsk, kFsk, kJoint };
+
+struct JointDecision {
+  Bits bits;
+  DecisionMode mode = DecisionMode::kJoint;
+  double ask_separation = 0.0;  ///< envelope-level d' (from prefix or clustering)
+  double fsk_margin = 0.0;      ///< mean normalized tone-power margin
+  bool ask_inverted = false;    ///< ASK polarity was flipped (blocked LoS case)
+};
+
+/// Demodulate a symbol-aligned capture. `known_prefix` (the preamble bits
+/// at the start of the capture) trains the ASK levels/polarity and the
+/// per-branch reliabilities; it may be empty, in which case the branches
+/// self-calibrate (2-means envelope clustering; FSK needs no training —
+/// the tone-to-bit mapping is fixed by the transmitter's VCO).
+JointDecision joint_demodulate(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
+                               const Bits& known_prefix = {});
+
+}  // namespace mmx::phy

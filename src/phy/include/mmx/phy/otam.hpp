@@ -1,0 +1,61 @@
+// Over-The-Air Modulation (paper §6.1) — the core contribution.
+//
+// The node never forms an ASK waveform: it transmits a pure carrier and
+// the SPDT steers it between the two orthogonal beams per bit. The two
+// beams see different channels (h1, h0), so the AP receives a carrier
+// whose amplitude toggles — ASK created by the channel itself. With the
+// joint scheme (§6.3), the VCO is simultaneously nudged so each beam's
+// tone sits at a slightly different frequency, giving an FSK fallback.
+#pragma once
+
+#include <complex>
+
+#include "mmx/dsp/types.hpp"
+#include "mmx/phy/config.hpp"
+#include "mmx/rf/spdt.hpp"
+
+namespace mmx::phy {
+
+/// The flat per-beam channel seen by one node (from
+/// mmx::channel::compute_beam_gains).
+struct OtamChannel {
+  std::complex<double> h0;
+  std::complex<double> h1;
+};
+
+/// Synthesize the complex baseband signal the AP receives while the node
+/// OTAM-transmits `bits`:
+///   symbol(b) = tone at f_b  *  (g_through * h_b + g_leak * h_{1-b})
+/// with g_through/g_leak from the SPDT model (the off-beam leaks 65 dB
+/// down). `tx_amplitude` scales the carrier (sqrt of radiated power).
+/// Noise is the caller's job (mmx::dsp::add_awgn).
+dsp::Cvec otam_synthesize(const Bits& bits, const PhyConfig& cfg, const OtamChannel& channel,
+                          const rf::SpdtSwitch& spdt, double tx_amplitude = 1.0);
+
+/// Time-varying variant: one OtamChannel per symbol (a moving node or a
+/// person crossing the LoS mid-frame). `channels.size()` must equal
+/// `bits.size()`. This is the §1 "works in dynamic environments" claim
+/// at sample level — note the FSK half is immune to mid-frame level
+/// swaps because the tone-to-bit mapping lives at the transmitter.
+dsp::Cvec otam_synthesize_varying(const Bits& bits, const PhyConfig& cfg,
+                                  std::span<const OtamChannel> channels,
+                                  const rf::SpdtSwitch& spdt, double tx_amplitude = 1.0);
+
+/// The "without OTAM" baseline of §9.2: the node ASK-modulates at the
+/// board and transmits everything through Beam 1 only; the AP sees
+/// conventional ASK scaled by h1 alone.
+dsp::Cvec fixed_beam_ask_synthesize(const Bits& bits, const PhyConfig& cfg,
+                                    const OtamChannel& channel, double tx_amplitude = 1.0,
+                                    double ask_floor = 0.1);
+
+/// Ideal per-symbol amplitudes the AP should observe for bits 1/0 —
+/// useful for link-budget style SNR computations without sample-level
+/// simulation.
+struct OtamLevels {
+  double level1;  ///< |through*h1 + leak*h0| * tx_amplitude
+  double level0;  ///< |through*h0 + leak*h1| * tx_amplitude
+};
+OtamLevels otam_levels(const OtamChannel& channel, const rf::SpdtSwitch& spdt,
+                       double tx_amplitude = 1.0);
+
+}  // namespace mmx::phy

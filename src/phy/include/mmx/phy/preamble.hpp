@@ -1,0 +1,42 @@
+// Preamble design and frame synchronization.
+//
+// Each mmX packet begins with known training bits (paper §6.1) that let
+// the AP (a) find the symbol boundary, (b) learn the two OTAM amplitude
+// levels, and (c) resolve the polarity inversion that happens when the
+// LoS is blocked (Fig. 4b).
+#pragma once
+
+#include <optional>
+
+#include "mmx/dsp/types.hpp"
+#include "mmx/phy/config.hpp"
+
+namespace mmx::phy {
+
+/// The standard mmX preamble: 16 bits with a balanced, low-autocorrelation
+/// pattern (both bit values well represented so level training works).
+const Bits& default_preamble();
+
+struct SyncResult {
+  std::size_t sample_offset = 0;  ///< start of the preamble in the capture
+  bool inverted = false;          ///< envelope polarity was flipped
+  double correlation = 0.0;       ///< |normalized correlation| at the peak, in [0,1]
+};
+
+/// Locate the preamble by sliding a symbol-spaced envelope correlator
+/// over the capture. Searches offsets [0, max_offset]; returns nullopt if
+/// the best |correlation| is below `min_correlation`.
+std::optional<SyncResult> find_preamble(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
+                                        const Bits& preamble, std::size_t max_offset,
+                                        double min_correlation = 0.6);
+
+/// Streaming variant: return the FIRST offset whose local correlation
+/// peak clears `min_correlation` (the maximum within one symbol of the
+/// first crossing, so the estimate still lands on the peak). A stream
+/// receiver uses this so frame k is found before frame k+1.
+std::optional<SyncResult> find_preamble_first(std::span<const dsp::Complex> rx,
+                                              const PhyConfig& cfg, const Bits& preamble,
+                                              std::size_t max_offset,
+                                              double min_correlation = 0.6);
+
+}  // namespace mmx::phy

@@ -1,0 +1,44 @@
+// Additive (synchronous) LFSR scrambler.
+//
+// OTAM's envelope detector learns its threshold from recent symbols; a
+// long run of identical bits (e.g. a black video frame) starves one of
+// the two training classes and lets the AGC drift. Whitening the payload
+// with a PRBS guarantees balanced runs regardless of content — standard
+// practice the real deployment would adopt (the preamble is NOT
+// scrambled, it must stay a known pattern).
+#pragma once
+
+#include <cstdint>
+
+#include "mmx/phy/config.hpp"
+
+namespace mmx::phy {
+
+/// PRBS-7 style scrambler: x^7 + x^6 + 1, non-zero 7-bit seed.
+class Scrambler {
+ public:
+  explicit Scrambler(std::uint8_t seed = 0x5A);
+
+  /// Next PRBS bit (advances the register).
+  int next_bit();
+
+  /// XOR a bit stream with the PRBS (self-inverse with the same seed).
+  Bits process(const Bits& bits);
+
+  void reset(std::uint8_t seed);
+  std::uint8_t state() const { return state_; }
+
+ private:
+  std::uint8_t state_;
+};
+
+/// Convenience one-shots (scramble == descramble).
+Bits scramble(const Bits& bits, std::uint8_t seed = 0x5A);
+inline Bits descramble(const Bits& bits, std::uint8_t seed = 0x5A) {
+  return scramble(bits, seed);
+}
+
+/// Longest run of identical bits — the whitening metric.
+std::size_t longest_run(const Bits& bits);
+
+}  // namespace mmx::phy

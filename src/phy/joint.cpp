@@ -1,0 +1,89 @@
+#include "mmx/phy/joint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/dsp/envelope.hpp"
+#include "mmx/dsp/goertzel.hpp"
+#include "mmx/phy/ask.hpp"
+#include "mmx/phy/fsk.hpp"
+
+namespace mmx::phy {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// Map a branch quality q (d'-like, >= 0) to a fusion weight. Quadratic:
+/// a branch twice as separable counts 4x — approximates optimal
+/// variance-weighted combining of normalized soft statistics.
+double weight(double q) { return q * q; }
+
+}  // namespace
+
+JointDecision joint_demodulate(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
+                               const Bits& known_prefix) {
+  cfg.validate();
+  const std::size_t sps = cfg.samples_per_symbol;
+  const std::size_t n_sym = rx.size() / sps;
+  if (n_sym == 0) throw std::invalid_argument("joint_demodulate: no full symbol in capture");
+
+  // Branch decisions (each also yields its quality measure).
+  const AskDecision ask = ask_demodulate(rx, cfg, known_prefix);
+  const FskDecision fsk = fsk_demodulate(rx, cfg);
+
+  JointDecision d;
+  d.ask_separation = ask.separation;
+  d.ask_inverted = ask.inverted;
+  d.fsk_margin = fsk.margin;
+
+  // Reliabilities. ASK separation is already a d'; FSK margin in [0,1] is
+  // mapped onto a comparable scale (margin 1.0 ~ cleanly separable ~ d' 4).
+  double q_ask = ask.separation;
+  double q_fsk = 4.0 * fsk.margin;
+  // With a known prefix, ground truth sharpens the estimate: a branch
+  // that miscopies training bits is distrusted outright.
+  if (!known_prefix.empty()) {
+    std::size_t ask_err = 0;
+    std::size_t fsk_err = 0;
+    for (std::size_t i = 0; i < known_prefix.size(); ++i) {
+      ask_err += (ask.bits[i] != known_prefix[i]);
+      fsk_err += (fsk.bits[i] != known_prefix[i]);
+    }
+    if (ask_err > 0) q_ask /= static_cast<double>(1 + 2 * ask_err);
+    if (fsk_err > 0) q_fsk /= static_cast<double>(1 + 2 * fsk_err);
+  }
+
+  const double w_ask = weight(q_ask);
+  const double w_fsk = weight(q_fsk);
+  const double w_tot = w_ask + w_fsk + kEps;
+
+  // Per-symbol soft fusion.
+  const dsp::Rvec env = dsp::symbol_envelopes(rx, sps, cfg.guard_frac);
+  const auto guard = static_cast<std::size_t>(cfg.guard_frac * static_cast<double>(sps));
+  const double fs = cfg.sample_rate_hz();
+  const double ask_scale = std::max(ask.threshold, kEps);
+  const double polarity = ask.inverted ? -1.0 : 1.0;
+
+  d.bits.reserve(n_sym);
+  for (std::size_t s = 0; s < n_sym; ++s) {
+    const double z_ask = polarity * (env[s] - ask.threshold) / ask_scale;
+    const std::span<const dsp::Complex> sym = rx.subspan(s * sps + guard, sps - 2 * guard);
+    const double p0 = dsp::goertzel_power(sym, cfg.fsk_freq0_hz, fs);
+    const double p1 = dsp::goertzel_power(sym, cfg.fsk_freq1_hz, fs);
+    const double z_fsk = (p1 - p0) / (p0 + p1 + kEps);
+    const double z = (w_ask * z_ask + w_fsk * z_fsk) / w_tot;
+    d.bits.push_back(z > 0.0 ? 1 : 0);
+  }
+
+  if (w_ask > 9.0 * w_fsk) {
+    d.mode = DecisionMode::kAsk;
+  } else if (w_fsk > 9.0 * w_ask) {
+    d.mode = DecisionMode::kFsk;
+  } else {
+    d.mode = DecisionMode::kJoint;
+  }
+  return d;
+}
+
+}  // namespace mmx::phy

@@ -1,0 +1,90 @@
+#include "mmx/phy/otam.hpp"
+
+#include <stdexcept>
+
+#include "mmx/dsp/tone.hpp"
+
+namespace mmx::phy {
+
+dsp::Cvec otam_synthesize(const Bits& bits, const PhyConfig& cfg, const OtamChannel& channel,
+                          const rf::SpdtSwitch& spdt, double tx_amplitude) {
+  cfg.validate();
+  spdt.check_symbol_rate(cfg.symbol_rate_hz);
+  if (tx_amplitude <= 0.0) throw std::invalid_argument("otam_synthesize: amplitude must be > 0");
+  const double g_thru = spdt.through_gain();
+  const double g_leak = spdt.leak_gain();
+  // Per-bit effective complex gain at the AP.
+  const std::complex<double> eff1 = g_thru * channel.h1 + g_leak * channel.h0;
+  const std::complex<double> eff0 = g_thru * channel.h0 + g_leak * channel.h1;
+
+  dsp::Nco nco(cfg.sample_rate_hz(), cfg.fsk_freq0_hz);  // the node's single VCO
+  dsp::Cvec out;
+  out.reserve(bits.size() * cfg.samples_per_symbol);
+  for (int b : bits) {
+    if (b != 0 && b != 1) throw std::invalid_argument("otam_synthesize: bits must be 0/1");
+    nco.set_frequency(b ? cfg.fsk_freq1_hz : cfg.fsk_freq0_hz);
+    const std::complex<double> eff = tx_amplitude * (b ? eff1 : eff0);
+    for (std::size_t i = 0; i < cfg.samples_per_symbol; ++i) out.push_back(eff * nco.next());
+  }
+  return out;
+}
+
+dsp::Cvec otam_synthesize_varying(const Bits& bits, const PhyConfig& cfg,
+                                  std::span<const OtamChannel> channels,
+                                  const rf::SpdtSwitch& spdt, double tx_amplitude) {
+  cfg.validate();
+  spdt.check_symbol_rate(cfg.symbol_rate_hz);
+  if (tx_amplitude <= 0.0)
+    throw std::invalid_argument("otam_synthesize_varying: amplitude must be > 0");
+  if (channels.size() != bits.size())
+    throw std::invalid_argument("otam_synthesize_varying: one channel per symbol required");
+  const double g_thru = spdt.through_gain();
+  const double g_leak = spdt.leak_gain();
+
+  dsp::Nco nco(cfg.sample_rate_hz(), cfg.fsk_freq0_hz);
+  dsp::Cvec out;
+  out.reserve(bits.size() * cfg.samples_per_symbol);
+  for (std::size_t s = 0; s < bits.size(); ++s) {
+    const int b = bits[s];
+    if (b != 0 && b != 1)
+      throw std::invalid_argument("otam_synthesize_varying: bits must be 0/1");
+    nco.set_frequency(b ? cfg.fsk_freq1_hz : cfg.fsk_freq0_hz);
+    const OtamChannel& ch = channels[s];
+    const std::complex<double> eff =
+        tx_amplitude * (b ? (g_thru * ch.h1 + g_leak * ch.h0)
+                          : (g_thru * ch.h0 + g_leak * ch.h1));
+    for (std::size_t i = 0; i < cfg.samples_per_symbol; ++i) out.push_back(eff * nco.next());
+  }
+  return out;
+}
+
+dsp::Cvec fixed_beam_ask_synthesize(const Bits& bits, const PhyConfig& cfg,
+                                    const OtamChannel& channel, double tx_amplitude,
+                                    double ask_floor) {
+  cfg.validate();
+  if (tx_amplitude <= 0.0)
+    throw std::invalid_argument("fixed_beam_ask_synthesize: amplitude must be > 0");
+  if (ask_floor < 0.0 || ask_floor >= 1.0)
+    throw std::invalid_argument("fixed_beam_ask_synthesize: floor must be in [0,1)");
+  dsp::Nco nco(cfg.sample_rate_hz(), 0.0);
+  dsp::Cvec out;
+  out.reserve(bits.size() * cfg.samples_per_symbol);
+  for (int b : bits) {
+    if (b != 0 && b != 1)
+      throw std::invalid_argument("fixed_beam_ask_synthesize: bits must be 0/1");
+    const std::complex<double> eff =
+        tx_amplitude * (b ? 1.0 : ask_floor) * channel.h1;
+    for (std::size_t i = 0; i < cfg.samples_per_symbol; ++i) out.push_back(eff * nco.next());
+  }
+  return out;
+}
+
+OtamLevels otam_levels(const OtamChannel& channel, const rf::SpdtSwitch& spdt,
+                       double tx_amplitude) {
+  const double g_thru = spdt.through_gain();
+  const double g_leak = spdt.leak_gain();
+  return {std::abs(g_thru * channel.h1 + g_leak * channel.h0) * tx_amplitude,
+          std::abs(g_thru * channel.h0 + g_leak * channel.h1) * tx_amplitude};
+}
+
+}  // namespace mmx::phy

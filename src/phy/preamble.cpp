@@ -1,0 +1,148 @@
+#include "mmx/phy/preamble.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/dsp/envelope.hpp"
+
+namespace mmx::phy {
+
+const Bits& default_preamble() {
+  // Balanced 16-bit pattern with runs of 1 and 2 (keeps the envelope
+  // correlator's autocorrelation sidelobes low).
+  static const Bits kPreamble{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0, 1, 0, 0, 1, 0};
+  return kPreamble;
+}
+
+namespace {
+
+struct PatternInfo {
+  std::vector<double> pat;
+  double norm;
+};
+
+PatternInfo centred_pattern(const Bits& preamble) {
+  const double n = static_cast<double>(preamble.size());
+  double mean = 0.0;
+  for (int b : preamble) mean += b;
+  mean /= n;
+  PatternInfo info;
+  info.pat.resize(preamble.size());
+  double norm = 0.0;
+  for (std::size_t i = 0; i < preamble.size(); ++i) {
+    info.pat[i] = static_cast<double>(preamble[i]) - mean;
+    norm += info.pat[i] * info.pat[i];
+  }
+  info.norm = std::sqrt(norm);
+  return info;
+}
+
+double correlation_at(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
+                      const PatternInfo& info, std::size_t off, std::size_t needed) {
+  const dsp::Rvec env =
+      dsp::symbol_envelopes(rx.subspan(off, needed), cfg.samples_per_symbol, cfg.guard_frac);
+  const double n = static_cast<double>(env.size());
+  double emean = 0.0;
+  for (double e : env) emean += e;
+  emean /= n;
+  double corr = 0.0;
+  double enorm = 0.0;
+  for (std::size_t i = 0; i < env.size(); ++i) {
+    const double c = env[i] - emean;
+    corr += c * info.pat[i];
+    enorm += c * c;
+  }
+  enorm = std::sqrt(enorm);
+  if (enorm == 0.0) return 0.0;
+  return corr / (enorm * info.norm);
+}
+
+}  // namespace
+
+std::optional<SyncResult> find_preamble_first(std::span<const dsp::Complex> rx,
+                                              const PhyConfig& cfg, const Bits& preamble,
+                                              std::size_t max_offset, double min_correlation) {
+  cfg.validate();
+  if (preamble.size() < 4) throw std::invalid_argument("find_preamble_first: preamble too short");
+  if (min_correlation <= 0.0 || min_correlation > 1.0)
+    throw std::invalid_argument("find_preamble_first: min_correlation must be in (0,1]");
+  const std::size_t sps = cfg.samples_per_symbol;
+  const std::size_t needed = preamble.size() * sps;
+  if (rx.size() < needed) return std::nullopt;
+  max_offset = std::min(max_offset, rx.size() - needed);
+  const PatternInfo info = centred_pattern(preamble);
+  if (info.norm == 0.0)
+    throw std::invalid_argument("find_preamble_first: preamble must not be constant");
+
+  for (std::size_t off = 0; off <= max_offset; ++off) {
+    const double r = correlation_at(rx, cfg, info, off, needed);
+    if (std::abs(r) < min_correlation) continue;
+    // Refine within the next symbol so the estimate lands on the peak.
+    SyncResult best{off, r < 0.0, std::abs(r)};
+    const std::size_t refine_end = std::min(max_offset, off + sps);
+    for (std::size_t o2 = off + 1; o2 <= refine_end; ++o2) {
+      const double r2 = correlation_at(rx, cfg, info, o2, needed);
+      if (std::abs(r2) > best.correlation) best = {o2, r2 < 0.0, std::abs(r2)};
+    }
+    return best;
+  }
+  return std::nullopt;
+}
+
+std::optional<SyncResult> find_preamble(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
+                                        const Bits& preamble, std::size_t max_offset,
+                                        double min_correlation) {
+  cfg.validate();
+  if (preamble.size() < 4) throw std::invalid_argument("find_preamble: preamble too short");
+  if (min_correlation <= 0.0 || min_correlation > 1.0)
+    throw std::invalid_argument("find_preamble: min_correlation must be in (0,1]");
+  const std::size_t sps = cfg.samples_per_symbol;
+  const std::size_t needed = preamble.size() * sps;
+  if (rx.size() < needed) return std::nullopt;
+  max_offset = std::min(max_offset, rx.size() - needed);
+
+  // Centre the preamble pattern so correlation is amplitude-offset free.
+  const double n = static_cast<double>(preamble.size());
+  double pmean = 0.0;
+  for (int b : preamble) pmean += b;
+  pmean /= n;
+  std::vector<double> pat(preamble.size());
+  double pnorm = 0.0;
+  for (std::size_t i = 0; i < preamble.size(); ++i) {
+    pat[i] = static_cast<double>(preamble[i]) - pmean;
+    pnorm += pat[i] * pat[i];
+  }
+  pnorm = std::sqrt(pnorm);
+  if (pnorm == 0.0) throw std::invalid_argument("find_preamble: preamble must not be constant");
+
+  SyncResult best;
+  bool found = false;
+  for (std::size_t off = 0; off <= max_offset; ++off) {
+    const dsp::Rvec env =
+        dsp::symbol_envelopes(rx.subspan(off, needed), sps, cfg.guard_frac);
+    double emean = 0.0;
+    for (double e : env) emean += e;
+    emean /= n;
+    double corr = 0.0;
+    double enorm = 0.0;
+    for (std::size_t i = 0; i < env.size(); ++i) {
+      const double c = env[i] - emean;
+      corr += c * pat[i];
+      enorm += c * c;
+    }
+    enorm = std::sqrt(enorm);
+    if (enorm == 0.0) continue;
+    const double r = corr / (enorm * pnorm);
+    if (!found || std::abs(r) > std::abs(best.correlation)) {
+      best.sample_offset = off;
+      best.correlation = r;
+      best.inverted = r < 0.0;
+      found = true;
+    }
+  }
+  if (!found || std::abs(best.correlation) < min_correlation) return std::nullopt;
+  best.correlation = std::abs(best.correlation);
+  return best;
+}
+
+}  // namespace mmx::phy

@@ -1,0 +1,50 @@
+#include "mmx/phy/scrambler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmx::phy {
+
+Scrambler::Scrambler(std::uint8_t seed) { reset(seed); }
+
+void Scrambler::reset(std::uint8_t seed) {
+  state_ = seed & 0x7F;
+  if (state_ == 0) throw std::invalid_argument("Scrambler: seed must be non-zero (7 bits)");
+}
+
+int Scrambler::next_bit() {
+  // x^7 + x^6 + 1: feedback = bit6 ^ bit5 (0-indexed taps of a 7-bit reg).
+  const int out = (state_ >> 6) & 1;
+  const int fb = ((state_ >> 6) ^ (state_ >> 5)) & 1;
+  state_ = static_cast<std::uint8_t>(((state_ << 1) | fb) & 0x7F);
+  return out;
+}
+
+Bits Scrambler::process(const Bits& bits) {
+  Bits out;
+  out.reserve(bits.size());
+  for (int b : bits) {
+    if (b != 0 && b != 1) throw std::invalid_argument("Scrambler: bits must be 0/1");
+    out.push_back(b ^ next_bit());
+  }
+  return out;
+}
+
+Bits scramble(const Bits& bits, std::uint8_t seed) {
+  Scrambler s(seed);
+  return s.process(bits);
+}
+
+std::size_t longest_run(const Bits& bits) {
+  std::size_t best = 0;
+  std::size_t run = 0;
+  int prev = -1;
+  for (int b : bits) {
+    run = (b == prev) ? run + 1 : 1;
+    prev = b;
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+}  // namespace mmx::phy

@@ -1,0 +1,32 @@
+#include "mmx/rf/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mmx::rf {
+
+Adc::Adc(AdcSpec spec) : spec_(spec) {
+  if (spec_.bits < 1 || spec_.bits > 24) throw std::invalid_argument("Adc: bits must be in [1, 24]");
+  if (spec_.full_scale <= 0.0) throw std::invalid_argument("Adc: full scale must be > 0");
+  lsb_ = 2.0 * spec_.full_scale / std::pow(2.0, spec_.bits);
+}
+
+double Adc::quantize_rail(double v) const {
+  const double clipped = std::clamp(v, -spec_.full_scale, spec_.full_scale - lsb_);
+  return std::round(clipped / lsb_) * lsb_;
+}
+
+dsp::Complex Adc::sample(dsp::Complex in) const {
+  return {quantize_rail(in.real()), quantize_rail(in.imag())};
+}
+
+dsp::Cvec Adc::process(std::span<const dsp::Complex> in) const {
+  dsp::Cvec out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = sample(in[i]);
+  return out;
+}
+
+double Adc::ideal_sqnr_db() const { return 6.02 * spec_.bits + 1.76; }
+
+}  // namespace mmx::rf

@@ -1,0 +1,54 @@
+#include "mmx/rf/budget.hpp"
+
+#include <stdexcept>
+
+namespace mmx::rf {
+
+void Budget::add(BudgetItem item) {
+  if (item.power_w < 0.0 || item.cost_usd < 0.0)
+    throw std::invalid_argument("Budget: power and cost must be >= 0");
+  items_.push_back(std::move(item));
+}
+
+double Budget::total_power_w() const {
+  double p = 0.0;
+  for (const BudgetItem& i : items_) p += i.power_w;
+  return p;
+}
+
+double Budget::total_cost_usd() const {
+  double c = 0.0;
+  for (const BudgetItem& i : items_) c += i.cost_usd;
+  return c;
+}
+
+double Budget::energy_per_bit_j(double bit_rate_bps) const {
+  if (bit_rate_bps <= 0.0) throw std::invalid_argument("Budget: bit rate must be > 0");
+  return total_power_w() / bit_rate_bps;
+}
+
+Budget mmx_node_budget() {
+  // Component draws/costs from the paper's part list (§8.1) and Analog
+  // Devices datasheets; controller covers the SPI interface logic, not the
+  // whole Raspberry Pi (the Pi is the *sensor* in the paper's accounting).
+  Budget b;
+  b.add({"VCO (HMC533)", 0.85, 40.0});
+  b.add({"SPDT switch (ADRF5020)", 0.01, 25.0});
+  b.add({"digital controller / SPI", 0.20, 10.0});
+  b.add({"patch antenna arrays (PCB)", 0.0, 20.0});
+  b.add({"regulators / misc", 0.04, 15.0});
+  return b;  // 1.10 W, $110
+}
+
+Budget mmx_ap_budget() {
+  Budget b;
+  b.add({"LNA (HMC751)", 0.17, 90.0});
+  b.add({"sub-harmonic mixer (HMC264LC3B)", 0.0, 80.0});
+  b.add({"PLL/LO (ADF5356)", 0.40, 60.0});
+  b.add({"coupled-line filter (PCB)", 0.0, 5.0});
+  b.add({"dipole antennas (PCB)", 0.0, 10.0});
+  b.add({"regulators / misc", 0.05, 20.0});
+  return b;
+}
+
+}  // namespace mmx::rf

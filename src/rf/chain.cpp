@@ -1,0 +1,54 @@
+#include "mmx/rf/chain.hpp"
+
+#include <stdexcept>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::rf {
+
+void CascadeNoise::add_stage(Stage stage) {
+  if (stage.noise_figure_db < 0.0)
+    throw std::invalid_argument("CascadeNoise: noise figure must be >= 0 dB");
+  stages_.push_back(std::move(stage));
+}
+
+double CascadeNoise::total_gain_db() const {
+  double g = 0.0;
+  for (const Stage& s : stages_) g += s.gain_db;
+  return g;
+}
+
+double CascadeNoise::total_noise_figure_db() const {
+  if (stages_.empty()) return 0.0;
+  // Friis: F = F1 + (F2-1)/G1 + (F3-1)/(G1 G2) + ...
+  double f_total = db_to_lin(stages_[0].noise_figure_db);
+  double g_acc = db_to_lin(stages_[0].gain_db);
+  for (std::size_t i = 1; i < stages_.size(); ++i) {
+    f_total += (db_to_lin(stages_[i].noise_figure_db) - 1.0) / g_acc;
+    g_acc *= db_to_lin(stages_[i].gain_db);
+  }
+  return lin_to_db(f_total);
+}
+
+ReceiverChain::ReceiverChain(ReceiverChainSpec spec) : spec_(spec) {
+  if (spec_.noise_bandwidth_hz <= 0.0)
+    throw std::invalid_argument("ReceiverChain: noise bandwidth must be > 0");
+  cascade_.add_stage({"LNA (HMC751)", spec_.lna_gain_db, spec_.lna_nf_db});
+  cascade_.add_stage({"coupled-line filter", -spec_.filter_loss_db, spec_.filter_loss_db});
+  cascade_.add_stage({"sub-harmonic mixer (HMC264)", -spec_.mixer_loss_db, spec_.mixer_nf_db});
+  cascade_.add_stage({"USRP baseband", 0.0, spec_.baseband_nf_db});
+}
+
+double ReceiverChain::noise_figure_db() const { return cascade_.total_noise_figure_db(); }
+
+double ReceiverChain::gain_db() const { return cascade_.total_gain_db(); }
+
+double ReceiverChain::noise_floor_dbm() const {
+  return thermal_noise_dbm(spec_.noise_bandwidth_hz, noise_figure_db());
+}
+
+double ReceiverChain::snr_db(double rx_power_dbm) const {
+  return rx_power_dbm - noise_floor_dbm();
+}
+
+}  // namespace mmx::rf

@@ -1,0 +1,42 @@
+#include "mmx/rf/filter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::rf {
+
+CoupledLineFilter::CoupledLineFilter(CoupledLineFilterSpec spec) : spec_(spec) {
+  if (spec_.center_hz <= 0.0) throw std::invalid_argument("CoupledLineFilter: bad centre");
+  if (spec_.bandwidth_hz <= 0.0 || spec_.bandwidth_hz >= 2.0 * spec_.center_hz)
+    throw std::invalid_argument("CoupledLineFilter: bad bandwidth");
+  if (spec_.insertion_loss_db < 0.0)
+    throw std::invalid_argument("CoupledLineFilter: insertion loss must be >= 0");
+  if (spec_.order < 1) throw std::invalid_argument("CoupledLineFilter: order must be >= 1");
+}
+
+double CoupledLineFilter::gain_db(double freq_hz) const {
+  const double x = (freq_hz - spec_.center_hz) / (spec_.bandwidth_hz / 2.0);
+  const double rolloff = 10.0 * std::log10(1.0 + std::pow(x * x, spec_.order));
+  return -(spec_.insertion_loss_db + rolloff);
+}
+
+double CoupledLineFilter::amplitude_gain(double freq_hz) const {
+  return db_to_amp(gain_db(freq_hz));
+}
+
+double CoupledLineFilter::lower_edge_hz(double rejection_db) const {
+  if (rejection_db <= 0.0) throw std::invalid_argument("CoupledLineFilter: rejection must be > 0");
+  // Solve 10 log10(1 + x^{2n}) = rejection for x >= 0.
+  const double x = std::pow(db_to_lin(rejection_db) - 1.0, 1.0 / (2.0 * spec_.order));
+  return spec_.center_hz - x * spec_.bandwidth_hz / 2.0;
+}
+
+double CoupledLineFilter::upper_edge_hz(double rejection_db) const {
+  if (rejection_db <= 0.0) throw std::invalid_argument("CoupledLineFilter: rejection must be > 0");
+  const double x = std::pow(db_to_lin(rejection_db) - 1.0, 1.0 / (2.0 * spec_.order));
+  return spec_.center_hz + x * spec_.bandwidth_hz / 2.0;
+}
+
+}  // namespace mmx::rf

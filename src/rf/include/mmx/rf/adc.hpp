@@ -1,0 +1,38 @@
+// ADC quantizer model (the USRP N210's 14-bit converter at the AP).
+#pragma once
+
+#include "mmx/dsp/types.hpp"
+
+namespace mmx::rf {
+
+struct AdcSpec {
+  int bits = 14;             ///< resolution per I/Q rail
+  double full_scale = 1.0;   ///< clip level (amplitude) per rail
+};
+
+class Adc {
+ public:
+  explicit Adc(AdcSpec spec = {});
+
+  /// Quantize one complex sample: each rail is clipped to +/- full scale
+  /// and rounded to the nearest of 2^bits levels.
+  dsp::Complex sample(dsp::Complex in) const;
+
+  dsp::Cvec process(std::span<const dsp::Complex> in) const;
+
+  /// Quantization step per rail.
+  double lsb() const { return lsb_; }
+
+  /// Ideal SQNR [dB] for a full-scale sine: 6.02*bits + 1.76.
+  double ideal_sqnr_db() const;
+
+  const AdcSpec& spec() const { return spec_; }
+
+ private:
+  double quantize_rail(double v) const;
+
+  AdcSpec spec_;
+  double lsb_;
+};
+
+}  // namespace mmx::rf

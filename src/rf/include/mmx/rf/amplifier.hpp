@@ -1,0 +1,50 @@
+// Amplifier models (LNA and generic gain stages).
+//
+// The mmX AP front end starts with an HMC751 LNA: ~25 dB gain, 2 dB
+// noise figure at 24 GHz (paper §8.2). Placing it first minimizes the
+// cascade noise figure (Friis), which `mmx::rf::CascadeNoise` verifies.
+#pragma once
+
+#include "mmx/common/rng.hpp"
+#include "mmx/dsp/types.hpp"
+
+namespace mmx::rf {
+
+struct AmplifierSpec {
+  double gain_db = 25.0;
+  double noise_figure_db = 2.0;
+  /// 1 dB output compression point [dBm]; saturation above it.
+  double p1db_out_dbm = 10.0;
+  double power_draw_w = 0.2;
+};
+
+/// Gain + additive noise + soft saturation amplifier model operating on
+/// complex baseband samples whose mean power is calibrated in watts.
+class Amplifier {
+ public:
+  /// `noise_bandwidth_hz` sets how much thermal noise (scaled by the noise
+  /// figure) is referred to the input when processing sample blocks.
+  Amplifier(AmplifierSpec spec, double noise_bandwidth_hz);
+
+  /// Amplify a block: adds input-referred noise, applies gain, then
+  /// soft-clips above the compression point. Sample power unit: watts.
+  dsp::Cvec process(std::span<const dsp::Complex> in, Rng& rng) const;
+
+  /// Small-signal linear power gain.
+  double power_gain() const;
+
+  /// Input-referred added noise power [W] over the noise bandwidth:
+  /// kT0 * B * (F - 1).
+  double input_noise_power_w() const;
+
+  const AmplifierSpec& spec() const { return spec_; }
+
+ private:
+  AmplifierSpec spec_;
+  double noise_bandwidth_hz_;
+};
+
+/// Convenience factory for the AP's HMC751-like LNA.
+Amplifier make_hmc751_lna(double noise_bandwidth_hz);
+
+}  // namespace mmx::rf

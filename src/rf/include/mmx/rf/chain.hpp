@@ -1,0 +1,73 @@
+// RF cascade analysis (Friis noise formula) and the assembled mmX AP
+// receiver chain.
+//
+// The paper's AP is LNA -> coupled-line filter -> sub-harmonic mixer ->
+// USRP baseband (§8.2). The LNA-first ordering "reduces the total noise
+// figure of the receiver" — CascadeNoise quantifies exactly that claim,
+// and ReceiverChain turns a received power level into an SNR.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mmx/rf/filter.hpp"
+
+namespace mmx::rf {
+
+struct Stage {
+  std::string name;
+  double gain_db;           ///< power gain (negative for lossy stages)
+  double noise_figure_db;   ///< stage noise figure (== loss for passives)
+};
+
+/// Friis cascade: total gain and total noise figure of an ordered chain.
+class CascadeNoise {
+ public:
+  void add_stage(Stage stage);
+
+  double total_gain_db() const;
+  double total_noise_figure_db() const;
+  const std::vector<Stage>& stages() const { return stages_; }
+
+ private:
+  std::vector<Stage> stages_;
+};
+
+struct ReceiverChainSpec {
+  double lna_gain_db = 25.0;
+  double lna_nf_db = 2.0;
+  double filter_loss_db = 5.0;
+  double mixer_loss_db = 9.0;
+  double mixer_nf_db = 9.0;   ///< passive mixer: NF == conversion loss
+  double baseband_nf_db = 8.0;  ///< USRP front-end noise figure
+  double noise_bandwidth_hz = 25e6;  ///< per-node channel bandwidth (paper §9.5)
+};
+
+/// Link-budget receiver model for the mmX AP.
+class ReceiverChain {
+ public:
+  explicit ReceiverChain(ReceiverChainSpec spec = {});
+
+  /// Cascade noise figure of the whole AP receiver [dB].
+  double noise_figure_db() const;
+
+  /// Cascade gain [dB].
+  double gain_db() const;
+
+  /// Noise floor [dBm] referred to the input over the noise bandwidth.
+  double noise_floor_dbm() const;
+
+  /// SNR [dB] for a given received signal power at the antenna port.
+  double snr_db(double rx_power_dbm) const;
+
+  /// The same chain as an inspectable cascade.
+  const CascadeNoise& cascade() const { return cascade_; }
+
+  const ReceiverChainSpec& spec() const { return spec_; }
+
+ private:
+  ReceiverChainSpec spec_;
+  CascadeNoise cascade_;
+};
+
+}  // namespace mmx::rf

@@ -1,0 +1,44 @@
+// Sub-harmonic mixer model.
+//
+// The mmX AP uses an HMC264-style sub-harmonic mixer that internally
+// doubles the LO (paper §5.2, §8.2): a cheap 10 GHz PLL drives it, the
+// effective LO is 20 GHz, and the 24 GHz RF lands at a 4 GHz IF inside
+// the USRP's range. Avoiding a 24 GHz PLL is one of the AP's cost tricks.
+#pragma once
+
+#include "mmx/dsp/types.hpp"
+
+namespace mmx::rf {
+
+struct MixerSpec {
+  double conversion_loss_db = 9.0;  ///< SSB conversion loss (HMC264: ~9 dB)
+  int lo_multiplier = 2;            ///< sub-harmonic order (x2)
+  double lo_leakage_db = 30.0;      ///< LO-to-IF leakage below the signal
+};
+
+class SubharmonicMixer {
+ public:
+  explicit SubharmonicMixer(MixerSpec spec = {});
+
+  /// IF frequency [Hz] for an RF input given the *PLL* frequency (the
+  /// mixer doubles it internally): |f_rf - m * f_pll|.
+  double if_frequency_hz(double rf_hz, double pll_hz) const;
+
+  /// Effective internal LO [Hz].
+  double effective_lo_hz(double pll_hz) const;
+
+  /// Amplitude gain of the conversion (linear, < 1).
+  double conversion_gain() const;
+
+  /// Downconvert a complex-envelope block (frequency translation is
+  /// handled by the simulator's frequency bookkeeping; the mixer applies
+  /// the conversion loss here).
+  dsp::Cvec process(std::span<const dsp::Complex> rf) const;
+
+  const MixerSpec& spec() const { return spec_; }
+
+ private:
+  MixerSpec spec_;
+};
+
+}  // namespace mmx::rf

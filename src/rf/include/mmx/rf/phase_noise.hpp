@@ -1,0 +1,46 @@
+// Oscillator phase noise (Lorentzian / Wiener-process model).
+//
+// A free-running VCO like the node's HMC533 has a finite linewidth; its
+// phase random-walks, broadening the OTAM tones. The joint ASK-FSK
+// scheme tolerates this as long as the linewidth stays far below the
+// FSK tone spacing — this model lets tests and benches quantify exactly
+// how far.
+#pragma once
+
+#include "mmx/common/rng.hpp"
+#include "mmx/dsp/types.hpp"
+
+namespace mmx::rf {
+
+struct PhaseNoiseSpec {
+  /// Lorentzian (3 dB, two-sided) linewidth [Hz]. A locked PLL source is
+  /// ~kHz; a free-running mmWave VCO can be 100s of kHz.
+  double linewidth_hz = 100e3;
+};
+
+class PhaseNoise {
+ public:
+  explicit PhaseNoise(PhaseNoiseSpec spec = {});
+
+  /// Single-sideband phase noise density L(f) [dBc/Hz] at offset f:
+  /// Lorentzian skirt L(f) = (linewidth / pi) / (f^2 + (linewidth/2)^2).
+  double ssb_dbc_per_hz(double offset_hz) const;
+
+  /// RMS phase drift [rad] accumulated over an interval:
+  /// sigma = sqrt(2 pi * linewidth * tau).
+  double rms_drift_rad(double interval_s) const;
+
+  /// Generate the multiplicative phase process e^{j phi[n]} (Wiener
+  /// phase increments) for sample-level simulation.
+  dsp::Cvec process(std::size_t n, double sample_rate_hz, Rng& rng) const;
+
+  /// Multiply a clean signal by a fresh phase-noise realization.
+  dsp::Cvec apply(std::span<const dsp::Complex> x, double sample_rate_hz, Rng& rng) const;
+
+  const PhaseNoiseSpec& spec() const { return spec_; }
+
+ private:
+  PhaseNoiseSpec spec_;
+};
+
+}  // namespace mmx::rf

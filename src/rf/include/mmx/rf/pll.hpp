@@ -1,0 +1,47 @@
+// Integer-N PLL / LO generator model.
+//
+// The AP's LO comes from an ADF5356-class PLL at 10 GHz (paper §8.2).
+// The model covers lock-frequency synthesis from a reference and an
+// integer divider, plus a coarse settle-time estimate — enough to reason
+// about channel-retune cost in the MAC.
+#pragma once
+
+namespace mmx::rf {
+
+struct PllSpec {
+  double reference_hz = 100e6;    ///< crystal reference
+  double pfd_hz = 50e6;           ///< phase-frequency detector rate
+  double f_min_hz = 6.8e9;        ///< VCO range low (ADF5356-ish)
+  double f_max_hz = 13.6e9;       ///< VCO range high
+  double loop_bandwidth_hz = 100e3;
+  double power_draw_w = 0.4;
+};
+
+class Pll {
+ public:
+  explicit Pll(PllSpec spec = {});
+
+  /// Program the synthesizer to the closest achievable frequency to
+  /// `target_hz` (integer-N on the PFD grid). Throws if out of range.
+  /// Returns the actual locked frequency.
+  double tune(double target_hz);
+
+  double frequency_hz() const { return freq_hz_; }
+  bool locked() const { return locked_; }
+
+  /// Frequency error of the current lock vs the last requested target.
+  double tune_error_hz() const { return tune_error_hz_; }
+
+  /// Approximate settle time: ~4 / loop bandwidth.
+  double settle_time_s() const;
+
+  const PllSpec& spec() const { return spec_; }
+
+ private:
+  PllSpec spec_;
+  double freq_hz_ = 0.0;
+  double tune_error_hz_ = 0.0;
+  bool locked_ = false;
+};
+
+}  // namespace mmx::rf

@@ -1,0 +1,63 @@
+// Single-pole double-throw RF switch model.
+//
+// Models the ADRF5020 on the mmX node (paper §8.1): < 2 dB insertion
+// loss, 65 dB isolation between output ports, and a maximum toggle rate
+// of 100 MHz — the component that caps the node's bit rate at 100 Mbps
+// (paper §9.1).
+#pragma once
+
+#include <cstdint>
+
+#include "mmx/dsp/types.hpp"
+
+namespace mmx::rf {
+
+struct SpdtSpec {
+  double insertion_loss_db = 2.0;   ///< through-path loss
+  double isolation_db = 65.0;       ///< leakage suppression to the off port
+  double max_toggle_rate_hz = 100e6;  ///< fastest allowed switching rate
+  double power_draw_w = 0.01;       ///< DC power draw [W]
+};
+
+/// Two-output switch routing one input to port 0 or port 1, with
+/// realistic leakage to the unselected port.
+class SpdtSwitch {
+ public:
+  explicit SpdtSwitch(SpdtSpec spec = {});
+
+  /// Select the active output port (0 or 1).
+  void select(int port);
+  int selected() const { return port_; }
+
+  /// Route one input sample: returns {port0_out, port1_out}. The selected
+  /// port sees the input attenuated by the insertion loss; the other port
+  /// sees it further attenuated by the isolation.
+  struct Outputs {
+    dsp::Complex port0;
+    dsp::Complex port1;
+  };
+  Outputs route(dsp::Complex in) const;
+
+  /// Amplitude gain (< 1) of the through path.
+  double through_gain() const { return through_gain_; }
+  /// Amplitude gain of the leakage path.
+  double leak_gain() const { return leak_gain_; }
+
+  /// Highest bit rate [bit/s] the switch supports for OOK-style
+  /// one-toggle-per-bit signalling (paper: 100 Mbps).
+  double max_bit_rate() const { return spec_.max_toggle_rate_hz; }
+
+  /// Validate a requested symbol rate against the toggle limit.
+  /// Throws std::invalid_argument if too fast.
+  void check_symbol_rate(double symbol_rate_hz) const;
+
+  const SpdtSpec& spec() const { return spec_; }
+
+ private:
+  SpdtSpec spec_;
+  double through_gain_;
+  double leak_gain_;
+  int port_ = 0;
+};
+
+}  // namespace mmx::rf

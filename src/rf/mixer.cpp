@@ -1,0 +1,38 @@
+#include "mmx/rf/mixer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::rf {
+
+SubharmonicMixer::SubharmonicMixer(MixerSpec spec) : spec_(spec) {
+  if (spec_.conversion_loss_db < 0.0)
+    throw std::invalid_argument("SubharmonicMixer: conversion loss must be >= 0");
+  if (spec_.lo_multiplier < 1)
+    throw std::invalid_argument("SubharmonicMixer: lo multiplier must be >= 1");
+}
+
+double SubharmonicMixer::effective_lo_hz(double pll_hz) const {
+  if (pll_hz <= 0.0) throw std::invalid_argument("SubharmonicMixer: PLL frequency must be > 0");
+  return static_cast<double>(spec_.lo_multiplier) * pll_hz;
+}
+
+double SubharmonicMixer::if_frequency_hz(double rf_hz, double pll_hz) const {
+  if (rf_hz <= 0.0) throw std::invalid_argument("SubharmonicMixer: RF frequency must be > 0");
+  return std::abs(rf_hz - effective_lo_hz(pll_hz));
+}
+
+double SubharmonicMixer::conversion_gain() const {
+  return db_to_amp(-spec_.conversion_loss_db);
+}
+
+dsp::Cvec SubharmonicMixer::process(std::span<const dsp::Complex> rf) const {
+  const double g = conversion_gain();
+  dsp::Cvec out(rf.size());
+  for (std::size_t i = 0; i < rf.size(); ++i) out[i] = rf[i] * g;
+  return out;
+}
+
+}  // namespace mmx::rf

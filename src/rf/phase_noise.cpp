@@ -1,0 +1,46 @@
+#include "mmx/rf/phase_noise.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::rf {
+
+PhaseNoise::PhaseNoise(PhaseNoiseSpec spec) : spec_(spec) {
+  if (spec.linewidth_hz <= 0.0) throw std::invalid_argument("PhaseNoise: linewidth must be > 0");
+}
+
+double PhaseNoise::ssb_dbc_per_hz(double offset_hz) const {
+  if (offset_hz <= 0.0) throw std::invalid_argument("PhaseNoise: offset must be > 0");
+  const double hw = spec_.linewidth_hz / 2.0;
+  const double l = (spec_.linewidth_hz / kPi) / (offset_hz * offset_hz + hw * hw);
+  return lin_to_db(l);
+}
+
+double PhaseNoise::rms_drift_rad(double interval_s) const {
+  if (interval_s < 0.0) throw std::invalid_argument("PhaseNoise: negative interval");
+  return std::sqrt(2.0 * kPi * spec_.linewidth_hz * interval_s);
+}
+
+dsp::Cvec PhaseNoise::process(std::size_t n, double sample_rate_hz, Rng& rng) const {
+  if (sample_rate_hz <= 0.0) throw std::invalid_argument("PhaseNoise: sample rate must be > 0");
+  const double sigma = rms_drift_rad(1.0 / sample_rate_hz);
+  dsp::Cvec out(n);
+  double phi = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = dsp::Complex{std::cos(phi), std::sin(phi)};
+    phi += rng.gaussian(sigma);
+  }
+  return out;
+}
+
+dsp::Cvec PhaseNoise::apply(std::span<const dsp::Complex> x, double sample_rate_hz,
+                            Rng& rng) const {
+  const dsp::Cvec pn = process(x.size(), sample_rate_hz, rng);
+  dsp::Cvec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * pn[i];
+  return out;
+}
+
+}  // namespace mmx::rf

@@ -1,0 +1,28 @@
+#include "mmx/rf/pll.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mmx::rf {
+
+Pll::Pll(PllSpec spec) : spec_(spec) {
+  if (spec_.reference_hz <= 0.0 || spec_.pfd_hz <= 0.0)
+    throw std::invalid_argument("Pll: reference and PFD rates must be > 0");
+  if (spec_.f_min_hz >= spec_.f_max_hz) throw std::invalid_argument("Pll: bad VCO range");
+  if (spec_.loop_bandwidth_hz <= 0.0)
+    throw std::invalid_argument("Pll: loop bandwidth must be > 0");
+}
+
+double Pll::tune(double target_hz) {
+  if (target_hz < spec_.f_min_hz || target_hz > spec_.f_max_hz)
+    throw std::out_of_range("Pll: target outside VCO range");
+  const double n = std::round(target_hz / spec_.pfd_hz);
+  freq_hz_ = n * spec_.pfd_hz;
+  tune_error_hz_ = freq_hz_ - target_hz;
+  locked_ = true;
+  return freq_hz_;
+}
+
+double Pll::settle_time_s() const { return 4.0 / spec_.loop_bandwidth_hz; }
+
+}  // namespace mmx::rf

@@ -1,0 +1,38 @@
+#include "mmx/rf/spdt.hpp"
+
+#include <stdexcept>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::rf {
+
+SpdtSwitch::SpdtSwitch(SpdtSpec spec) : spec_(spec) {
+  if (spec_.insertion_loss_db < 0.0)
+    throw std::invalid_argument("SpdtSwitch: insertion loss must be >= 0 dB");
+  if (spec_.isolation_db <= spec_.insertion_loss_db)
+    throw std::invalid_argument("SpdtSwitch: isolation must exceed insertion loss");
+  if (spec_.max_toggle_rate_hz <= 0.0)
+    throw std::invalid_argument("SpdtSwitch: max toggle rate must be > 0");
+  through_gain_ = db_to_amp(-spec_.insertion_loss_db);
+  leak_gain_ = db_to_amp(-spec_.isolation_db);
+}
+
+void SpdtSwitch::select(int port) {
+  if (port != 0 && port != 1) throw std::invalid_argument("SpdtSwitch: port must be 0 or 1");
+  port_ = port;
+}
+
+SpdtSwitch::Outputs SpdtSwitch::route(dsp::Complex in) const {
+  const dsp::Complex on = in * through_gain_;
+  const dsp::Complex off = in * leak_gain_;
+  return (port_ == 0) ? Outputs{on, off} : Outputs{off, on};
+}
+
+void SpdtSwitch::check_symbol_rate(double symbol_rate_hz) const {
+  if (symbol_rate_hz <= 0.0)
+    throw std::invalid_argument("SpdtSwitch: symbol rate must be > 0");
+  if (symbol_rate_hz > spec_.max_toggle_rate_hz)
+    throw std::invalid_argument("SpdtSwitch: symbol rate exceeds switch toggle limit");
+}
+
+}  // namespace mmx::rf

@@ -1,0 +1,70 @@
+#include "mmx/rf/vco.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::rf {
+
+Vco::Vco(VcoSpec spec) : spec_(spec) {
+  if (spec_.v_min >= spec_.v_max) throw std::invalid_argument("Vco: v_min must be < v_max");
+  if (spec_.f_min_hz >= spec_.f_max_hz) throw std::invalid_argument("Vco: f_min must be < f_max");
+  if (spec_.curvature < 0.0 || spec_.curvature >= 0.5)
+    throw std::invalid_argument("Vco: curvature must be in [0, 0.5)");
+}
+
+double Vco::shape(double u) const {
+  // Linear term plus a sine ripple; the derivative 1 + c*pi*... stays
+  // positive for curvature < 0.5/pi' bounds checked in the ctor, keeping
+  // the curve monotonic (a physical requirement for varactor tuning).
+  return u + spec_.curvature * std::sin(kTwoPi * u) / kTwoPi;
+}
+
+double Vco::shape_inverse(double s) const {
+  // Newton iteration; shape is monotonic with derivative >= 1 - curvature.
+  double u = s;
+  for (int i = 0; i < 50; ++i) {
+    const double f = shape(u) - s;
+    const double df = 1.0 + spec_.curvature * std::cos(kTwoPi * u);
+    const double step = f / df;
+    u -= step;
+    if (std::abs(step) < 1e-15) break;
+  }
+  return u;
+}
+
+double Vco::frequency_hz(double tuning_v) const {
+  if (tuning_v < spec_.v_min - 1e-9 || tuning_v > spec_.v_max + 1e-9)
+    throw std::out_of_range("Vco: tuning voltage outside usable range");
+  const double u = (tuning_v - spec_.v_min) / (spec_.v_max - spec_.v_min);
+  return spec_.f_min_hz + shape(u) * (spec_.f_max_hz - spec_.f_min_hz);
+}
+
+double Vco::voltage_for(double freq_hz) const {
+  if (!covers(freq_hz)) throw std::out_of_range("Vco: frequency outside tuning range");
+  const double s = (freq_hz - spec_.f_min_hz) / (spec_.f_max_hz - spec_.f_min_hz);
+  return spec_.v_min + shape_inverse(s) * (spec_.v_max - spec_.v_min);
+}
+
+double Vco::sensitivity_hz_per_v(double tuning_v) const {
+  const double u = (tuning_v - spec_.v_min) / (spec_.v_max - spec_.v_min);
+  const double dshape = 1.0 + spec_.curvature * std::cos(kTwoPi * u);
+  return dshape * (spec_.f_max_hz - spec_.f_min_hz) / (spec_.v_max - spec_.v_min);
+}
+
+bool Vco::covers(double freq_hz) const {
+  return freq_hz >= spec_.f_min_hz - 1e-3 && freq_hz <= spec_.f_max_hz + 1e-3;
+}
+
+double Vco::frequency_with_jitter_hz(double tuning_v, Rng& rng) const {
+  return frequency_hz(tuning_v) + rng.gaussian(spec_.freq_jitter_hz);
+}
+
+double Vco::frequency_at_temperature_hz(double tuning_v, double temp_k) const {
+  if (temp_k <= 0.0) throw std::invalid_argument("Vco: temperature must be > 0 K");
+  return frequency_hz(tuning_v) +
+         spec_.temp_coefficient_hz_per_k * (temp_k - spec_.temp_ref_k);
+}
+
+}  // namespace mmx::rf

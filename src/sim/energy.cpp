@@ -1,0 +1,46 @@
+#include "mmx/sim/energy.hpp"
+
+#include <stdexcept>
+
+namespace mmx::sim {
+namespace {
+
+constexpr double kSecondsPerDay = 86400.0;
+
+void validate(const RadioProfile& r) {
+  if (r.active_power_w <= 0.0 || r.bit_rate_bps <= 0.0 || r.sleep_power_w < 0.0)
+    throw std::invalid_argument("RadioProfile: non-physical parameters");
+}
+
+}  // namespace
+
+RadioProfile mmx_radio_profile() { return {"mmX", 1.1, 100e6, 50e-6}; }
+RadioProfile wifi_radio_profile() { return {"WiFi 802.11n", 2.1, 120e6, 3e-3}; }
+RadioProfile bluetooth_radio_profile() { return {"Bluetooth", 0.029, 1e6, 30e-6}; }
+
+bool can_sustain(const RadioProfile& radio, double bits_per_day) {
+  validate(radio);
+  if (bits_per_day < 0.0) throw std::invalid_argument("bits_per_day must be >= 0");
+  return bits_per_day <= radio.bit_rate_bps * kSecondsPerDay;
+}
+
+double daily_airtime_s(const RadioProfile& radio, double bits_per_day) {
+  if (!can_sustain(radio, bits_per_day))
+    throw std::invalid_argument("daily_airtime_s: radio cannot carry the daily volume");
+  return bits_per_day / radio.bit_rate_bps;
+}
+
+double average_power_w(const RadioProfile& radio, double bits_per_day) {
+  const double active_s = daily_airtime_s(radio, bits_per_day);
+  return (radio.active_power_w * active_s +
+          radio.sleep_power_w * (kSecondsPerDay - active_s)) /
+         kSecondsPerDay;
+}
+
+double battery_life_days(const RadioProfile& radio, double bits_per_day, double battery_wh) {
+  if (battery_wh <= 0.0) throw std::invalid_argument("battery_life_days: battery must be > 0");
+  const double avg_w = average_power_w(radio, bits_per_day);
+  return battery_wh / (avg_w * 24.0);
+}
+
+}  // namespace mmx::sim

@@ -1,0 +1,40 @@
+#include "mmx/sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace mmx::sim {
+
+void EventQueue::schedule_at(double t, Handler fn) {
+  if (t < now_) throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  if (!fn) throw std::invalid_argument("EventQueue: null handler");
+  queue_.push({t, seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(double dt, Handler fn) { schedule_at(now_ + dt, std::move(fn)); }
+
+std::size_t EventQueue::run_until(double t_end) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++executed;
+  }
+  if (now_ < t_end) now_ = t_end;
+  return executed;
+}
+
+std::size_t EventQueue::run_all() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace mmx::sim

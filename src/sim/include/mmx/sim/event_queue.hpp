@@ -1,0 +1,50 @@
+// Minimal discrete-event engine for network-level simulations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mmx::sim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `t` (seconds). Must not be in the past.
+  void schedule_at(double t, Handler fn);
+
+  /// Schedule `fn` `dt` seconds from now.
+  void schedule_in(double dt, Handler fn);
+
+  /// Run events until the queue empties or time would pass `t_end`.
+  /// Returns the number of events executed.
+  std::size_t run_until(double t_end);
+
+  /// Run everything (caller guarantees termination).
+  std::size_t run_all();
+
+  double now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  // FIFO tie-break for simultaneous events
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace mmx::sim

@@ -1,0 +1,96 @@
+// Room-scale mmX network simulator.
+//
+// Binds the substrates together: ray-traced channel, orthogonal beam
+// pair, link budget, FDM/SDM initialization, and the AP's TMA — enough
+// to regenerate every network-level experiment in the paper (§9.2-§9.5).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "mmx/antenna/tma.hpp"
+#include "mmx/channel/beam_channel.hpp"
+#include "mmx/channel/room.hpp"
+#include "mmx/mac/init_protocol.hpp"
+#include "mmx/sim/link_budget.hpp"
+
+namespace mmx::sim {
+
+struct SimConfig {
+  LinkBudgetSpec budget{};
+  double freq_hz = 24.125e9;
+  /// AP TMA used for SDM groups.
+  antenna::TmaSpec tma{};
+  double tma_delay_frac = 0.0625;
+  double tma_tau = 0.45;
+  /// Suppression of other FDM channels by the AP's channelization
+  /// filters (adjacent-channel rejection).
+  double adjacent_channel_rejection_db = 50.0;
+  /// Equalize receive powers inside each SDM group (the AP commands
+  /// per-node duty-cycle backoff over the side channel during init) —
+  /// tames the near-far problem co-channel TMA groups otherwise have.
+  bool sdm_power_control = true;
+  mac::InitConfig init{};
+};
+
+class NetworkSimulator {
+ public:
+  NetworkSimulator(channel::Room room, channel::Pose ap_pose, SimConfig cfg = {});
+
+  /// Register a node: runs the §7a initialization (FDM, then SDM).
+  /// Returns the node id, or nullopt if the AP denied the request.
+  std::optional<std::uint16_t> add_node(const channel::Pose& pose, double rate_bps);
+
+  void remove_node(std::uint16_t id);
+  void set_node_pose(std::uint16_t id, const channel::Pose& pose);
+
+  /// The room is mutable so scenarios can move blockers between
+  /// measurements.
+  channel::Room& room() { return room_; }
+  const channel::Room& room() const { return room_; }
+
+  /// Fresh per-beam channel gains for a node (re-traces rays).
+  channel::BeamGains gains(std::uint16_t id) const;
+
+  /// OTAM link metrics (paper's "with OTAM" scenario).
+  OtamLink link(std::uint16_t id) const;
+
+  /// Fixed-beam ASK baseline ("without OTAM", §9.2 scenario 1).
+  OtamLink fixed_beam_link(std::uint16_t id) const;
+
+  /// SINR per node when ALL nodes transmit simultaneously (§9.5):
+  /// co-channel nodes leak through TMA harmonic sidelobes, other-channel
+  /// nodes through the channelization filters.
+  std::map<std::uint16_t, double> sinr_all_db() const;
+
+  const mac::ChannelGrant& grant(std::uint16_t id) const;
+
+  /// Node's arrival bearing at the AP (AP-frame azimuth of the LoS).
+  double bearing_at_ap(std::uint16_t id) const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const channel::Pose& ap_pose() const { return ap_pose_; }
+  const LinkBudget& budget() const { return budget_; }
+
+ private:
+  struct NodeState {
+    channel::Pose pose;
+    mac::ChannelGrant grant;
+  };
+
+  const NodeState& node(std::uint16_t id) const;
+
+  channel::Room room_;
+  channel::Pose ap_pose_;
+  SimConfig cfg_;
+  LinkBudget budget_;
+  antenna::MmxBeamPair beams_;
+  antenna::Dipole ap_antenna_;
+  antenna::TimeModulatedArray tma_;
+  mac::InitProtocol init_;
+  rf::SpdtSwitch spdt_;
+  std::map<std::uint16_t, NodeState> nodes_;
+  std::uint16_t next_id_ = 1;
+};
+
+}  // namespace mmx::sim

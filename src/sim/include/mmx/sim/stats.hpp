@@ -1,0 +1,47 @@
+// Statistics helpers for experiment harnesses (CDFs, percentiles, grids).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mmx::sim {
+
+double mean(const std::vector<double>& v);
+double median(std::vector<double> v);
+/// p in [0, 100], linear interpolation between order statistics.
+double percentile(std::vector<double> v, double p);
+double min_of(const std::vector<double>& v);
+double max_of(const std::vector<double>& v);
+
+/// Empirical CDF evaluated at `x`: fraction of samples <= x.
+double ecdf(const std::vector<double>& samples, double x);
+
+/// Jain's fairness index over non-negative allocations: 1 = perfectly
+/// fair, 1/n = one node hogs everything. Used to judge the FDM/SDM
+/// scheduler's multi-node behaviour.
+double jain_fairness(const std::vector<double>& allocations);
+
+/// A 2-D sample grid (e.g. the SNR heat map of Fig. 10).
+class Grid {
+ public:
+  Grid(std::size_t nx, std::size_t ny);
+
+  double& at(std::size_t ix, std::size_t iy);
+  double at(std::size_t ix, std::size_t iy) const;
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+
+  /// Fraction of cells with value >= threshold.
+  double fraction_at_least(double threshold) const;
+  double min_value() const;
+  double max_value() const;
+  std::vector<double> values() const { return cells_; }
+
+ private:
+  std::size_t nx_;
+  std::size_t ny_;
+  std::vector<double> cells_;
+};
+
+}  // namespace mmx::sim

@@ -1,0 +1,54 @@
+// Traffic sources for the network simulator.
+//
+// The paper's motivating workloads: HD security cameras streaming 8-10
+// Mbps continuously (§1 footnote), and low-rate sensors reporting
+// sporadically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mmx/common/rng.hpp"
+
+namespace mmx::sim {
+
+struct PacketArrival {
+  double time_s;
+  std::size_t bytes;
+};
+
+/// Constant-bit-rate source (video): fixed-size packets at a fixed rate.
+class CbrSource {
+ public:
+  CbrSource(double rate_bps, std::size_t packet_bytes = 1400);
+
+  /// All arrivals in [0, duration).
+  std::vector<PacketArrival> arrivals(double duration_s) const;
+
+  double rate_bps() const { return rate_bps_; }
+  double packet_interval_s() const { return interval_; }
+
+ private:
+  double rate_bps_;
+  std::size_t packet_bytes_;
+  double interval_;
+};
+
+/// Poisson sensor source: exponential inter-arrivals, fixed report size.
+class PoissonSource {
+ public:
+  PoissonSource(double mean_reports_per_s, std::size_t report_bytes = 64);
+
+  std::vector<PacketArrival> arrivals(double duration_s, Rng& rng) const;
+
+  double mean_rate_bps() const;
+
+ private:
+  double lambda_;
+  std::size_t report_bytes_;
+};
+
+/// Offered load [bit/s] of an arrival trace over its duration.
+double offered_load_bps(const std::vector<PacketArrival>& arrivals, double duration_s);
+
+}  // namespace mmx::sim

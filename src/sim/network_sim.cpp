@@ -1,0 +1,148 @@
+#include "mmx/sim/network_sim.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::sim {
+
+NetworkSimulator::NetworkSimulator(channel::Room room, channel::Pose ap_pose, SimConfig cfg)
+    : room_(std::move(room)),
+      ap_pose_(ap_pose),
+      cfg_(cfg),
+      budget_(cfg.budget),
+      beams_(antenna::BeamPairSpec{.freq_hz = cfg.freq_hz}),
+      ap_antenna_(),
+      tma_(antenna::TimeModulatedArray::progressive(cfg.tma, cfg.tma_delay_frac, cfg.tma_tau)),
+      init_(mac::FdmAllocator(kIsmLowHz, kIsmHighHz, cfg.init.guard_hz), rf::Vco{}, cfg.init) {
+  if (!room_.contains(ap_pose.position))
+    throw std::invalid_argument("NetworkSimulator: AP outside the room");
+}
+
+std::optional<std::uint16_t> NetworkSimulator::add_node(const channel::Pose& pose,
+                                                        double rate_bps) {
+  if (!room_.contains(pose.position))
+    throw std::invalid_argument("NetworkSimulator: node outside the room");
+  const std::uint16_t id = next_id_++;
+  // Bearing at registration: AP-frame azimuth of the direct path.
+  const double bearing =
+      wrap_angle((pose.position - ap_pose_.position).angle() - ap_pose_.orientation_rad);
+  const auto reply = init_.handle(mac::ChannelRequest{id, rate_bps, bearing});
+  const auto* grant = std::get_if<mac::ChannelGrant>(&reply);
+  if (!grant) return std::nullopt;
+  nodes_[id] = NodeState{pose, *grant};
+  return id;
+}
+
+void NetworkSimulator::remove_node(std::uint16_t id) {
+  if (nodes_.erase(id) > 0) init_.release(id);
+}
+
+void NetworkSimulator::set_node_pose(std::uint16_t id, const channel::Pose& pose) {
+  if (!room_.contains(pose.position))
+    throw std::invalid_argument("NetworkSimulator: node outside the room");
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw std::out_of_range("NetworkSimulator: unknown node");
+  it->second.pose = pose;
+}
+
+const NetworkSimulator::NodeState& NetworkSimulator::node(std::uint16_t id) const {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw std::out_of_range("NetworkSimulator: unknown node");
+  return it->second;
+}
+
+channel::BeamGains NetworkSimulator::gains(std::uint16_t id) const {
+  const NodeState& n = node(id);
+  channel::RayTracer tracer(room_);
+  return channel::compute_beam_gains(tracer, n.pose, beams_, ap_pose_, ap_antenna_,
+                                     cfg_.freq_hz);
+}
+
+OtamLink NetworkSimulator::link(std::uint16_t id) const {
+  return budget_.evaluate_otam(gains(id), spdt_);
+}
+
+OtamLink NetworkSimulator::fixed_beam_link(std::uint16_t id) const {
+  return budget_.evaluate_fixed_beam(gains(id));
+}
+
+const mac::ChannelGrant& NetworkSimulator::grant(std::uint16_t id) const {
+  // Read the live grant: the init protocol may re-point a node's SDM
+  // harmonic when its channel later becomes shared.
+  const auto it = init_.grants().find(id);
+  if (it == init_.grants().end()) throw std::out_of_range("NetworkSimulator: unknown node");
+  return it->second;
+}
+
+double NetworkSimulator::bearing_at_ap(std::uint16_t id) const {
+  const NodeState& n = node(id);
+  return wrap_angle((n.pose.position - ap_pose_.position).angle() - ap_pose_.orientation_rad);
+}
+
+std::map<std::uint16_t, double> NetworkSimulator::sinr_all_db() const {
+  // Received power (stronger OTAM level) per node, in watts.
+  std::map<std::uint16_t, double> rx_w;
+  std::map<std::uint16_t, double> bearing;
+  for (const auto& [id, st] : nodes_) {
+    const OtamLink l = budget_.evaluate_otam(gains(id), spdt_);
+    rx_w[id] = dbm_to_watt(std::max(l.rx1_dbm, l.rx0_dbm));
+    bearing[id] = bearing_at_ap(id);
+  }
+
+  const double noise_w = dbm_to_watt(budget_.noise_floor_dbm());
+  const double aclr = db_to_lin(-cfg_.adjacent_channel_rejection_db);
+
+  // Per-group power control: every member of a shared channel backs off
+  // to the weakest member's receive level.
+  if (cfg_.sdm_power_control) {
+    std::map<std::pair<double, double>, double> group_min;  // (centre, bw) -> min rx
+    for (const auto& [id, st] : nodes_) {
+      const auto& ch = grant(id).channel;
+      const auto key = std::make_pair(ch.center_hz, ch.bandwidth_hz);
+      const auto it = group_min.find(key);
+      if (it == group_min.end() || rx_w.at(id) < it->second) group_min[key] = rx_w.at(id);
+    }
+    for (auto& [id, w] : rx_w) {
+      const auto& ch = grant(id).channel;
+      w = group_min.at(std::make_pair(ch.center_hz, ch.bandwidth_hz));
+    }
+  }
+
+  const auto share_count = [&](const mac::ChannelAllocation& ch) {
+    std::size_t n = 0;
+    for (const auto& [jd, sj] : nodes_)
+      if (grant(jd).channel == ch) ++n;
+    return n;
+  };
+
+  std::map<std::uint16_t, double> out;
+  for (const auto& [id, st] : nodes_) {
+    const mac::ChannelGrant& gi = grant(id);
+    const int m_i = gi.sdm_harmonic;
+    // The TMA gain applies only to SDM groups; plain FDM nodes are
+    // received on the AP's static antenna (gain already in the budget).
+    const bool shared_i = share_count(gi.channel) > 1;
+    const double g_own =
+        shared_i ? tma_.harmonic_power(m_i, bearing.at(id)) : 1.0;
+    const double wanted = rx_w.at(id) * std::max(g_own, 1e-12);
+
+    double interference = 0.0;
+    for (const auto& [jd, sj] : nodes_) {
+      if (jd == id) continue;
+      if (grant(jd).channel == gi.channel) {
+        // Co-channel: leakage through the harmonic-m_i pattern toward j.
+        const double g_leak = tma_.harmonic_power(m_i, bearing.at(jd));
+        interference += rx_w.at(jd) * g_leak;
+      } else {
+        interference += rx_w.at(jd) * aclr * (shared_i ? g_own : 1.0);
+      }
+    }
+    const double noise = noise_w * (shared_i ? g_own : 1.0);
+    out[id] = lin_to_db(wanted / (interference + noise));
+  }
+  return out;
+}
+
+}  // namespace mmx::sim

@@ -1,0 +1,84 @@
+#include "mmx/sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mmx::sim {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("mean: empty sample");
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p must be in [0,100]");
+  std::sort(v.begin(), v.end());
+  const double idx = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const auto hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double median(std::vector<double> v) { return percentile(std::move(v), 50.0); }
+
+double min_of(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("min_of: empty sample");
+  return *std::min_element(v.begin(), v.end());
+}
+
+double max_of(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("max_of: empty sample");
+  return *std::max_element(v.begin(), v.end());
+}
+
+double ecdf(const std::vector<double>& samples, double x) {
+  if (samples.empty()) throw std::invalid_argument("ecdf: empty sample");
+  std::size_t count = 0;
+  for (double s : samples)
+    if (s <= x) ++count;
+  return static_cast<double>(count) / static_cast<double>(samples.size());
+}
+
+double jain_fairness(const std::vector<double>& allocations) {
+  if (allocations.empty()) throw std::invalid_argument("jain_fairness: empty sample");
+  double sum = 0.0;
+  double sq = 0.0;
+  for (double x : allocations) {
+    if (x < 0.0) throw std::invalid_argument("jain_fairness: allocations must be >= 0");
+    sum += x;
+    sq += x * x;
+  }
+  if (sq == 0.0) return 1.0;  // everyone got exactly nothing: equally fair
+  return sum * sum / (static_cast<double>(allocations.size()) * sq);
+}
+
+Grid::Grid(std::size_t nx, std::size_t ny) : nx_(nx), ny_(ny), cells_(nx * ny, 0.0) {
+  if (nx == 0 || ny == 0) throw std::invalid_argument("Grid: dimensions must be > 0");
+}
+
+double& Grid::at(std::size_t ix, std::size_t iy) {
+  if (ix >= nx_ || iy >= ny_) throw std::out_of_range("Grid: index");
+  return cells_[iy * nx_ + ix];
+}
+
+double Grid::at(std::size_t ix, std::size_t iy) const {
+  if (ix >= nx_ || iy >= ny_) throw std::out_of_range("Grid: index");
+  return cells_[iy * nx_ + ix];
+}
+
+double Grid::fraction_at_least(double threshold) const {
+  std::size_t count = 0;
+  for (double c : cells_)
+    if (c >= threshold) ++count;
+  return static_cast<double>(count) / static_cast<double>(cells_.size());
+}
+
+double Grid::min_value() const { return *std::min_element(cells_.begin(), cells_.end()); }
+double Grid::max_value() const { return *std::max_element(cells_.begin(), cells_.end()); }
+
+}  // namespace mmx::sim

@@ -1,0 +1,52 @@
+#include "mmx/sim/traffic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mmx::sim {
+
+CbrSource::CbrSource(double rate_bps, std::size_t packet_bytes)
+    : rate_bps_(rate_bps), packet_bytes_(packet_bytes) {
+  if (rate_bps <= 0.0) throw std::invalid_argument("CbrSource: rate must be > 0");
+  if (packet_bytes == 0) throw std::invalid_argument("CbrSource: packet size must be > 0");
+  interval_ = static_cast<double>(packet_bytes * 8) / rate_bps;
+}
+
+std::vector<PacketArrival> CbrSource::arrivals(double duration_s) const {
+  if (duration_s < 0.0) throw std::invalid_argument("CbrSource: negative duration");
+  std::vector<PacketArrival> out;
+  out.reserve(static_cast<std::size_t>(duration_s / interval_) + 1);
+  for (double t = 0.0; t < duration_s; t += interval_) out.push_back({t, packet_bytes_});
+  return out;
+}
+
+PoissonSource::PoissonSource(double mean_reports_per_s, std::size_t report_bytes)
+    : lambda_(mean_reports_per_s), report_bytes_(report_bytes) {
+  if (mean_reports_per_s <= 0.0) throw std::invalid_argument("PoissonSource: rate must be > 0");
+  if (report_bytes == 0) throw std::invalid_argument("PoissonSource: report size must be > 0");
+}
+
+std::vector<PacketArrival> PoissonSource::arrivals(double duration_s, Rng& rng) const {
+  if (duration_s < 0.0) throw std::invalid_argument("PoissonSource: negative duration");
+  std::vector<PacketArrival> out;
+  double t = 0.0;
+  while (true) {
+    t += -std::log(1.0 - rng.uniform()) / lambda_;
+    if (t >= duration_s) break;
+    out.push_back({t, report_bytes_});
+  }
+  return out;
+}
+
+double PoissonSource::mean_rate_bps() const {
+  return lambda_ * static_cast<double>(report_bytes_ * 8);
+}
+
+double offered_load_bps(const std::vector<PacketArrival>& arrivals, double duration_s) {
+  if (duration_s <= 0.0) throw std::invalid_argument("offered_load_bps: duration must be > 0");
+  std::size_t bytes = 0;
+  for (const PacketArrival& a : arrivals) bytes += a.bytes;
+  return static_cast<double>(bytes * 8) / duration_s;
+}
+
+}  // namespace mmx::sim

@@ -1,0 +1,108 @@
+#include "mmx/antenna/array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::antenna {
+namespace {
+
+std::shared_ptr<const Element> iso() { return std::make_shared<Isotropic>(); }
+
+TEST(LinearArray, SingleElementIsElementPattern) {
+  LinearArray a(std::make_shared<Patch>(6.0), 0.001, {{1.0, 0.0}}, 24e9);
+  Patch ref(6.0);
+  for (double t = -1.5; t <= 1.5; t += 0.1) {
+    EXPECT_NEAR(a.amplitude(t), ref.amplitude(t), 1e-12);
+  }
+}
+
+TEST(LinearArray, InPhasePairCoherentAtBroadside) {
+  const double lambda = wavelength(24e9);
+  LinearArray a(iso(), lambda / 2.0, {{1.0, 0.0}, {1.0, 0.0}}, 24e9);
+  EXPECT_NEAR(std::abs(a.array_factor(0.0)), 2.0, 1e-12);
+}
+
+TEST(LinearArray, HalfWaveInPhaseNullAtEndfire) {
+  // d = lambda/2, in phase: psi at 90 deg = pi -> AF = 1 + e^{j pi} = 0.
+  const double lambda = wavelength(24e9);
+  LinearArray a(iso(), lambda / 2.0, {{1.0, 0.0}, {1.0, 0.0}}, 24e9);
+  EXPECT_NEAR(std::abs(a.array_factor(kPi / 2.0)), 0.0, 1e-9);
+}
+
+TEST(LinearArray, AntiPhasePairNullAtBroadside) {
+  const double lambda = wavelength(24e9);
+  LinearArray a(iso(), lambda, {{1.0, 0.0}, {-1.0, 0.0}}, 24e9);
+  EXPECT_NEAR(std::abs(a.array_factor(0.0)), 0.0, 1e-12);
+}
+
+TEST(LinearArray, SteeringWeightsPointMainLobe) {
+  const double f = 24e9;
+  const double lambda = wavelength(f);
+  const double target = deg_to_rad(20.0);
+  auto w = steering_weights(8, lambda / 2.0, f, target);
+  LinearArray a(iso(), lambda / 2.0, w, f);
+  // Coherent gain N at the steering angle.
+  EXPECT_NEAR(std::abs(a.array_factor(target)), 8.0, 1e-9);
+  // Less everywhere else (sampled).
+  for (double t = -kPi / 2.0; t <= kPi / 2.0; t += 0.03) {
+    EXPECT_LE(std::abs(a.array_factor(t)), 8.0 + 1e-9);
+  }
+}
+
+TEST(LinearArray, MoreElementsNarrowerBeam) {
+  const double f = 24e9;
+  const double lambda = wavelength(f);
+  auto make = [&](std::size_t n) {
+    return LinearArray(iso(), lambda / 2.0, steering_weights(n, lambda / 2.0, f, 0.0), f);
+  };
+  const LinearArray a4 = make(4);
+  const LinearArray a16 = make(16);
+  // Measure amplitude at 10 degrees relative to peak.
+  const double rel4 = std::abs(a4.array_factor(deg_to_rad(10.0))) / 4.0;
+  const double rel16 = std::abs(a16.array_factor(deg_to_rad(10.0))) / 16.0;
+  EXPECT_LT(rel16, rel4);
+}
+
+TEST(LinearArray, GainDbiNullClamped) {
+  const double lambda = wavelength(24e9);
+  LinearArray a(iso(), lambda, {{1.0, 0.0}, {-1.0, 0.0}}, 24e9);
+  EXPECT_LE(a.gain_dbi(0.0), -150.0);
+}
+
+TEST(LinearArray, BadArgsThrow) {
+  EXPECT_THROW(LinearArray(nullptr, 0.01, {{1.0, 0.0}}, 24e9), std::invalid_argument);
+  EXPECT_THROW(LinearArray(iso(), 0.0, {{1.0, 0.0}}, 24e9), std::invalid_argument);
+  EXPECT_THROW(LinearArray(iso(), 0.01, {}, 24e9), std::invalid_argument);
+  EXPECT_THROW(LinearArray(iso(), 0.01, {{1.0, 0.0}}, 0.0), std::invalid_argument);
+  EXPECT_THROW(steering_weights(0, 0.01, 24e9, 0.0), std::invalid_argument);
+}
+
+class SteeringSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SteeringSweep, PeakFoundAtRequestedAngle) {
+  const double f = 24e9;
+  const double lambda = wavelength(f);
+  const double target = deg_to_rad(GetParam());
+  LinearArray a(iso(), lambda / 2.0, steering_weights(8, lambda / 2.0, f, target), f);
+  // Scan for the actual peak.
+  double best_t = -kPi / 2.0;
+  double best = 0.0;
+  for (double t = -kPi / 2.0; t <= kPi / 2.0; t += 0.001) {
+    const double v = std::abs(a.array_factor(t));
+    if (v > best) {
+      best = v;
+      best_t = t;
+    }
+  }
+  EXPECT_NEAR(rad_to_deg(best_t), GetParam(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, SteeringSweep,
+                         ::testing::Values(-45.0, -20.0, 0.0, 15.0, 30.0, 50.0));
+
+}  // namespace
+}  // namespace mmx::antenna

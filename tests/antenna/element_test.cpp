@@ -1,0 +1,75 @@
+#include "mmx/antenna/element.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::antenna {
+namespace {
+
+TEST(Isotropic, ZeroDbiEverywhere) {
+  Isotropic iso;
+  for (double t = -kPi; t <= kPi; t += 0.1) {
+    EXPECT_DOUBLE_EQ(iso.amplitude(t), 1.0);
+    EXPECT_NEAR(iso.gain_dbi(t), 0.0, 1e-12);
+  }
+}
+
+TEST(Patch, PeakAtBoresight) {
+  Patch p(6.0);
+  EXPECT_NEAR(p.gain_dbi(0.0), 6.0, 1e-9);
+  for (double t = -kPi; t <= kPi; t += 0.05) {
+    EXPECT_LE(p.amplitude(t), p.amplitude(0.0) + 1e-12);
+  }
+}
+
+TEST(Patch, BackLobeFloor) {
+  Patch p(6.0, 1.0, 25.0);
+  EXPECT_NEAR(p.gain_dbi(kPi), 6.0 - 25.0, 1e-9);
+  EXPECT_NEAR(p.gain_dbi(deg_to_rad(120.0)), 6.0 - 25.0, 1e-9);
+}
+
+TEST(Patch, MonotonicDecreaseInFrontQuadrant) {
+  Patch p;
+  double prev = p.amplitude(0.0);
+  for (double t = 0.02; t < kPi / 2.0; t += 0.02) {
+    const double a = p.amplitude(t);
+    EXPECT_LE(a, prev + 1e-12);
+    prev = a;
+  }
+}
+
+TEST(Patch, SymmetricPattern) {
+  Patch p;
+  for (double t = 0.0; t <= kPi; t += 0.05) {
+    EXPECT_NEAR(p.amplitude(t), p.amplitude(-t), 1e-12);
+  }
+}
+
+TEST(Patch, BadSpecThrows) {
+  EXPECT_THROW(Patch(6.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Patch(6.0, 1.0, -3.0), std::invalid_argument);
+}
+
+TEST(Dipole, PeakGainMatchesPaper) {
+  // Paper §8.2: AP dipoles have 5 dB gain.
+  Dipole d;
+  EXPECT_NEAR(d.gain_dbi(0.0), 5.0, 1e-9);
+}
+
+TEST(Dipole, HpbwMatchesPaper) {
+  // Paper §8.2: 3 dB beamwidth of 62 degrees -> half power at +/-31 deg.
+  Dipole d;
+  const double half_amp = d.amplitude(0.0) / std::sqrt(2.0);
+  EXPECT_NEAR(d.amplitude(deg_to_rad(31.0)), half_amp, half_amp * 0.02);
+}
+
+TEST(Dipole, BackRadiationSuppressed) {
+  Dipole d;
+  EXPECT_LT(d.gain_dbi(kPi), d.gain_dbi(0.0) - 19.0);
+}
+
+}  // namespace
+}  // namespace mmx::antenna

@@ -1,0 +1,98 @@
+#include "mmx/baseline/hybrid_mimo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmx/antenna/tma.hpp"
+#include "mmx/common/units.hpp"
+#include "mmx/rf/budget.hpp"
+
+namespace mmx::baseline {
+namespace {
+
+TEST(HybridMimo, PatternPeaksAtSteerAngle) {
+  HybridMimoAp ap;
+  for (double steer : {-0.5, 0.0, 0.4}) {
+    EXPECT_NEAR(ap.chain_pattern(steer, steer), 1.0, 1e-12);
+    // Off-peak strictly lower.
+    EXPECT_LT(ap.chain_pattern(steer, steer + 0.3), 1.0);
+  }
+}
+
+TEST(HybridMimo, PatternNullsAtExpectedAngles) {
+  // 8-element, half-wave array steered broadside: first null where
+  // N*psi/2 = pi -> sin(theta) = 2/N = 0.25.
+  HybridMimoAp ap;
+  EXPECT_NEAR(ap.chain_pattern(0.0, std::asin(0.25)), 0.0, 1e-12);
+}
+
+TEST(HybridMimo, WellSeparatedNodesGetHighSir) {
+  HybridMimoAp ap;
+  const std::vector<double> bearings{-0.5, 0.0, 0.5};
+  const MimoPlan p = ap.plan(bearings);
+  EXPECT_EQ(p.assignments.size(), 3u);
+  EXPECT_GT(p.min_sir_db, 15.0);
+}
+
+TEST(HybridMimo, CloseNodesDegrade) {
+  HybridMimoAp ap;
+  const std::vector<double> far{-0.5, 0.5};
+  const std::vector<double> close{0.0, 0.08};
+  EXPECT_GT(ap.plan(far).min_sir_db, ap.plan(close).min_sir_db + 10.0);
+}
+
+TEST(HybridMimo, BeatsTmaOnSeparation) {
+  // The honest half of §7b's trade: digital per-chain beams usually
+  // separate better than TMA harmonic sidelobes...
+  HybridMimoAp mimo;
+  auto tma = antenna::TimeModulatedArray::progressive(antenna::TmaSpec{}, 0.125, 0.45);
+  const std::vector<double> bearings{tma.steered_angle(0), tma.steered_angle(1),
+                                     tma.steered_angle(2)};
+  const std::vector<int> harmonics{0, 1, 2};
+  EXPECT_GE(mimo.plan(bearings).min_sir_db, tma.demux_sir_db(bearings, harmonics) - 1.0);
+}
+
+TEST(HybridMimo, PowerAndCostAreWhyThePaperSaysNo) {
+  // ...and the other half: a 4-chain hybrid AP burns an order of
+  // magnitude more receiver power than mmX's whole single-chain AP and
+  // costs thousands (paper §6: shifters $150, LNAs, chains).
+  HybridMimoAp mimo;
+  EXPECT_GT(mimo.total_power_w(), 10.0);
+  EXPECT_GT(mimo.total_cost_usd(), 5000.0);
+  const rf::Budget mmx_ap = rf::mmx_ap_budget();
+  EXPECT_GT(mimo.total_power_w(), 10.0 * mmx_ap.total_power_w());
+  EXPECT_GT(mimo.total_cost_usd(), 10.0 * mmx_ap.total_cost_usd());
+}
+
+TEST(HybridMimo, CapacityBoundedByChains) {
+  HybridMimoAp ap(HybridMimoSpec{.num_chains = 2});
+  const std::vector<double> three{-0.4, 0.0, 0.4};
+  EXPECT_THROW(ap.plan(three), std::invalid_argument);
+  EXPECT_THROW(ap.plan(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(HybridMimo, BadSpecThrows) {
+  EXPECT_THROW(HybridMimoAp(HybridMimoSpec{.num_chains = 0}), std::invalid_argument);
+  EXPECT_THROW(HybridMimoAp(HybridMimoSpec{.elements_per_chain = 0}), std::invalid_argument);
+  EXPECT_THROW(HybridMimoAp(HybridMimoSpec{.spacing_wavelengths = 0.0}),
+               std::invalid_argument);
+}
+
+class MimoElementSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MimoElementSweep, MoreElementsSharperSeparation) {
+  HybridMimoSpec small;
+  small.elements_per_chain = 4;
+  HybridMimoSpec big;
+  big.elements_per_chain = GetParam();
+  const std::vector<double> bearings{0.0, 0.35};
+  const double sir_small = HybridMimoAp(small).plan(bearings).min_sir_db;
+  const double sir_big = HybridMimoAp(big).plan(bearings).min_sir_db;
+  EXPECT_GE(sir_big, sir_small - 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MimoElementSweep, ::testing::Values(8, 16, 32));
+
+}  // namespace
+}  // namespace mmx::baseline

@@ -1,0 +1,63 @@
+#include "mmx/baseline/platforms.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmx::baseline {
+namespace {
+
+TEST(Table1, AllRowsPresent) {
+  const auto rows = table1_platforms();
+  EXPECT_EQ(rows.size(), 5u);
+  EXPECT_NO_THROW(platform(rows, "mmX"));
+  EXPECT_NO_THROW(platform(rows, "MiRa"));
+  EXPECT_NO_THROW(platform(rows, "OpenMili/Pasternack"));
+  EXPECT_NO_THROW(platform(rows, "WiFi (802.11n)"));
+  EXPECT_NO_THROW(platform(rows, "Bluetooth"));
+  EXPECT_THROW(platform(rows, "LoRa"), std::out_of_range);
+}
+
+TEST(Table1, MmxRowMatchesPaperHeadline) {
+  const auto rows = table1_platforms();
+  const PlatformSpec& mmx_row = platform(rows, "mmX");
+  EXPECT_NEAR(mmx_row.cost_usd, 110.0, 1.0);
+  EXPECT_NEAR(mmx_row.power_w, 1.1, 0.01);
+  EXPECT_NEAR(mmx_row.energy_per_bit_nj(), 11.0, 0.2);
+  EXPECT_DOUBLE_EQ(mmx_row.bitrate_bps, 100e6);
+  EXPECT_DOUBLE_EQ(mmx_row.range_m, 18.0);
+  EXPECT_DOUBLE_EQ(mmx_row.tx_power_dbm, 10.0);
+}
+
+TEST(Table1, MmxCheaperAndLowerPowerThanMmwavePlatforms) {
+  const auto rows = table1_platforms();
+  const auto& mmx_row = platform(rows, "mmX");
+  for (const char* other : {"MiRa", "OpenMili/Pasternack"}) {
+    const auto& p = platform(rows, other);
+    EXPECT_LT(mmx_row.cost_usd, p.cost_usd / 10.0);
+    EXPECT_LT(mmx_row.power_w, p.power_w);
+  }
+}
+
+TEST(Table1, MmxBeatsWifiEnergyEfficiency) {
+  // Paper §1: "energy efficiency of 11 nJ/bit, which is even lower than
+  // existing WiFi modules" (17.5 nJ/bit).
+  const auto rows = table1_platforms();
+  EXPECT_LT(platform(rows, "mmX").energy_per_bit_nj(),
+            platform(rows, "WiFi (802.11n)").energy_per_bit_nj());
+  EXPECT_LT(platform(rows, "mmX").energy_per_bit_nj(),
+            platform(rows, "Bluetooth").energy_per_bit_nj());
+}
+
+TEST(Table1, BitrateOrdering) {
+  // Gbps platforms > mmX (100 Mbps) > Bluetooth (1 Mbps).
+  const auto rows = table1_platforms();
+  EXPECT_GT(platform(rows, "MiRa").bitrate_bps, platform(rows, "mmX").bitrate_bps);
+  EXPECT_GT(platform(rows, "mmX").bitrate_bps, platform(rows, "Bluetooth").bitrate_bps);
+}
+
+TEST(Table1, EnergyPerBitValidation) {
+  PlatformSpec bad{"x", 1e9, 0.0, 1.0, 0.0, 1e6, 0.0, 1.0};
+  EXPECT_THROW(bad.energy_per_bit_nj(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mmx::baseline

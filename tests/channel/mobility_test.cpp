@@ -1,0 +1,94 @@
+#include "mmx/channel/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmx/channel/blockage.hpp"
+#include "mmx/channel/room.hpp"
+
+namespace mmx::channel {
+namespace {
+
+TEST(RandomWaypoint, StaysInsideArea) {
+  Rng rng(1);
+  RandomWaypoint w({1.0, 1.0}, 6.0, 4.0, 1.4, rng);
+  for (int i = 0; i < 2000; ++i) {
+    w.update(0.1, rng);
+    const Vec2 p = w.position();
+    EXPECT_GE(p.x, 0.3 - 1e-9);
+    EXPECT_LE(p.x, 5.7 + 1e-9);
+    EXPECT_GE(p.y, 0.3 - 1e-9);
+    EXPECT_LE(p.y, 3.7 + 1e-9);
+  }
+}
+
+TEST(RandomWaypoint, MovesAtConfiguredSpeed) {
+  Rng rng(2);
+  RandomWaypoint w({1.0, 1.0}, 6.0, 4.0, 1.4, rng);
+  const Vec2 before = w.position();
+  w.update(0.1, rng);
+  // Displacement <= speed * dt (equality unless a waypoint was hit).
+  EXPECT_LE(distance(before, w.position()), 1.4 * 0.1 + 1e-9);
+}
+
+TEST(RandomWaypoint, EventuallyChangesTarget) {
+  Rng rng(3);
+  RandomWaypoint w({1.0, 1.0}, 6.0, 4.0, 2.0, rng);
+  const Vec2 t0 = w.target();
+  for (int i = 0; i < 200; ++i) w.update(0.5, rng);
+  EXPECT_NE(t0, w.target());
+}
+
+TEST(RandomWaypoint, BadArgsThrow) {
+  Rng rng(4);
+  EXPECT_THROW(RandomWaypoint({1.0, 1.0}, 6.0, 4.0, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(RandomWaypoint({0.1, 0.1}, 0.5, 0.5, 1.0, rng), std::invalid_argument);
+  RandomWaypoint w({1.0, 1.0}, 6.0, 4.0, 1.0, rng);
+  EXPECT_THROW(w.update(-1.0, rng), std::invalid_argument);
+}
+
+TEST(Pacer, OscillatesBetweenEndpoints) {
+  Pacer p({0.0, 0.0}, {2.0, 0.0}, 1.0);
+  p.update(2.0);  // reach b exactly
+  EXPECT_NEAR(p.position().x, 2.0, 1e-12);
+  p.update(1.0);  // turn around, come back 1 m
+  EXPECT_NEAR(p.position().x, 1.0, 1e-12);
+  p.update(10.0);  // several bounces, still within [0, 2]
+  EXPECT_GE(p.position().x, -1e-12);
+  EXPECT_LE(p.position().x, 2.0 + 1e-12);
+}
+
+TEST(Pacer, BadArgsThrow) {
+  EXPECT_THROW(Pacer({0.0, 0.0}, {1.0, 0.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(Pacer({1.0, 1.0}, {1.0, 1.0}, 1.0), std::invalid_argument);
+  Pacer p({0.0, 0.0}, {1.0, 0.0}, 1.0);
+  EXPECT_THROW(p.update(-0.1), std::invalid_argument);
+}
+
+TEST(WalkingCrowd, RegistersAndMovesBlockers) {
+  Rng rng(5);
+  Room room(6.0, 4.0);
+  WalkingCrowd crowd(room, 3, 1.4, rng);
+  ASSERT_EQ(room.blockers().size(), 3u);
+  const Vec2 before = room.blockers()[0].center;
+  for (int i = 0; i < 50; ++i) crowd.update(0.2, rng);
+  EXPECT_NE(before, room.blockers()[0].center);
+  // All blockers stay in the room.
+  for (const Blocker& b : room.blockers()) EXPECT_TRUE(room.contains(b.center));
+}
+
+TEST(ParkBlockerOnLos, SitsOnTheSegment) {
+  Room room(6.0, 4.0);
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{5.0, 2.0};
+  park_blocker_on_los(room, a, b, 0.5);
+  ASSERT_EQ(room.blockers().size(), 1u);
+  EXPECT_NEAR(room.blockers()[0].center.x, 3.0, 1e-12);
+  EXPECT_NEAR(room.blockers()[0].center.y, 2.0, 1e-12);
+  EXPECT_THROW(park_blocker_on_los(room, a, b, 0.0), std::invalid_argument);
+  EXPECT_THROW(park_blocker_on_los(room, a, b, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmx::channel

@@ -1,0 +1,63 @@
+#include "mmx/channel/propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::channel {
+namespace {
+
+TEST(Propagation, FreeSpaceMatchesFriis) {
+  EXPECT_DOUBLE_EQ(free_space_loss_db(5.0, 24e9), friis_path_loss_db(5.0, 24e9));
+}
+
+TEST(Propagation, AtmosphericNegligibleIndoors) {
+  // At 18 m (the paper's max range) atmospheric loss is < 0.01 dB.
+  EXPECT_LT(atmospheric_loss_db(18.0, 24e9), 0.01);
+}
+
+TEST(Propagation, SixtyGhzOxygenPeak) {
+  // The 60 GHz band pays ~15 dB/km; at 24 GHz it's ~0.2 dB/km.
+  EXPECT_GT(atmospheric_loss_db(1000.0, 60e9), 10.0);
+  EXPECT_LT(atmospheric_loss_db(1000.0, 24e9), 1.0);
+}
+
+TEST(Propagation, PathLossAddsExcess) {
+  const double base = path_loss_db(3.0, 24e9);
+  EXPECT_NEAR(path_loss_db(3.0, 24e9, 12.0), base + 12.0, 1e-12);
+  EXPECT_THROW(path_loss_db(3.0, 24e9, -1.0), std::invalid_argument);
+}
+
+TEST(Propagation, PathGainMagnitude) {
+  const auto g = path_gain(2.0, 24e9);
+  EXPECT_NEAR(amp_to_db(std::abs(g)), -path_loss_db(2.0, 24e9), 1e-9);
+}
+
+TEST(Propagation, PathGainPhaseRotatesWithLength) {
+  // Half a wavelength more distance flips the phase.
+  const double lambda = wavelength(24e9);
+  const auto g1 = path_gain(2.0, 24e9);
+  const auto g2 = path_gain(2.0 + lambda / 2.0, 24e9);
+  const double dphase = std::arg(g2 * std::conj(g1));
+  EXPECT_NEAR(std::abs(dphase), kPi, 1e-6);
+}
+
+TEST(Propagation, InverseSquareLaw) {
+  const double l1 = path_loss_db(1.0, 24e9);
+  const double l10 = path_loss_db(10.0, 24e9);
+  EXPECT_NEAR(l10 - l1, 20.0, 0.01);
+}
+
+class DistanceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DistanceSweep, LossMonotoneIncreasing) {
+  const double d = GetParam();
+  EXPECT_GT(path_loss_db(d * 1.5, 24e9), path_loss_db(d, 24e9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, DistanceSweep, ::testing::Values(0.5, 1.0, 3.0, 6.0, 12.0, 18.0));
+
+}  // namespace
+}  // namespace mmx::channel

@@ -1,0 +1,76 @@
+#include "mmx/channel/room.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmx::channel {
+namespace {
+
+TEST(Room, RectangleHasFourWalls) {
+  Room room(6.0, 4.0);
+  EXPECT_EQ(room.walls().size(), 4u);
+  EXPECT_DOUBLE_EQ(room.width(), 6.0);
+  EXPECT_DOUBLE_EQ(room.height(), 4.0);
+}
+
+TEST(Room, ContainsChecksBounds) {
+  Room room(6.0, 4.0);
+  EXPECT_TRUE(room.contains({3.0, 2.0}));
+  EXPECT_TRUE(room.contains({0.0, 0.0}));
+  EXPECT_FALSE(room.contains({-0.1, 2.0}));
+  EXPECT_FALSE(room.contains({3.0, 4.1}));
+}
+
+TEST(Room, AddReflector) {
+  Room room(6.0, 4.0);
+  room.add_reflector({{1.0, 1.0}, {2.0, 1.0}}, metal());
+  EXPECT_EQ(room.walls().size(), 5u);
+  EXPECT_EQ(room.walls().back().material.name, "metal");
+}
+
+TEST(Room, ZeroLengthReflectorThrows) {
+  Room room(6.0, 4.0);
+  EXPECT_THROW(room.add_reflector({{1.0, 1.0}, {1.0, 1.0}}, metal()), std::invalid_argument);
+}
+
+TEST(Room, BlockerManagement) {
+  Room room(6.0, 4.0);
+  const std::size_t id = room.add_blocker(human_blocker({3.0, 2.0}));
+  ASSERT_EQ(room.blockers().size(), 1u);
+  EXPECT_DOUBLE_EQ(room.blockers()[id].center.x, 3.0);
+  room.move_blocker(id, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(room.blockers()[id].center.x, 1.0);
+  room.clear_blockers();
+  EXPECT_TRUE(room.blockers().empty());
+}
+
+TEST(Room, InvalidBlockerThrows) {
+  Room room(6.0, 4.0);
+  EXPECT_THROW(room.add_blocker({{1.0, 1.0}, 0.0, 15.0}), std::invalid_argument);
+  EXPECT_THROW(room.add_blocker({{1.0, 1.0}, 0.3, -1.0}), std::invalid_argument);
+  EXPECT_THROW(room.move_blocker(5, {0.0, 0.0}), std::out_of_range);
+}
+
+TEST(Room, BadDimensionsThrow) {
+  EXPECT_THROW(Room(0.0, 4.0), std::invalid_argument);
+  EXPECT_THROW(Room(6.0, -1.0), std::invalid_argument);
+}
+
+TEST(Materials, LossOrderingPhysical) {
+  // Metal reflects hardest, wood softest; all within the paper's
+  // "NLoS 10-20 dB below LoS" envelope once path length is added.
+  EXPECT_LT(metal().reflection_loss_db, glass().reflection_loss_db);
+  EXPECT_LT(glass().reflection_loss_db, drywall().reflection_loss_db);
+  EXPECT_LT(drywall().reflection_loss_db, wood_furniture().reflection_loss_db);
+}
+
+TEST(Materials, HumanBlockerMatchesPaper) {
+  // §6.1 ordering: blocked LoS sits 10-15 dB below NLoS, which itself is
+  // 10-20 dB below LoS -> body loss in the 20-35 dB bracket.
+  const Blocker b = human_blocker({0.0, 0.0});
+  EXPECT_GE(b.loss_db, 20.0);
+  EXPECT_LE(b.loss_db, 35.0);
+  EXPECT_NEAR(b.radius, 0.25, 0.1);
+}
+
+}  // namespace
+}  // namespace mmx::channel

@@ -1,0 +1,100 @@
+#include "mmx/common/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(-a, (Vec2{-1.0, -2.0}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -7.0);
+}
+
+TEST(Vec2, NormAndAngle) {
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm(), 5.0);
+  EXPECT_NEAR((Vec2{1.0, 1.0}).angle(), kPi / 4.0, 1e-12);
+  const Vec2 u = (Vec2{10.0, 0.0}).normalized();
+  EXPECT_NEAR(u.x, 1.0, 1e-15);
+  EXPECT_NEAR(u.y, 0.0, 1e-15);
+  EXPECT_THROW((Vec2{0.0, 0.0}).normalized(), std::domain_error);
+}
+
+TEST(Vec2, UnitVector) {
+  const Vec2 u = unit_vector(deg_to_rad(90.0));
+  EXPECT_NEAR(u.x, 0.0, 1e-12);
+  EXPECT_NEAR(u.y, 1.0, 1e-12);
+}
+
+TEST(Segment, MirrorAcrossVerticalWall) {
+  // Wall x = 2 (from (2,0) to (2,5)); mirror of (0,1) is (4,1).
+  const Segment wall{{2.0, 0.0}, {2.0, 5.0}};
+  const Vec2 m = wall.mirror({0.0, 1.0});
+  EXPECT_NEAR(m.x, 4.0, 1e-12);
+  EXPECT_NEAR(m.y, 1.0, 1e-12);
+}
+
+TEST(Segment, MirrorIsInvolution) {
+  const Segment wall{{0.0, 0.0}, {3.0, 4.0}};
+  const Vec2 p{1.7, -2.3};
+  const Vec2 mm = wall.mirror(wall.mirror(p));
+  EXPECT_NEAR(mm.x, p.x, 1e-12);
+  EXPECT_NEAR(mm.y, p.y, 1e-12);
+}
+
+TEST(Segment, MirrorOfPointOnLineIsItself) {
+  const Segment wall{{0.0, 0.0}, {1.0, 1.0}};
+  const Vec2 p{0.5, 0.5};
+  const Vec2 m = wall.mirror(p);
+  EXPECT_NEAR(m.x, p.x, 1e-12);
+  EXPECT_NEAR(m.y, p.y, 1e-12);
+}
+
+TEST(Segment, IntersectCrossing) {
+  const Segment s{{0.0, 0.0}, {2.0, 2.0}};
+  const auto hit = s.intersect({0.0, 2.0}, {2.0, 0.0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->x, 1.0, 1e-12);
+  EXPECT_NEAR(hit->y, 1.0, 1e-12);
+}
+
+TEST(Segment, IntersectMissesWhenOutsideRange) {
+  const Segment s{{0.0, 0.0}, {1.0, 0.0}};
+  EXPECT_FALSE(s.intersect({2.0, -1.0}, {2.0, 1.0}).has_value());  // beyond the segment
+  EXPECT_FALSE(s.intersect({0.5, 1.0}, {0.5, 2.0}).has_value());   // query stops short
+}
+
+TEST(Segment, IntersectParallelReturnsNothing) {
+  const Segment s{{0.0, 0.0}, {1.0, 0.0}};
+  EXPECT_FALSE(s.intersect({0.0, 1.0}, {1.0, 1.0}).has_value());
+  // Collinear overlap treated as grazing.
+  EXPECT_FALSE(s.intersect({-1.0, 0.0}, {2.0, 0.0}).has_value());
+}
+
+TEST(Geometry, SegmentHitsDisc) {
+  EXPECT_TRUE(segment_hits_disc({0.0, 0.0}, {10.0, 0.0}, {5.0, 0.2}, 0.3));
+  EXPECT_FALSE(segment_hits_disc({0.0, 0.0}, {10.0, 0.0}, {5.0, 1.0}, 0.3));
+  // Disc behind the segment start does not block.
+  EXPECT_FALSE(segment_hits_disc({0.0, 0.0}, {10.0, 0.0}, {-2.0, 0.0}, 0.3));
+}
+
+TEST(Geometry, PointSegmentDistance) {
+  EXPECT_DOUBLE_EQ(point_segment_distance({0.0, 1.0}, {-1.0, 0.0}, {1.0, 0.0}), 1.0);
+  // Beyond an endpoint: distance to the endpoint.
+  EXPECT_NEAR(point_segment_distance({3.0, 4.0}, {-1.0, 0.0}, {0.0, 0.0}), 5.0, 1e-12);
+  // Degenerate segment.
+  EXPECT_NEAR(point_segment_distance({3.0, 4.0}, {0.0, 0.0}, {0.0, 0.0}), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mmx

@@ -1,0 +1,85 @@
+#include "mmx/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mmx {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(0, 4);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 4);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 4);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(3);
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gaussian(2.0, 1.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  // Child stream should not equal parent stream.
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.uniform() == child.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace mmx

@@ -1,0 +1,89 @@
+#include "mmx/common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mmx {
+namespace {
+
+TEST(Units, DbLinearRoundTrip) {
+  for (double db : {-40.0, -3.0, 0.0, 3.0, 10.0, 27.5}) {
+    EXPECT_NEAR(lin_to_db(db_to_lin(db)), db, 1e-12);
+  }
+}
+
+TEST(Units, DbReferencePoints) {
+  EXPECT_NEAR(db_to_lin(0.0), 1.0, 1e-15);
+  EXPECT_NEAR(db_to_lin(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(db_to_lin(3.0), 2.0, 0.01);
+  EXPECT_NEAR(amp_to_db(10.0), 20.0, 1e-12);
+  EXPECT_NEAR(db_to_amp(6.0), 2.0, 0.01);
+}
+
+TEST(Units, DbmWattRoundTrip) {
+  EXPECT_NEAR(watt_to_dbm(1.0), 30.0, 1e-12);
+  EXPECT_NEAR(dbm_to_watt(0.0), 1e-3, 1e-15);
+  EXPECT_NEAR(dbm_to_watt(10.0), 10e-3, 1e-12);  // paper: node Tx power 10 dBm
+  for (double dbm : {-90.0, -30.0, 0.0, 10.0, 30.0}) {
+    EXPECT_NEAR(watt_to_dbm(dbm_to_watt(dbm)), dbm, 1e-12);
+  }
+}
+
+TEST(Units, AngleConversions) {
+  EXPECT_NEAR(deg_to_rad(180.0), kPi, 1e-15);
+  EXPECT_NEAR(rad_to_deg(kPi / 2.0), 90.0, 1e-12);
+}
+
+TEST(Units, WrapAngleStaysInRange) {
+  for (double a = -25.0; a <= 25.0; a += 0.37) {
+    const double w = wrap_angle(a);
+    EXPECT_GT(w, -kPi - 1e-12);
+    EXPECT_LE(w, kPi + 1e-12);
+    // Same direction modulo 2*pi.
+    EXPECT_NEAR(std::sin(w), std::sin(a), 1e-9);
+    EXPECT_NEAR(std::cos(w), std::cos(a), 1e-9);
+  }
+}
+
+TEST(Units, WavelengthAt24GHz) {
+  // 24 GHz -> ~12.5 mm, the "millimeter wave" premise of the paper.
+  EXPECT_NEAR(wavelength(24e9), 0.0125, 1e-4);
+  EXPECT_NEAR(wavenumber(24e9), kTwoPi / wavelength(24e9), 1e-9);
+}
+
+TEST(Units, FriisPathLoss) {
+  // FSPL at 1 m, 24 GHz = 20 log10(4*pi/0.01249...) ~ 60.1 dB.
+  EXPECT_NEAR(friis_path_loss_db(1.0, 24e9), 60.05, 0.2);
+  // +6 dB per distance doubling.
+  const double d1 = friis_path_loss_db(2.0, 24e9);
+  const double d2 = friis_path_loss_db(4.0, 24e9);
+  EXPECT_NEAR(d2 - d1, 6.02, 0.01);
+  EXPECT_THROW(friis_path_loss_db(0.0, 24e9), std::invalid_argument);
+  EXPECT_THROW(friis_path_loss_db(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Units, ThermalNoise) {
+  // kT0B for 1 Hz ~ -174 dBm.
+  EXPECT_NEAR(thermal_noise_dbm(1.0), -173.98, 0.1);
+  // 250 MHz ISM band with a 2 dB NF LNA: -174 + 84 + 2 ~ -88 dBm.
+  EXPECT_NEAR(thermal_noise_dbm(250e6, 2.0), -88.0, 0.3);
+  EXPECT_THROW(thermal_noise_dbm(0.0), std::invalid_argument);
+}
+
+TEST(Units, Literals) {
+  EXPECT_DOUBLE_EQ(24_GHz, 24e9);
+  EXPECT_DOUBLE_EQ(2.5_GHz, 2.5e9);
+  EXPECT_DOUBLE_EQ(250_MHz, 250e6);
+  EXPECT_DOUBLE_EQ(100_Mbps, 100e6);
+  EXPECT_DOUBLE_EQ(25_kHz, 25e3);
+}
+
+TEST(Units, IsmBandPlanMatchesPaper) {
+  EXPECT_DOUBLE_EQ(kIsmBandwidthHz, 250e6);  // paper §7a: 250 MHz at 24 GHz
+  EXPECT_GT(kIsmCenterHz, kIsmLowHz);
+  EXPECT_LT(kIsmCenterHz, kIsmHighHz);
+}
+
+}  // namespace
+}  // namespace mmx

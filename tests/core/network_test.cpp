@@ -1,0 +1,131 @@
+#include "mmx/core/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmx/channel/blockage.hpp"
+#include "mmx/common/units.hpp"
+
+namespace mmx::core {
+namespace {
+
+Network paper_network() {
+  return Network(channel::Room(6.0, 4.0), channel::Pose{{5.5, 2.0}, kPi});
+}
+
+TEST(CoreNetwork, JoinConfiguresNode) {
+  Network net = paper_network();
+  const auto id = net.join({{1.0, 2.0}, 0.0}, 10e6);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_TRUE(net.node(*id).configured());
+  EXPECT_NEAR(net.node(*id).bit_rate_bps(), 10e6, 1.0);
+}
+
+TEST(CoreNetwork, SendDeliversPayload) {
+  Network net = paper_network();
+  const auto id = net.join({{1.0, 2.0}, 0.0}, 10e6);
+  ASSERT_TRUE(id);
+  const std::vector<std::uint8_t> payload{0xCA, 0xFE, 0xBA, 0xBE};
+  const SendReport r = net.send(*id, payload);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_GT(r.snr_db, 10.0);
+  EXPECT_EQ(r.payload_bytes, 4u);
+}
+
+TEST(CoreNetwork, SendSurvivesBlockedLos) {
+  // The headline end-to-end scenario through the public API.
+  Network net = paper_network();
+  const auto id = net.join({{1.0, 2.0}, 0.0}, 10e6);
+  ASSERT_TRUE(id);
+  channel::park_blocker_on_los(net.room(), {1.0, 2.0}, {5.5, 2.0});
+  const std::vector<std::uint8_t> payload(64, 0x55);
+  const SendReport r = net.send(*id, payload);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_TRUE(r.inverted);  // Fig. 4(b): bits arrive inverted, preamble fixes it
+}
+
+TEST(CoreNetwork, SequenceNumbersAdvance) {
+  Network net = paper_network();
+  const auto id = net.join({{1.0, 2.0}, 0.0}, 10e6);
+  ASSERT_TRUE(id);
+  const std::vector<std::uint8_t> p{1};
+  EXPECT_TRUE(net.send(*id, p).delivered);
+  EXPECT_TRUE(net.send(*id, p).delivered);
+}
+
+TEST(CoreNetwork, MeasureMatchesPaperStyleSnr) {
+  Network net = paper_network();
+  const auto id = net.join({{1.0, 2.0}, 0.0}, 10e6);
+  ASSERT_TRUE(id);
+  const sim::OtamLink otam = net.measure(*id);
+  const sim::OtamLink fixed = net.measure_fixed_beam(*id);
+  EXPECT_GT(otam.snr_db, 10.0);
+  EXPECT_LE(otam.joint_ber, fixed.joint_ber + 1e-12);
+}
+
+TEST(CoreNetwork, LeaveFreesChannel) {
+  Network net = paper_network();
+  const auto a = net.join({{1.0, 2.0}, 0.0}, 180e6);
+  ASSERT_TRUE(a);
+  net.leave(*a);
+  EXPECT_EQ(net.num_nodes(), 0u);
+  const auto b = net.join({{1.0, 2.0}, 0.0}, 180e6);
+  EXPECT_TRUE(b.has_value());
+}
+
+TEST(CoreNetwork, MultipleNodesCoexist) {
+  Network net = paper_network();
+  std::vector<std::uint16_t> ids;
+  for (int i = 0; i < 5; ++i) {
+    const auto id = net.join({{0.8 + 0.8 * i, 1.0 + 0.5 * i}, 0.2 * i - 0.4}, 8e6);
+    ASSERT_TRUE(id) << i;
+    ids.push_back(*id);
+  }
+  const std::vector<std::uint8_t> payload(32, 0xAB);
+  for (const auto id : ids) {
+    EXPECT_TRUE(net.send(id, payload).delivered) << id;
+  }
+}
+
+TEST(CoreNetwork, SendReliableDeliversFirstTryOnGoodLink) {
+  Network net = paper_network();
+  const auto id = net.join({{1.0, 2.0}, 0.0}, 10e6);
+  ASSERT_TRUE(id);
+  const std::vector<std::uint8_t> payload(64, 0x11);
+  const auto r = net.send_reliable(*id, payload);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.attempts, 1);
+}
+
+TEST(CoreNetwork, SendReliableRetriesThroughNoise) {
+  // Degrade the link with extra implementation loss so single attempts
+  // are marginal; ARQ should still get most payloads through.
+  NetworkSpec spec;
+  spec.budget.implementation_loss_db = 47.0;  // ~29 dB worse than calibrated: marginal
+  Network net(channel::Room(6.0, 4.0), channel::Pose{{5.5, 2.0}, kPi}, spec);
+  const auto id = net.join({{1.5, 2.0}, 0.0}, 10e6);
+  ASSERT_TRUE(id);
+  const std::vector<std::uint8_t> payload(32, 0x22);
+  int one_shot = 0;
+  int reliable = 0;
+  int total_attempts = 0;
+  for (int i = 0; i < 20; ++i) {
+    one_shot += net.send(*id, payload).delivered;
+    const auto r = net.send_reliable(*id, payload, mac::ArqConfig{.max_retries = 6});
+    reliable += r.delivered;
+    total_attempts += r.attempts;
+  }
+  EXPECT_GE(reliable, one_shot);
+  EXPECT_GT(total_attempts, 20);  // retries actually happened
+}
+
+TEST(CoreNetwork, Validation) {
+  Network net = paper_network();
+  EXPECT_THROW(net.join({{9.0, 2.0}, 0.0}, 1e6), std::invalid_argument);
+  EXPECT_THROW(net.node(42), std::out_of_range);
+  EXPECT_THROW(net.send(42, std::vector<std::uint8_t>{1}), std::out_of_range);
+  const auto id = net.join({{1.0, 2.0}, 0.0}, 1e6);
+  EXPECT_THROW(net.set_pose(*id, {{-1.0, 2.0}, 0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmx::core

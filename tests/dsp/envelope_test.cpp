@@ -1,0 +1,101 @@
+#include "mmx/dsp/envelope.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmx/common/rng.hpp"
+#include "mmx/dsp/noise.hpp"
+#include "mmx/dsp/tone.hpp"
+
+namespace mmx::dsp {
+namespace {
+
+Cvec ask_burst(double fs, std::size_t sps, std::initializer_list<int> bits, double a1, double a0) {
+  Cvec out;
+  Nco nco(fs, 1e6);
+  for (int b : bits) {
+    const double amp = b ? a1 : a0;
+    for (std::size_t i = 0; i < sps; ++i) out.push_back(amp * nco.next());
+  }
+  return out;
+}
+
+TEST(Envelope, ConstantToneHasFlatEnvelope) {
+  const Cvec x = tone(1e6, 100e3, 500);
+  const Rvec env = envelope(x);
+  for (double v : env) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(Envelope, TracksAskLevels) {
+  const double fs = 100e6;
+  const std::size_t sps = 200;
+  const Cvec x = ask_burst(fs, sps, {1, 0, 1, 1, 0}, 1.0, 0.25);
+  const Rvec env = envelope(x, 1);
+  // Middle of first symbol ~ 1.0, middle of second ~ 0.25.
+  EXPECT_NEAR(env[sps / 2], 1.0, 0.05);
+  EXPECT_NEAR(env[sps + sps / 2], 0.25, 0.05);
+}
+
+TEST(Envelope, SmoothingReducesNoiseVariance) {
+  Rng rng(21);
+  Cvec x = tone(1e6, 50e3, 5000);
+  add_awgn_snr(x, 10.0, rng);
+  const Rvec raw = envelope(x, 1);
+  const Rvec smooth = envelope(x, 32);
+  auto variance = [](const Rvec& v) {
+    double m = 0.0;
+    for (double s : v) m += s;
+    m /= static_cast<double>(v.size());
+    double acc = 0.0;
+    for (double s : v) acc += (s - m) * (s - m);
+    return acc / static_cast<double>(v.size());
+  };
+  // Ignore the smoother's warm-up region.
+  const Rvec raw_tail(raw.begin() + 64, raw.end());
+  const Rvec smooth_tail(smooth.begin() + 64, smooth.end());
+  EXPECT_LT(variance(smooth_tail), variance(raw_tail) / 4.0);
+}
+
+TEST(Envelope, BadSmoothLenThrows) {
+  Cvec x(10);
+  EXPECT_THROW(envelope(x, 0), std::invalid_argument);
+}
+
+TEST(SymbolEnvelopes, PerSymbolMeans) {
+  const double fs = 100e6;
+  const std::size_t sps = 100;
+  const Cvec x = ask_burst(fs, sps, {1, 0, 1}, 0.8, 0.2);
+  const Rvec se = symbol_envelopes(x, sps, 0.1);
+  ASSERT_EQ(se.size(), 3u);
+  EXPECT_NEAR(se[0], 0.8, 0.02);
+  EXPECT_NEAR(se[1], 0.2, 0.02);
+  EXPECT_NEAR(se[2], 0.8, 0.02);
+}
+
+TEST(SymbolEnvelopes, GuardTrimsTransitions) {
+  // Put a huge glitch exactly at a symbol boundary: a guarded measurement
+  // must not see it.
+  const double fs = 100e6;
+  const std::size_t sps = 100;
+  Cvec x = ask_burst(fs, sps, {1, 1}, 0.5, 0.5);
+  x[sps] = Complex{50.0, 0.0};
+  const Rvec guarded = symbol_envelopes(x, sps, 0.2);
+  EXPECT_NEAR(guarded[1], 0.5, 0.02);
+  const Rvec unguarded = symbol_envelopes(x, sps, 0.0);
+  EXPECT_GT(unguarded[1], 0.9);  // glitch leaks in without the guard
+}
+
+TEST(SymbolEnvelopes, TruncatesPartialSymbol) {
+  Cvec x(250);
+  const Rvec se = symbol_envelopes(x, 100);
+  EXPECT_EQ(se.size(), 2u);
+}
+
+TEST(SymbolEnvelopes, BadArgumentsThrow) {
+  Cvec x(100);
+  EXPECT_THROW(symbol_envelopes(x, 0), std::invalid_argument);
+  EXPECT_THROW(symbol_envelopes(x, 10, 0.5), std::invalid_argument);
+  EXPECT_THROW(symbol_envelopes(x, 10, -0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmx::dsp

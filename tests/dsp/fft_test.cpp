@@ -1,0 +1,129 @@
+#include "mmx/dsp/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmx/common/rng.hpp"
+#include "mmx/common/units.hpp"
+#include "mmx/dsp/noise.hpp"
+#include "mmx/dsp/tone.hpp"
+
+namespace mmx::dsp {
+namespace {
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(Fft, DeltaTransformsToFlat) {
+  Cvec x(8, Complex{});
+  x[0] = Complex{1.0, 0.0};
+  fft_inplace(x);
+  for (const Complex& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ToneLandsInCorrectBin) {
+  const std::size_t n = 64;
+  // exp(j 2 pi 5 t / n) -> bin 5 with magnitude n.
+  Cvec x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ph = kTwoPi * 5.0 * static_cast<double>(i) / static_cast<double>(n);
+    x[i] = Complex{std::cos(ph), std::sin(ph)};
+  }
+  fft_inplace(x);
+  EXPECT_NEAR(std::abs(x[5]), static_cast<double>(n), 1e-9);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k != 5) {
+      EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, RoundTrip) {
+  Rng rng(11);
+  Cvec x = awgn(256, 1.0, rng);
+  Cvec y = x;
+  fft_inplace(y);
+  ifft_inplace(y);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-10);
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(13);
+  Cvec x = awgn(512, 2.0, rng);
+  const double time_energy = mean_power(x) * static_cast<double>(x.size());
+  Cvec y = x;
+  fft_inplace(y);
+  double freq_energy = 0.0;
+  for (const Complex& v : y) freq_energy += std::norm(v);
+  freq_energy /= static_cast<double>(y.size());
+  EXPECT_NEAR(freq_energy, time_energy, time_energy * 1e-10);
+}
+
+TEST(Fft, NonPow2SizeThrows) {
+  Cvec x(12);
+  EXPECT_THROW(fft_inplace(x), std::invalid_argument);
+}
+
+TEST(Fft, OutOfPlacePadsToPow2) {
+  Cvec x(100, Complex{1.0, 0.0});
+  const Cvec y = fft(x);
+  EXPECT_EQ(y.size(), 128u);
+}
+
+TEST(Fft, BinFrequency) {
+  EXPECT_DOUBLE_EQ(bin_frequency(0, 8, 800.0), 0.0);
+  EXPECT_DOUBLE_EQ(bin_frequency(1, 8, 800.0), 100.0);
+  EXPECT_DOUBLE_EQ(bin_frequency(7, 8, 800.0), -100.0);  // negative side
+  EXPECT_THROW(bin_frequency(0, 0, 800.0), std::invalid_argument);
+}
+
+TEST(Fft, EstimateToneFrequencyOffBin) {
+  // Frequency deliberately between bins; parabolic interpolation should
+  // get within a fraction of a bin.
+  const double fs = 1e6;
+  const double f = 123'456.7;
+  const Cvec x = tone(fs, f, 2048);
+  const double bin_width = fs / 2048.0;
+  EXPECT_NEAR(estimate_tone_frequency(x, fs), f, bin_width / 4.0);
+}
+
+TEST(Fft, EstimateToneFrequencyUnderNoise) {
+  Rng rng(5);
+  const double fs = 1e6;
+  const double f = -200e3;
+  Cvec x = tone(fs, f, 4096);
+  add_awgn_snr(x, 0.0, rng);  // 0 dB SNR: tone still dominates one bin
+  EXPECT_NEAR(estimate_tone_frequency(x, fs), f, 500.0);
+}
+
+TEST(Fft, PowerSpectrumPeak) {
+  const double fs = 1e6;
+  const Cvec x = tone(fs, 250e3, 1024);
+  const Rvec p = power_spectrum(x, WindowKind::kRect);
+  EXPECT_NEAR(bin_frequency(peak_bin(p), p.size(), fs), 250e3, fs / 1024.0);
+}
+
+class FftSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeSweep, RoundTripAcrossSizes) {
+  Rng rng(17);
+  Cvec x = awgn(GetParam(), 1.0, rng);
+  Cvec y = x;
+  fft_inplace(y);
+  ifft_inplace(y);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeSweep, ::testing::Values(2, 4, 16, 128, 1024, 4096));
+
+}  // namespace
+}  // namespace mmx::dsp

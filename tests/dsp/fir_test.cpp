@@ -1,0 +1,120 @@
+#include "mmx/dsp/fir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmx/common/units.hpp"
+#include "mmx/dsp/tone.hpp"
+#include "mmx/dsp/types.hpp"
+
+namespace mmx::dsp {
+namespace {
+
+TEST(FirDesign, LowpassDcGainIsUnity) {
+  const Rvec h = design_lowpass(1e6, 100e3, 63);
+  double sum = 0.0;
+  for (double v : h) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(FirDesign, LowpassSymmetricLinearPhase) {
+  const Rvec h = design_lowpass(1e6, 100e3, 63);
+  for (std::size_t i = 0; i < h.size() / 2; ++i) {
+    EXPECT_NEAR(h[i], h[h.size() - 1 - i], 1e-12);
+  }
+}
+
+TEST(FirDesign, RejectsBadArguments) {
+  EXPECT_THROW(design_lowpass(1e6, 100e3, 64), std::invalid_argument);  // even taps
+  EXPECT_THROW(design_lowpass(1e6, 600e3, 63), std::invalid_argument);  // cutoff > Nyquist
+  EXPECT_THROW(design_lowpass(1e6, 0.0, 63), std::invalid_argument);
+  EXPECT_THROW(design_bandpass(1e6, 200e3, 100e3, 63), std::invalid_argument);  // inverted band
+}
+
+TEST(FirFilter, PassbandAndStopbandAttenuation) {
+  const double fs = 1e6;
+  FirFilter lp(design_lowpass(fs, 100e3, 101));
+  // Passband tone at 20 kHz nearly unscathed; stopband tone at 300 kHz
+  // strongly attenuated.
+  const double pass = std::abs(lp.frequency_response(20e3, fs));
+  const double stop = std::abs(lp.frequency_response(300e3, fs));
+  EXPECT_NEAR(pass, 1.0, 0.02);
+  EXPECT_LT(amp_to_db(stop), -50.0);
+}
+
+TEST(FirFilter, BandpassSelectsBand) {
+  const double fs = 1e6;
+  FirFilter bp(design_bandpass(fs, 150e3, 250e3, 201));
+  EXPECT_NEAR(std::abs(bp.frequency_response(200e3, fs)), 1.0, 0.02);
+  EXPECT_LT(amp_to_db(std::abs(bp.frequency_response(50e3, fs))), -40.0);
+  EXPECT_LT(amp_to_db(std::abs(bp.frequency_response(400e3, fs))), -40.0);
+}
+
+TEST(FirFilter, ImpulseResponseEqualsTaps) {
+  const Rvec h = design_lowpass(1e6, 100e3, 31);
+  FirFilter f(h);
+  Cvec impulse(h.size(), Complex{});
+  impulse[0] = Complex{1.0, 0.0};
+  const Cvec out = f.process(impulse);
+  for (std::size_t i = 0; i < h.size(); ++i) EXPECT_NEAR(out[i].real(), h[i], 1e-12);
+}
+
+TEST(FirFilter, BlockVsSampleProcessingIdentical) {
+  const Rvec h = design_lowpass(1e6, 100e3, 31);
+  FirFilter a(h);
+  FirFilter b(h);
+  const Cvec x = tone(1e6, 37e3, 256);
+  const Cvec block = a.process(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(block[i] - b.process(x[i])), 0.0, 1e-12);
+  }
+}
+
+TEST(FirFilter, ResetClearsState) {
+  FirFilter f(design_lowpass(1e6, 100e3, 31));
+  f.process(Complex{1.0, 0.0});
+  f.reset();
+  // After reset, a zero input must give exactly zero output.
+  EXPECT_EQ(f.process(Complex{}), (Complex{0.0, 0.0}));
+}
+
+TEST(FirFilter, GroupDelay) {
+  FirFilter f(design_lowpass(1e6, 100e3, 63));
+  EXPECT_EQ(f.group_delay(), 31u);
+}
+
+TEST(FirFilter, EmptyTapsThrow) {
+  EXPECT_THROW(FirFilter(Rvec{}), std::invalid_argument);
+}
+
+TEST(MovingAverage, WarmupAndSteadyState) {
+  MovingAverage ma(4);
+  EXPECT_DOUBLE_EQ(ma.process(4.0), 4.0);        // 4/1
+  EXPECT_DOUBLE_EQ(ma.process(8.0), 6.0);        // 12/2
+  EXPECT_DOUBLE_EQ(ma.process(0.0), 4.0);        // 12/3
+  EXPECT_DOUBLE_EQ(ma.process(0.0), 3.0);        // 12/4
+  EXPECT_DOUBLE_EQ(ma.process(0.0), 2.0);        // (8+0+0+0)/4
+}
+
+TEST(MovingAverage, ZeroLengthThrows) {
+  EXPECT_THROW(MovingAverage(0), std::invalid_argument);
+}
+
+class FirCutoffSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FirCutoffSweep, HalfPowerAtCutoff) {
+  // The windowed-sinc -6 dB point should sit at the design cutoff for any
+  // cutoff across the band.
+  const double fs = 1e6;
+  const double fc = GetParam();
+  FirFilter lp(design_lowpass(fs, fc, 201));
+  const double mag = std::abs(lp.frequency_response(fc, fs));
+  EXPECT_NEAR(amp_to_db(mag), -6.0, 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cutoffs, FirCutoffSweep,
+                         ::testing::Values(50e3, 100e3, 150e3, 200e3, 300e3, 400e3));
+
+}  // namespace
+}  // namespace mmx::dsp

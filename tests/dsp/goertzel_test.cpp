@@ -1,0 +1,101 @@
+#include "mmx/dsp/goertzel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmx/common/rng.hpp"
+#include "mmx/common/units.hpp"
+#include "mmx/dsp/noise.hpp"
+#include "mmx/dsp/tone.hpp"
+
+namespace mmx::dsp {
+namespace {
+
+TEST(Goertzel, UnitToneAtItsOwnFrequency) {
+  const double fs = 1e6;
+  const double f = 125e3;
+  const Cvec x = tone(fs, f, 1000);
+  // |X(f)|^2/N^2 of a unit tone at its own frequency is 1.
+  EXPECT_NEAR(goertzel_power(x, f, fs), 1.0, 1e-6);
+}
+
+TEST(Goertzel, RejectsOffFrequencyTone) {
+  const double fs = 1e6;
+  const Cvec x = tone(fs, 125e3, 1000);
+  // 10 kHz away (10 cycle offsets over the block): strong rejection.
+  EXPECT_LT(goertzel_power(x, 135e3, fs), 0.01);
+}
+
+TEST(Goertzel, WorksOffBinGrid) {
+  // Non-integer number of cycles in the block — classic FFT would leak,
+  // Goertzel evaluated at the exact frequency still reports full power.
+  const double fs = 1e6;
+  const double f = 123'456.789;
+  const Cvec x = tone(fs, f, 777);
+  EXPECT_NEAR(goertzel_power(x, f, fs), 1.0, 1e-4);
+}
+
+TEST(Goertzel, MatchesDirectDft) {
+  Rng rng(3);
+  const double fs = 1e6;
+  Cvec x = awgn(64, 1.0, rng);
+  const double f = 3.0 * fs / 64.0;  // bin 3
+  const Complex g = goertzel(x, f, fs);
+  Complex direct{0.0, 0.0};
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    const double ph = -kTwoPi * 3.0 * static_cast<double>(n) / 64.0;
+    direct += x[n] * Complex{std::cos(ph), std::sin(ph)};
+  }
+  EXPECT_NEAR(std::abs(g - direct), 0.0, 1e-9);
+}
+
+TEST(Goertzel, EmptyBlockIsZero) {
+  EXPECT_DOUBLE_EQ(goertzel_power(Cvec{}, 1000.0, 1e6), 0.0);
+}
+
+TEST(Goertzel, BadSampleRateThrows) {
+  Cvec x(8);
+  EXPECT_THROW(goertzel(x, 1000.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(GoertzelBin(1000.0, -1.0), std::invalid_argument);
+}
+
+TEST(GoertzelBin, StreamingMatchesBatch) {
+  Rng rng(9);
+  const double fs = 1e6;
+  Cvec x = awgn(500, 1.0, rng);
+  const double f = 44e3;
+  GoertzelBin bin(f, fs);
+  for (const Complex& s : x) bin.push(s);
+  EXPECT_NEAR(std::abs(bin.coefficient() - goertzel(x, f, fs)), 0.0, 1e-9);
+  EXPECT_NEAR(bin.power(), goertzel_power(x, f, fs), 1e-12);
+  EXPECT_EQ(bin.count(), x.size());
+}
+
+TEST(GoertzelBin, ResetClears) {
+  GoertzelBin bin(1000.0, 1e6);
+  bin.push(Complex{1.0, 0.0});
+  bin.reset();
+  EXPECT_EQ(bin.count(), 0u);
+  EXPECT_DOUBLE_EQ(bin.power(), 0.0);
+}
+
+class FskSeparationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FskSeparationSweep, DiscriminatesTwoTones) {
+  // The joint ASK-FSK demodulator's core requirement: with tone spacing
+  // >= 2/T (two cycles of separation per symbol), the correct bin wins.
+  const double fs = 100e6;
+  const std::size_t sym = 1000;  // 10 us symbol
+  const double df = GetParam();
+  const Cvec x0 = tone(fs, 0.0, sym);
+  const Cvec x1 = tone(fs, df, sym);
+  EXPECT_GT(goertzel_power(x1, df, fs), 10.0 * goertzel_power(x1, 0.0, fs));
+  EXPECT_GT(goertzel_power(x0, 0.0, fs), 10.0 * goertzel_power(x0, df, fs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Spacings, FskSeparationSweep,
+                         ::testing::Values(200e3, 500e3, 1e6, 2e6, 5e6));
+
+}  // namespace
+}  // namespace mmx::dsp

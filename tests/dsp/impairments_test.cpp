@@ -1,0 +1,100 @@
+#include "mmx/dsp/impairments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmx/common/rng.hpp"
+#include "mmx/common/units.hpp"
+#include "mmx/dsp/goertzel.hpp"
+#include "mmx/dsp/noise.hpp"
+#include "mmx/dsp/tone.hpp"
+
+namespace mmx::dsp {
+namespace {
+
+TEST(IqImbalance, IdentityWhenPerfect) {
+  const Cvec x = tone(1e6, 100e3, 256);
+  const Cvec y = apply_iq_imbalance(x, IqImbalance{0.0, 0.0});
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-12);
+}
+
+TEST(IqImbalance, CreatesImageTone) {
+  // A +100 kHz tone through an imbalanced front end leaks an image at
+  // -100 kHz with power set by the IRR.
+  const double fs = 1e6;
+  const Cvec x = tone(fs, 100e3, 4096);
+  const IqImbalance imb{1.0, deg_to_rad(5.0)};
+  const Cvec y = apply_iq_imbalance(x, imb);
+  const double wanted = goertzel_power(y, 100e3, fs);
+  const double image = goertzel_power(y, -100e3, fs);
+  EXPECT_NEAR(lin_to_db(wanted / image), image_rejection_db(imb), 0.5);
+}
+
+TEST(IqImbalance, IrrFormulaSane) {
+  EXPECT_GT(image_rejection_db(IqImbalance{0.1, deg_to_rad(1.0)}), 30.0);
+  EXPECT_LT(image_rejection_db(IqImbalance{3.0, deg_to_rad(20.0)}), 20.0);
+  EXPECT_GE(image_rejection_db(IqImbalance{0.0, 0.0}), 200.0);
+}
+
+TEST(DcOffset, AddsConstant) {
+  const Cvec x(10, Complex{1.0, 1.0});
+  const Cvec y = apply_dc_offset(x, Complex{0.5, -0.5});
+  for (const Complex& s : y) EXPECT_NEAR(std::abs(s - Complex{1.5, 0.5}), 0.0, 1e-15);
+}
+
+TEST(IqCompensator, RemovesDcAndImage) {
+  Rng rng(1);
+  const double fs = 1e6;
+  // A circular (noise-like) calibration signal.
+  Cvec x = awgn(65536, 1.0, rng);
+  const IqImbalance imb{1.5, deg_to_rad(8.0)};
+  Cvec y = apply_iq_imbalance(x, imb);
+  y = apply_dc_offset(y, Complex{0.2, -0.1});
+
+  IqCompensator comp;
+  comp.estimate(y);
+  // DC estimated within a few percent.
+  EXPECT_NEAR(std::abs(comp.dc() - Complex{0.2, -0.1}), 0.0, 0.02);
+
+  // Image of a probe tone is strongly suppressed after compensation.
+  Cvec probe = tone(fs, 200e3, 8192);
+  Cvec probe_bad = apply_dc_offset(apply_iq_imbalance(probe, imb), Complex{0.2, -0.1});
+  const Cvec fixed = comp.process(probe_bad);
+  const double irr_before =
+      lin_to_db(goertzel_power(probe_bad, 200e3, fs) / goertzel_power(probe_bad, -200e3, fs));
+  const double irr_after =
+      lin_to_db(goertzel_power(fixed, 200e3, fs) / goertzel_power(fixed, -200e3, fs));
+  EXPECT_GT(irr_after, irr_before + 20.0);
+  EXPECT_GT(irr_after, 40.0);
+}
+
+TEST(IqCompensator, EstimateValidation) {
+  IqCompensator comp;
+  Cvec tiny(8);
+  EXPECT_THROW(comp.estimate(tiny), std::invalid_argument);
+  Cvec zeros(64, Complex{});
+  EXPECT_THROW(comp.estimate(zeros), std::invalid_argument);
+}
+
+class ImbalanceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ImbalanceSweep, CompensatorHelpsAcrossSeverities) {
+  Rng rng(2);
+  const double fs = 1e6;
+  const IqImbalance imb{GetParam(), deg_to_rad(GetParam() * 4.0)};
+  Cvec cal = awgn(32768, 1.0, rng);
+  const Cvec cal_bad = apply_iq_imbalance(cal, imb);
+  IqCompensator comp;
+  comp.estimate(cal_bad);
+  const Cvec probe_bad = apply_iq_imbalance(tone(fs, 150e3, 8192), imb);
+  const Cvec fixed = comp.process(probe_bad);
+  const double image_before = goertzel_power(probe_bad, -150e3, fs);
+  const double image_after = goertzel_power(fixed, -150e3, fs);
+  EXPECT_LT(image_after, image_before * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Severities, ImbalanceSweep, ::testing::Values(0.5, 1.0, 2.0, 3.0));
+
+}  // namespace
+}  // namespace mmx::dsp

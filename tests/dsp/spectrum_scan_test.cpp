@@ -1,0 +1,63 @@
+// Band-scan (energy detection) tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmx/common/rng.hpp"
+#include "mmx/dsp/noise.hpp"
+#include "mmx/dsp/resample.hpp"
+#include "mmx/dsp/spectrum.hpp"
+#include "mmx/dsp/tone.hpp"
+
+namespace mmx::dsp {
+namespace {
+
+TEST(BandScan, FindsTwoTransmitters) {
+  Rng rng(1);
+  const double fs = 64e6;
+  const std::size_t n = 16384;
+  // Two "nodes" 20 dB over the noise floor at -18 and +10 MHz.
+  Cvec x = awgn(n, 1e-4, rng);
+  const Cvec a = tone(fs, -18e6, n);
+  const Cvec b = tone(fs, 10e6, n);
+  for (std::size_t i = 0; i < n; ++i) x[i] += 0.1 * a[i] + 0.05 * b[i];
+
+  const auto hits = detect_active_channels(x, fs, 4e6, 10.0);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_NEAR(hits[0].center_hz, -18e6, 2e6);
+  EXPECT_NEAR(hits[1].center_hz, 10e6, 2e6);
+  EXPECT_GT(hits[0].above_floor_db, 10.0);
+  // The stronger node reports more power.
+  EXPECT_GT(hits[0].power_db, hits[1].power_db);
+}
+
+TEST(BandScan, QuietBandReportsNothing) {
+  Rng rng(2);
+  const Cvec x = awgn(8192, 1.0, rng);
+  EXPECT_TRUE(detect_active_channels(x, 64e6, 4e6, 10.0).empty());
+}
+
+TEST(BandScan, ThresholdControlsSensitivity) {
+  Rng rng(3);
+  const double fs = 64e6;
+  const std::size_t n = 16384;
+  Cvec x = awgn(n, 1e-2, rng);
+  const Cvec a = tone(fs, 6e6, n);
+  for (std::size_t i = 0; i < n; ++i) x[i] += 0.08 * a[i];  // ~ mild margin
+  const auto strict = detect_active_channels(x, fs, 4e6, 25.0);
+  const auto loose = detect_active_channels(x, fs, 4e6, 6.0);
+  EXPECT_GE(loose.size(), strict.size());
+  EXPECT_FALSE(loose.empty());
+}
+
+TEST(BandScan, Validation) {
+  Cvec tiny(16);
+  EXPECT_THROW(detect_active_channels(tiny, 1e6, 1e5), std::invalid_argument);
+  Cvec x(256, Complex{1.0, 0.0});
+  EXPECT_THROW(detect_active_channels(x, 1e6, 0.0), std::invalid_argument);
+  EXPECT_THROW(detect_active_channels(x, 1e6, 2e6), std::invalid_argument);
+  EXPECT_THROW(detect_active_channels(x, 1e6, 1e5, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmx::dsp

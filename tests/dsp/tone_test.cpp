@@ -1,0 +1,73 @@
+#include "mmx/dsp/tone.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmx/common/units.hpp"
+#include "mmx/dsp/fft.hpp"
+
+namespace mmx::dsp {
+namespace {
+
+TEST(Nco, UnitAmplitude) {
+  Nco nco(1e6, 12345.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_NEAR(std::abs(nco.next()), 1.0, 1e-12);
+}
+
+TEST(Nco, FrequencyAccuracy) {
+  const double fs = 1e6;
+  const double f = 50e3;
+  Cvec x = tone(fs, f, 4096);
+  EXPECT_NEAR(estimate_tone_frequency(x, fs), f, 5.0);
+}
+
+TEST(Nco, NegativeFrequency) {
+  const double fs = 1e6;
+  Cvec x = tone(fs, -100e3, 4096);
+  EXPECT_NEAR(estimate_tone_frequency(x, fs), -100e3, 10.0);
+}
+
+TEST(Nco, PhaseContinuityAcrossRetune) {
+  // Retuning mid-stream must not jump the phase: consecutive samples stay
+  // close for small frequency steps (this is what makes FSK via VCO
+  // tuning-voltage nudges spectrally clean, paper §6.3).
+  Nco nco(1e6, 10e3);
+  Complex prev = nco.next();
+  for (int i = 0; i < 100; ++i) prev = nco.next();
+  nco.set_frequency(12e3);
+  const Complex next = nco.next();
+  // Max per-sample rotation at 12 kHz/1 MHz is ~0.0754 rad.
+  EXPECT_LT(std::abs(std::arg(next * std::conj(prev))), 0.1);
+}
+
+TEST(Nco, RejectsBadArguments) {
+  EXPECT_THROW(Nco(0.0, 1.0), std::invalid_argument);
+  Nco nco(1e6);
+  EXPECT_THROW(nco.set_frequency(600e3), std::invalid_argument);  // > Nyquist
+}
+
+TEST(Tone, StartPhaseRespected) {
+  Cvec x = tone(1e6, 0.0, 4, kPi / 2.0);
+  EXPECT_NEAR(x[0].real(), 0.0, 1e-12);
+  EXPECT_NEAR(x[0].imag(), 1.0, 1e-12);
+}
+
+TEST(Chirp, SweepsFrequency) {
+  const double fs = 1e6;
+  Cvec x = chirp(fs, 10e3, 200e3, 8192);
+  // The first quarter should look like a lower tone than the last quarter.
+  const std::span<const Complex> head(x.data(), 2048);
+  const std::span<const Complex> tail(x.data() + 6144, 2048);
+  const double f_head = estimate_tone_frequency(head, fs);
+  const double f_tail = estimate_tone_frequency(tail, fs);
+  EXPECT_LT(f_head, 80e3);
+  EXPECT_GT(f_tail, 140e3);
+}
+
+TEST(Chirp, ZeroLength) {
+  EXPECT_TRUE(chirp(1e6, 0.0, 1000.0, 0).empty());
+}
+
+}  // namespace
+}  // namespace mmx::dsp

@@ -1,0 +1,55 @@
+#include "mmx/dsp/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmx::dsp {
+namespace {
+
+TEST(Types, MeanPowerOfConstant) {
+  Cvec x(100, Complex{3.0, 4.0});  // |x| = 5, |x|^2 = 25
+  EXPECT_DOUBLE_EQ(mean_power(x), 25.0);
+  EXPECT_DOUBLE_EQ(rms(x), 5.0);
+}
+
+TEST(Types, MeanPowerEmptyIsZero) {
+  Cvec x;
+  EXPECT_DOUBLE_EQ(mean_power(x), 0.0);
+  EXPECT_DOUBLE_EQ(rms(x), 0.0);
+}
+
+TEST(Types, SetMeanPower) {
+  Cvec x{{1.0, 0.0}, {0.0, 2.0}, {-3.0, 0.0}};
+  set_mean_power(x, 7.0);
+  EXPECT_NEAR(mean_power(x), 7.0, 1e-12);
+}
+
+TEST(Types, SetMeanPowerOnZeroSignalIsNoop) {
+  Cvec x(10, Complex{});
+  set_mean_power(x, 5.0);
+  EXPECT_DOUBLE_EQ(mean_power(x), 0.0);
+}
+
+TEST(Types, AddInto) {
+  Cvec a{{1.0, 1.0}, {2.0, 0.0}};
+  Cvec b{{0.5, -1.0}, {1.0, 1.0}};
+  add_into(a, b);
+  EXPECT_EQ(a[0], (Complex{1.5, 0.0}));
+  EXPECT_EQ(a[1], (Complex{3.0, 1.0}));
+}
+
+TEST(Types, AddIntoSizeMismatchThrows) {
+  Cvec a(3);
+  Cvec b(4);
+  EXPECT_THROW(add_into(a, b), std::invalid_argument);
+}
+
+TEST(Types, Magnitudes) {
+  Cvec x{{3.0, 4.0}, {0.0, -2.0}};
+  const Rvec m = magnitudes(x);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m[0], 5.0);
+  EXPECT_DOUBLE_EQ(m[1], 2.0);
+}
+
+}  // namespace
+}  // namespace mmx::dsp

@@ -1,0 +1,181 @@
+#include "mmx/mac/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mmx/common/rng.hpp"
+#include "mmx/common/units.hpp"
+
+namespace mmx::mac {
+namespace {
+
+FdmAllocator ism_band() { return FdmAllocator(kIsmLowHz, kIsmHighHz, 1e6); }
+
+TEST(RequiredBandwidth, ScalesWithRate) {
+  // 10 Mbps HD video at 0.8 b/s/Hz -> 12.5 MHz.
+  EXPECT_NEAR(required_bandwidth_hz(10e6), 12.5e6, 1.0);
+  EXPECT_THROW(required_bandwidth_hz(0.0), std::invalid_argument);
+  EXPECT_THROW(required_bandwidth_hz(1e6, 0.0), std::invalid_argument);
+}
+
+TEST(FdmAllocator, AllocatesWithinBand) {
+  FdmAllocator a = ism_band();
+  const auto ch = a.allocate(1, 25e6);
+  ASSERT_TRUE(ch.has_value());
+  EXPECT_GE(ch->low_hz(), kIsmLowHz);
+  EXPECT_LE(ch->high_hz(), kIsmHighHz);
+  EXPECT_DOUBLE_EQ(ch->bandwidth_hz, 25e6);
+}
+
+TEST(FdmAllocator, ChannelsDoNotOverlap) {
+  FdmAllocator a = ism_band();
+  std::vector<ChannelAllocation> chans;
+  for (std::uint16_t id = 0; id < 8; ++id) {
+    const auto ch = a.allocate(id, 25e6);
+    ASSERT_TRUE(ch.has_value()) << id;
+    chans.push_back(*ch);
+  }
+  for (std::size_t i = 0; i < chans.size(); ++i) {
+    for (std::size_t j = i + 1; j < chans.size(); ++j) {
+      const bool disjoint =
+          chans[i].high_hz() <= chans[j].low_hz() || chans[j].high_hz() <= chans[i].low_hz();
+      EXPECT_TRUE(disjoint) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(FdmAllocator, GuardBandsRespected) {
+  FdmAllocator a(24.0e9, 24.25e9, 2e6);
+  const auto c1 = a.allocate(1, 20e6);
+  const auto c2 = a.allocate(2, 20e6);
+  ASSERT_TRUE(c1 && c2);
+  EXPECT_GE(c2->low_hz() - c1->high_hz(), 2e6 - 1e-6);
+}
+
+TEST(FdmAllocator, PaperCapacityTenNodesAt25MHz) {
+  // §9.5: each node occupies 25 MHz; the 250 MHz ISM band fits ~9-10 such
+  // nodes with guards.
+  FdmAllocator a = ism_band();
+  int fitted = 0;
+  for (std::uint16_t id = 0; id < 20; ++id) {
+    if (a.allocate(id, 25e6)) ++fitted;
+  }
+  EXPECT_GE(fitted, 9);
+  EXPECT_LE(fitted, 10);
+}
+
+TEST(FdmAllocator, ExhaustionReturnsNullopt) {
+  FdmAllocator a = ism_band();
+  EXPECT_TRUE(a.allocate(1, 200e6).has_value());
+  EXPECT_FALSE(a.allocate(2, 100e6).has_value());
+}
+
+TEST(FdmAllocator, ReleaseReclaimsSpectrum) {
+  FdmAllocator a = ism_band();
+  ASSERT_TRUE(a.allocate(1, 200e6));
+  EXPECT_FALSE(a.allocate(2, 200e6));
+  EXPECT_TRUE(a.release(1));
+  EXPECT_TRUE(a.allocate(2, 200e6).has_value());
+  EXPECT_FALSE(a.release(1));  // already gone
+}
+
+TEST(FdmAllocator, ReusesFreedGapFirstFit) {
+  FdmAllocator a = ism_band();
+  ASSERT_TRUE(a.allocate(1, 50e6));
+  ASSERT_TRUE(a.allocate(2, 50e6));
+  ASSERT_TRUE(a.allocate(3, 50e6));
+  a.release(2);
+  const auto ch = a.allocate(4, 40e6);
+  ASSERT_TRUE(ch.has_value());
+  // Must slot into the freed middle gap (first fit), not at the end.
+  EXPECT_LT(ch->low_hz(), a.lookup(3)->low_hz());
+}
+
+TEST(FdmAllocator, LookupAndAccounting) {
+  FdmAllocator a = ism_band();
+  EXPECT_FALSE(a.lookup(1).has_value());
+  a.allocate(1, 30e6);
+  EXPECT_TRUE(a.lookup(1).has_value());
+  EXPECT_EQ(a.num_allocations(), 1u);
+  EXPECT_NEAR(a.free_bandwidth_hz(), 220e6, 1.0);
+}
+
+TEST(FdmAllocator, LargestGapTracksFragmentation) {
+  FdmAllocator a(0.0, 100.0, 0.0);
+  a.allocate(1, 40.0);
+  a.allocate(2, 40.0);
+  a.release(1);
+  EXPECT_NEAR(a.largest_gap_hz(), 40.0, 1e-9);
+  // free_bandwidth says 60 but largest gap is only 40: fragmentation.
+  EXPECT_NEAR(a.free_bandwidth_hz(), 60.0, 1e-9);
+}
+
+TEST(FdmAllocator, DoubleAllocateThrows) {
+  FdmAllocator a = ism_band();
+  a.allocate(1, 10e6);
+  EXPECT_THROW(a.allocate(1, 10e6), std::invalid_argument);
+}
+
+TEST(FdmAllocator, BadArgsThrow) {
+  EXPECT_THROW(FdmAllocator(10.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(FdmAllocator(0.0, 10.0, -1.0), std::invalid_argument);
+  FdmAllocator a = ism_band();
+  EXPECT_THROW(a.allocate(1, 0.0), std::invalid_argument);
+}
+
+TEST(FdmAllocator, RandomAllocReleaseStressNeverOverlaps) {
+  // 2000 random allocate/release operations: at every step, allocations
+  // must be disjoint, inside the band, and the books must balance.
+  Rng rng(7);
+  FdmAllocator a(kIsmLowHz, kIsmHighHz, 1e6);
+  std::vector<std::uint16_t> held;
+  std::uint16_t next_id = 0;
+  for (int step = 0; step < 2000; ++step) {
+    if (held.empty() || rng.chance(0.6)) {
+      const double bw = rng.uniform(1e6, 60e6);
+      const std::uint16_t id = next_id++;
+      if (a.allocate(id, bw)) held.push_back(id);
+    } else {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(held.size()) - 1));
+      ASSERT_TRUE(a.release(held[pick]));
+      held.erase(held.begin() + static_cast<long>(pick));
+    }
+    // Invariants.
+    ASSERT_EQ(a.num_allocations(), held.size());
+    double used = 0.0;
+    std::vector<ChannelAllocation> chans;
+    for (const auto& [id, ch] : a.allocations()) {
+      ASSERT_GE(ch.low_hz(), kIsmLowHz - 1e-6);
+      ASSERT_LE(ch.high_hz(), kIsmHighHz + 1e-6);
+      used += ch.bandwidth_hz;
+      chans.push_back(ch);
+    }
+    ASSERT_NEAR(a.free_bandwidth_hz(), kIsmBandwidthHz - used, 1.0);
+    std::sort(chans.begin(), chans.end(),
+              [](const auto& x, const auto& y) { return x.low_hz() < y.low_hz(); });
+    for (std::size_t i = 1; i < chans.size(); ++i) {
+      ASSERT_GE(chans[i].low_hz(), chans[i - 1].high_hz() - 1e-6);
+    }
+  }
+}
+
+class RateMixSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RateMixSweep, MixedRatesPack) {
+  // Nodes with mixed rate demands (cameras + sensors) share the band.
+  FdmAllocator a = ism_band();
+  std::uint16_t id = 0;
+  int granted = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (a.allocate(id++, required_bandwidth_hz(GetParam()))) ++granted;
+    if (a.allocate(id++, required_bandwidth_hz(1e6))) ++granted;  // sensor
+  }
+  EXPECT_GT(granted, 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RateMixSweep, ::testing::Values(8e6, 10e6, 20e6));
+
+}  // namespace
+}  // namespace mmx::mac

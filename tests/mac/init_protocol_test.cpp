@@ -1,0 +1,187 @@
+#include "mmx/mac/init_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::mac {
+namespace {
+
+InitProtocol make_protocol() {
+  return InitProtocol(FdmAllocator(kIsmLowHz, kIsmHighHz, 1e6), rf::Vco{});
+}
+
+TEST(InitProtocol, GrantsChannelForHdVideo) {
+  InitProtocol p = make_protocol();
+  // "if a device needs to stream an HD video, a few MHz of bandwidth must
+  // be allocated to it" (§4) — 10 Mbps request.
+  const auto msg = p.handle(ChannelRequest{1, 10e6, 0.0});
+  const auto* g = std::get_if<ChannelGrant>(&msg);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->node_id, 1);
+  EXPECT_NEAR(g->channel.bandwidth_hz, 12.5e6, 1.0);
+  EXPECT_EQ(g->sdm_harmonic, 0);
+}
+
+TEST(InitProtocol, GrantCarriesValidVcoVoltages) {
+  InitProtocol p = make_protocol();
+  const auto msg = p.handle(ChannelRequest{1, 10e6, 0.0});
+  const auto* g = std::get_if<ChannelGrant>(&msg);
+  ASSERT_NE(g, nullptr);
+  rf::Vco vco;
+  // The two tuning voltages must land inside the channel, v1 above v0.
+  const double f0 = vco.frequency_hz(g->vco_tune_v0);
+  const double f1 = vco.frequency_hz(g->vco_tune_v1);
+  EXPECT_GT(f1, f0);
+  EXPECT_GE(f0, g->channel.low_hz() - 1.0);
+  EXPECT_LE(f1, g->channel.high_hz() + 1.0);
+}
+
+TEST(InitProtocol, IdempotentForSameNode) {
+  InitProtocol p = make_protocol();
+  const auto m1 = p.handle(ChannelRequest{1, 10e6, 0.0});
+  const auto m2 = p.handle(ChannelRequest{1, 10e6, 0.0});
+  const auto* g1 = std::get_if<ChannelGrant>(&m1);
+  const auto* g2 = std::get_if<ChannelGrant>(&m2);
+  ASSERT_TRUE(g1 && g2);
+  EXPECT_EQ(g1->channel, g2->channel);
+  EXPECT_EQ(p.allocator().num_allocations(), 1u);
+}
+
+TEST(InitProtocol, ZeroRateDenied) {
+  InitProtocol p = make_protocol();
+  const auto msg = p.handle(ChannelRequest{1, 0.0, 0.0});
+  EXPECT_NE(std::get_if<ChannelDeny>(&msg), nullptr);
+}
+
+TEST(InitProtocol, FallsBackToSdmWhenBandFull) {
+  InitProtocol p = make_protocol();
+  // Fill the band with wide FDM channels from distinct bearings.
+  std::uint16_t id = 0;
+  int fdm_grants = 0;
+  while (true) {
+    const auto msg = p.handle(ChannelRequest{id, 80e6, 0.3 * id});
+    const auto* g = std::get_if<ChannelGrant>(&msg);
+    if (!g || g->sdm_harmonic != 0) break;
+    ++fdm_grants;
+    ++id;
+  }
+  EXPECT_GE(fdm_grants, 2);
+  // The node that broke the loop should have received an SDM share (its
+  // bearing differs from every holder's by >= the minimum separation).
+  const auto msg = p.handle(ChannelRequest{99, 80e6, -0.5});
+  const auto* g = std::get_if<ChannelGrant>(&msg);
+  ASSERT_NE(g, nullptr);
+  EXPECT_NE(g->sdm_harmonic, 0);
+}
+
+TEST(InitProtocol, SdmRefusedForCoincidentBearings) {
+  InitProtocol p = make_protocol();
+  // Exhaust the band.
+  p.handle(ChannelRequest{1, 150e6, 0.0});
+  p.handle(ChannelRequest{2, 60e6, 0.5});
+  // Same bearing as node 1 -> cannot share spatially.
+  const auto msg = p.handle(ChannelRequest{3, 100e6, 0.0});
+  EXPECT_NE(std::get_if<ChannelDeny>(&msg), nullptr);
+}
+
+TEST(InitProtocol, SdmSharesUseDistinctHarmonics) {
+  InitProtocol p = make_protocol();
+  p.handle(ChannelRequest{1, 180e6, 0.0});  // 225 MHz: nearly the whole band
+  const auto m2 = p.handle(ChannelRequest{2, 100e6, 0.5});
+  const auto m3 = p.handle(ChannelRequest{3, 100e6, -0.5});
+  const auto* g2 = std::get_if<ChannelGrant>(&m2);
+  const auto* g3 = std::get_if<ChannelGrant>(&m3);
+  ASSERT_TRUE(g2 && g3);
+  EXPECT_NE(g2->sdm_harmonic, 0);
+  EXPECT_NE(g3->sdm_harmonic, g2->sdm_harmonic);
+  EXPECT_EQ(g2->channel, g3->channel);
+}
+
+TEST(InitProtocol, ReleaseFreesSpectrum) {
+  InitProtocol p = make_protocol();
+  p.handle(ChannelRequest{1, 200e6, 0.0});
+  EXPECT_TRUE(p.release(1));
+  EXPECT_FALSE(p.release(1));
+  const auto msg = p.handle(ChannelRequest{2, 200e6, 0.0});
+  const auto* g = std::get_if<ChannelGrant>(&msg);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->sdm_harmonic, 0);
+}
+
+TEST(InitProtocol, ServeDrainsSideChannel) {
+  Rng rng(1);
+  InitProtocol p = make_protocol();
+  SideChannel sc;
+  sc.node_to_ap(ChannelRequest{1, 10e6, 0.1}, rng);
+  sc.node_to_ap(ChannelRequest{2, 8e6, -0.2}, rng);
+  EXPECT_EQ(p.serve(sc, rng), 2u);
+  EXPECT_EQ(sc.pending_at_node(), 2u);
+  const auto r1 = sc.poll_at_node();
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_NE(std::get_if<ChannelGrant>(&*r1), nullptr);
+}
+
+TEST(InitProtocol, ManySmallSensorsAllFit) {
+  // "These bands are wide enough to support many nodes" (§7a): 40 sensors
+  // at 1 Mbps each need ~50 MHz + guards.
+  InitProtocol p = make_protocol();
+  int granted = 0;
+  for (std::uint16_t id = 0; id < 40; ++id) {
+    const auto msg = p.handle(ChannelRequest{id, 1e6, 0.05 * id});
+    if (std::get_if<ChannelGrant>(&msg)) ++granted;
+  }
+  EXPECT_EQ(granted, 40);
+}
+
+TEST(InitProtocol, ModifyRateGrows) {
+  InitProtocol p = make_protocol();
+  p.handle(ChannelRequest{1, 10e6, 0.0});
+  const auto msg = p.modify_rate(1, 40e6);
+  const auto* g = std::get_if<ChannelGrant>(&msg);
+  ASSERT_NE(g, nullptr);
+  EXPECT_NEAR(g->channel.bandwidth_hz, 50e6, 1.0);
+  EXPECT_EQ(p.allocator().num_allocations(), 1u);
+}
+
+TEST(InitProtocol, ModifyRateShrinkFreesSpectrum) {
+  InitProtocol p = make_protocol();
+  p.handle(ChannelRequest{1, 100e6, 0.0});
+  const double free_before = p.allocator().free_bandwidth_hz();
+  const auto msg = p.modify_rate(1, 10e6);
+  EXPECT_NE(std::get_if<ChannelGrant>(&msg), nullptr);
+  EXPECT_GT(p.allocator().free_bandwidth_hz(), free_before + 100e6);
+}
+
+TEST(InitProtocol, ModifyRateDenyRestoresOldGrant) {
+  InitProtocol p = make_protocol();
+  p.handle(ChannelRequest{1, 10e6, 0.0});
+  p.handle(ChannelRequest{2, 150e6, 0.5});
+  // Node 1 asks for more than remains -> deny, but keeps its old channel.
+  const auto msg = p.modify_rate(1, 190e6);
+  EXPECT_NE(std::get_if<ChannelDeny>(&msg), nullptr);
+  ASSERT_TRUE(p.grants().contains(1));
+  EXPECT_NEAR(p.grants().at(1).channel.bandwidth_hz, 12.5e6, 1.0);
+}
+
+TEST(InitProtocol, ModifyUnknownNodeDenied) {
+  InitProtocol p = make_protocol();
+  const auto msg = p.modify_rate(42, 1e6);
+  EXPECT_NE(std::get_if<ChannelDeny>(&msg), nullptr);
+}
+
+TEST(InitProtocol, BadConfigThrows) {
+  InitConfig bad;
+  bad.fsk_fraction = 0.6;
+  EXPECT_THROW(InitProtocol(FdmAllocator(kIsmLowHz, kIsmHighHz), rf::Vco{}, bad),
+               std::invalid_argument);
+  InitConfig bad2;
+  bad2.sdm_capacity = 0;
+  EXPECT_THROW(InitProtocol(FdmAllocator(kIsmLowHz, kIsmHighHz), rf::Vco{}, bad2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmx::mac

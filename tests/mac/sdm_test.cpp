@@ -1,0 +1,93 @@
+#include "mmx/mac/sdm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::mac {
+namespace {
+
+SdmScheduler make_scheduler() { return SdmScheduler(antenna::TmaSpec{}, 0.125, 0.45, 3); }
+
+TEST(Sdm, CapacityMatchesHarmonics) {
+  EXPECT_EQ(make_scheduler().capacity(), 4);
+}
+
+TEST(Sdm, SingleNodeTrivial) {
+  SdmScheduler s = make_scheduler();
+  const std::vector<double> bearings{0.1};
+  const SdmPlan p = s.plan(bearings);
+  ASSERT_EQ(p.assignments.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.min_sir_db, 200.0);
+}
+
+TEST(Sdm, WellSeparatedBearingsGetGoodSir) {
+  SdmScheduler s = make_scheduler();
+  // Bearings near the harmonics' steered directions.
+  const std::vector<double> bearings{s.tma().steered_angle(0), s.tma().steered_angle(1),
+                                     s.tma().steered_angle(2)};
+  const SdmPlan p = s.plan(bearings);
+  EXPECT_EQ(p.assignments.size(), 3u);
+  EXPECT_GT(p.min_sir_db, 12.0);
+  // Distinct harmonics.
+  std::set<int> used;
+  for (const auto& a : p.assignments) used.insert(a.harmonic);
+  EXPECT_EQ(used.size(), 3u);
+}
+
+TEST(Sdm, AssignmentMatchesNearestHarmonic) {
+  SdmScheduler s = make_scheduler();
+  const double t1 = s.tma().steered_angle(1);
+  const std::vector<double> bearings{t1 + 0.01, -0.01};
+  const SdmPlan p = s.plan(bearings);
+  // Node 0 (bearing near harmonic 1) must get harmonic 1.
+  for (const auto& a : p.assignments) {
+    if (a.node_index == 0) {
+      EXPECT_EQ(a.harmonic, 1);
+    }
+    if (a.node_index == 1) {
+      EXPECT_EQ(a.harmonic, 0);
+    }
+  }
+}
+
+TEST(Sdm, CloseBearingsDegradeSir) {
+  SdmScheduler s = make_scheduler();
+  const std::vector<double> apart{s.tma().steered_angle(0), s.tma().steered_angle(2)};
+  const std::vector<double> close{0.0, 0.03};
+  EXPECT_GT(s.plan(apart).min_sir_db, s.plan(close).min_sir_db + 10.0);
+}
+
+TEST(Sdm, OverCapacityThrows) {
+  SdmScheduler s = make_scheduler();
+  const std::vector<double> five{-0.4, -0.2, 0.0, 0.2, 0.4};
+  EXPECT_THROW(s.plan(five), std::invalid_argument);
+  EXPECT_THROW(s.plan(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Sdm, BadConstructionThrows) {
+  EXPECT_THROW(SdmScheduler(antenna::TmaSpec{}, 0.125, 0.45, -1), std::invalid_argument);
+  // Harmonic 5 with delay 0.125 and d=0.5: sin = 1.25 -> unreachable.
+  EXPECT_THROW(SdmScheduler(antenna::TmaSpec{}, 0.125, 0.45, 5), std::out_of_range);
+}
+
+class SdmGroupSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SdmGroupSizeSweep, FullGroupsRemainSeparable) {
+  SdmScheduler s = make_scheduler();
+  const int k = GetParam();
+  std::vector<double> bearings;
+  for (int i = 0; i < k; ++i) bearings.push_back(s.tma().steered_angle(i));
+  const SdmPlan p = s.plan(bearings);
+  EXPECT_EQ(p.assignments.size(), static_cast<std::size_t>(k));
+  if (k > 1) {
+    EXPECT_GT(p.min_sir_db, 10.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SdmGroupSizeSweep, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace mmx::mac

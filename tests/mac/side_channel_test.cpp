@@ -1,0 +1,54 @@
+#include "mmx/mac/side_channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmx::mac {
+namespace {
+
+TEST(SideChannel, DeliversInOrder) {
+  Rng rng(1);
+  SideChannel sc;
+  sc.node_to_ap(ChannelRequest{1, 10e6, 0.1}, rng);
+  sc.node_to_ap(ChannelRequest{2, 20e6, 0.2}, rng);
+  auto m1 = sc.poll_at_ap();
+  auto m2 = sc.poll_at_ap();
+  ASSERT_TRUE(m1 && m2);
+  EXPECT_EQ(std::get<ChannelRequest>(*m1).node_id, 1);
+  EXPECT_EQ(std::get<ChannelRequest>(*m2).node_id, 2);
+  EXPECT_FALSE(sc.poll_at_ap().has_value());
+}
+
+TEST(SideChannel, DirectionsIndependent) {
+  Rng rng(2);
+  SideChannel sc;
+  sc.node_to_ap(ChannelRequest{1, 1e6, 0.0}, rng);
+  EXPECT_FALSE(sc.poll_at_node().has_value());
+  sc.ap_to_node(ChannelDeny{1}, rng);
+  EXPECT_EQ(sc.pending_at_ap(), 1u);
+  EXPECT_EQ(sc.pending_at_node(), 1u);
+  EXPECT_TRUE(sc.poll_at_node().has_value());
+  EXPECT_TRUE(sc.poll_at_ap().has_value());
+}
+
+TEST(SideChannel, LossyChannelDropsSome) {
+  Rng rng(3);
+  SideChannel sc(0.5);
+  for (int i = 0; i < 1000; ++i) sc.node_to_ap(ChannelRequest{1, 1e6, 0.0}, rng);
+  EXPECT_GT(sc.pending_at_ap(), 350u);
+  EXPECT_LT(sc.pending_at_ap(), 650u);
+}
+
+TEST(SideChannel, ZeroLossDeliversAll) {
+  Rng rng(4);
+  SideChannel sc(0.0);
+  for (int i = 0; i < 100; ++i) sc.node_to_ap(ChannelDeny{0}, rng);
+  EXPECT_EQ(sc.pending_at_ap(), 100u);
+}
+
+TEST(SideChannel, BadDropProbabilityThrows) {
+  EXPECT_THROW(SideChannel(-0.1), std::invalid_argument);
+  EXPECT_THROW(SideChannel(1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmx::mac

@@ -1,0 +1,122 @@
+#include "mmx/phy/ask.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmx/common/rng.hpp"
+#include "mmx/dsp/noise.hpp"
+
+namespace mmx::phy {
+namespace {
+
+PhyConfig test_cfg() {
+  PhyConfig cfg;
+  cfg.symbol_rate_hz = 1e6;
+  cfg.samples_per_symbol = 16;
+  cfg.fsk_freq0_hz = -2e6;
+  cfg.fsk_freq1_hz = 2e6;
+  return cfg;
+}
+
+Bits random_bits(std::size_t n, Rng& rng) {
+  Bits b(n);
+  for (int& v : b) v = rng.uniform_int(0, 1);
+  return b;
+}
+
+TEST(Ask, RoundTripClean) {
+  const PhyConfig cfg = test_cfg();
+  const Bits bits{1, 0, 1, 1, 0, 0, 1, 0, 1, 0};
+  const auto tx = ask_modulate(bits, cfg);
+  EXPECT_EQ(tx.size(), bits.size() * cfg.samples_per_symbol);
+  const AskDecision d = ask_demodulate(tx, cfg);
+  EXPECT_EQ(d.bits, bits);
+  EXPECT_FALSE(d.inverted);
+}
+
+TEST(Ask, RoundTripUnderNoise) {
+  Rng rng(1);
+  const PhyConfig cfg = test_cfg();
+  Bits bits = random_bits(500, rng);
+  bits[0] = 1;
+  bits[1] = 0;  // ensure both classes early
+  auto tx = ask_modulate(bits, cfg);
+  dsp::add_awgn_snr(tx, 15.0, rng);
+  const AskDecision d = ask_demodulate(tx, cfg);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) errors += (d.bits[i] != bits[i]);
+  EXPECT_LT(errors, 5u);
+  EXPECT_GT(d.separation, 1.0);
+}
+
+TEST(Ask, PrefixLearnsThresholdAndPolarity) {
+  const PhyConfig cfg = test_cfg();
+  const Bits prefix{1, 0, 1, 0};
+  Bits bits = prefix;
+  const Bits data{1, 1, 0, 1, 0, 0};
+  bits.insert(bits.end(), data.begin(), data.end());
+  auto tx = ask_modulate(bits, cfg);
+  // Simulate the blocked-LoS inversion: flip which amplitude means "1" by
+  // scaling: swap levels via amplitude inversion trick — regenerate with
+  // inverted bits but pass the true bits as prefix.
+  Bits flipped(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) flipped[i] = bits[i] ^ 1;
+  auto tx_inv = ask_modulate(flipped, cfg);
+  const AskDecision d = ask_demodulate(tx_inv, cfg, prefix);
+  EXPECT_TRUE(d.inverted);
+  EXPECT_EQ(d.bits, bits);  // polarity resolved back to the true bits
+}
+
+TEST(Ask, SeparationDropsWithNoise) {
+  Rng rng(2);
+  const PhyConfig cfg = test_cfg();
+  const Bits bits = random_bits(200, rng);
+  auto clean = ask_modulate(bits, cfg);
+  auto noisy = clean;
+  dsp::add_awgn_snr(noisy, 5.0, rng);
+  const double sep_clean = ask_demodulate(clean, cfg).separation;
+  const double sep_noisy = ask_demodulate(noisy, cfg).separation;
+  EXPECT_GT(sep_clean, sep_noisy * 3.0);
+}
+
+TEST(Ask, ModulateValidatesInput) {
+  const PhyConfig cfg = test_cfg();
+  EXPECT_THROW(ask_modulate({0, 2}, cfg), std::invalid_argument);
+  EXPECT_THROW(ask_modulate({1}, cfg, AskLevels{0.5, 0.5}), std::invalid_argument);
+  PhyConfig bad = cfg;
+  bad.samples_per_symbol = 2;
+  EXPECT_THROW(ask_modulate({1}, bad), std::invalid_argument);
+}
+
+TEST(Ask, DemodulateValidatesInput) {
+  const PhyConfig cfg = test_cfg();
+  dsp::Cvec tiny(cfg.samples_per_symbol / 2);
+  EXPECT_THROW(ask_demodulate(tiny, cfg), std::invalid_argument);
+  const auto tx = ask_modulate({1, 0}, cfg);
+  EXPECT_THROW(ask_demodulate(tx, cfg, Bits{1, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(ask_demodulate(tx, cfg, Bits{1, 1}), std::invalid_argument);  // one class only
+}
+
+class AskSnrSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AskSnrSweep, ErrorRateDecreasesWithSnr) {
+  Rng rng(42);
+  const PhyConfig cfg = test_cfg();
+  const Bits bits = random_bits(1000, rng);
+  auto tx = ask_modulate(bits, cfg);
+  dsp::add_awgn_snr(tx, GetParam(), rng);
+  const AskDecision d = ask_demodulate(tx, cfg);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) errors += (d.bits[i] != bits[i]);
+  // Above 12 dB essentially error-free; at 0 dB plenty of errors.
+  if (GetParam() >= 12.0) {
+    EXPECT_LT(errors, 10u);
+  }
+  if (GetParam() <= 0.0) {
+    EXPECT_GT(errors, 10u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, AskSnrSweep, ::testing::Values(-5.0, 0.0, 12.0, 20.0, 30.0));
+
+}  // namespace
+}  // namespace mmx::phy

@@ -1,0 +1,114 @@
+#include "mmx/phy/ber.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::phy {
+namespace {
+
+TEST(Ber, QFunctionKnownValues) {
+  EXPECT_NEAR(q_function(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(q_function(1.0), 0.1587, 1e-4);
+  EXPECT_NEAR(q_function(3.0), 1.35e-3, 1e-4);
+  EXPECT_NEAR(q_function(-1.0), 0.8413, 1e-4);
+  // Deep tail stays finite and positive.
+  EXPECT_GT(q_function(8.0), 0.0);
+  EXPECT_LT(q_function(8.0), 1e-14);
+}
+
+TEST(Ber, MonotoneDecreasingInSnr) {
+  double prev = 1.0;
+  for (double snr_db = -10.0; snr_db <= 30.0; snr_db += 1.0) {
+    const double b = ber_ook_coherent(db_to_lin(snr_db));
+    EXPECT_LT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Ber, CoherentBeatsNoncoherent) {
+  for (double snr_db = 5.0; snr_db <= 20.0; snr_db += 2.5) {
+    const double snr = db_to_lin(snr_db);
+    EXPECT_LE(ber_ook_coherent(snr), ber_ook_noncoherent(snr));
+  }
+}
+
+TEST(Ber, NoncoherentCapsAtHalf) {
+  EXPECT_DOUBLE_EQ(ber_ook_noncoherent(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(ber_bfsk_noncoherent(0.0), 0.5);
+}
+
+TEST(Ber, PaperAnchorPoints) {
+  // §9.4: "SNRs of more than 15 dB, which is sufficient to achieve BER of
+  // lower than 1e-8" — coherent OOK at 15 dB is ~1e-8-ish.
+  EXPECT_LT(ber_ook_coherent(db_to_lin(15.0)), 1e-7);
+  // §9.2: SNR >= 11 dB -> "very low BER" (well below 1e-3).
+  EXPECT_LT(ber_ook_coherent(db_to_lin(11.0)), 1e-3);
+}
+
+TEST(Ber, TwoLevelMatchesOokWhenLevelsAre0And1) {
+  // amp1=1, amp0=0, noise_power=p: Q(1/(2*sqrt(p/2))) == Q(sqrt(1/(2p))).
+  const double p = 0.01;
+  EXPECT_NEAR(ber_two_level(1.0, 0.0, p), q_function(std::sqrt(1.0 / (2.0 * p))), 1e-15);
+}
+
+TEST(Ber, TwoLevelEqualAmplitudesIsCoinFlip) {
+  EXPECT_DOUBLE_EQ(ber_two_level(0.5, 0.5, 0.01), 0.5);
+}
+
+TEST(Ber, TwoLevelAveragingHelps) {
+  EXPECT_LT(ber_two_level(1.0, 0.5, 0.1, 16), ber_two_level(1.0, 0.5, 0.1, 1));
+}
+
+TEST(Ber, JointTakesBetterBranch) {
+  EXPECT_DOUBLE_EQ(ber_joint(1e-3, 1e-9), 1e-9);
+  EXPECT_DOUBLE_EQ(ber_joint(1e-12, 0.5), 1e-12);
+  // Equal-loss OTAM corner: ASK is a coin flip, FSK saves the packet.
+  EXPECT_LT(ber_joint(0.5, ber_bfsk_noncoherent(db_to_lin(15.0))), 1e-5);
+}
+
+TEST(Ber, SnrForBerInverse) {
+  for (double target : {1e-3, 1e-6, 1e-9}) {
+    const double snr = snr_for_ber_ook(target);
+    EXPECT_NEAR(ber_ook_coherent(snr) / target, 1.0, 1e-3);
+  }
+}
+
+TEST(Ber, CodedBerBeatsRawInWaterfallRegion) {
+  for (double p : {1e-2, 1e-3, 1e-4}) {
+    EXPECT_LT(ber_hamming74(p), p);
+    EXPECT_LT(ber_conv_k3(p), ber_hamming74(p));  // stronger code wins
+  }
+}
+
+TEST(Ber, CodedBerScalesCorrectly) {
+  // Hamming residual ~ p^2 region: dropping p by 10x drops residual ~100x.
+  const double r1 = ber_hamming74(1e-3);
+  const double r2 = ber_hamming74(1e-4);
+  EXPECT_NEAR(r1 / r2, 100.0, 20.0);
+  // Convolutional d_free=5: p^3 leading term -> 1000x.
+  const double c1 = ber_conv_k3(1e-3);
+  const double c2 = ber_conv_k3(1e-4);
+  EXPECT_NEAR(c1 / c2, 1000.0, 200.0);
+}
+
+TEST(Ber, CodedBerValidation) {
+  EXPECT_THROW(ber_hamming74(-0.1), std::invalid_argument);
+  EXPECT_THROW(ber_conv_k3(0.6), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(ber_hamming74(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ber_conv_k3(0.0), 0.0);
+}
+
+TEST(Ber, ValidatesArguments) {
+  EXPECT_THROW(ber_ook_coherent(-1.0), std::invalid_argument);
+  EXPECT_THROW(ber_two_level(1.0, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ber_two_level(1.0, 0.0, 0.1, 0), std::invalid_argument);
+  EXPECT_THROW(ber_joint(0.7, 0.1), std::invalid_argument);
+  EXPECT_THROW(snr_for_ber_ook(0.0), std::invalid_argument);
+  EXPECT_THROW(snr_for_ber_ook(0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmx::phy

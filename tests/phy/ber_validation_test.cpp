@@ -1,0 +1,98 @@
+// Cross-validation: the analytic BER tables (used to regenerate Fig. 11,
+// following the paper's own §9.3 method) against bit errors counted in
+// sample-level OTAM simulation. If these disagree, either the demodulator
+// or the analytics are wrong.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmx/common/rng.hpp"
+#include "mmx/common/units.hpp"
+#include "mmx/dsp/noise.hpp"
+#include "mmx/phy/ask.hpp"
+#include "mmx/phy/ber.hpp"
+#include "mmx/phy/otam.hpp"
+#include "mmx/phy/preamble.hpp"
+
+namespace mmx::phy {
+namespace {
+
+PhyConfig test_cfg() {
+  PhyConfig cfg;
+  cfg.symbol_rate_hz = 1e6;
+  cfg.samples_per_symbol = 16;
+  cfg.fsk_freq0_hz = -2e6;
+  cfg.fsk_freq1_hz = 2e6;
+  cfg.guard_frac = 0.0;  // use the whole symbol so n_avg is exact
+  return cfg;
+}
+
+/// Measure the ASK-branch BER at a given per-sample SNR.
+double measured_ask_ber(double snr_db, std::size_t total_bits, Rng& rng) {
+  const PhyConfig cfg = test_cfg();
+  rf::SpdtSwitch sw;
+  const OtamChannel ch{{0.25, 0.0}, {1.0, 0.0}};
+  const Bits& prefix = default_preamble();
+  std::size_t errors = 0;
+  std::size_t counted = 0;
+  while (counted < total_bits) {
+    Bits bits = prefix;
+    for (int i = 0; i < 2000; ++i) bits.push_back(rng.uniform_int(0, 1));
+    auto rx = otam_synthesize(bits, cfg, ch, sw);
+    // Reference noise level: relative to the STRONG level's power, which
+    // is what the analytic model's `noise_power` argument refers to.
+    const OtamLevels lv = otam_levels(ch, sw);
+    const double noise_power = lv.level1 * lv.level1 / db_to_lin(snr_db);
+    dsp::add_awgn(rx, noise_power, rng);
+    const AskDecision d = ask_demodulate(rx, cfg, prefix);
+    // A real receiver drops a frame whose training bits disagree (sync
+    // failure); keeping such frames would measure polarity flips, not BER.
+    std::size_t prefix_err = 0;
+    for (std::size_t i = 0; i < prefix.size(); ++i) prefix_err += (d.bits[i] != prefix[i]);
+    if (prefix_err > prefix.size() / 4) continue;
+    for (std::size_t i = prefix.size(); i < bits.size(); ++i) {
+      errors += (d.bits[i] != bits[i]);
+      ++counted;
+    }
+  }
+  return static_cast<double>(errors) / static_cast<double>(counted);
+}
+
+/// The analytic prediction for the same setup.
+double predicted_ask_ber(double snr_db) {
+  const PhyConfig cfg = test_cfg();
+  rf::SpdtSwitch sw;
+  const OtamChannel ch{{0.25, 0.0}, {1.0, 0.0}};
+  const OtamLevels lv = otam_levels(ch, sw);
+  const double noise_power = lv.level1 * lv.level1 / db_to_lin(snr_db);
+  return ber_two_level(lv.level1, lv.level0, noise_power, cfg.samples_per_symbol);
+}
+
+class BerValidationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BerValidationSweep, MeasuredMatchesAnalyticWithinFactor) {
+  Rng rng(static_cast<std::uint64_t>(GetParam() * 1000.0) + 7);
+  const double snr_db = GetParam();
+  const double predicted = predicted_ask_ber(snr_db);
+  ASSERT_GT(predicted, 1e-4) << "pick SNRs where errors are countable";
+  const auto bits_needed = static_cast<std::size_t>(std::min(2e6, 200.0 / predicted));
+  const double measured = measured_ask_ber(snr_db, bits_needed, rng);
+  // Envelope detection vs the Gaussian approximation: agree within 3x on
+  // the BER (i.e. within ~1 dB on the waterfall).
+  EXPECT_GT(measured, predicted / 3.0) << "SNR " << snr_db;
+  EXPECT_LT(measured, predicted * 3.0) << "SNR " << snr_db;
+}
+
+// Per-sample SNRs chosen so the per-symbol (x16) BER sits in a countable
+// range: ~2e-2 down to ~2e-4.
+INSTANTIATE_TEST_SUITE_P(Levels, BerValidationSweep, ::testing::Values(-8.0, -6.5, -5.0));
+
+TEST(BerValidation, WaterfallMonotone) {
+  Rng rng(99);
+  const double b1 = measured_ask_ber(-9.0, 40000, rng);
+  const double b2 = measured_ask_ber(-5.0, 40000, rng);
+  EXPECT_GT(b1, b2);
+}
+
+}  // namespace
+}  // namespace mmx::phy

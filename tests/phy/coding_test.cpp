@@ -1,0 +1,98 @@
+#include "mmx/phy/coding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmx/common/rng.hpp"
+
+namespace mmx::phy {
+namespace {
+
+Bits random_bits(std::size_t n, Rng& rng) {
+  Bits b(n);
+  for (int& v : b) v = rng.uniform_int(0, 1);
+  return b;
+}
+
+class ProfileRoundTrip : public ::testing::TestWithParam<CodingProfile> {};
+
+TEST_P(ProfileRoundTrip, CleanRoundTrip) {
+  Rng rng(1);
+  for (std::size_t n : {0u, 1u, 7u, 64u, 333u, 1000u}) {
+    const Bits body = random_bits(n, rng);
+    const Bits coded = encode_body(body, GetParam());
+    EXPECT_EQ(coded.size(), coded_length_bits(n, GetParam())) << n;
+    EXPECT_EQ(decode_body(coded, GetParam()), body) << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, ProfileRoundTrip,
+                         ::testing::Values(CodingProfile::kNone, CodingProfile::kHamming,
+                                           CodingProfile::kConvolutional));
+
+TEST(Coding, RateAccounting) {
+  EXPECT_DOUBLE_EQ(coding_rate(CodingProfile::kNone), 1.0);
+  EXPECT_NEAR(coding_rate(CodingProfile::kHamming), 4.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(coding_rate(CodingProfile::kConvolutional), 0.5);
+  // coded_length tracks the rate (plus the 16-bit prefix + padding).
+  const std::size_t n = 1000;
+  EXPECT_NEAR(static_cast<double>(coded_length_bits(n, CodingProfile::kHamming)),
+              (n + 16) / (4.0 / 7.0), 14.0);
+}
+
+TEST(Coding, HammingCorrectsScatteredChannelErrors) {
+  Rng rng(2);
+  const Bits body = random_bits(400, rng);
+  Bits coded = encode_body(body, CodingProfile::kHamming);
+  // One error every ~40 channel bits: interleaving guarantees <= 1 per
+  // codeword for this density.
+  for (std::size_t i = 3; i < coded.size(); i += 41) coded[i] ^= 1;
+  EXPECT_EQ(decode_body(coded, CodingProfile::kHamming), body);
+}
+
+TEST(Coding, HammingSurvivesBurst) {
+  Rng rng(3);
+  const Bits body = random_bits(400, rng);
+  Bits coded = encode_body(body, CodingProfile::kHamming);
+  // A contiguous burst shorter than the number of codewords: the
+  // interleaver spreads it to <= 1 error per codeword.
+  const std::size_t n_codewords = coded.size() / 7;
+  const std::size_t burst = n_codewords / 2;
+  for (std::size_t i = 10; i < 10 + burst; ++i) coded[i] ^= 1;
+  EXPECT_EQ(decode_body(coded, CodingProfile::kHamming), body);
+}
+
+TEST(Coding, ConvolutionalCorrectsRandomErrors) {
+  Rng rng(4);
+  const Bits body = random_bits(600, rng);
+  Bits coded = encode_body(body, CodingProfile::kConvolutional);
+  for (int& b : coded)
+    if (rng.chance(0.01)) b ^= 1;
+  const Bits decoded = decode_body(coded, CodingProfile::kConvolutional);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < body.size(); ++i) errors += (decoded[i] != body[i]);
+  EXPECT_LE(errors, 3u);
+}
+
+TEST(Coding, WhiteningInsideTheProfile) {
+  // A constant body must emerge from the encoder with balanced runs.
+  const Bits zeros(512, 0);
+  const Bits coded = encode_body(zeros, CodingProfile::kConvolutional);
+  std::size_t ones = 0;
+  for (int b : coded) ones += static_cast<std::size_t>(b);
+  EXPECT_GT(ones, coded.size() / 4);
+  EXPECT_LT(ones, 3 * coded.size() / 4);
+}
+
+TEST(Coding, Validation) {
+  const Bits too_long(70000, 0);
+  EXPECT_THROW(encode_body(too_long, CodingProfile::kHamming), std::invalid_argument);
+  EXPECT_THROW(decode_body(Bits{1, 0, 1}, CodingProfile::kHamming), std::invalid_argument);
+  // A body whose decoded length prefix exceeds the available bits.
+  Bits bogus = encode_body(Bits(40, 1), CodingProfile::kConvolutional);
+  bogus.resize(bogus.size() - 20);
+  bogus.resize(bogus.size() / 2 * 2);
+  EXPECT_THROW(decode_body(bogus, CodingProfile::kConvolutional), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmx::phy

@@ -1,0 +1,212 @@
+#include "mmx/phy/fec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmx/common/rng.hpp"
+
+namespace mmx::phy {
+namespace {
+
+Bits random_bits(std::size_t n, Rng& rng) {
+  Bits b(n);
+  for (int& v : b) v = rng.uniform_int(0, 1);
+  return b;
+}
+
+TEST(Hamming, RoundTripClean) {
+  Rng rng(1);
+  const Bits data = random_bits(400, rng);
+  EXPECT_EQ(hamming74_decode(hamming74_encode(data)), data);
+}
+
+TEST(Hamming, CorrectsAnySingleBitErrorPerBlock) {
+  Rng rng(2);
+  const Bits data = random_bits(4, rng);
+  const Bits coded = hamming74_encode(data);
+  for (std::size_t i = 0; i < 7; ++i) {
+    Bits corrupted = coded;
+    corrupted[i] ^= 1;
+    EXPECT_EQ(hamming74_decode(corrupted), data) << "flip at " << i;
+  }
+}
+
+TEST(Hamming, RateIs47) {
+  const Bits data(40, 1);
+  EXPECT_EQ(hamming74_encode(data).size(), 70u);
+}
+
+TEST(Hamming, TwoErrorsMayMisdecodeButNeverCrash) {
+  Rng rng(3);
+  const Bits data = random_bits(4, rng);
+  Bits coded = hamming74_encode(data);
+  coded[0] ^= 1;
+  coded[3] ^= 1;
+  EXPECT_NO_THROW({ auto r = hamming74_decode(coded); (void)r; });
+}
+
+TEST(Hamming, ValidatesInput) {
+  EXPECT_THROW(hamming74_encode(Bits{1, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(hamming74_decode(Bits{1, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(hamming74_encode(Bits{1, 0, 1, 2}), std::invalid_argument);
+}
+
+TEST(Repetition, RoundTripAndMajorityVote) {
+  Rng rng(4);
+  const Bits data = random_bits(100, rng);
+  Bits coded = repetition_encode(data, 3);
+  EXPECT_EQ(coded.size(), 300u);
+  // One flip per triplet: still decodes.
+  for (std::size_t i = 0; i < coded.size(); i += 3) coded[i] ^= 1;
+  EXPECT_EQ(repetition_decode(coded, 3), data);
+}
+
+TEST(Repetition, EvenFactorThrows) {
+  EXPECT_THROW(repetition_encode(Bits{1}, 2), std::invalid_argument);
+  EXPECT_THROW(repetition_decode(Bits{1, 1}, 2), std::invalid_argument);
+}
+
+TEST(Interleaver, RoundTrip) {
+  Rng rng(5);
+  const Bits data = random_bits(6 * 8, rng);
+  EXPECT_EQ(deinterleave(interleave(data, 6, 8), 6, 8), data);
+}
+
+TEST(Interleaver, SpreadsBursts) {
+  // A burst of 4 consecutive errors in the interleaved stream must land
+  // in 4 different rows after deinterleaving (rows >= burst length).
+  const std::size_t rows = 8;
+  const std::size_t cols = 8;
+  Bits data(rows * cols, 0);
+  Bits inter = interleave(data, rows, cols);
+  for (std::size_t i = 16; i < 20; ++i) inter[i] ^= 1;  // burst
+  const Bits deinter = deinterleave(inter, rows, cols);
+  // Count errors per row of the original layout.
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::size_t row_errors = 0;
+    for (std::size_t c = 0; c < cols; ++c) row_errors += static_cast<std::size_t>(deinter[r * cols + c]);
+    EXPECT_LE(row_errors, 1u);
+  }
+}
+
+TEST(Interleaver, SizeMismatchThrows) {
+  EXPECT_THROW(interleave(Bits(10, 0), 3, 4), std::invalid_argument);
+  EXPECT_THROW(interleave(Bits(12, 0), 0, 12), std::invalid_argument);
+}
+
+TEST(Conv, RoundTripClean) {
+  Rng rng(6);
+  const Bits data = random_bits(500, rng);
+  EXPECT_EQ(conv_decode(conv_encode(data)), data);
+}
+
+TEST(Conv, RateAndTail) {
+  const Bits data(10, 1);
+  EXPECT_EQ(conv_encode(data).size(), 2 * (10 + 2));
+}
+
+TEST(Conv, CorrectsScatteredErrors) {
+  Rng rng(7);
+  const Bits data = random_bits(200, rng);
+  Bits coded = conv_encode(data);
+  // Flip ~2% of bits, spaced apart (beyond the code's memory).
+  for (std::size_t i = 5; i < coded.size(); i += 50) coded[i] ^= 1;
+  EXPECT_EQ(conv_decode(coded), data);
+}
+
+TEST(Conv, BeatsUncodedAtModerateBer) {
+  Rng rng(8);
+  const Bits data = random_bits(2000, rng);
+  Bits coded = conv_encode(data);
+  // 1% random channel errors.
+  for (int& b : coded)
+    if (rng.chance(0.01)) b ^= 1;
+  const Bits decoded = conv_decode(coded);
+  std::size_t residual = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) residual += (decoded[i] != data[i]);
+  // Uncoded would expect ~20 errors in 2000 bits; Viterbi should do much
+  // better.
+  EXPECT_LT(residual, 8u);
+}
+
+TEST(ConvSoft, MatchesHardOnCleanInput) {
+  Rng rng(10);
+  const Bits data = random_bits(300, rng);
+  const Bits coded = conv_encode(data);
+  std::vector<double> llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) llrs[i] = coded[i] ? 4.0 : -4.0;
+  EXPECT_EQ(conv_decode_soft(llrs), data);
+}
+
+TEST(ConvSoft, BeatsHardUnderGaussianChannel) {
+  // BPSK-style channel: llr = 2*y/sigma^2. Count residual errors for
+  // hard vs soft decoding over many noisy blocks at a marginal SNR.
+  Rng rng(11);
+  const double sigma = 0.9;
+  std::size_t hard_err = 0;
+  std::size_t soft_err = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Bits data = random_bits(200, rng);
+    const Bits coded = conv_encode(data);
+    std::vector<double> llrs(coded.size());
+    Bits hard(coded.size());
+    for (std::size_t i = 0; i < coded.size(); ++i) {
+      const double y = (coded[i] ? 1.0 : -1.0) + rng.gaussian(sigma);
+      llrs[i] = 2.0 * y / (sigma * sigma);
+      hard[i] = y > 0.0 ? 1 : 0;
+    }
+    const Bits hd = conv_decode(hard);
+    const Bits sd = conv_decode_soft(llrs);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      hard_err += (hd[i] != data[i]);
+      soft_err += (sd[i] != data[i]);
+    }
+  }
+  EXPECT_LT(soft_err, hard_err);
+}
+
+TEST(ConvSoft, ErasuresHandledGracefully) {
+  // Zero LLR = "no information": a few erasures per block still decode.
+  Rng rng(12);
+  const Bits data = random_bits(100, rng);
+  const Bits coded = conv_encode(data);
+  std::vector<double> llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) llrs[i] = coded[i] ? 3.0 : -3.0;
+  for (std::size_t i = 10; i < llrs.size(); i += 40) llrs[i] = 0.0;
+  EXPECT_EQ(conv_decode_soft(llrs), data);
+}
+
+TEST(ConvSoft, ValidatesInput) {
+  EXPECT_THROW(conv_decode_soft(std::vector<double>{1.0, -1.0}), std::invalid_argument);
+  EXPECT_THROW(conv_decode_soft(std::vector<double>(9, 1.0)), std::invalid_argument);
+}
+
+TEST(Conv, ValidatesInput) {
+  EXPECT_THROW(conv_decode(Bits{1, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(conv_decode(Bits{1, 0}), std::invalid_argument);
+  EXPECT_THROW(conv_encode(Bits{2}), std::invalid_argument);
+}
+
+class HammingBurstSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HammingBurstSweep, InterleavedHammingSurvivesBursts) {
+  // The system combination a deployment would use: Hamming(7,4) +
+  // interleaving turns a burst (blockage transient) into correctable
+  // single errors, for bursts up to the interleaver depth.
+  Rng rng(9);
+  const std::size_t burst = GetParam();
+  const std::size_t rows = 14;  // interleaver depth >= max burst
+  const std::size_t cols = 7;
+  const Bits data = random_bits(rows * cols / 7 * 4, rng);
+  const Bits coded = hamming74_encode(data);
+  ASSERT_EQ(coded.size(), rows * cols);
+  Bits tx = interleave(coded, rows, cols);
+  const std::size_t start = 20;
+  for (std::size_t i = start; i < start + burst; ++i) tx[i] ^= 1;
+  const Bits rx = deinterleave(tx, rows, cols);
+  EXPECT_EQ(hamming74_decode(rx), data) << "burst " << burst;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bursts, HammingBurstSweep, ::testing::Values(1, 3, 7, 10, 14));
+
+}  // namespace
+}  // namespace mmx::phy

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "mmx/common/rng.hpp"
+#include "mmx/phy/crc.hpp"
+#include "mmx/phy/frame.hpp"
+#include "mmx/phy/preamble.hpp"
+
+namespace mmx::phy {
+namespace {
+
+TEST(Crc, Crc16KnownVector) {
+  // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+  const std::string s = "123456789";
+  const std::vector<std::uint8_t> data(s.begin(), s.end());
+  EXPECT_EQ(crc16(data), 0x29B1);
+}
+
+TEST(Crc, Crc32KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926.
+  const std::string s = "123456789";
+  const std::vector<std::uint8_t> data(s.begin(), s.end());
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc, EmptyInput) {
+  EXPECT_EQ(crc16({}), 0xFFFF);
+  EXPECT_EQ(crc32({}), 0x0u);
+}
+
+TEST(Crc, DetectsSingleBitFlip) {
+  Rng rng(1);
+  std::vector<std::uint8_t> data(64);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const auto ref16 = crc16(data);
+  const auto ref32 = crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[i] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_NE(crc16(data), ref16);
+      EXPECT_NE(crc32(data), ref32);
+      data[i] ^= static_cast<std::uint8_t>(1 << bit);
+    }
+  }
+}
+
+TEST(Bits, BytesToBitsRoundTrip) {
+  Rng rng(2);
+  std::vector<std::uint8_t> bytes(37);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  EXPECT_EQ(bits_to_bytes(bytes_to_bits(bytes)), bytes);
+}
+
+TEST(Bits, MsbFirstOrdering) {
+  const Bits bits = bytes_to_bits(std::vector<std::uint8_t>{0x80});
+  ASSERT_EQ(bits.size(), 8u);
+  EXPECT_EQ(bits[0], 1);
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(bits[i], 0);
+}
+
+TEST(Bits, BadInputThrows) {
+  EXPECT_THROW(bits_to_bytes(Bits{1, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(bits_to_bytes(Bits{1, 0, 2, 0, 0, 0, 0, 0}), std::invalid_argument);
+}
+
+TEST(Frame, EncodeDecodeRoundTrip) {
+  Frame f;
+  f.node_id = 0x1234;
+  f.seq = 42;
+  f.payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  const Bits bits = encode_frame(f, default_preamble());
+  EXPECT_EQ(bits.size(), frame_length_bits(f.payload.size(), default_preamble().size()));
+  // Strip the preamble as the receiver does after sync.
+  const Bits body(bits.begin() + static_cast<long>(default_preamble().size()), bits.end());
+  const auto decoded = decode_frame(body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, f);
+}
+
+TEST(Frame, EmptyPayloadOk) {
+  Frame f;
+  f.node_id = 7;
+  const Bits bits = encode_frame(f, default_preamble());
+  const Bits body(bits.begin() + static_cast<long>(default_preamble().size()), bits.end());
+  const auto decoded = decode_frame(body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(Frame, CorruptedCrcRejected) {
+  Frame f;
+  f.node_id = 1;
+  f.payload = {1, 2, 3};
+  Bits bits = encode_frame(f, {});
+  bits.back() ^= 1;
+  EXPECT_FALSE(decode_frame(bits).has_value());
+}
+
+TEST(Frame, CorruptedHeaderRejected) {
+  Frame f;
+  f.payload = {9, 9};
+  Bits bits = encode_frame(f, {});
+  bits[3] ^= 1;  // node_id bit — CRC covers the header too
+  EXPECT_FALSE(decode_frame(bits).has_value());
+}
+
+TEST(Frame, TruncatedRejected) {
+  Frame f;
+  f.payload.assign(100, 0xAB);
+  Bits bits = encode_frame(f, {});
+  bits.resize(bits.size() / 2);
+  EXPECT_FALSE(decode_frame(bits).has_value());
+}
+
+TEST(Frame, OversizePayloadThrows) {
+  Frame f;
+  f.payload.assign(kMaxPayloadBytes + 1, 0);
+  EXPECT_THROW(encode_frame(f, {}), std::invalid_argument);
+}
+
+TEST(Frame, GarbageBitsRejectedNotCrash) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bits junk(rng.uniform_int(0, 400));
+    for (int& b : junk) b = rng.uniform_int(0, 1);
+    EXPECT_NO_THROW({ auto r = decode_frame(junk); (void)r; });
+  }
+}
+
+class PayloadSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PayloadSizeSweep, RoundTripAcrossSizes) {
+  Rng rng(4);
+  Frame f;
+  f.node_id = 99;
+  f.seq = 1000;
+  f.payload.resize(GetParam());
+  for (auto& b : f.payload) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const Bits bits = encode_frame(f, {});
+  const auto decoded = decode_frame(bits);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PayloadSizeSweep,
+                         ::testing::Values(0, 1, 7, 64, 255, 1024, kMaxPayloadBytes));
+
+}  // namespace
+}  // namespace mmx::phy

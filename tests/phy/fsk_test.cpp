@@ -1,0 +1,103 @@
+#include "mmx/phy/fsk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmx/common/rng.hpp"
+#include "mmx/dsp/noise.hpp"
+
+namespace mmx::phy {
+namespace {
+
+PhyConfig test_cfg() {
+  PhyConfig cfg;
+  cfg.symbol_rate_hz = 1e6;
+  cfg.samples_per_symbol = 16;
+  cfg.fsk_freq0_hz = -2e6;
+  cfg.fsk_freq1_hz = 2e6;
+  return cfg;
+}
+
+TEST(Fsk, RoundTripClean) {
+  const PhyConfig cfg = test_cfg();
+  const Bits bits{0, 1, 1, 0, 1, 0, 0, 1};
+  const auto tx = fsk_modulate(bits, cfg);
+  const FskDecision d = fsk_demodulate(tx, cfg);
+  EXPECT_EQ(d.bits, bits);
+  EXPECT_GT(d.margin, 0.9);
+}
+
+TEST(Fsk, ConstantEnvelope) {
+  // FSK's whole point in mmX: information is carried without amplitude,
+  // so an amplitude-ambiguous channel can't erase it.
+  const PhyConfig cfg = test_cfg();
+  const auto tx = fsk_modulate({0, 1, 0, 1, 1, 0}, cfg);
+  for (const auto& s : tx) EXPECT_NEAR(std::abs(s), 1.0, 1e-9);
+}
+
+TEST(Fsk, SurvivesHeavyAmplitudeScaling) {
+  // Scale the whole capture down 40 dB (long range): margins unaffected.
+  const PhyConfig cfg = test_cfg();
+  const Bits bits{1, 0, 0, 1, 1, 1, 0, 0};
+  auto tx = fsk_modulate(bits, cfg);
+  for (auto& s : tx) s *= 0.01;
+  const FskDecision d = fsk_demodulate(tx, cfg);
+  EXPECT_EQ(d.bits, bits);
+  EXPECT_GT(d.margin, 0.9);
+}
+
+TEST(Fsk, RoundTripUnderNoise) {
+  Rng rng(7);
+  const PhyConfig cfg = test_cfg();
+  Bits bits(600);
+  for (int& b : bits) b = rng.uniform_int(0, 1);
+  auto tx = fsk_modulate(bits, cfg);
+  dsp::add_awgn_snr(tx, 12.0, rng);
+  const FskDecision d = fsk_demodulate(tx, cfg);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) errors += (d.bits[i] != bits[i]);
+  EXPECT_LT(errors, 6u);
+}
+
+TEST(Fsk, MarginDegradesWithNoise) {
+  Rng rng(8);
+  const PhyConfig cfg = test_cfg();
+  Bits bits(200);
+  for (int& b : bits) b = rng.uniform_int(0, 1);
+  auto clean = fsk_modulate(bits, cfg);
+  auto noisy = clean;
+  dsp::add_awgn_snr(noisy, 0.0, rng);
+  EXPECT_GT(fsk_demodulate(clean, cfg).margin, fsk_demodulate(noisy, cfg).margin);
+}
+
+TEST(Fsk, ValidatesInput) {
+  const PhyConfig cfg = test_cfg();
+  EXPECT_THROW(fsk_modulate({0, 2}, cfg), std::invalid_argument);
+  dsp::Cvec tiny(3);
+  EXPECT_THROW(fsk_demodulate(tiny, cfg), std::invalid_argument);
+  PhyConfig bad = cfg;
+  bad.fsk_freq0_hz = bad.fsk_freq1_hz;
+  EXPECT_THROW(fsk_modulate({1}, bad), std::invalid_argument);
+  PhyConfig nyq = cfg;
+  nyq.fsk_freq1_hz = 20e6;  // beyond fs/2 = 8 MHz
+  EXPECT_THROW(fsk_modulate({1}, nyq), std::invalid_argument);
+}
+
+class FskSpacingSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FskSpacingSweep, DecodesAcrossToneSpacings) {
+  PhyConfig cfg = test_cfg();
+  cfg.fsk_freq0_hz = -GetParam() / 2.0;
+  cfg.fsk_freq1_hz = +GetParam() / 2.0;
+  const Bits bits{1, 0, 1, 1, 0, 0, 1, 0};
+  const auto tx = fsk_modulate(bits, cfg);
+  EXPECT_EQ(fsk_demodulate(tx, cfg).bits, bits);
+}
+
+// Spacing >= ~2x symbol rate keeps the guarded-window Goertzel bins
+// orthogonal.
+INSTANTIATE_TEST_SUITE_P(Spacings, FskSpacingSweep, ::testing::Values(2e6, 4e6, 8e6, 12e6));
+
+}  // namespace
+}  // namespace mmx::phy

@@ -1,0 +1,142 @@
+#include "mmx/phy/joint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmx/common/rng.hpp"
+#include "mmx/common/units.hpp"
+#include "mmx/dsp/noise.hpp"
+#include "mmx/phy/otam.hpp"
+
+namespace mmx::phy {
+namespace {
+
+PhyConfig test_cfg() {
+  PhyConfig cfg;
+  cfg.symbol_rate_hz = 1e6;
+  cfg.samples_per_symbol = 16;
+  cfg.fsk_freq0_hz = -2e6;
+  cfg.fsk_freq1_hz = 2e6;
+  return cfg;
+}
+
+Bits with_prefix(const Bits& prefix, std::size_t n, Rng& rng) {
+  Bits bits = prefix;
+  for (std::size_t i = 0; i < n; ++i) bits.push_back(rng.uniform_int(0, 1));
+  return bits;
+}
+
+TEST(Joint, PrefersAskWhenContrastIsStrong) {
+  Rng rng(1);
+  rf::SpdtSwitch sw;
+  const PhyConfig cfg = test_cfg();
+  const Bits prefix{1, 0, 1, 0, 1, 1, 0, 0};
+  const Bits bits = with_prefix(prefix, 300, rng);
+  const OtamChannel strong_contrast{{0.05, 0.0}, {1.0, 0.0}};  // 26 dB apart
+  auto rx = otam_synthesize(bits, cfg, strong_contrast, sw);
+  dsp::add_awgn(rx, dsp::mean_power(rx) / db_to_lin(20.0), rng);
+  const JointDecision d = joint_demodulate(rx, cfg, prefix);
+  EXPECT_EQ(d.bits, bits);
+  EXPECT_GT(d.ask_separation, 2.0);
+}
+
+TEST(Joint, FallsBackToFskOnEqualLevels) {
+  Rng rng(2);
+  rf::SpdtSwitch sw;
+  const PhyConfig cfg = test_cfg();
+  const Bits prefix{1, 0, 1, 0, 1, 1, 0, 0};
+  const Bits bits = with_prefix(prefix, 300, rng);
+  const OtamChannel equal{{0.4, 0.0}, {0.4, 0.0}};
+  auto rx = otam_synthesize(bits, cfg, equal, sw);
+  dsp::add_awgn(rx, dsp::mean_power(rx) / db_to_lin(20.0), rng);
+  const JointDecision d = joint_demodulate(rx, cfg, prefix);
+  EXPECT_EQ(d.bits, bits);
+  EXPECT_EQ(d.mode, DecisionMode::kFsk);
+  EXPECT_GT(d.fsk_margin, 0.5);
+}
+
+TEST(Joint, DecodesAcrossContrastContinuum) {
+  // §6.3's claim: "utilizing joint ASK-FSK modulations is essential in
+  // order to decode the signal in all scenarios". Sweep the beam-level
+  // ratio from inverted through equal to normal; the joint demodulator
+  // must decode everywhere.
+  Rng rng(3);
+  rf::SpdtSwitch sw;
+  const PhyConfig cfg = test_cfg();
+  const Bits prefix{1, 0, 1, 0, 1, 1, 0, 0};
+  for (double h0 : {0.05, 0.2, 0.39, 0.4, 0.41, 0.8, 1.5}) {
+    const Bits bits = with_prefix(prefix, 200, rng);
+    const OtamChannel ch{{h0, 0.0}, {0.4, 0.0}};
+    auto rx = otam_synthesize(bits, cfg, ch, sw);
+    dsp::add_awgn(rx, dsp::mean_power(rx) / db_to_lin(22.0), rng);
+    const JointDecision d = joint_demodulate(rx, cfg, prefix);
+    std::size_t errors = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) errors += (d.bits[i] != bits[i]);
+    EXPECT_LE(errors, 2u) << "h0 = " << h0;
+  }
+}
+
+TEST(Joint, AskAloneFailsWhereJointSucceeds) {
+  // Demonstrate the necessity of the FSK half: at equal levels plain ASK
+  // is a coin flip.
+  Rng rng(4);
+  rf::SpdtSwitch sw;
+  const PhyConfig cfg = test_cfg();
+  const Bits prefix{1, 0, 1, 0, 1, 1, 0, 0};
+  const Bits bits = with_prefix(prefix, 400, rng);
+  const OtamChannel equal{{0.4, 0.0}, {0.4, 0.0}};
+  auto rx = otam_synthesize(bits, cfg, equal, sw);
+  dsp::add_awgn(rx, dsp::mean_power(rx) / db_to_lin(20.0), rng);
+
+  const JointDecision joint = joint_demodulate(rx, cfg, prefix);
+  std::size_t joint_err = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) joint_err += (joint.bits[i] != bits[i]);
+  EXPECT_LE(joint_err, 2u);
+
+  // The reported ASK separation collapses (noise clusters only) compared
+  // with the >5 d' a real contrast gives.
+  EXPECT_LT(joint.ask_separation, 2.0);
+}
+
+TEST(Joint, WorksWithoutPrefix) {
+  Rng rng(5);
+  rf::SpdtSwitch sw;
+  const PhyConfig cfg = test_cfg();
+  Bits bits = with_prefix({1, 0}, 300, rng);
+  const OtamChannel ch{{0.1, 0.0}, {1.0, 0.0}};
+  auto rx = otam_synthesize(bits, cfg, ch, sw);
+  dsp::add_awgn(rx, dsp::mean_power(rx) / db_to_lin(20.0), rng);
+  const JointDecision d = joint_demodulate(rx, cfg);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) errors += (d.bits[i] != bits[i]);
+  EXPECT_LE(errors, 3u);
+}
+
+TEST(Joint, EmptyCaptureThrows) {
+  const PhyConfig cfg = test_cfg();
+  dsp::Cvec tiny(cfg.samples_per_symbol - 1);
+  EXPECT_THROW(joint_demodulate(tiny, cfg), std::invalid_argument);
+}
+
+class JointSnrSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(JointSnrSweep, CleanAbove15dB) {
+  Rng rng(6);
+  rf::SpdtSwitch sw;
+  const PhyConfig cfg = test_cfg();
+  const Bits prefix{1, 0, 1, 0, 1, 1, 0, 0};
+  const Bits bits = with_prefix(prefix, 500, rng);
+  const OtamChannel ch{{0.2, 0.0}, {1.0, 0.0}};
+  auto rx = otam_synthesize(bits, cfg, ch, sw);
+  dsp::add_awgn(rx, dsp::mean_power(rx) / db_to_lin(GetParam()), rng);
+  const JointDecision d = joint_demodulate(rx, cfg, prefix);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) errors += (d.bits[i] != bits[i]);
+  if (GetParam() >= 15.0) {
+    EXPECT_EQ(errors, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, JointSnrSweep, ::testing::Values(15.0, 20.0, 25.0, 35.0));
+
+}  // namespace
+}  // namespace mmx::phy

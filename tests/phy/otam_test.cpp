@@ -1,0 +1,143 @@
+#include "mmx/phy/otam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmx/common/rng.hpp"
+#include "mmx/common/units.hpp"
+#include "mmx/dsp/envelope.hpp"
+#include "mmx/dsp/noise.hpp"
+#include "mmx/phy/joint.hpp"
+
+namespace mmx::phy {
+namespace {
+
+PhyConfig test_cfg() {
+  PhyConfig cfg;
+  cfg.symbol_rate_hz = 1e6;
+  cfg.samples_per_symbol = 16;
+  cfg.fsk_freq0_hz = -2e6;
+  cfg.fsk_freq1_hz = 2e6;
+  return cfg;
+}
+
+// A "clear LoS" channel: Beam 1 strong, Beam 0 12 dB weaker (NLoS).
+OtamChannel clear_los() { return {{0.25, 0.0}, {1.0, 0.0}}; }
+// Blocked LoS: Beam 1 crushed, Beam 0 unchanged — the inversion case.
+OtamChannel blocked_los() { return {{0.25, 0.0}, {0.04, 0.0}}; }
+
+TEST(Otam, AirSignalAmplitudeFollowsChannel) {
+  const PhyConfig cfg = test_cfg();
+  rf::SpdtSwitch sw;
+  const Bits bits{1, 0, 1};
+  const auto rx = otam_synthesize(bits, cfg, clear_los(), sw);
+  const auto env = dsp::symbol_envelopes(rx, cfg.samples_per_symbol, cfg.guard_frac);
+  ASSERT_EQ(env.size(), 3u);
+  EXPECT_GT(env[0], env[1] * 3.0);  // bit 1 on strong beam
+  EXPECT_NEAR(env[0], env[2], 1e-9);
+}
+
+TEST(Otam, LevelsMatchSynthesizedEnvelope) {
+  const PhyConfig cfg = test_cfg();
+  rf::SpdtSwitch sw;
+  const OtamChannel ch = clear_los();
+  const OtamLevels lv = otam_levels(ch, sw);
+  const auto rx = otam_synthesize({1, 0}, cfg, ch, sw);
+  const auto env = dsp::symbol_envelopes(rx, cfg.samples_per_symbol, cfg.guard_frac);
+  EXPECT_NEAR(env[0], lv.level1, 1e-9);
+  EXPECT_NEAR(env[1], lv.level0, 1e-9);
+}
+
+TEST(Otam, SwitchLeakageIsSmallButPresent) {
+  rf::SpdtSwitch sw;
+  // With h0 = 0 the "0" level comes only from leakage of the h1 path.
+  const OtamChannel ch{{0.0, 0.0}, {1.0, 0.0}};
+  const OtamLevels lv = otam_levels(ch, sw);
+  EXPECT_GT(lv.level0, 0.0);
+  EXPECT_NEAR(amp_to_db(lv.level1 / lv.level0), sw.spec().isolation_db - sw.spec().insertion_loss_db,
+              1.0);
+}
+
+TEST(Otam, BlockedChannelInvertsLevels) {
+  rf::SpdtSwitch sw;
+  const OtamLevels lv = otam_levels(blocked_los(), sw);
+  EXPECT_GT(lv.level0, lv.level1);  // "all bits are inverted" (Fig. 4b)
+}
+
+TEST(Otam, JointDemodDecodesClearLos) {
+  Rng rng(1);
+  const PhyConfig cfg = test_cfg();
+  rf::SpdtSwitch sw;
+  const Bits prefix{1, 0, 1, 0};
+  Bits bits = prefix;
+  for (int i = 0; i < 200; ++i) bits.push_back(rng.uniform_int(0, 1));
+  auto rx = otam_synthesize(bits, cfg, clear_los(), sw);
+  dsp::add_awgn(rx, dsp::mean_power(rx) / db_to_lin(18.0), rng);
+  const JointDecision d = joint_demodulate(rx, cfg, prefix);
+  EXPECT_EQ(d.bits, bits);
+  EXPECT_FALSE(d.ask_inverted);
+}
+
+TEST(Otam, JointDemodDecodesBlockedLosWithInversion) {
+  Rng rng(2);
+  const PhyConfig cfg = test_cfg();
+  rf::SpdtSwitch sw;
+  const Bits prefix{1, 0, 1, 0};
+  Bits bits = prefix;
+  for (int i = 0; i < 200; ++i) bits.push_back(rng.uniform_int(0, 1));
+  auto rx = otam_synthesize(bits, cfg, blocked_los(), sw);
+  dsp::add_awgn(rx, dsp::mean_power(rx) / db_to_lin(18.0), rng);
+  const JointDecision d = joint_demodulate(rx, cfg, prefix);
+  EXPECT_EQ(d.bits, bits);
+  EXPECT_TRUE(d.ask_inverted);
+}
+
+TEST(Otam, EqualLossChannelStillDecodableViaFsk) {
+  // The <10% corner case (Fig. 9b): both beams land with the same
+  // amplitude. ASK separation collapses; FSK must carry the packet.
+  Rng rng(3);
+  const PhyConfig cfg = test_cfg();
+  rf::SpdtSwitch sw;
+  const OtamChannel equal{{0.5, 0.0}, {0.5, 0.0}};
+  const Bits prefix{1, 0, 1, 0};
+  Bits bits = prefix;
+  for (int i = 0; i < 200; ++i) bits.push_back(rng.uniform_int(0, 1));
+  auto rx = otam_synthesize(bits, cfg, equal, sw);
+  dsp::add_awgn(rx, dsp::mean_power(rx) / db_to_lin(18.0), rng);
+  const JointDecision d = joint_demodulate(rx, cfg, prefix);
+  EXPECT_EQ(d.bits, bits);
+  EXPECT_EQ(d.mode, DecisionMode::kFsk);
+}
+
+TEST(Otam, SymbolRateLimitedBySwitch) {
+  PhyConfig cfg = test_cfg();
+  cfg.symbol_rate_hz = 200e6;  // above the ADRF5020's 100 MHz toggle cap
+  cfg.fsk_freq0_hz = -400e6;
+  cfg.fsk_freq1_hz = 400e6;
+  rf::SpdtSwitch sw;
+  EXPECT_THROW(otam_synthesize({1, 0}, cfg, clear_los(), sw), std::invalid_argument);
+}
+
+TEST(Otam, ValidatesArguments) {
+  const PhyConfig cfg = test_cfg();
+  rf::SpdtSwitch sw;
+  EXPECT_THROW(otam_synthesize({2}, cfg, clear_los(), sw), std::invalid_argument);
+  EXPECT_THROW(otam_synthesize({1}, cfg, clear_los(), sw, 0.0), std::invalid_argument);
+  EXPECT_THROW(fixed_beam_ask_synthesize({1}, cfg, clear_los(), 1.0, 1.5), std::invalid_argument);
+}
+
+TEST(FixedBeam, BaselineUsesOnlyBeam1) {
+  // With h1 = 0 the fixed-beam baseline is stone deaf, while OTAM still
+  // has the Beam-0 level — the crux of Fig. 10's comparison.
+  const PhyConfig cfg = test_cfg();
+  rf::SpdtSwitch sw;
+  const OtamChannel ch{{0.8, 0.0}, {0.0, 0.0}};
+  const auto baseline = fixed_beam_ask_synthesize({1, 0, 1}, cfg, ch);
+  EXPECT_NEAR(dsp::mean_power(baseline), 0.0, 1e-18);
+  const auto otam = otam_synthesize({1, 0, 1}, cfg, ch, sw);
+  EXPECT_GT(dsp::mean_power(otam), 1e-6);
+}
+
+}  // namespace
+}  // namespace mmx::phy

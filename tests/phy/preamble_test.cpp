@@ -1,0 +1,100 @@
+#include "mmx/phy/preamble.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmx/common/rng.hpp"
+#include "mmx/common/units.hpp"
+#include "mmx/dsp/noise.hpp"
+#include "mmx/phy/ask.hpp"
+#include "mmx/phy/otam.hpp"
+
+namespace mmx::phy {
+namespace {
+
+PhyConfig test_cfg() {
+  PhyConfig cfg;
+  cfg.symbol_rate_hz = 1e6;
+  cfg.samples_per_symbol = 16;
+  cfg.fsk_freq0_hz = -2e6;
+  cfg.fsk_freq1_hz = 2e6;
+  return cfg;
+}
+
+TEST(Preamble, DefaultIsBalancedAndNonTrivial) {
+  const Bits& p = default_preamble();
+  EXPECT_GE(p.size(), 8u);
+  std::size_t ones = 0;
+  for (int b : p) ones += static_cast<std::size_t>(b);
+  EXPECT_GT(ones, p.size() / 4);
+  EXPECT_LT(ones, 3 * p.size() / 4);
+}
+
+dsp::Cvec capture_with_offset(const PhyConfig& cfg, std::size_t offset_samples, bool invert,
+                              Rng& rng, double snr_db = 25.0) {
+  rf::SpdtSwitch sw;
+  Bits bits = default_preamble();
+  for (int i = 0; i < 40; ++i) bits.push_back(rng.uniform_int(0, 1));
+  const OtamChannel ch = invert ? OtamChannel{{1.0, 0.0}, {0.1, 0.0}}
+                                : OtamChannel{{0.1, 0.0}, {1.0, 0.0}};
+  auto body = otam_synthesize(bits, cfg, ch, sw);
+  dsp::Cvec rx(offset_samples, dsp::Complex{});  // leading dead air
+  rx.insert(rx.end(), body.begin(), body.end());
+  dsp::add_awgn(rx, dsp::mean_power(body) / db_to_lin(snr_db), rng);
+  return rx;
+}
+
+TEST(Preamble, FindsFrameAtZeroOffset) {
+  Rng rng(1);
+  const PhyConfig cfg = test_cfg();
+  const auto rx = capture_with_offset(cfg, 0, false, rng);
+  const auto sync = find_preamble(rx, cfg, default_preamble(), 64);
+  ASSERT_TRUE(sync.has_value());
+  EXPECT_EQ(sync->sample_offset, 0u);
+  EXPECT_FALSE(sync->inverted);
+}
+
+TEST(Preamble, FindsFrameAtSampleOffset) {
+  Rng rng(2);
+  const PhyConfig cfg = test_cfg();
+  for (std::size_t off : {5u, 23u, 64u, 129u}) {
+    const auto rx = capture_with_offset(cfg, off, false, rng);
+    const auto sync = find_preamble(rx, cfg, default_preamble(), 200);
+    ASSERT_TRUE(sync.has_value()) << off;
+    // Within a couple of samples (envelope guard smears the edge).
+    EXPECT_NEAR(static_cast<double>(sync->sample_offset), static_cast<double>(off), 2.0) << off;
+  }
+}
+
+TEST(Preamble, DetectsInversion) {
+  Rng rng(3);
+  const PhyConfig cfg = test_cfg();
+  const auto rx = capture_with_offset(cfg, 16, true, rng);
+  const auto sync = find_preamble(rx, cfg, default_preamble(), 64);
+  ASSERT_TRUE(sync.has_value());
+  EXPECT_TRUE(sync->inverted);
+}
+
+TEST(Preamble, RejectsNoiseOnlyCapture) {
+  Rng rng(4);
+  const PhyConfig cfg = test_cfg();
+  dsp::Cvec rx = dsp::awgn(default_preamble().size() * cfg.samples_per_symbol + 256, 1.0, rng);
+  const auto sync = find_preamble(rx, cfg, default_preamble(), 128, 0.9);
+  EXPECT_FALSE(sync.has_value());
+}
+
+TEST(Preamble, TooShortCaptureReturnsNothing) {
+  const PhyConfig cfg = test_cfg();
+  dsp::Cvec rx(default_preamble().size() * cfg.samples_per_symbol / 2);
+  EXPECT_FALSE(find_preamble(rx, cfg, default_preamble(), 64).has_value());
+}
+
+TEST(Preamble, ValidatesArguments) {
+  const PhyConfig cfg = test_cfg();
+  dsp::Cvec rx(1024);
+  EXPECT_THROW(find_preamble(rx, cfg, Bits{1, 0}, 10), std::invalid_argument);
+  EXPECT_THROW(find_preamble(rx, cfg, default_preamble(), 10, 0.0), std::invalid_argument);
+  EXPECT_THROW(find_preamble(rx, cfg, Bits{1, 1, 1, 1}, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmx::phy

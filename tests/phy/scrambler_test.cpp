@@ -1,0 +1,66 @@
+#include "mmx/phy/scrambler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmx/common/rng.hpp"
+
+namespace mmx::phy {
+namespace {
+
+TEST(Scrambler, SelfInverse) {
+  Rng rng(1);
+  Bits data(500);
+  for (int& b : data) b = rng.uniform_int(0, 1);
+  EXPECT_EQ(descramble(scramble(data)), data);
+}
+
+TEST(Scrambler, DifferentSeedsDifferentStreams) {
+  const Bits zeros(100, 0);
+  EXPECT_NE(scramble(zeros, 0x5A), scramble(zeros, 0x33));
+}
+
+TEST(Scrambler, WhitensConstantInput) {
+  // A black video frame: 4000 zero bits. Scrambled, runs collapse to
+  // PRBS-7's max run (7).
+  const Bits zeros(4000, 0);
+  EXPECT_EQ(longest_run(zeros), 4000u);
+  const Bits white = scramble(zeros);
+  EXPECT_LE(longest_run(white), 8u);
+  // Balanced within a few percent.
+  std::size_t ones = 0;
+  for (int b : white) ones += static_cast<std::size_t>(b);
+  EXPECT_NEAR(static_cast<double>(ones) / white.size(), 0.5, 0.05);
+}
+
+TEST(Scrambler, Prbs7Period) {
+  // Maximal-length 7-bit LFSR repeats every 127 bits.
+  Scrambler s(0x01);
+  Bits first(127);
+  for (int& b : first) b = s.next_bit();
+  Bits second(127);
+  for (int& b : second) b = s.next_bit();
+  EXPECT_EQ(first, second);
+  // ...and is not constant.
+  EXPECT_GT(longest_run(first), 1u);
+  EXPECT_LT(longest_run(first), 127u);
+}
+
+TEST(Scrambler, ZeroSeedThrows) {
+  EXPECT_THROW(Scrambler(0x00), std::invalid_argument);
+  EXPECT_THROW(Scrambler(0x80), std::invalid_argument);  // only 7 bits count
+}
+
+TEST(Scrambler, RejectsNonBinary) {
+  Scrambler s;
+  EXPECT_THROW(s.process(Bits{0, 2}), std::invalid_argument);
+}
+
+TEST(Scrambler, LongestRunEdgeCases) {
+  EXPECT_EQ(longest_run({}), 0u);
+  EXPECT_EQ(longest_run({1}), 1u);
+  EXPECT_EQ(longest_run({1, 0, 1, 0}), 1u);
+  EXPECT_EQ(longest_run({1, 1, 0, 0, 0}), 3u);
+}
+
+}  // namespace
+}  // namespace mmx::phy

@@ -1,0 +1,68 @@
+#include "mmx/rf/adc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmx/common/units.hpp"
+#include "mmx/dsp/measure.hpp"
+#include "mmx/dsp/tone.hpp"
+
+namespace mmx::rf {
+namespace {
+
+TEST(Adc, LsbSize) {
+  Adc adc(AdcSpec{.bits = 14, .full_scale = 1.0});
+  EXPECT_NEAR(adc.lsb(), 2.0 / 16384.0, 1e-12);
+}
+
+TEST(Adc, QuantizationErrorBoundedByHalfLsb) {
+  Adc adc(AdcSpec{.bits = 8, .full_scale = 1.0});
+  for (double v = -0.99; v < 0.99; v += 0.013) {
+    const dsp::Complex q = adc.sample({v, -v});
+    EXPECT_LE(std::abs(q.real() - v), adc.lsb() / 2.0 + 1e-12);
+    EXPECT_LE(std::abs(q.imag() + v), adc.lsb() / 2.0 + 1e-12);
+  }
+}
+
+TEST(Adc, ClipsAtFullScale) {
+  Adc adc(AdcSpec{.bits = 8, .full_scale = 1.0});
+  const dsp::Complex q = adc.sample({5.0, -5.0});
+  EXPECT_LE(q.real(), 1.0);
+  EXPECT_GE(q.imag(), -1.0);
+}
+
+TEST(Adc, IdealSqnrFormula) {
+  Adc adc(AdcSpec{.bits = 14, .full_scale = 1.0});
+  EXPECT_NEAR(adc.ideal_sqnr_db(), 6.02 * 14 + 1.76, 1e-9);
+}
+
+TEST(Adc, MeasuredSqnrNearIdeal) {
+  // A near-full-scale complex tone quantized at 10 bits should measure
+  // close to the ideal SQNR.
+  Adc adc(AdcSpec{.bits = 10, .full_scale = 1.0});
+  dsp::Cvec x = dsp::tone(1e6, 91234.0, 65536);
+  for (auto& s : x) s *= 0.95;
+  const dsp::Cvec q = adc.process(x);
+  const double snr = dsp::estimate_snr_db(q, x);
+  EXPECT_GT(snr, adc.ideal_sqnr_db() - 4.0);
+}
+
+TEST(Adc, MoreBitsLessNoise) {
+  dsp::Cvec x = dsp::tone(1e6, 12345.0, 8192);
+  for (auto& s : x) s *= 0.9;
+  Adc a8(AdcSpec{.bits = 8, .full_scale = 1.0});
+  Adc a12(AdcSpec{.bits = 12, .full_scale = 1.0});
+  const double snr8 = dsp::estimate_snr_db(a8.process(x), x);
+  const double snr12 = dsp::estimate_snr_db(a12.process(x), x);
+  EXPECT_GT(snr12, snr8 + 15.0);  // ~24 dB ideally
+}
+
+TEST(Adc, BadSpecThrows) {
+  EXPECT_THROW(Adc(AdcSpec{.bits = 0, .full_scale = 1.0}), std::invalid_argument);
+  EXPECT_THROW(Adc(AdcSpec{.bits = 30, .full_scale = 1.0}), std::invalid_argument);
+  EXPECT_THROW(Adc(AdcSpec{.bits = 8, .full_scale = 0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmx::rf

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "mmx/common/units.hpp"
+#include "mmx/rf/budget.hpp"
+#include "mmx/rf/chain.hpp"
+
+namespace mmx::rf {
+namespace {
+
+TEST(Cascade, SingleStage) {
+  CascadeNoise c;
+  c.add_stage({"LNA", 25.0, 2.0});
+  EXPECT_NEAR(c.total_gain_db(), 25.0, 1e-12);
+  EXPECT_NEAR(c.total_noise_figure_db(), 2.0, 1e-12);
+}
+
+TEST(Cascade, FriisFormulaKnownCase) {
+  // Classic example: two identical 10 dB gain / 3 dB NF stages:
+  // F = 2 + (2-1)/10 = 2.1 -> 3.22 dB.
+  CascadeNoise c;
+  c.add_stage({"a", 10.0, 3.0});
+  c.add_stage({"b", 10.0, 3.0});
+  EXPECT_NEAR(c.total_noise_figure_db(),
+              lin_to_db(db_to_lin(3.0) + (db_to_lin(3.0) - 1.0) / 10.0), 1e-9);
+}
+
+TEST(Cascade, LnaFirstBeatsLnaAfterFilter) {
+  // The paper's design argument (§5.2): LNA placed first minimizes the
+  // total NF. Compare LNA->filter vs filter->LNA.
+  CascadeNoise lna_first;
+  lna_first.add_stage({"LNA", 25.0, 2.0});
+  lna_first.add_stage({"filter", -5.0, 5.0});
+  CascadeNoise filter_first;
+  filter_first.add_stage({"filter", -5.0, 5.0});
+  filter_first.add_stage({"LNA", 25.0, 2.0});
+  EXPECT_LT(lna_first.total_noise_figure_db(), filter_first.total_noise_figure_db() - 4.0);
+}
+
+TEST(Cascade, EmptyChainIsTransparent) {
+  CascadeNoise c;
+  EXPECT_DOUBLE_EQ(c.total_gain_db(), 0.0);
+  EXPECT_DOUBLE_EQ(c.total_noise_figure_db(), 0.0);
+}
+
+TEST(Cascade, NegativeNfThrows) {
+  CascadeNoise c;
+  EXPECT_THROW(c.add_stage({"bad", 10.0, -1.0}), std::invalid_argument);
+}
+
+TEST(ReceiverChain, NoiseFigureDominatedByLna) {
+  ReceiverChain rx;
+  // With a 25 dB LNA in front, the cascade NF should be close to the
+  // LNA's 2 dB (paper's rationale), certainly below 4 dB.
+  EXPECT_LT(rx.noise_figure_db(), 4.0);
+  EXPECT_GE(rx.noise_figure_db(), 2.0);
+}
+
+TEST(ReceiverChain, SnrIsLinearInRxPower) {
+  ReceiverChain rx;
+  const double s1 = rx.snr_db(-60.0);
+  const double s2 = rx.snr_db(-50.0);
+  EXPECT_NEAR(s2 - s1, 10.0, 1e-12);
+}
+
+TEST(ReceiverChain, NoiseFloorFor25MhzChannel) {
+  // -174 + 10log10(25e6) + NF ~ -100 + NF dBm.
+  ReceiverChain rx;
+  EXPECT_NEAR(rx.noise_floor_dbm(), -174.0 + 74.0 + rx.noise_figure_db(), 0.5);
+}
+
+TEST(ReceiverChain, BadSpecThrows) {
+  ReceiverChainSpec s;
+  s.noise_bandwidth_hz = 0.0;
+  EXPECT_THROW(ReceiverChain{s}, std::invalid_argument);
+}
+
+TEST(Budget, NodeMatchesPaperHeadline) {
+  // Paper: node consumes 1.1 W, costs ~$110, 11 nJ/bit at 100 Mbps.
+  const Budget node = mmx_node_budget();
+  EXPECT_NEAR(node.total_power_w(), 1.1, 0.01);
+  EXPECT_NEAR(node.total_cost_usd(), 110.0, 1.0);
+  EXPECT_NEAR(node.energy_per_bit_j(100e6), 11e-9, 0.2e-9);
+}
+
+TEST(Budget, NodeBeatsWifiEnergyPerBit) {
+  // Table 1: WiFi 17.5 nJ/bit; mmX 11 nJ/bit.
+  const Budget node = mmx_node_budget();
+  EXPECT_LT(node.energy_per_bit_j(100e6), 17.5e-9);
+}
+
+TEST(Budget, ApReasonable) {
+  const Budget ap = mmx_ap_budget();
+  EXPECT_GT(ap.total_power_w(), 0.0);
+  EXPECT_LT(ap.total_cost_usd(), 400.0);  // the "low-cost AP" claim
+}
+
+TEST(Budget, InvalidItemsThrow) {
+  Budget b;
+  EXPECT_THROW(b.add({"bad", -1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(b.add({"bad", 0.0, -1.0}), std::invalid_argument);
+  EXPECT_THROW(b.energy_per_bit_j(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmx::rf

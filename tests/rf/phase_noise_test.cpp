@@ -1,0 +1,106 @@
+#include "mmx/rf/phase_noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmx/common/units.hpp"
+#include "mmx/dsp/measure.hpp"
+#include "mmx/dsp/tone.hpp"
+#include "mmx/phy/joint.hpp"
+#include "mmx/phy/otam.hpp"
+
+namespace mmx::rf {
+namespace {
+
+TEST(PhaseNoise, LorentzianSkirtRollsOff20dbPerDecade) {
+  PhaseNoise pn(PhaseNoiseSpec{.linewidth_hz = 100e3});
+  const double l1 = pn.ssb_dbc_per_hz(1e6);
+  const double l10 = pn.ssb_dbc_per_hz(10e6);
+  EXPECT_NEAR(l1 - l10, 20.0, 0.1);
+}
+
+TEST(PhaseNoise, NarrowerLinewidthIsQuieter) {
+  PhaseNoise wide(PhaseNoiseSpec{.linewidth_hz = 1e6});
+  PhaseNoise narrow(PhaseNoiseSpec{.linewidth_hz = 1e3});
+  EXPECT_LT(narrow.ssb_dbc_per_hz(1e6), wide.ssb_dbc_per_hz(1e6) - 25.0);
+}
+
+TEST(PhaseNoise, DriftGrowsAsSqrtTime) {
+  PhaseNoise pn;
+  EXPECT_NEAR(pn.rms_drift_rad(4e-6) / pn.rms_drift_rad(1e-6), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(pn.rms_drift_rad(0.0), 0.0);
+}
+
+TEST(PhaseNoise, ProcessIsUnitModulus) {
+  Rng rng(1);
+  PhaseNoise pn;
+  const auto p = pn.process(1000, 10e6, rng);
+  for (const auto& s : p) EXPECT_NEAR(std::abs(s), 1.0, 1e-12);
+}
+
+TEST(PhaseNoise, MeasuredDriftMatchesFormula) {
+  Rng rng(2);
+  // Keep the expected drift well under a radian: arg() of the end-to-end
+  // rotation wraps at +/-pi.
+  PhaseNoise pn(PhaseNoiseSpec{.linewidth_hz = 1e3});
+  const double fs = 10e6;
+  const std::size_t n = 1000;  // 100 us -> expected rms ~0.79 rad
+  // Average the end-to-end phase drift variance over realizations.
+  double acc = 0.0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    const auto p = pn.process(n, fs, rng);
+    const double dphi = std::arg(p.back() * std::conj(p.front()));
+    acc += dphi * dphi;
+  }
+  const double measured_rms = std::sqrt(acc / trials);
+  const double expected = pn.rms_drift_rad(static_cast<double>(n - 1) / fs);
+  EXPECT_NEAR(measured_rms / expected, 1.0, 0.15);
+}
+
+TEST(PhaseNoise, ApplyPreservesEnvelope) {
+  Rng rng(3);
+  PhaseNoise pn;
+  const auto x = dsp::tone(10e6, 1e6, 2048);
+  const auto y = pn.apply(x, 10e6, rng);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i]), std::abs(x[i]), 1e-12);
+  }
+}
+
+TEST(PhaseNoise, OtamSurvivesRealisticLinewidth) {
+  // FSK spacing is MHz-scale while the VCO linewidth is ~100 kHz: the
+  // joint demodulator must shrug phase noise off (envelope detection and
+  // tone-energy measurement are both phase-insensitive).
+  Rng rng(4);
+  phy::PhyConfig cfg;
+  cfg.symbol_rate_hz = 1e6;
+  cfg.samples_per_symbol = 16;
+  cfg.fsk_freq0_hz = -2e6;
+  cfg.fsk_freq1_hz = 2e6;
+  rf::SpdtSwitch sw;
+  const phy::Bits prefix{1, 0, 1, 0};
+  phy::Bits bits = prefix;
+  for (int i = 0; i < 300; ++i) bits.push_back(rng.uniform_int(0, 1));
+  const phy::OtamChannel ch{{0.2, 0.0}, {1.0, 0.0}};
+  auto rx = phy::otam_synthesize(bits, cfg, ch, sw);
+  PhaseNoise pn(PhaseNoiseSpec{.linewidth_hz = 200e3});
+  rx = pn.apply(rx, cfg.sample_rate_hz(), rng);
+  const auto d = phy::joint_demodulate(rx, cfg, prefix);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) errors += (d.bits[i] != bits[i]);
+  EXPECT_EQ(errors, 0u);
+}
+
+TEST(PhaseNoise, Validation) {
+  EXPECT_THROW(PhaseNoise(PhaseNoiseSpec{.linewidth_hz = 0.0}), std::invalid_argument);
+  PhaseNoise pn;
+  EXPECT_THROW(pn.ssb_dbc_per_hz(0.0), std::invalid_argument);
+  EXPECT_THROW(pn.rms_drift_rad(-1.0), std::invalid_argument);
+  Rng rng(5);
+  EXPECT_THROW(pn.process(10, 0.0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmx::rf

@@ -1,0 +1,80 @@
+#include "mmx/rf/spdt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::rf {
+namespace {
+
+TEST(Spdt, ThroughPathLoss) {
+  SpdtSwitch sw;
+  // 2 dB insertion loss -> amplitude gain ~0.794.
+  EXPECT_NEAR(amp_to_db(sw.through_gain()), -2.0, 1e-9);
+}
+
+TEST(Spdt, IsolationSuppressesOffPort) {
+  SpdtSwitch sw;
+  EXPECT_NEAR(amp_to_db(sw.leak_gain()), -65.0, 1e-9);
+}
+
+TEST(Spdt, RoutesToSelectedPort) {
+  SpdtSwitch sw;
+  const dsp::Complex in{1.0, 0.0};
+  sw.select(0);
+  auto out0 = sw.route(in);
+  EXPECT_GT(std::abs(out0.port0), std::abs(out0.port1) * 100.0);
+  sw.select(1);
+  auto out1 = sw.route(in);
+  EXPECT_GT(std::abs(out1.port1), std::abs(out1.port0) * 100.0);
+}
+
+TEST(Spdt, EnergyNeverCreated) {
+  SpdtSwitch sw;
+  const dsp::Complex in{0.7, -0.4};
+  const auto out = sw.route(in);
+  EXPECT_LE(std::norm(out.port0) + std::norm(out.port1), std::norm(in));
+}
+
+TEST(Spdt, MaxBitRateIs100Mbps) {
+  // Paper §9.1: "maximum operating frequency of the RF switch is 100 MHz,
+  // which limits the data rate of mmX's nodes to 100 Mbps".
+  SpdtSwitch sw;
+  EXPECT_DOUBLE_EQ(sw.max_bit_rate(), 100e6);
+  EXPECT_NO_THROW(sw.check_symbol_rate(100e6));
+  EXPECT_THROW(sw.check_symbol_rate(101e6), std::invalid_argument);
+  EXPECT_THROW(sw.check_symbol_rate(0.0), std::invalid_argument);
+}
+
+TEST(Spdt, InvalidPortThrows) {
+  SpdtSwitch sw;
+  EXPECT_THROW(sw.select(2), std::invalid_argument);
+  EXPECT_THROW(sw.select(-1), std::invalid_argument);
+}
+
+TEST(Spdt, BadSpecThrows) {
+  SpdtSpec s;
+  s.isolation_db = 1.0;  // below insertion loss: nonphysical
+  EXPECT_THROW(SpdtSwitch{s}, std::invalid_argument);
+  SpdtSpec s2;
+  s2.insertion_loss_db = -1.0;
+  EXPECT_THROW(SpdtSwitch{s2}, std::invalid_argument);
+  SpdtSpec s3;
+  s3.max_toggle_rate_hz = 0.0;
+  EXPECT_THROW(SpdtSwitch{s3}, std::invalid_argument);
+}
+
+TEST(Spdt, NodeRadiatedPowerMatchesPaper) {
+  // VCO +12 dBm through the 2 dB switch = 10 dBm radiated (paper §8.1:
+  // "The radiated power by the antenna is 10 dBm which complies with FCC
+  // regulations").
+  SpdtSwitch sw;
+  const double vco_out_w = dbm_to_watt(12.0);
+  const double radiated_w = vco_out_w * sw.through_gain() * sw.through_gain();
+  EXPECT_NEAR(watt_to_dbm(radiated_w), 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mmx::rf

@@ -1,0 +1,125 @@
+#include "mmx/rf/vco.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mmx/common/units.hpp"
+
+namespace mmx::rf {
+namespace {
+
+TEST(Vco, EndpointsMatchFig7) {
+  // Fig. 7: 3.5 V -> 23.95 GHz, 4.9 V -> 24.25 GHz.
+  Vco vco;
+  EXPECT_NEAR(vco.frequency_hz(3.5), 23.95e9, 1e6);
+  EXPECT_NEAR(vco.frequency_hz(4.9), 24.25e9, 1e6);
+}
+
+TEST(Vco, CoversEntireIsmBand) {
+  // Paper §9.1: "The provided frequency range covers the entire 24 GHz
+  // ISM band" (24.0-24.25 GHz).
+  Vco vco;
+  EXPECT_TRUE(vco.covers(kIsmLowHz));
+  EXPECT_TRUE(vco.covers(kIsmHighHz));
+  EXPECT_TRUE(vco.covers(kIsmCenterHz));
+  EXPECT_FALSE(vco.covers(25.0e9));
+}
+
+TEST(Vco, TuningCurveMonotonic) {
+  Vco vco;
+  double prev = 0.0;
+  for (double v = 3.5; v <= 4.9; v += 0.01) {
+    const double f = vco.frequency_hz(v);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(Vco, InverseRoundTrip) {
+  Vco vco;
+  for (double f = 23.96e9; f < 24.25e9; f += 17e6) {
+    const double v = vco.voltage_for(f);
+    EXPECT_GE(v, 3.5 - 1e-9);
+    EXPECT_LE(v, 4.9 + 1e-9);
+    EXPECT_NEAR(vco.frequency_hz(v), f, 1.0);  // 1 Hz round trip
+  }
+}
+
+TEST(Vco, SensitivityPositiveEverywhere) {
+  Vco vco;
+  for (double v = 3.5; v <= 4.9; v += 0.05) {
+    EXPECT_GT(vco.sensitivity_hz_per_v(v), 0.0);
+  }
+}
+
+TEST(Vco, SensitivitySupportsFskNudge) {
+  // Joint ASK-FSK needs a small frequency step from a small voltage nudge
+  // (paper §6.3). With Kv ~ 200 MHz/V, a 10 mV nudge gives ~2 MHz.
+  Vco vco;
+  const double kv = vco.sensitivity_hz_per_v(4.2);
+  const double df = kv * 0.010;
+  EXPECT_GT(df, 0.5e6);
+  EXPECT_LT(df, 10e6);
+}
+
+TEST(Vco, OutOfRangeThrows) {
+  Vco vco;
+  EXPECT_THROW(vco.frequency_hz(3.0), std::out_of_range);
+  EXPECT_THROW(vco.frequency_hz(5.5), std::out_of_range);
+  EXPECT_THROW(vco.voltage_for(23.0e9), std::out_of_range);
+  EXPECT_THROW(vco.voltage_for(25.0e9), std::out_of_range);
+}
+
+TEST(Vco, BadSpecThrows) {
+  VcoSpec s;
+  s.v_min = 5.0;
+  s.v_max = 4.0;
+  EXPECT_THROW(Vco{s}, std::invalid_argument);
+  VcoSpec s2;
+  s2.curvature = 0.7;
+  EXPECT_THROW(Vco{s2}, std::invalid_argument);
+}
+
+TEST(Vco, JitterIsZeroMeanAndBounded) {
+  VcoSpec s;
+  s.freq_jitter_hz = 10e3;
+  Vco vco(s);
+  Rng rng(1);
+  double acc = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) acc += vco.frequency_with_jitter_hz(4.0, rng) - vco.frequency_hz(4.0);
+  EXPECT_NEAR(acc / n, 0.0, 500.0);
+}
+
+TEST(Vco, LinearWhenCurvatureZero) {
+  VcoSpec s;
+  s.curvature = 0.0;
+  Vco vco(s);
+  const double mid = vco.frequency_hz(4.2);
+  EXPECT_NEAR(mid, (23.95e9 + 24.25e9) / 2.0, 1e3);
+}
+
+TEST(Vco, TemperatureDriftShiftsCurve) {
+  Vco vco;
+  const double f_ref = vco.frequency_hz(4.2);
+  // At the reference temperature the curves agree.
+  EXPECT_NEAR(vco.frequency_at_temperature_hz(4.2, 298.0), f_ref, 1.0);
+  // +20 K of cabin heat: ~-20 MHz of drift (tempco -1 MHz/K) — squarely
+  // in the CFO corrector's capture range relative to MHz tone spacings.
+  EXPECT_NEAR(vco.frequency_at_temperature_hz(4.2, 318.0), f_ref - 20e6, 1e3);
+  EXPECT_THROW(vco.frequency_at_temperature_hz(4.2, 0.0), std::invalid_argument);
+}
+
+class VcoVoltageSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(VcoVoltageSweep, FrequencyWithinSpecRange) {
+  Vco vco;
+  const double f = vco.frequency_hz(GetParam());
+  EXPECT_GE(f, 23.95e9 - 1.0);
+  EXPECT_LE(f, 24.25e9 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Voltages, VcoVoltageSweep,
+                         ::testing::Values(3.5, 3.8, 4.0, 4.2, 4.5, 4.7, 4.9));
+
+}  // namespace
+}  // namespace mmx::rf

@@ -1,0 +1,73 @@
+#include "mmx/sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmx::sim {
+namespace {
+
+TEST(Stats, MeanMedian) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 10.0};
+  EXPECT_DOUBLE_EQ(mean(v), 4.0);
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 90.0), 9.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> v{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_of(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(v), 7.0);
+}
+
+TEST(Stats, Ecdf) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ecdf(v, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf(v, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf(v, 10.0), 1.0);
+}
+
+TEST(Stats, EmptyInputsThrow) {
+  const std::vector<double> e;
+  EXPECT_THROW(mean(e), std::invalid_argument);
+  EXPECT_THROW(median(e), std::invalid_argument);
+  EXPECT_THROW(percentile(e, 50.0), std::invalid_argument);
+  EXPECT_THROW(min_of(e), std::invalid_argument);
+  EXPECT_THROW(ecdf(e, 0.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, JainFairness) {
+  EXPECT_DOUBLE_EQ(jain_fairness({5.0, 5.0, 5.0}), 1.0);
+  EXPECT_NEAR(jain_fairness({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+  const double mixed = jain_fairness({10.0, 8.0, 12.0});
+  EXPECT_GT(mixed, 0.9);
+  EXPECT_LT(mixed, 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0}), 1.0);
+  EXPECT_THROW(jain_fairness({}), std::invalid_argument);
+  EXPECT_THROW(jain_fairness({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Grid, StoresAndQueries) {
+  Grid g(3, 2);
+  g.at(0, 0) = 5.0;
+  g.at(2, 1) = 30.0;
+  EXPECT_DOUBLE_EQ(g.at(2, 1), 30.0);
+  EXPECT_DOUBLE_EQ(g.min_value(), 0.0);
+  EXPECT_DOUBLE_EQ(g.max_value(), 30.0);
+  EXPECT_NEAR(g.fraction_at_least(5.0), 2.0 / 6.0, 1e-12);
+}
+
+TEST(Grid, BoundsChecked) {
+  Grid g(2, 2);
+  EXPECT_THROW(g.at(2, 0), std::out_of_range);
+  EXPECT_THROW(Grid(0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmx::sim

@@ -1,0 +1,66 @@
+#include "mmx/sim/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmx::sim {
+namespace {
+
+TEST(Cbr, RateHonoured) {
+  // 10 Mbps HD camera, 1400-byte packets.
+  CbrSource src(10e6, 1400);
+  const auto arr = src.arrivals(1.0);
+  EXPECT_NEAR(offered_load_bps(arr, 1.0), 10e6, 10e6 * 0.01);
+}
+
+TEST(Cbr, ArrivalsEvenlySpaced) {
+  CbrSource src(1e6, 125);  // 1 ms per packet
+  const auto arr = src.arrivals(0.01);
+  ASSERT_GE(arr.size(), 2u);
+  for (std::size_t i = 1; i < arr.size(); ++i) {
+    EXPECT_NEAR(arr[i].time_s - arr[i - 1].time_s, 0.001, 1e-9);
+  }
+}
+
+TEST(Cbr, BadArgsThrow) {
+  EXPECT_THROW(CbrSource(0.0), std::invalid_argument);
+  EXPECT_THROW(CbrSource(1e6, 0), std::invalid_argument);
+  CbrSource src(1e6);
+  EXPECT_THROW(src.arrivals(-1.0), std::invalid_argument);
+}
+
+TEST(Poisson, MeanRateApproximatelyHonoured) {
+  Rng rng(1);
+  PoissonSource src(100.0, 64);  // 100 reports/s * 512 bits
+  const auto arr = src.arrivals(50.0, rng);
+  EXPECT_NEAR(static_cast<double>(arr.size()) / 50.0, 100.0, 10.0);
+  EXPECT_NEAR(offered_load_bps(arr, 50.0), src.mean_rate_bps(), src.mean_rate_bps() * 0.1);
+}
+
+TEST(Poisson, InterArrivalsExponentialish) {
+  Rng rng(2);
+  PoissonSource src(1000.0);
+  const auto arr = src.arrivals(10.0, rng);
+  // Coefficient of variation of exponential inter-arrivals is 1.
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < arr.size(); ++i) gaps.push_back(arr[i].time_s - arr[i - 1].time_s);
+  double m = 0.0;
+  for (double g : gaps) m += g;
+  m /= static_cast<double>(gaps.size());
+  double var = 0.0;
+  for (double g : gaps) var += (g - m) * (g - m);
+  var /= static_cast<double>(gaps.size());
+  EXPECT_NEAR(std::sqrt(var) / m, 1.0, 0.1);
+}
+
+TEST(Poisson, BadArgsThrow) {
+  EXPECT_THROW(PoissonSource(0.0), std::invalid_argument);
+  EXPECT_THROW(PoissonSource(10.0, 0), std::invalid_argument);
+}
+
+TEST(OfferedLoad, Validates) {
+  EXPECT_THROW(offered_load_bps({}, 0.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(offered_load_bps({}, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace mmx::sim
