@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_band60.dir/ablation_band60.cpp.o"
+  "CMakeFiles/bench_ablation_band60.dir/ablation_band60.cpp.o.d"
+  "bench_ablation_band60"
+  "bench_ablation_band60.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_band60.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

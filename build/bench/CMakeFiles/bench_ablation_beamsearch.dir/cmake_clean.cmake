@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_beamsearch.dir/ablation_beamsearch.cpp.o"
+  "CMakeFiles/bench_ablation_beamsearch.dir/ablation_beamsearch.cpp.o.d"
+  "bench_ablation_beamsearch"
+  "bench_ablation_beamsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_beamsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_joint_mod.dir/ablation_joint_mod.cpp.o"
+  "CMakeFiles/bench_ablation_joint_mod.dir/ablation_joint_mod.cpp.o.d"
+  "bench_ablation_joint_mod"
+  "bench_ablation_joint_mod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_joint_mod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

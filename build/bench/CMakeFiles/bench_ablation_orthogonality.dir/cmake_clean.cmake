@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_orthogonality.dir/ablation_orthogonality.cpp.o"
+  "CMakeFiles/bench_ablation_orthogonality.dir/ablation_orthogonality.cpp.o.d"
+  "bench_ablation_orthogonality"
+  "bench_ablation_orthogonality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_orthogonality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

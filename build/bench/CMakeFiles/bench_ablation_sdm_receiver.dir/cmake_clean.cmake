@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sdm_receiver.dir/ablation_sdm_receiver.cpp.o"
+  "CMakeFiles/bench_ablation_sdm_receiver.dir/ablation_sdm_receiver.cpp.o.d"
+  "bench_ablation_sdm_receiver"
+  "bench_ablation_sdm_receiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sdm_receiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_vco.dir/fig07_vco.cpp.o"
+  "CMakeFiles/bench_fig07_vco.dir/fig07_vco.cpp.o.d"
+  "bench_fig07_vco"
+  "bench_fig07_vco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_vco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_beams.dir/fig08_beams.cpp.o"
+  "CMakeFiles/bench_fig08_beams.dir/fig08_beams.cpp.o.d"
+  "bench_fig08_beams"
+  "bench_fig08_beams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_beams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

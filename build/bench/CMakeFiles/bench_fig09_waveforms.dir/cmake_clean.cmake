@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_waveforms.dir/fig09_waveforms.cpp.o"
+  "CMakeFiles/bench_fig09_waveforms.dir/fig09_waveforms.cpp.o.d"
+  "bench_fig09_waveforms"
+  "bench_fig09_waveforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_waveforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_snr_map.dir/fig10_snr_map.cpp.o"
+  "CMakeFiles/bench_fig10_snr_map.dir/fig10_snr_map.cpp.o.d"
+  "bench_fig10_snr_map"
+  "bench_fig10_snr_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_snr_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

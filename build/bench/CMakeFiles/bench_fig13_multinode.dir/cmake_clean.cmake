@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_multinode.dir/fig13_multinode.cpp.o"
+  "CMakeFiles/bench_fig13_multinode.dir/fig13_multinode.cpp.o.d"
+  "bench_fig13_multinode"
+  "bench_fig13_multinode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apartment.dir/apartment.cpp.o"
+  "CMakeFiles/apartment.dir/apartment.cpp.o.d"
+  "apartment"
+  "apartment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apartment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

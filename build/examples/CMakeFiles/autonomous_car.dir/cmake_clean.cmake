@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonomous_car.dir/autonomous_car.cpp.o"
+  "CMakeFiles/autonomous_car.dir/autonomous_car.cpp.o.d"
+  "autonomous_car"
+  "autonomous_car.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonomous_car.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

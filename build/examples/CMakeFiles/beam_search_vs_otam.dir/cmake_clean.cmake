@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beam_search_vs_otam.dir/beam_search_vs_otam.cpp.o"
+  "CMakeFiles/beam_search_vs_otam.dir/beam_search_vs_otam.cpp.o.d"
+  "beam_search_vs_otam"
+  "beam_search_vs_otam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beam_search_vs_otam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

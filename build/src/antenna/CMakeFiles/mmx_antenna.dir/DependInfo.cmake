@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/antenna/array.cpp" "src/antenna/CMakeFiles/mmx_antenna.dir/array.cpp.o" "gcc" "src/antenna/CMakeFiles/mmx_antenna.dir/array.cpp.o.d"
+  "/root/repo/src/antenna/element.cpp" "src/antenna/CMakeFiles/mmx_antenna.dir/element.cpp.o" "gcc" "src/antenna/CMakeFiles/mmx_antenna.dir/element.cpp.o.d"
+  "/root/repo/src/antenna/mmx_beams.cpp" "src/antenna/CMakeFiles/mmx_antenna.dir/mmx_beams.cpp.o" "gcc" "src/antenna/CMakeFiles/mmx_antenna.dir/mmx_beams.cpp.o.d"
+  "/root/repo/src/antenna/pattern_metrics.cpp" "src/antenna/CMakeFiles/mmx_antenna.dir/pattern_metrics.cpp.o" "gcc" "src/antenna/CMakeFiles/mmx_antenna.dir/pattern_metrics.cpp.o.d"
+  "/root/repo/src/antenna/tma.cpp" "src/antenna/CMakeFiles/mmx_antenna.dir/tma.cpp.o" "gcc" "src/antenna/CMakeFiles/mmx_antenna.dir/tma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mmx_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_antenna.dir/array.cpp.o"
+  "CMakeFiles/mmx_antenna.dir/array.cpp.o.d"
+  "CMakeFiles/mmx_antenna.dir/element.cpp.o"
+  "CMakeFiles/mmx_antenna.dir/element.cpp.o.d"
+  "CMakeFiles/mmx_antenna.dir/mmx_beams.cpp.o"
+  "CMakeFiles/mmx_antenna.dir/mmx_beams.cpp.o.d"
+  "CMakeFiles/mmx_antenna.dir/pattern_metrics.cpp.o"
+  "CMakeFiles/mmx_antenna.dir/pattern_metrics.cpp.o.d"
+  "CMakeFiles/mmx_antenna.dir/tma.cpp.o"
+  "CMakeFiles/mmx_antenna.dir/tma.cpp.o.d"
+  "libmmx_antenna.a"
+  "libmmx_antenna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_antenna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

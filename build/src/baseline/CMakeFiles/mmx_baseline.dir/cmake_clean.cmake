@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_baseline.dir/beam_search.cpp.o"
+  "CMakeFiles/mmx_baseline.dir/beam_search.cpp.o.d"
+  "CMakeFiles/mmx_baseline.dir/fixed_beam.cpp.o"
+  "CMakeFiles/mmx_baseline.dir/fixed_beam.cpp.o.d"
+  "CMakeFiles/mmx_baseline.dir/hybrid_mimo.cpp.o"
+  "CMakeFiles/mmx_baseline.dir/hybrid_mimo.cpp.o.d"
+  "CMakeFiles/mmx_baseline.dir/platforms.cpp.o"
+  "CMakeFiles/mmx_baseline.dir/platforms.cpp.o.d"
+  "libmmx_baseline.a"
+  "libmmx_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

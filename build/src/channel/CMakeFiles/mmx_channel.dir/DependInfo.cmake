@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/beam_channel.cpp" "src/channel/CMakeFiles/mmx_channel.dir/beam_channel.cpp.o" "gcc" "src/channel/CMakeFiles/mmx_channel.dir/beam_channel.cpp.o.d"
+  "/root/repo/src/channel/blockage.cpp" "src/channel/CMakeFiles/mmx_channel.dir/blockage.cpp.o" "gcc" "src/channel/CMakeFiles/mmx_channel.dir/blockage.cpp.o.d"
+  "/root/repo/src/channel/mobility.cpp" "src/channel/CMakeFiles/mmx_channel.dir/mobility.cpp.o" "gcc" "src/channel/CMakeFiles/mmx_channel.dir/mobility.cpp.o.d"
+  "/root/repo/src/channel/presets.cpp" "src/channel/CMakeFiles/mmx_channel.dir/presets.cpp.o" "gcc" "src/channel/CMakeFiles/mmx_channel.dir/presets.cpp.o.d"
+  "/root/repo/src/channel/propagation.cpp" "src/channel/CMakeFiles/mmx_channel.dir/propagation.cpp.o" "gcc" "src/channel/CMakeFiles/mmx_channel.dir/propagation.cpp.o.d"
+  "/root/repo/src/channel/ray_tracer.cpp" "src/channel/CMakeFiles/mmx_channel.dir/ray_tracer.cpp.o" "gcc" "src/channel/CMakeFiles/mmx_channel.dir/ray_tracer.cpp.o.d"
+  "/root/repo/src/channel/room.cpp" "src/channel/CMakeFiles/mmx_channel.dir/room.cpp.o" "gcc" "src/channel/CMakeFiles/mmx_channel.dir/room.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mmx_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/antenna/CMakeFiles/mmx_antenna.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

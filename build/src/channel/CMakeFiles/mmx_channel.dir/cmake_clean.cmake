@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_channel.dir/beam_channel.cpp.o"
+  "CMakeFiles/mmx_channel.dir/beam_channel.cpp.o.d"
+  "CMakeFiles/mmx_channel.dir/blockage.cpp.o"
+  "CMakeFiles/mmx_channel.dir/blockage.cpp.o.d"
+  "CMakeFiles/mmx_channel.dir/mobility.cpp.o"
+  "CMakeFiles/mmx_channel.dir/mobility.cpp.o.d"
+  "CMakeFiles/mmx_channel.dir/presets.cpp.o"
+  "CMakeFiles/mmx_channel.dir/presets.cpp.o.d"
+  "CMakeFiles/mmx_channel.dir/propagation.cpp.o"
+  "CMakeFiles/mmx_channel.dir/propagation.cpp.o.d"
+  "CMakeFiles/mmx_channel.dir/ray_tracer.cpp.o"
+  "CMakeFiles/mmx_channel.dir/ray_tracer.cpp.o.d"
+  "CMakeFiles/mmx_channel.dir/room.cpp.o"
+  "CMakeFiles/mmx_channel.dir/room.cpp.o.d"
+  "libmmx_channel.a"
+  "libmmx_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

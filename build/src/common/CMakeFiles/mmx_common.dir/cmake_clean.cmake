@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_common.dir/geometry.cpp.o"
+  "CMakeFiles/mmx_common.dir/geometry.cpp.o.d"
+  "CMakeFiles/mmx_common.dir/units.cpp.o"
+  "CMakeFiles/mmx_common.dir/units.cpp.o.d"
+  "libmmx_common.a"
+  "libmmx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

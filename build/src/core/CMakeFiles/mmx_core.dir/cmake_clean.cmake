@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_core.dir/access_point.cpp.o"
+  "CMakeFiles/mmx_core.dir/access_point.cpp.o.d"
+  "CMakeFiles/mmx_core.dir/network.cpp.o"
+  "CMakeFiles/mmx_core.dir/network.cpp.o.d"
+  "CMakeFiles/mmx_core.dir/node.cpp.o"
+  "CMakeFiles/mmx_core.dir/node.cpp.o.d"
+  "CMakeFiles/mmx_core.dir/scenario.cpp.o"
+  "CMakeFiles/mmx_core.dir/scenario.cpp.o.d"
+  "libmmx_core.a"
+  "libmmx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmmx_core.a"
+)

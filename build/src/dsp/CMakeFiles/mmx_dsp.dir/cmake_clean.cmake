@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_dsp.dir/agc.cpp.o"
+  "CMakeFiles/mmx_dsp.dir/agc.cpp.o.d"
+  "CMakeFiles/mmx_dsp.dir/envelope.cpp.o"
+  "CMakeFiles/mmx_dsp.dir/envelope.cpp.o.d"
+  "CMakeFiles/mmx_dsp.dir/fft.cpp.o"
+  "CMakeFiles/mmx_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/mmx_dsp.dir/fir.cpp.o"
+  "CMakeFiles/mmx_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/mmx_dsp.dir/goertzel.cpp.o"
+  "CMakeFiles/mmx_dsp.dir/goertzel.cpp.o.d"
+  "CMakeFiles/mmx_dsp.dir/impairments.cpp.o"
+  "CMakeFiles/mmx_dsp.dir/impairments.cpp.o.d"
+  "CMakeFiles/mmx_dsp.dir/measure.cpp.o"
+  "CMakeFiles/mmx_dsp.dir/measure.cpp.o.d"
+  "CMakeFiles/mmx_dsp.dir/noise.cpp.o"
+  "CMakeFiles/mmx_dsp.dir/noise.cpp.o.d"
+  "CMakeFiles/mmx_dsp.dir/resample.cpp.o"
+  "CMakeFiles/mmx_dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/mmx_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/mmx_dsp.dir/spectrum.cpp.o.d"
+  "CMakeFiles/mmx_dsp.dir/tone.cpp.o"
+  "CMakeFiles/mmx_dsp.dir/tone.cpp.o.d"
+  "CMakeFiles/mmx_dsp.dir/window.cpp.o"
+  "CMakeFiles/mmx_dsp.dir/window.cpp.o.d"
+  "libmmx_dsp.a"
+  "libmmx_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/allocator.cpp" "src/mac/CMakeFiles/mmx_mac.dir/allocator.cpp.o" "gcc" "src/mac/CMakeFiles/mmx_mac.dir/allocator.cpp.o.d"
+  "/root/repo/src/mac/arq.cpp" "src/mac/CMakeFiles/mmx_mac.dir/arq.cpp.o" "gcc" "src/mac/CMakeFiles/mmx_mac.dir/arq.cpp.o.d"
+  "/root/repo/src/mac/init_protocol.cpp" "src/mac/CMakeFiles/mmx_mac.dir/init_protocol.cpp.o" "gcc" "src/mac/CMakeFiles/mmx_mac.dir/init_protocol.cpp.o.d"
+  "/root/repo/src/mac/rate_control.cpp" "src/mac/CMakeFiles/mmx_mac.dir/rate_control.cpp.o" "gcc" "src/mac/CMakeFiles/mmx_mac.dir/rate_control.cpp.o.d"
+  "/root/repo/src/mac/sdm.cpp" "src/mac/CMakeFiles/mmx_mac.dir/sdm.cpp.o" "gcc" "src/mac/CMakeFiles/mmx_mac.dir/sdm.cpp.o.d"
+  "/root/repo/src/mac/side_channel.cpp" "src/mac/CMakeFiles/mmx_mac.dir/side_channel.cpp.o" "gcc" "src/mac/CMakeFiles/mmx_mac.dir/side_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/antenna/CMakeFiles/mmx_antenna.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/mmx_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mmx_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

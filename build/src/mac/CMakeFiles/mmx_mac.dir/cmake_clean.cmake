@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_mac.dir/allocator.cpp.o"
+  "CMakeFiles/mmx_mac.dir/allocator.cpp.o.d"
+  "CMakeFiles/mmx_mac.dir/arq.cpp.o"
+  "CMakeFiles/mmx_mac.dir/arq.cpp.o.d"
+  "CMakeFiles/mmx_mac.dir/init_protocol.cpp.o"
+  "CMakeFiles/mmx_mac.dir/init_protocol.cpp.o.d"
+  "CMakeFiles/mmx_mac.dir/rate_control.cpp.o"
+  "CMakeFiles/mmx_mac.dir/rate_control.cpp.o.d"
+  "CMakeFiles/mmx_mac.dir/sdm.cpp.o"
+  "CMakeFiles/mmx_mac.dir/sdm.cpp.o.d"
+  "CMakeFiles/mmx_mac.dir/side_channel.cpp.o"
+  "CMakeFiles/mmx_mac.dir/side_channel.cpp.o.d"
+  "libmmx_mac.a"
+  "libmmx_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

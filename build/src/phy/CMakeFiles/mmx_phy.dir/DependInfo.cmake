@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/ask.cpp" "src/phy/CMakeFiles/mmx_phy.dir/ask.cpp.o" "gcc" "src/phy/CMakeFiles/mmx_phy.dir/ask.cpp.o.d"
+  "/root/repo/src/phy/ber.cpp" "src/phy/CMakeFiles/mmx_phy.dir/ber.cpp.o" "gcc" "src/phy/CMakeFiles/mmx_phy.dir/ber.cpp.o.d"
+  "/root/repo/src/phy/cfo.cpp" "src/phy/CMakeFiles/mmx_phy.dir/cfo.cpp.o" "gcc" "src/phy/CMakeFiles/mmx_phy.dir/cfo.cpp.o.d"
+  "/root/repo/src/phy/coding.cpp" "src/phy/CMakeFiles/mmx_phy.dir/coding.cpp.o" "gcc" "src/phy/CMakeFiles/mmx_phy.dir/coding.cpp.o.d"
+  "/root/repo/src/phy/crc.cpp" "src/phy/CMakeFiles/mmx_phy.dir/crc.cpp.o" "gcc" "src/phy/CMakeFiles/mmx_phy.dir/crc.cpp.o.d"
+  "/root/repo/src/phy/fec.cpp" "src/phy/CMakeFiles/mmx_phy.dir/fec.cpp.o" "gcc" "src/phy/CMakeFiles/mmx_phy.dir/fec.cpp.o.d"
+  "/root/repo/src/phy/frame.cpp" "src/phy/CMakeFiles/mmx_phy.dir/frame.cpp.o" "gcc" "src/phy/CMakeFiles/mmx_phy.dir/frame.cpp.o.d"
+  "/root/repo/src/phy/fsk.cpp" "src/phy/CMakeFiles/mmx_phy.dir/fsk.cpp.o" "gcc" "src/phy/CMakeFiles/mmx_phy.dir/fsk.cpp.o.d"
+  "/root/repo/src/phy/joint.cpp" "src/phy/CMakeFiles/mmx_phy.dir/joint.cpp.o" "gcc" "src/phy/CMakeFiles/mmx_phy.dir/joint.cpp.o.d"
+  "/root/repo/src/phy/otam.cpp" "src/phy/CMakeFiles/mmx_phy.dir/otam.cpp.o" "gcc" "src/phy/CMakeFiles/mmx_phy.dir/otam.cpp.o.d"
+  "/root/repo/src/phy/preamble.cpp" "src/phy/CMakeFiles/mmx_phy.dir/preamble.cpp.o" "gcc" "src/phy/CMakeFiles/mmx_phy.dir/preamble.cpp.o.d"
+  "/root/repo/src/phy/scrambler.cpp" "src/phy/CMakeFiles/mmx_phy.dir/scrambler.cpp.o" "gcc" "src/phy/CMakeFiles/mmx_phy.dir/scrambler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mmx_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/mmx_rf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_phy.dir/ask.cpp.o"
+  "CMakeFiles/mmx_phy.dir/ask.cpp.o.d"
+  "CMakeFiles/mmx_phy.dir/ber.cpp.o"
+  "CMakeFiles/mmx_phy.dir/ber.cpp.o.d"
+  "CMakeFiles/mmx_phy.dir/cfo.cpp.o"
+  "CMakeFiles/mmx_phy.dir/cfo.cpp.o.d"
+  "CMakeFiles/mmx_phy.dir/coding.cpp.o"
+  "CMakeFiles/mmx_phy.dir/coding.cpp.o.d"
+  "CMakeFiles/mmx_phy.dir/crc.cpp.o"
+  "CMakeFiles/mmx_phy.dir/crc.cpp.o.d"
+  "CMakeFiles/mmx_phy.dir/fec.cpp.o"
+  "CMakeFiles/mmx_phy.dir/fec.cpp.o.d"
+  "CMakeFiles/mmx_phy.dir/frame.cpp.o"
+  "CMakeFiles/mmx_phy.dir/frame.cpp.o.d"
+  "CMakeFiles/mmx_phy.dir/fsk.cpp.o"
+  "CMakeFiles/mmx_phy.dir/fsk.cpp.o.d"
+  "CMakeFiles/mmx_phy.dir/joint.cpp.o"
+  "CMakeFiles/mmx_phy.dir/joint.cpp.o.d"
+  "CMakeFiles/mmx_phy.dir/otam.cpp.o"
+  "CMakeFiles/mmx_phy.dir/otam.cpp.o.d"
+  "CMakeFiles/mmx_phy.dir/preamble.cpp.o"
+  "CMakeFiles/mmx_phy.dir/preamble.cpp.o.d"
+  "CMakeFiles/mmx_phy.dir/scrambler.cpp.o"
+  "CMakeFiles/mmx_phy.dir/scrambler.cpp.o.d"
+  "libmmx_phy.a"
+  "libmmx_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

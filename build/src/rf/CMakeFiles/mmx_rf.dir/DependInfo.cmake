@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/adc.cpp" "src/rf/CMakeFiles/mmx_rf.dir/adc.cpp.o" "gcc" "src/rf/CMakeFiles/mmx_rf.dir/adc.cpp.o.d"
+  "/root/repo/src/rf/amplifier.cpp" "src/rf/CMakeFiles/mmx_rf.dir/amplifier.cpp.o" "gcc" "src/rf/CMakeFiles/mmx_rf.dir/amplifier.cpp.o.d"
+  "/root/repo/src/rf/budget.cpp" "src/rf/CMakeFiles/mmx_rf.dir/budget.cpp.o" "gcc" "src/rf/CMakeFiles/mmx_rf.dir/budget.cpp.o.d"
+  "/root/repo/src/rf/chain.cpp" "src/rf/CMakeFiles/mmx_rf.dir/chain.cpp.o" "gcc" "src/rf/CMakeFiles/mmx_rf.dir/chain.cpp.o.d"
+  "/root/repo/src/rf/filter.cpp" "src/rf/CMakeFiles/mmx_rf.dir/filter.cpp.o" "gcc" "src/rf/CMakeFiles/mmx_rf.dir/filter.cpp.o.d"
+  "/root/repo/src/rf/mixer.cpp" "src/rf/CMakeFiles/mmx_rf.dir/mixer.cpp.o" "gcc" "src/rf/CMakeFiles/mmx_rf.dir/mixer.cpp.o.d"
+  "/root/repo/src/rf/phase_noise.cpp" "src/rf/CMakeFiles/mmx_rf.dir/phase_noise.cpp.o" "gcc" "src/rf/CMakeFiles/mmx_rf.dir/phase_noise.cpp.o.d"
+  "/root/repo/src/rf/pll.cpp" "src/rf/CMakeFiles/mmx_rf.dir/pll.cpp.o" "gcc" "src/rf/CMakeFiles/mmx_rf.dir/pll.cpp.o.d"
+  "/root/repo/src/rf/spdt.cpp" "src/rf/CMakeFiles/mmx_rf.dir/spdt.cpp.o" "gcc" "src/rf/CMakeFiles/mmx_rf.dir/spdt.cpp.o.d"
+  "/root/repo/src/rf/vco.cpp" "src/rf/CMakeFiles/mmx_rf.dir/vco.cpp.o" "gcc" "src/rf/CMakeFiles/mmx_rf.dir/vco.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mmx_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_rf.dir/adc.cpp.o"
+  "CMakeFiles/mmx_rf.dir/adc.cpp.o.d"
+  "CMakeFiles/mmx_rf.dir/amplifier.cpp.o"
+  "CMakeFiles/mmx_rf.dir/amplifier.cpp.o.d"
+  "CMakeFiles/mmx_rf.dir/budget.cpp.o"
+  "CMakeFiles/mmx_rf.dir/budget.cpp.o.d"
+  "CMakeFiles/mmx_rf.dir/chain.cpp.o"
+  "CMakeFiles/mmx_rf.dir/chain.cpp.o.d"
+  "CMakeFiles/mmx_rf.dir/filter.cpp.o"
+  "CMakeFiles/mmx_rf.dir/filter.cpp.o.d"
+  "CMakeFiles/mmx_rf.dir/mixer.cpp.o"
+  "CMakeFiles/mmx_rf.dir/mixer.cpp.o.d"
+  "CMakeFiles/mmx_rf.dir/phase_noise.cpp.o"
+  "CMakeFiles/mmx_rf.dir/phase_noise.cpp.o.d"
+  "CMakeFiles/mmx_rf.dir/pll.cpp.o"
+  "CMakeFiles/mmx_rf.dir/pll.cpp.o.d"
+  "CMakeFiles/mmx_rf.dir/spdt.cpp.o"
+  "CMakeFiles/mmx_rf.dir/spdt.cpp.o.d"
+  "CMakeFiles/mmx_rf.dir/vco.cpp.o"
+  "CMakeFiles/mmx_rf.dir/vco.cpp.o.d"
+  "libmmx_rf.a"
+  "libmmx_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/energy.cpp" "src/sim/CMakeFiles/mmx_sim.dir/energy.cpp.o" "gcc" "src/sim/CMakeFiles/mmx_sim.dir/energy.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/mmx_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/mmx_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/link_budget.cpp" "src/sim/CMakeFiles/mmx_sim.dir/link_budget.cpp.o" "gcc" "src/sim/CMakeFiles/mmx_sim.dir/link_budget.cpp.o.d"
+  "/root/repo/src/sim/network_sim.cpp" "src/sim/CMakeFiles/mmx_sim.dir/network_sim.cpp.o" "gcc" "src/sim/CMakeFiles/mmx_sim.dir/network_sim.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/mmx_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/mmx_sim.dir/stats.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "src/sim/CMakeFiles/mmx_sim.dir/traffic.cpp.o" "gcc" "src/sim/CMakeFiles/mmx_sim.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mmx_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/mmx_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/antenna/CMakeFiles/mmx_antenna.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/mmx_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/mmx_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/mmx_mac.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

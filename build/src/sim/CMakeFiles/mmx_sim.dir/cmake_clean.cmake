@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_sim.dir/energy.cpp.o"
+  "CMakeFiles/mmx_sim.dir/energy.cpp.o.d"
+  "CMakeFiles/mmx_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/mmx_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/mmx_sim.dir/link_budget.cpp.o"
+  "CMakeFiles/mmx_sim.dir/link_budget.cpp.o.d"
+  "CMakeFiles/mmx_sim.dir/network_sim.cpp.o"
+  "CMakeFiles/mmx_sim.dir/network_sim.cpp.o.d"
+  "CMakeFiles/mmx_sim.dir/stats.cpp.o"
+  "CMakeFiles/mmx_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/mmx_sim.dir/traffic.cpp.o"
+  "CMakeFiles/mmx_sim.dir/traffic.cpp.o.d"
+  "libmmx_sim.a"
+  "libmmx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("dsp")
+subdirs("rf")
+subdirs("antenna")
+subdirs("channel")
+subdirs("phy")
+subdirs("mac")
+subdirs("sim")
+subdirs("core")
+subdirs("baseline")
+subdirs("experiments")

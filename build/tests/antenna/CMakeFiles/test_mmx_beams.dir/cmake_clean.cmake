@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mmx_beams.dir/mmx_beams_test.cpp.o"
+  "CMakeFiles/test_mmx_beams.dir/mmx_beams_test.cpp.o.d"
+  "test_mmx_beams"
+  "test_mmx_beams.pdb"
+  "test_mmx_beams[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mmx_beams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/antenna
+# Build directory: /root/repo/build/tests/antenna
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/antenna/test_element[1]_include.cmake")
+include("/root/repo/build/tests/antenna/test_array[1]_include.cmake")
+include("/root/repo/build/tests/antenna/test_mmx_beams[1]_include.cmake")
+include("/root/repo/build/tests/antenna/test_tma[1]_include.cmake")

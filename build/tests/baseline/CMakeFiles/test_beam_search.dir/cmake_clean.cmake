@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beam_search.dir/beam_search_test.cpp.o"
+  "CMakeFiles/test_beam_search.dir/beam_search_test.cpp.o.d"
+  "test_beam_search"
+  "test_beam_search.pdb"
+  "test_beam_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beam_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

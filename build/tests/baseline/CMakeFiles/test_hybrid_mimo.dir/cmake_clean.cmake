@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_mimo.dir/hybrid_mimo_test.cpp.o"
+  "CMakeFiles/test_hybrid_mimo.dir/hybrid_mimo_test.cpp.o.d"
+  "test_hybrid_mimo"
+  "test_hybrid_mimo.pdb"
+  "test_hybrid_mimo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_mimo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

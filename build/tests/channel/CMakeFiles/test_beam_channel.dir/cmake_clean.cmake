@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beam_channel.dir/beam_channel_test.cpp.o"
+  "CMakeFiles/test_beam_channel.dir/beam_channel_test.cpp.o.d"
+  "test_beam_channel"
+  "test_beam_channel.pdb"
+  "test_beam_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beam_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

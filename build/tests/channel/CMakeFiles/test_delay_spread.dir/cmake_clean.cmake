@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delay_spread.dir/delay_spread_test.cpp.o"
+  "CMakeFiles/test_delay_spread.dir/delay_spread_test.cpp.o.d"
+  "test_delay_spread"
+  "test_delay_spread.pdb"
+  "test_delay_spread[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delay_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_double_bounce.dir/double_bounce_test.cpp.o"
+  "CMakeFiles/test_double_bounce.dir/double_bounce_test.cpp.o.d"
+  "test_double_bounce"
+  "test_double_bounce.pdb"
+  "test_double_bounce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_double_bounce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/channel/presets_test.cpp" "tests/channel/CMakeFiles/test_presets.dir/presets_test.cpp.o" "gcc" "tests/channel/CMakeFiles/test_presets.dir/presets_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/channel/CMakeFiles/mmx_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/antenna/CMakeFiles/mmx_antenna.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mmx_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

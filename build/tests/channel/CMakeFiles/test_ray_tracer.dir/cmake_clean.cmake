@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ray_tracer.dir/ray_tracer_test.cpp.o"
+  "CMakeFiles/test_ray_tracer.dir/ray_tracer_test.cpp.o.d"
+  "test_ray_tracer"
+  "test_ray_tracer.pdb"
+  "test_ray_tracer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ray_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

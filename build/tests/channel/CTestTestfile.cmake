@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/channel
+# Build directory: /root/repo/build/tests/channel
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/channel/test_room[1]_include.cmake")
+include("/root/repo/build/tests/channel/test_propagation[1]_include.cmake")
+include("/root/repo/build/tests/channel/test_ray_tracer[1]_include.cmake")
+include("/root/repo/build/tests/channel/test_mobility[1]_include.cmake")
+include("/root/repo/build/tests/channel/test_double_bounce[1]_include.cmake")
+include("/root/repo/build/tests/channel/test_beam_channel[1]_include.cmake")
+include("/root/repo/build/tests/channel/test_delay_spread[1]_include.cmake")
+include("/root/repo/build/tests/channel/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/channel/test_reciprocity[1]_include.cmake")
+include("/root/repo/build/tests/channel/test_presets[1]_include.cmake")

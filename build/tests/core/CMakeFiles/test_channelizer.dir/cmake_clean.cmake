@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channelizer.dir/channelizer_test.cpp.o"
+  "CMakeFiles/test_channelizer.dir/channelizer_test.cpp.o.d"
+  "test_channelizer"
+  "test_channelizer.pdb"
+  "test_channelizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channelizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

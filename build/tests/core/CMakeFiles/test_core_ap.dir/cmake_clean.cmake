@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_ap.dir/access_point_test.cpp.o"
+  "CMakeFiles/test_core_ap.dir/access_point_test.cpp.o.d"
+  "test_core_ap"
+  "test_core_ap.pdb"
+  "test_core_ap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_network.dir/network_test.cpp.o"
+  "CMakeFiles/test_core_network.dir/network_test.cpp.o.d"
+  "test_core_network"
+  "test_core_network.pdb"
+  "test_core_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fullstack_sweep.dir/fullstack_sweep_test.cpp.o"
+  "CMakeFiles/test_fullstack_sweep.dir/fullstack_sweep_test.cpp.o.d"
+  "test_fullstack_sweep"
+  "test_fullstack_sweep.pdb"
+  "test_fullstack_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fullstack_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

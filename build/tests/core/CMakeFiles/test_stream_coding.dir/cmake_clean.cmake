@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_coding.dir/stream_coding_test.cpp.o"
+  "CMakeFiles/test_stream_coding.dir/stream_coding_test.cpp.o.d"
+  "test_stream_coding"
+  "test_stream_coding.pdb"
+  "test_stream_coding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/test_core_node[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_ap[1]_include.cmake")
+include("/root/repo/build/tests/core/test_channelizer[1]_include.cmake")
+include("/root/repo/build/tests/core/test_scenario[1]_include.cmake")
+include("/root/repo/build/tests/core/test_core_network[1]_include.cmake")
+include("/root/repo/build/tests/core/test_stream_coding[1]_include.cmake")
+include("/root/repo/build/tests/core/test_fullstack_sweep[1]_include.cmake")

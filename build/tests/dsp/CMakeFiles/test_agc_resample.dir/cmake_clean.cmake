@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agc_resample.dir/agc_resample_test.cpp.o"
+  "CMakeFiles/test_agc_resample.dir/agc_resample_test.cpp.o.d"
+  "test_agc_resample"
+  "test_agc_resample.pdb"
+  "test_agc_resample[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agc_resample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_agc_resample.
+# This may be replaced when dependencies are built.

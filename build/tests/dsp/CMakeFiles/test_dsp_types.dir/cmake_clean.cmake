@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_types.dir/types_test.cpp.o"
+  "CMakeFiles/test_dsp_types.dir/types_test.cpp.o.d"
+  "test_dsp_types"
+  "test_dsp_types.pdb"
+  "test_dsp_types[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_envelope.dir/envelope_test.cpp.o"
+  "CMakeFiles/test_envelope.dir/envelope_test.cpp.o.d"
+  "test_envelope"
+  "test_envelope.pdb"
+  "test_envelope[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_envelope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

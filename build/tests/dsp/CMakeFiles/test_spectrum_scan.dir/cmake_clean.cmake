@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spectrum_scan.dir/spectrum_scan_test.cpp.o"
+  "CMakeFiles/test_spectrum_scan.dir/spectrum_scan_test.cpp.o.d"
+  "test_spectrum_scan"
+  "test_spectrum_scan.pdb"
+  "test_spectrum_scan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spectrum_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

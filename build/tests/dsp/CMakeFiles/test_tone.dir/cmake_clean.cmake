@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tone.dir/tone_test.cpp.o"
+  "CMakeFiles/test_tone.dir/tone_test.cpp.o.d"
+  "test_tone"
+  "test_tone.pdb"
+  "test_tone[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/dsp
+# Build directory: /root/repo/build/tests/dsp
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dsp/test_dsp_types[1]_include.cmake")
+include("/root/repo/build/tests/dsp/test_tone[1]_include.cmake")
+include("/root/repo/build/tests/dsp/test_fir[1]_include.cmake")
+include("/root/repo/build/tests/dsp/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/dsp/test_goertzel[1]_include.cmake")
+include("/root/repo/build/tests/dsp/test_envelope[1]_include.cmake")
+include("/root/repo/build/tests/dsp/test_agc_resample[1]_include.cmake")
+include("/root/repo/build/tests/dsp/test_impairments[1]_include.cmake")
+include("/root/repo/build/tests/dsp/test_noise_measure[1]_include.cmake")
+include("/root/repo/build/tests/dsp/test_spectrum_scan[1]_include.cmake")

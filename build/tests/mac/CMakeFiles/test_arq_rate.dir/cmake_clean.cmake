@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arq_rate.dir/arq_rate_test.cpp.o"
+  "CMakeFiles/test_arq_rate.dir/arq_rate_test.cpp.o.d"
+  "test_arq_rate"
+  "test_arq_rate.pdb"
+  "test_arq_rate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arq_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_init_protocol.dir/init_protocol_test.cpp.o"
+  "CMakeFiles/test_init_protocol.dir/init_protocol_test.cpp.o.d"
+  "test_init_protocol"
+  "test_init_protocol.pdb"
+  "test_init_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_init_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

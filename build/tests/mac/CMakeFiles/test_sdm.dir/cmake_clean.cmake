@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdm.dir/sdm_test.cpp.o"
+  "CMakeFiles/test_sdm.dir/sdm_test.cpp.o.d"
+  "test_sdm"
+  "test_sdm.pdb"
+  "test_sdm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

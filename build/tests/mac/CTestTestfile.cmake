@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mac
+# Build directory: /root/repo/build/tests/mac
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mac/test_allocator[1]_include.cmake")
+include("/root/repo/build/tests/mac/test_sdm[1]_include.cmake")
+include("/root/repo/build/tests/mac/test_side_channel[1]_include.cmake")
+include("/root/repo/build/tests/mac/test_arq_rate[1]_include.cmake")
+include("/root/repo/build/tests/mac/test_init_protocol[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ask.dir/ask_test.cpp.o"
+  "CMakeFiles/test_ask.dir/ask_test.cpp.o.d"
+  "test_ask"
+  "test_ask.pdb"
+  "test_ask[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ber.dir/ber_test.cpp.o"
+  "CMakeFiles/test_ber.dir/ber_test.cpp.o.d"
+  "test_ber"
+  "test_ber.pdb"
+  "test_ber[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

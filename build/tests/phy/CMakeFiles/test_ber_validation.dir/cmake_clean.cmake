@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ber_validation.dir/ber_validation_test.cpp.o"
+  "CMakeFiles/test_ber_validation.dir/ber_validation_test.cpp.o.d"
+  "test_ber_validation"
+  "test_ber_validation.pdb"
+  "test_ber_validation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ber_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfo_spectrum.dir/cfo_spectrum_test.cpp.o"
+  "CMakeFiles/test_cfo_spectrum.dir/cfo_spectrum_test.cpp.o.d"
+  "test_cfo_spectrum"
+  "test_cfo_spectrum.pdb"
+  "test_cfo_spectrum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfo_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frame_crc.dir/frame_crc_test.cpp.o"
+  "CMakeFiles/test_frame_crc.dir/frame_crc_test.cpp.o.d"
+  "test_frame_crc"
+  "test_frame_crc.pdb"
+  "test_frame_crc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frame_crc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsk.dir/fsk_test.cpp.o"
+  "CMakeFiles/test_fsk.dir/fsk_test.cpp.o.d"
+  "test_fsk"
+  "test_fsk.pdb"
+  "test_fsk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

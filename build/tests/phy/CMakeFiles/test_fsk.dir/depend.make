@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fsk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_otam.dir/otam_test.cpp.o"
+  "CMakeFiles/test_otam.dir/otam_test.cpp.o.d"
+  "test_otam"
+  "test_otam.pdb"
+  "test_otam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_otam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

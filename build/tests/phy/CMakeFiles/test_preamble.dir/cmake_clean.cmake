@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preamble.dir/preamble_test.cpp.o"
+  "CMakeFiles/test_preamble.dir/preamble_test.cpp.o.d"
+  "test_preamble"
+  "test_preamble.pdb"
+  "test_preamble[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preamble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scrambler.dir/scrambler_test.cpp.o"
+  "CMakeFiles/test_scrambler.dir/scrambler_test.cpp.o.d"
+  "test_scrambler"
+  "test_scrambler.pdb"
+  "test_scrambler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scrambler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/phy
+# Build directory: /root/repo/build/tests/phy
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/phy/test_ask[1]_include.cmake")
+include("/root/repo/build/tests/phy/test_fsk[1]_include.cmake")
+include("/root/repo/build/tests/phy/test_otam[1]_include.cmake")
+include("/root/repo/build/tests/phy/test_joint[1]_include.cmake")
+include("/root/repo/build/tests/phy/test_preamble[1]_include.cmake")
+include("/root/repo/build/tests/phy/test_frame_crc[1]_include.cmake")
+include("/root/repo/build/tests/phy/test_fec[1]_include.cmake")
+include("/root/repo/build/tests/phy/test_scrambler[1]_include.cmake")
+include("/root/repo/build/tests/phy/test_ber[1]_include.cmake")
+include("/root/repo/build/tests/phy/test_mobility_phy[1]_include.cmake")
+include("/root/repo/build/tests/phy/test_phy_end_to_end[1]_include.cmake")
+include("/root/repo/build/tests/phy/test_interference[1]_include.cmake")
+include("/root/repo/build/tests/phy/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/phy/test_ber_validation[1]_include.cmake")
+include("/root/repo/build/tests/phy/test_cfo_spectrum[1]_include.cmake")
+include("/root/repo/build/tests/phy/test_coding[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amplifier_mixer.dir/amplifier_mixer_test.cpp.o"
+  "CMakeFiles/test_amplifier_mixer.dir/amplifier_mixer_test.cpp.o.d"
+  "test_amplifier_mixer"
+  "test_amplifier_mixer.pdb"
+  "test_amplifier_mixer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amplifier_mixer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

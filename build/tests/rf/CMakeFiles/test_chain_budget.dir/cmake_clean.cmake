@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chain_budget.dir/chain_budget_test.cpp.o"
+  "CMakeFiles/test_chain_budget.dir/chain_budget_test.cpp.o.d"
+  "test_chain_budget"
+  "test_chain_budget.pdb"
+  "test_chain_budget[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chain_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_filter_pll.dir/filter_pll_test.cpp.o"
+  "CMakeFiles/test_filter_pll.dir/filter_pll_test.cpp.o.d"
+  "test_filter_pll"
+  "test_filter_pll.pdb"
+  "test_filter_pll[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_filter_pll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

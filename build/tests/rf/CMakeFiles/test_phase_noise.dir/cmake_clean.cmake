@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_noise.dir/phase_noise_test.cpp.o"
+  "CMakeFiles/test_phase_noise.dir/phase_noise_test.cpp.o.d"
+  "test_phase_noise"
+  "test_phase_noise.pdb"
+  "test_phase_noise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

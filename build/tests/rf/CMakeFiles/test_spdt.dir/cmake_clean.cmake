@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spdt.dir/spdt_test.cpp.o"
+  "CMakeFiles/test_spdt.dir/spdt_test.cpp.o.d"
+  "test_spdt"
+  "test_spdt.pdb"
+  "test_spdt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

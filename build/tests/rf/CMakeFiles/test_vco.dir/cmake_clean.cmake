@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vco.dir/vco_test.cpp.o"
+  "CMakeFiles/test_vco.dir/vco_test.cpp.o.d"
+  "test_vco"
+  "test_vco.pdb"
+  "test_vco[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/rf
+# Build directory: /root/repo/build/tests/rf
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/rf/test_vco[1]_include.cmake")
+include("/root/repo/build/tests/rf/test_spdt[1]_include.cmake")
+include("/root/repo/build/tests/rf/test_amplifier_mixer[1]_include.cmake")
+include("/root/repo/build/tests/rf/test_filter_pll[1]_include.cmake")
+include("/root/repo/build/tests/rf/test_adc[1]_include.cmake")
+include("/root/repo/build/tests/rf/test_phase_noise[1]_include.cmake")
+include("/root/repo/build/tests/rf/test_chain_budget[1]_include.cmake")

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_link_budget[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_traffic[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_energy[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_network_sim[1]_include.cmake")

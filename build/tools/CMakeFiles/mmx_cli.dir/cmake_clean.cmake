@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmx_cli.dir/mmx_cli.cpp.o"
+  "CMakeFiles/mmx_cli.dir/mmx_cli.cpp.o.d"
+  "mmx_cli"
+  "mmx_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
