@@ -44,14 +44,20 @@ ScenarioResult run_scenario(Network& net, const std::vector<ScenarioNode>& nodes
 
   sim::EventQueue queue;
 
-  // Mobility process (self-rescheduling handler owns itself via the
-  // shared_ptr so it outlives this scope).
+  // Self-rescheduling handlers live here, not inside their own captures: a
+  // handler that captures a shared_ptr to itself is a reference cycle the
+  // refcount can never break (LeakSanitizer flags it). They only need to
+  // outlive queue.run_until() below.
+  std::vector<std::unique_ptr<std::function<void()>>> handlers;
+
+  // Mobility process.
   std::unique_ptr<channel::WalkingCrowd> crowd;
   if (cfg.walkers > 0) {
     crowd = std::make_unique<channel::WalkingCrowd>(net.room(), cfg.walkers,
                                                     cfg.walker_speed_mps, rng);
-    auto step = std::make_shared<std::function<void()>>();
-    *step = [&net, &queue, &rng, &cfg, crowd_ptr = crowd.get(), step] {
+    handlers.push_back(std::make_unique<std::function<void()>>());
+    std::function<void()>* step = handlers.back().get();
+    *step = [&queue, &rng, &cfg, crowd_ptr = crowd.get(), step] {
       crowd_ptr->update(cfg.mobility_step_s, rng);
       if (queue.now() + cfg.mobility_step_s <= cfg.duration_s) {
         queue.schedule_in(cfg.mobility_step_s, *step);
@@ -62,7 +68,8 @@ ScenarioResult run_scenario(Network& net, const std::vector<ScenarioNode>& nodes
 
   // Per-node traffic processes.
   for (Live& l : live) {
-    auto fire = std::make_shared<std::function<void()>>();
+    handlers.push_back(std::make_unique<std::function<void()>>());
+    std::function<void()>* fire = handlers.back().get();
     *fire = [&net, &queue, &cfg, node = &l, fire] {
       const SendReport r = cfg.reliable
                                ? net.send_reliable(node->id, node->payload).last

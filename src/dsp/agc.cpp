@@ -13,8 +13,8 @@ Agc::Agc(double target_rms, double alpha) : target_rms_(target_rms), alpha_(alph
 Complex Agc::process(Complex x) {
   const double mag = std::abs(x);
   level_ = (1.0 - alpha_) * level_ + alpha_ * mag;
-  if (level_ > 1e-300) gain_ = target_rms_ / level_;
-  return x * gain_;
+  if (level_ > 1e-300) gain_lin_ = target_rms_ / level_;
+  return x * gain_lin_;
 }
 
 Cvec Agc::process(std::span<const Complex> x) {
@@ -24,7 +24,7 @@ Cvec Agc::process(std::span<const Complex> x) {
 }
 
 void Agc::reset() {
-  gain_ = 1.0;
+  gain_lin_ = 1.0;
   level_ = 0.0;
 }
 

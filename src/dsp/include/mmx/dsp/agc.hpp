@@ -18,13 +18,13 @@ class Agc {
   Complex process(Complex x);
   Cvec process(std::span<const Complex> x);
 
-  double gain() const { return gain_; }
+  double gain() const { return gain_lin_; }
   void reset();
 
  private:
   double target_rms_;
   double alpha_;
-  double gain_ = 1.0;
+  double gain_lin_ = 1.0;
   double level_ = 0.0;  // tracked envelope estimate
 };
 

@@ -6,12 +6,12 @@
 
 namespace mmx::dsp {
 
-/// Complex AWGN block with total mean power `power` (split evenly between
+/// Complex AWGN block with total mean power `power_lin` (split evenly between
 /// I and Q).
-Cvec awgn(std::size_t n, double power, Rng& rng);
+Cvec awgn(std::size_t n, double power_lin, Rng& rng);
 
-/// Add AWGN of mean power `power` to `x` in place.
-void add_awgn(std::span<Complex> x, double power, Rng& rng);
+/// Add AWGN of mean power `power_lin` to `x` in place.
+void add_awgn(std::span<Complex> x, double power_lin, Rng& rng);
 
 /// Add noise at `snr_db` below the measured mean power of `x`.
 void add_awgn_snr(std::span<Complex> x, double snr_db, Rng& rng);

@@ -22,9 +22,9 @@ double mean_power(std::span<const Complex> x);
 /// Root-mean-square magnitude of a block. Empty input -> 0.
 double rms(std::span<const Complex> x);
 
-/// Scale a signal in place so its mean power becomes `target_power`.
+/// Scale a signal in place so its mean power becomes `target_power_lin`.
 /// A zero signal is left untouched.
-void set_mean_power(std::span<Complex> x, double target_power);
+void set_mean_power(std::span<Complex> x, double target_power_lin);
 
 /// Element-wise a += b. Sizes must match.
 void add_into(std::span<Complex> a, std::span<const Complex> b);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "mmx/common/units.hpp"
 #include "mmx/dsp/measure.hpp"
 
 namespace mmx::dsp {
@@ -16,10 +17,10 @@ double mean_power(std::span<const Complex> x) {
 
 double rms(std::span<const Complex> x) { return std::sqrt(mean_power(x)); }
 
-void set_mean_power(std::span<Complex> x, double target_power) {
+void set_mean_power(std::span<Complex> x, double target_power_lin) {
   const double p = mean_power(x);
   if (p == 0.0) return;
-  const double g = std::sqrt(target_power / p);
+  const double g = std::sqrt(target_power_lin / p);
   for (Complex& s : x) s *= g;
 }
 
@@ -55,7 +56,7 @@ double estimate_snr_db(std::span<const Complex> received, std::span<const Comple
     err += std::norm(received[i] - fit);
   }
   if (err == 0.0) return 200.0;  // numerically noiseless; clamp
-  return 10.0 * std::log10(sig / err);
+  return lin_to_db(sig / err);
 }
 
 double evm_rms(std::span<const Complex> received, std::span<const Complex> reference) {

@@ -7,17 +7,17 @@
 
 namespace mmx::dsp {
 
-Cvec awgn(std::size_t n, double power, Rng& rng) {
-  if (power < 0.0) throw std::invalid_argument("awgn: power must be >= 0");
-  const double sigma = std::sqrt(power / 2.0);
+Cvec awgn(std::size_t n, double power_lin, Rng& rng) {
+  if (power_lin < 0.0) throw std::invalid_argument("awgn: power must be >= 0");
+  const double sigma = std::sqrt(power_lin / 2.0);
   Cvec out(n);
   for (Complex& s : out) s = Complex{rng.gaussian(sigma), rng.gaussian(sigma)};
   return out;
 }
 
-void add_awgn(std::span<Complex> x, double power, Rng& rng) {
-  if (power < 0.0) throw std::invalid_argument("add_awgn: power must be >= 0");
-  const double sigma = std::sqrt(power / 2.0);
+void add_awgn(std::span<Complex> x, double power_lin, Rng& rng) {
+  if (power_lin < 0.0) throw std::invalid_argument("add_awgn: power must be >= 0");
+  const double sigma = std::sqrt(power_lin / 2.0);
   for (Complex& s : x) s += Complex{rng.gaussian(sigma), rng.gaussian(sigma)};
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "mmx/common/units.hpp"
 #include "mmx/dsp/fft.hpp"
 
 namespace mmx::dsp {
@@ -103,11 +104,11 @@ std::vector<DetectedChannel> detect_active_channels(std::span<const Complex> x,
 
   std::vector<DetectedChannel> out;
   for (std::size_t c = 0; c < n_channels; ++c) {
-    const double margin = 10.0 * std::log10(std::max(ch_power[c], 1e-300) / floor_power);
+    const double margin = lin_to_db(std::max(ch_power[c], 1e-300) / floor_power);
     if (margin >= threshold_db) {
       DetectedChannel d;
       d.center_hz = -sample_rate_hz / 2.0 + (static_cast<double>(c) + 0.5) * channel_bw_hz;
-      d.power_db = 10.0 * std::log10(std::max(ch_power[c], 1e-300));
+      d.power_db = lin_to_db(std::max(ch_power[c], 1e-300));
       d.above_floor_db = margin;
       out.push_back(d);
     }

@@ -8,33 +8,33 @@ namespace mmx::phy {
 
 double q_function(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
 
-double ber_ook_coherent(double snr) {
-  if (snr < 0.0) throw std::invalid_argument("ber_ook_coherent: snr must be >= 0");
-  return q_function(std::sqrt(snr));
+double ber_ook_coherent(double snr_lin) {
+  if (snr_lin < 0.0) throw std::invalid_argument("ber_ook_coherent: snr_lin must be >= 0");
+  return q_function(std::sqrt(snr_lin));
 }
 
-double ber_ook_noncoherent(double snr) {
-  if (snr < 0.0) throw std::invalid_argument("ber_ook_noncoherent: snr must be >= 0");
-  return std::min(0.5, 0.5 * std::exp(-snr / 2.0));
+double ber_ook_noncoherent(double snr_lin) {
+  if (snr_lin < 0.0) throw std::invalid_argument("ber_ook_noncoherent: snr_lin must be >= 0");
+  return std::min(0.5, 0.5 * std::exp(-snr_lin / 2.0));
 }
 
-double ber_bfsk_coherent(double snr) {
-  if (snr < 0.0) throw std::invalid_argument("ber_bfsk_coherent: snr must be >= 0");
-  return q_function(std::sqrt(snr));
+double ber_bfsk_coherent(double snr_lin) {
+  if (snr_lin < 0.0) throw std::invalid_argument("ber_bfsk_coherent: snr_lin must be >= 0");
+  return q_function(std::sqrt(snr_lin));
 }
 
-double ber_bfsk_noncoherent(double snr) {
-  if (snr < 0.0) throw std::invalid_argument("ber_bfsk_noncoherent: snr must be >= 0");
-  return std::min(0.5, 0.5 * std::exp(-snr / 2.0));
+double ber_bfsk_noncoherent(double snr_lin) {
+  if (snr_lin < 0.0) throw std::invalid_argument("ber_bfsk_noncoherent: snr_lin must be >= 0");
+  return std::min(0.5, 0.5 * std::exp(-snr_lin / 2.0));
 }
 
-double ber_two_level(double amp1, double amp0, double noise_power, std::size_t n_avg) {
-  if (noise_power <= 0.0) throw std::invalid_argument("ber_two_level: noise power must be > 0");
+double ber_two_level(double amp1, double amp0, double noise_power_lin, std::size_t n_avg) {
+  if (noise_power_lin <= 0.0) throw std::invalid_argument("ber_two_level: noise power must be > 0");
   if (n_avg == 0) throw std::invalid_argument("ber_two_level: n_avg must be > 0");
   if (amp1 < 0.0 || amp0 < 0.0) throw std::invalid_argument("ber_two_level: amplitudes >= 0");
-  // Envelope noise std dev ~ sqrt(noise_power/2); averaging n samples per
+  // Envelope noise std dev ~ sqrt(noise_power_lin/2); averaging n samples per
   // symbol shrinks it by sqrt(n).
-  const double sigma = std::sqrt(noise_power / 2.0 / static_cast<double>(n_avg));
+  const double sigma = std::sqrt(noise_power_lin / 2.0 / static_cast<double>(n_avg));
   return q_function(std::abs(amp1 - amp0) / (2.0 * sigma));
 }
 

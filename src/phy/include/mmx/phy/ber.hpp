@@ -2,7 +2,7 @@
 //
 // The paper converts measured SNR into BER through closed-form results
 // for ASK/OOK; we implement those plus the FSK forms the joint scheme
-// falls back on. All `snr` arguments are linear average SNR (signal
+// falls back on. All `snr_lin` arguments are linear average SNR (signal
 // power / noise power in the symbol bandwidth) unless stated otherwise.
 #pragma once
 
@@ -14,25 +14,25 @@ namespace mmx::phy {
 /// erfc.
 double q_function(double x);
 
-/// Coherent OOK/ASK with matched threshold: Pb = Q(sqrt(snr)).
+/// Coherent OOK/ASK with matched threshold: Pb = Q(sqrt(snr_lin)).
 /// (Levels 0/A, avg SNR = A^2/(2 sigma^2 * 2); algebra folds to Q(sqrt).)
-double ber_ook_coherent(double snr);
+double ber_ook_coherent(double snr_lin);
 
-/// Non-coherent (envelope-detected) OOK: Pb ~ 0.5 exp(-snr/2).
-double ber_ook_noncoherent(double snr);
+/// Non-coherent (envelope-detected) OOK: Pb ~ 0.5 exp(-snr_lin/2).
+double ber_ook_noncoherent(double snr_lin);
 
-/// Coherent binary FSK: Pb = Q(sqrt(snr)).
-double ber_bfsk_coherent(double snr);
+/// Coherent binary FSK: Pb = Q(sqrt(snr_lin)).
+double ber_bfsk_coherent(double snr_lin);
 
-/// Non-coherent binary FSK: Pb = 0.5 exp(-snr/2).
-double ber_bfsk_noncoherent(double snr);
+/// Non-coherent binary FSK: Pb = 0.5 exp(-snr_lin/2).
+double ber_bfsk_noncoherent(double snr_lin);
 
 /// Two-level ASK with arbitrary amplitudes (the OTAM case: levels |h1|,
 /// |h0| times TX amplitude) under envelope detection approximated as
-/// Gaussian: Pb = Q(|a1 - a0| / (2 sigma)), sigma^2 = noise_power / 2
+/// Gaussian: Pb = Q(|a1 - a0| / (2 sigma)), sigma^2 = noise_power_lin / 2
 /// per quadrature, halved again by per-symbol averaging over n_avg
 /// independent samples.
-double ber_two_level(double amp1, double amp0, double noise_power, std::size_t n_avg = 1);
+double ber_two_level(double amp1, double amp0, double noise_power_lin, std::size_t n_avg = 1);
 
 /// Joint ASK-FSK selection decoding: the demodulator picks the better
 /// branch, so Pb ~ min(ask, fsk) (paper §6.3's "always decodable" claim).

@@ -18,7 +18,7 @@ CoupledLineFilter::CoupledLineFilter(CoupledLineFilterSpec spec) : spec_(spec) {
 
 double CoupledLineFilter::gain_db(double freq_hz) const {
   const double x = (freq_hz - spec_.center_hz) / (spec_.bandwidth_hz / 2.0);
-  const double rolloff = 10.0 * std::log10(1.0 + std::pow(x * x, spec_.order));
+  const double rolloff = lin_to_db(1.0 + std::pow(x * x, spec_.order));
   return -(spec_.insertion_loss_db + rolloff);
 }
 

@@ -39,9 +39,9 @@ class SpdtSwitch {
   Outputs route(dsp::Complex in) const;
 
   /// Amplitude gain (< 1) of the through path.
-  double through_gain() const { return through_gain_; }
+  double through_gain() const { return through_gain_lin_; }
   /// Amplitude gain of the leakage path.
-  double leak_gain() const { return leak_gain_; }
+  double leak_gain() const { return leak_gain_lin_; }
 
   /// Highest bit rate [bit/s] the switch supports for OOK-style
   /// one-toggle-per-bit signalling (paper: 100 Mbps).
@@ -55,8 +55,8 @@ class SpdtSwitch {
 
  private:
   SpdtSpec spec_;
-  double through_gain_;
-  double leak_gain_;
+  double through_gain_lin_;
+  double leak_gain_lin_;
   int port_ = 0;
 };
 

@@ -13,8 +13,8 @@ SpdtSwitch::SpdtSwitch(SpdtSpec spec) : spec_(spec) {
     throw std::invalid_argument("SpdtSwitch: isolation must exceed insertion loss");
   if (spec_.max_toggle_rate_hz <= 0.0)
     throw std::invalid_argument("SpdtSwitch: max toggle rate must be > 0");
-  through_gain_ = db_to_amp(-spec_.insertion_loss_db);
-  leak_gain_ = db_to_amp(-spec_.isolation_db);
+  through_gain_lin_ = db_to_amp(-spec_.insertion_loss_db);
+  leak_gain_lin_ = db_to_amp(-spec_.isolation_db);
 }
 
 void SpdtSwitch::select(int port) {
@@ -23,8 +23,8 @@ void SpdtSwitch::select(int port) {
 }
 
 SpdtSwitch::Outputs SpdtSwitch::route(dsp::Complex in) const {
-  const dsp::Complex on = in * through_gain_;
-  const dsp::Complex off = in * leak_gain_;
+  const dsp::Complex on = in * through_gain_lin_;
+  const dsp::Complex off = in * leak_gain_lin_;
   return (port_ == 0) ? Outputs{on, off} : Outputs{off, on};
 }
 

@@ -1,0 +1,351 @@
+// mmx_lint — the repo's custom units/determinism checker.
+//
+// `units.hpp` and `rng.hpp` document the conventions every mmX numerical
+// result depends on (dB vs linear, Hz everywhere, explicitly seeded
+// randomness); this tool enforces them mechanically. It runs as a ctest
+// test (`lint_mmx`) over the source tree and fails the suite on any
+// violation.
+//
+// Rules
+//   units-suffix   In public headers (src/*/include/**/*.hpp), every
+//                  `double` field/parameter whose name contains a physical
+//                  quantity stem (freq, power, bandwidth, gain, loss, snr,
+//                  noise, ...) must end with a recognized unit suffix
+//                  (_hz, _db, _dbm, _w, _rad, _lin, ...). Function names
+//                  are exempt only when the declaration itself shows the
+//                  call parentheses.
+//   rng-discipline No std::rand/srand/time(nullptr)/std::random_device or
+//                  raw <random> engine anywhere outside mmx/common/rng.hpp;
+//                  all randomness flows through mmx::Rng so runs are
+//                  reproducible.
+//   no-float       No `float` in the DSP/PHY/RF hot paths (src/dsp, src/phy,
+//                  src/rf): the BER/link-budget numbers are validated in
+//                  double precision only.
+//   db-arith       The 10^(x/10) / 10*log10(x) conversion arithmetic lives
+//                  only in mmx/common/units.{hpp,cpp}; everyone else calls
+//                  db_to_lin/lin_to_db and friends.
+//
+// Suppression: append `// mmx-lint: allow(<rule>) -- <reason>` to the
+// offending line. A suppression without a reason is itself a violation.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;
+  std::size_t line;
+  std::string rule;
+  std::string message;
+};
+
+struct SourceFile {
+  fs::path path;            // absolute
+  std::string rel;          // repo-relative, '/' separators
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> code_lines;  // comments/strings blanked out
+};
+
+// ---------------------------------------------------------------------------
+// Loading and comment/string stripping
+// ---------------------------------------------------------------------------
+
+// Blank out comments and string/char literals while preserving line/column
+// positions, so rule regexes never fire on prose or examples in doc
+// comments.
+std::vector<std::string> strip_comments(const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  bool in_block = false;
+  for (const std::string& line : lines) {
+    std::string s(line.size(), ' ');
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (in_block) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block = false;
+          ++i;
+        }
+        continue;
+      }
+      char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block = true;
+        ++i;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            ++i;
+          } else if (line[i] == quote) {
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      s[i] = c;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+bool load_file(const fs::path& root, const fs::path& p, SourceFile& out) {
+  std::ifstream in(p);
+  if (!in) return false;
+  out.path = p;
+  out.rel = fs::relative(p, root).generic_string();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    out.raw_lines.push_back(line);
+  }
+  out.code_lines = strip_comments(out.raw_lines);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+// `// mmx-lint: allow(rule) -- reason` suppresses `rule` on that line.
+// Returns true if the line carries a *valid* (reasoned) suppression.
+bool line_allows(const std::string& raw_line, const std::string& rule,
+                 std::vector<Violation>& out, const SourceFile& f, std::size_t lineno) {
+  static const std::regex kAllow(R"(//\s*mmx-lint:\s*allow\(([a-z\-]+)\)\s*(--\s*(\S.*))?)");
+  std::smatch m;
+  if (!std::regex_search(raw_line, m, kAllow)) return false;
+  if (m[1].str() != rule) return false;
+  if (!m[3].matched) {
+    out.push_back({f.rel, lineno, rule, "suppression without a reason ('-- <why>' required)"});
+    return true;  // still suppress the underlying finding; the bad comment is the finding
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: units-suffix
+// ---------------------------------------------------------------------------
+
+const std::set<std::string> kQuantityStems = {
+    "freq", "frequency", "power",  "bandwidth", "gain", "loss",
+    "snr",  "sinr",      "noise",  "atten",     "attenuation",
+};
+
+// Unit (or explicit-dimensionless) markers accepted as the final name
+// component. `_lin`/`_norm`/`_ratio`/`_frac`/`_scale` mark quantities that
+// are deliberately dimensionless but unambiguous about linear-vs-dB.
+const std::set<std::string> kUnitSuffixes = {
+    "hz", "khz", "mhz",  "ghz",  "db",   "dbm",  "dbi",   "dbc", "dbr",
+    "w",  "mw",  "uw",   "nw",   "kw",   "rad",  "deg",   "lin", "norm",
+    "frac", "ratio", "scale", "bps", "mbps", "m", "mm", "s", "ms", "us", "ns",
+};
+
+std::vector<std::string> split_components(std::string name) {
+  while (!name.empty() && name.back() == '_') name.pop_back();  // member `_`
+  std::vector<std::string> parts;
+  std::stringstream ss(name);
+  std::string part;
+  while (std::getline(ss, part, '_'))
+    if (!part.empty()) parts.push_back(part);
+  return parts;
+}
+
+void check_units_suffix(const SourceFile& f, std::vector<Violation>& out) {
+  static const std::regex kDouble(R"(\bdouble\s*[&*]?\s*([A-Za-z_]\w*))");
+  for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
+    const std::string& line = f.code_lines[i];
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kDouble);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1].str();
+      if (name == "operator") continue;
+      // A '(' right after the identifier means this is a function
+      // declaration: the rule covers fields and parameters, not call names.
+      std::size_t after = static_cast<std::size_t>(it->position(1)) + name.size();
+      while (after < line.size() && std::isspace(static_cast<unsigned char>(line[after])))
+        ++after;
+      if (after < line.size() && line[after] == '(') continue;
+      const std::vector<std::string> parts = split_components(name);
+      if (parts.empty()) continue;
+      const bool has_stem = std::any_of(parts.begin(), parts.end(), [](const std::string& p) {
+        return kQuantityStems.count(p) > 0;
+      });
+      if (!has_stem) continue;
+      if (kUnitSuffixes.count(parts.back())) continue;
+      const std::size_t lineno = i + 1;
+      if (line_allows(f.raw_lines[i], "units-suffix", out, f, lineno)) continue;
+      out.push_back({f.rel, lineno, "units-suffix",
+                     "'double " + name + "' holds a physical quantity but has no unit suffix "
+                     "(_hz/_db/_dbm/_w/_rad/_lin/...)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: rng-discipline
+// ---------------------------------------------------------------------------
+
+struct TokenRule {
+  std::regex re;
+  std::string what;
+};
+
+void check_rng(const SourceFile& f, std::vector<Violation>& out) {
+  static const std::vector<TokenRule> kForbidden = {
+      {std::regex(R"(\bstd\s*::\s*rand\b|\brand\s*\(\s*\))"), "std::rand()"},
+      {std::regex(R"(\bsrand\s*\()"), "srand()"},
+      {std::regex(R"(\btime\s*\(\s*(nullptr|NULL|0)\s*\))"), "time(nullptr) seeding"},
+      {std::regex(R"(\brandom_device\b)"), "std::random_device"},
+      {std::regex(R"(\bmt19937(_64)?\b)"), "raw std::mt19937 engine"},
+      {std::regex(R"(\bdefault_random_engine\b)"), "std::default_random_engine"},
+      {std::regex(R"(\bminstd_rand0?\b)"), "raw minstd engine"},
+      {std::regex(R"(\branlux\w*\b)"), "raw ranlux engine"},
+      {std::regex(R"(\bknuth_b\b)"), "raw knuth_b engine"},
+  };
+  // mmx::Rng's own implementation is the one sanctioned owner of an engine.
+  if (f.rel == "src/common/include/mmx/common/rng.hpp") return;
+  for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
+    for (const TokenRule& rule : kForbidden) {
+      if (!std::regex_search(f.code_lines[i], rule.re)) continue;
+      const std::size_t lineno = i + 1;
+      if (line_allows(f.raw_lines[i], "rng-discipline", out, f, lineno)) continue;
+      out.push_back({f.rel, lineno, "rng-discipline",
+                     rule.what + " breaks run-to-run determinism; draw from an explicitly "
+                     "seeded mmx::Rng instead"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-float
+// ---------------------------------------------------------------------------
+
+void check_no_float(const SourceFile& f, std::vector<Violation>& out) {
+  static const std::regex kFloat(R"(\bfloat\b)");
+  for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
+    if (!std::regex_search(f.code_lines[i], kFloat)) continue;
+    const std::size_t lineno = i + 1;
+    if (line_allows(f.raw_lines[i], "no-float", out, f, lineno)) continue;
+    out.push_back({f.rel, lineno, "no-float",
+                   "'float' in a DSP/PHY/RF hot path; mmX numerics are validated in double "
+                   "precision only"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: db-arith
+// ---------------------------------------------------------------------------
+
+bool is_units_file(const std::string& rel) {
+  return rel == "src/common/include/mmx/common/units.hpp" || rel == "src/common/units.cpp";
+}
+
+void check_db_arith(const SourceFile& f, std::vector<Violation>& out, bool strict_pow10) {
+  // pow(10, x / 10) / pow(10, x / 20): a hand-rolled dB->linear conversion.
+  static const std::regex kPowDb(R"(\bpow\s*\(\s*10(\.0*)?\s*,[^;]*\/\s*(10|20)(\.0*)?\b)");
+  // Any pow(10, ...) inside src/ is treated as suspect even without the /10.
+  static const std::regex kPowAny(R"(\bpow\s*\(\s*10(\.0*)?\s*,)");
+  // 10*log10(x) / 20*log10(x): a hand-rolled linear->dB conversion.
+  static const std::regex kLogDb(R"(\b(10|20)(\.0*)?\s*\*\s*(std\s*::\s*)?log10\s*\()");
+  if (is_units_file(f.rel)) return;
+  for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
+    const std::string& line = f.code_lines[i];
+    const bool hit = std::regex_search(line, kPowDb) || std::regex_search(line, kLogDb) ||
+                     (strict_pow10 && std::regex_search(line, kPowAny));
+    if (!hit) continue;
+    const std::size_t lineno = i + 1;
+    if (line_allows(f.raw_lines[i], "db-arith", out, f, lineno)) continue;
+    out.push_back({f.rel, lineno, "db-arith",
+                   "hand-rolled dB<->linear conversion; use mmx::lin_to_db/db_to_lin/"
+                   "watt_to_dbm/dbm_to_watt from units.hpp"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+bool has_ext(const fs::path& p, std::initializer_list<const char*> exts) {
+  const std::string e = p.extension().string();
+  return std::any_of(exts.begin(), exts.end(), [&](const char* x) { return e == x; });
+}
+
+std::vector<fs::path> collect(const fs::path& dir,
+                              std::initializer_list<const char*> exts) {
+  std::vector<fs::path> files;
+  if (!fs::exists(dir)) return files;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file() && has_ext(entry.path(), exts))
+      files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: mmx_lint <repo_root>\n";
+    return 2;
+  }
+  const fs::path root = fs::absolute(argv[1]);
+  if (!fs::exists(root / "src")) {
+    std::cerr << "mmx_lint: " << root << " does not look like the mmX repo root (no src/)\n";
+    return 2;
+  }
+
+  std::vector<Violation> violations;
+  std::size_t files_scanned = 0;
+
+  for (const char* top : {"src", "tests", "bench", "examples", "tools"}) {
+    for (const fs::path& p : collect(root / top, {".hpp", ".cpp", ".h", ".cc"})) {
+      SourceFile f;
+      if (!load_file(root, p, f)) {
+        violations.push_back({p.string(), 0, "io", "could not read file"});
+        continue;
+      }
+      ++files_scanned;
+
+      const bool in_src = starts_with(f.rel, "src/");
+      const bool public_header =
+          in_src && f.rel.find("/include/") != std::string::npos && has_ext(p, {".hpp", ".h"});
+      const bool hot_path = starts_with(f.rel, "src/dsp/") ||
+                            starts_with(f.rel, "src/phy/") || starts_with(f.rel, "src/rf/");
+
+      check_rng(f, violations);
+      check_db_arith(f, violations, /*strict_pow10=*/in_src);
+      if (public_header) check_units_suffix(f, violations);
+      if (hot_path) check_no_float(f, violations);
+    }
+  }
+
+  std::sort(violations.begin(), violations.end(), [](const Violation& a, const Violation& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  });
+  for (const Violation& v : violations) {
+    std::cerr << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message << "\n";
+  }
+  std::cerr << "mmx_lint: " << files_scanned << " files scanned, " << violations.size()
+            << " violation(s)\n";
+  return violations.empty() ? 0 : 1;
+}
