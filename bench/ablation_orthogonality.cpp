@@ -5,16 +5,24 @@
 // too small to decode by ASK)? We compare the paper's pair against a
 // deliberately non-orthogonal pair (both beams in phase, slightly
 // different spacings) over random placements, with and without blockage.
+//
+// Parallel sweep: placements are drawn in one serial pass over the root
+// Rng (the original loop's draw order, so the default `--trials 2000`
+// reproduces the historical numbers bit-for-bit); the per-placement ray
+// traces fan across the pool.
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "mmx/antenna/array.hpp"
 #include "mmx/channel/beam_channel.hpp"
 #include "mmx/channel/blockage.hpp"
 #include "mmx/common/rng.hpp"
 #include "mmx/common/units.hpp"
+#include "mmx/sim/sweep.hpp"
 
+#include "harness.hpp"
 #include "testbed.hpp"
 
 using namespace mmx;
@@ -42,10 +50,10 @@ double contrast_db(const channel::RayTracer& tracer, const channel::Pose& node,
 
 }  // namespace
 
-int main() {
-  Rng rng(5);
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_args(argc, argv, 2000, 5, "random node placements");
   const channel::Pose ap = bench::lab_ap_pose();
-  antenna::Dipole ap_ant;
+  const antenna::Dipole ap_ant;
   const double f = 24.125e9;
   const double lambda = wavelength(f);
   auto patch = std::make_shared<antenna::Patch>(6.0);
@@ -59,28 +67,61 @@ int main() {
   antenna::LinearArray non1(patch, lambda, {{a, 0.0}, {a, 0.0}}, f);
   antenna::LinearArray non0(patch, 0.8 * lambda, {{a, 0.0}, {a, 0.0}}, f);
 
-  const int kTrials = 2000;
+  const std::size_t trials = opt.sweep.trials;
   const double kAmbiguous_db = 1.5;  // below ~1.5 dB of contrast ASK is unreliable
+
+  // Serial pre-pass in the original loop's draw order: position, blocked
+  // coin, orientation offset per trial.
+  struct Placement {
+    Vec2 pos;
+    bool blocked;
+    double orientation_rad;
+  };
+  Rng rng(opt.sweep.seed);
+  std::vector<Placement> placements(trials);
+  for (Placement& p : placements) {
+    p.pos = Vec2{rng.uniform(0.5, 3.5), rng.uniform(0.3, 4.8)};
+    p.blocked = rng.chance(0.5);
+    const double toward_ap = (ap.position - p.pos).angle();
+    p.orientation_rad = toward_ap + deg_to_rad(rng.uniform(-60.0, 60.0));
+  }
+
+  struct Ambiguity {
+    int orth;
+    int non;
+  };
+  sim::SweepRunner runner(opt.sweep);
+  const auto sweep = runner.run([&](std::size_t i, Rng&) {
+    const Placement& p = placements[i];
+    channel::Room room = bench::furnished_lab();
+    if (p.blocked) bench::park_person(room, p.pos, ap.position);
+    const channel::RayTracer tracer(room);
+    const channel::Pose node{p.pos, p.orientation_rad};
+    return Ambiguity{contrast_db(tracer, node, orth0, orth1, ap, ap_ant) < kAmbiguous_db ? 1 : 0,
+                     contrast_db(tracer, node, non0, non1, ap, ap_ant) < kAmbiguous_db ? 1 : 0};
+  });
   int ambiguous_orth = 0;
   int ambiguous_non = 0;
-  for (int i = 0; i < kTrials; ++i) {
-    channel::Room room = bench::furnished_lab();
-    const Vec2 pos{rng.uniform(0.5, 3.5), rng.uniform(0.3, 4.8)};
-    if (rng.chance(0.5)) bench::park_person(room, pos, ap.position);
-    channel::RayTracer tracer(room);
-    const double toward_ap = (ap.position - pos).angle();
-    const channel::Pose node{pos, toward_ap + deg_to_rad(rng.uniform(-60.0, 60.0))};
-    if (contrast_db(tracer, node, orth0, orth1, ap, ap_ant) < kAmbiguous_db) ++ambiguous_orth;
-    if (contrast_db(tracer, node, non0, non1, ap, ap_ant) < kAmbiguous_db) ++ambiguous_non;
+  for (const Ambiguity& a : sweep.trials) {
+    ambiguous_orth += a.orth;
+    ambiguous_non += a.non;
   }
 
   std::puts("=== Ablation: orthogonal vs non-orthogonal beam patterns (Fig. 5) ===");
   std::puts("paper: orthogonality 'reduces the probability of getting similar losses'");
-  std::printf("ambiguity threshold: contrast < %.0f dB over %d random placements\n\n",
-              kAmbiguous_db, kTrials);
+  std::printf("ambiguity threshold: contrast < %.0f dB over %zu random placements\n\n",
+              kAmbiguous_db, trials);
   std::printf("  non-orthogonal pair ambiguous: %5.1f%%\n",
-              100.0 * ambiguous_non / kTrials);
+              100.0 * ambiguous_non / static_cast<double>(trials));
   std::printf("  orthogonal pair ambiguous:     %5.1f%%   (paper: <10%% residual, absorbed by FSK)\n",
-              100.0 * ambiguous_orth / kTrials);
-  return 0;
+              100.0 * ambiguous_orth / static_cast<double>(trials));
+
+  bench::report_timing(sweep);
+  bench::JsonReport report("ablation_orthogonality", opt);
+  report.record(sweep);
+  report.add_scalar("ambiguous_frac_orthogonal",
+                    static_cast<double>(ambiguous_orth) / static_cast<double>(trials));
+  report.add_scalar("ambiguous_frac_non_orthogonal",
+                    static_cast<double>(ambiguous_non) / static_cast<double>(trials));
+  return report.write() ? 0 : 1;
 }

@@ -4,6 +4,11 @@
 // furnished testbed as Fig. 10, convert to BER via standard ASK tables.
 // Results: w/o OTAM median 1e-5 and 90th percentile 0.3; w/ OTAM median
 // 1e-12 and 90th percentile 1e-3.
+//
+// Parallel sweep: placements are drawn in one serial pass over the root
+// Rng — the exact draw order of the original serial loop, so the default
+// `--trials 30` reproduces the historical figure bit-for-bit — and the
+// per-placement ray trace + mode comparison fans across the pool.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -14,38 +19,62 @@
 #include "mmx/common/rng.hpp"
 #include "mmx/common/units.hpp"
 #include "mmx/phy/ber.hpp"
-#include "testbed.hpp"
 #include "mmx/sim/stats.hpp"
+#include "mmx/sim/sweep.hpp"
 
+#include "harness.hpp"
 #include "testbed.hpp"
 
 using namespace mmx;
 
-int main() {
-  Rng rng(11);
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_args(argc, argv, 30, 11, "random node placements");
   const channel::Pose ap = bench::lab_ap_pose();
-  antenna::MmxBeamPair beams;
-  antenna::Dipole ap_antenna;
-  sim::LinkBudget budget;
-  rf::SpdtSwitch spdt;
+  const antenna::MmxBeamPair beams;
+  const antenna::Dipole ap_antenna;
+  const sim::LinkBudget budget;
+  const rf::SpdtSwitch spdt;
+
+  struct Placement {
+    Vec2 pos;
+    double orientation_rad;
+  };
+  Rng rng(opt.sweep.seed);
+  std::vector<Placement> placements(opt.sweep.trials);
+  for (Placement& p : placements) {
+    p.pos = Vec2{rng.uniform(0.5, 3.5), rng.uniform(0.3, 4.8)};
+    const double toward_ap = (ap.position - p.pos).angle();
+    p.orientation_rad = toward_ap + deg_to_rad(rng.uniform(-60.0, 60.0));
+  }
+
+  struct TrialBer {
+    double with_otam;
+    double without_otam;
+  };
+  sim::SweepRunner runner(opt.sweep);
+  const auto sweep = runner.run([&](std::size_t i, Rng&) {
+    const Placement& p = placements[i];
+    channel::Room room = bench::furnished_lab();
+    bench::park_person(room, p.pos, ap.position);
+    const channel::RayTracer tracer(room);
+    const channel::Pose node{p.pos, p.orientation_rad};
+    const auto modes =
+        baseline::compare_modes_avg(tracer, node, beams, ap, ap_antenna, 24.125e9, budget, spdt);
+    return TrialBer{std::max(phy::kBerFloor, modes.with_otam.joint_ber),
+                    std::max(phy::kBerFloor, modes.without_otam.joint_ber)};
+  });
 
   std::vector<double> ber_with;
   std::vector<double> ber_without;
-  const int kPlacements = 30;  // as in the paper
-  for (int i = 0; i < kPlacements; ++i) {
-    const Vec2 pos{rng.uniform(0.5, 3.5), rng.uniform(0.3, 4.8)};
-    channel::Room room = bench::furnished_lab();
-    bench::park_person(room, pos, ap.position);
-    channel::RayTracer tracer(room);
-    const double toward_ap = (ap.position - pos).angle();
-    const channel::Pose node{pos, toward_ap + deg_to_rad(rng.uniform(-60.0, 60.0))};
-    const auto modes =
-        baseline::compare_modes_avg(tracer, node, beams, ap, ap_antenna, 24.125e9, budget, spdt);
-    ber_with.push_back(std::max(phy::kBerFloor, modes.with_otam.joint_ber));
-    ber_without.push_back(std::max(phy::kBerFloor, modes.without_otam.joint_ber));
+  ber_with.reserve(sweep.trials.size());
+  ber_without.reserve(sweep.trials.size());
+  for (const TrialBer& t : sweep.trials) {
+    ber_with.push_back(t.with_otam);
+    ber_without.push_back(t.without_otam);
   }
 
-  std::puts("=== Figure 11: BER CDF, without vs with OTAM (30 placements) ===");
+  std::printf("=== Figure 11: BER CDF, without vs with OTAM (%zu placements) ===\n",
+              opt.sweep.trials);
   std::puts("paper: w/o OTAM median 1e-5, 90th pct 0.3 | w/ OTAM median 1e-12, 90th pct 1e-3\n");
   std::puts("  BER threshold   CDF w/o OTAM   CDF w/ OTAM");
   for (double exp10 = -15.0; exp10 <= 0.0; exp10 += 1.0) {
@@ -59,5 +88,11 @@ int main() {
   std::printf("w/o OTAM 90th pct:   0.3   -> %.1e\n", sim::percentile(ber_without, 90.0));
   std::printf("w/  OTAM median BER: 1e-12 -> %.1e\n", sim::median(ber_with));
   std::printf("w/  OTAM 90th pct:   1e-3  -> %.1e\n", sim::percentile(ber_with, 90.0));
-  return 0;
+
+  bench::report_timing(sweep);
+  bench::JsonReport report("fig11_ber_cdf", opt);
+  report.record(sweep);
+  report.add_metric("ber_with_otam", ber_with);
+  report.add_metric("ber_without_otam", ber_without);
+  return report.write() ? 0 : 1;
 }

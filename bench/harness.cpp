@@ -1,0 +1,145 @@
+#include "harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace mmx::bench {
+
+namespace {
+
+[[noreturn]] void usage(const char* prog, std::size_t default_trials, std::uint64_t default_seed,
+                        const char* trials_meaning, int exit_code) {
+  std::fprintf(stderr,
+               "usage: %s [--trials N] [--threads K] [--seed S] [--json PATH]\n"
+               "  --trials N    %s (default %zu)\n"
+               "  --threads K   worker threads, 0 = one per hardware thread (default 0)\n"
+               "  --seed S      root seed; trial i draws from Rng::stream(S, i) (default %llu)\n"
+               "  --json PATH   write metric summaries + wall-clock + trials/s as JSON\n",
+               prog, trials_meaning, default_trials,
+               static_cast<unsigned long long>(default_seed));
+  std::exit(exit_code);
+}
+
+std::uint64_t parse_u64(const char* prog, const char* flag, const char* value) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "%s: %s expects a non-negative integer, got '%s'\n", prog, flag, value);
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+// All doubles round-trip: 17 significant digits.
+std::string json_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Options parse_args(int argc, char** argv, std::size_t default_trials,
+                   std::uint64_t default_seed, const char* trials_meaning) {
+  Options opt;
+  opt.sweep.trials = default_trials;
+  opt.sweep.seed = default_seed;
+  const char* prog = argc > 0 ? argv[0] : "bench";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s expects a value\n", prog, arg);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--trials") == 0) {
+      opt.sweep.trials = static_cast<std::size_t>(parse_u64(prog, arg, value()));
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      opt.sweep.threads = static_cast<std::size_t>(parse_u64(prog, arg, value()));
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      opt.sweep.seed = parse_u64(prog, arg, value());
+    } else if (std::strcmp(arg, "--json") == 0) {
+      opt.json_path = value();
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(prog, default_trials, default_seed, trials_meaning, 0);
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", prog, arg);
+      usage(prog, default_trials, default_seed, trials_meaning, 2);
+    }
+  }
+  if (opt.sweep.trials == 0) {
+    std::fprintf(stderr, "%s: --trials must be >= 1\n", prog);
+    std::exit(2);
+  }
+  return opt;
+}
+
+void report_timing_line(std::size_t trials, std::size_t threads_used, double wall_s,
+                        double trials_per_s) {
+  std::fprintf(stderr, "[sweep] trials=%zu threads=%zu wall=%.3fs (%.1f trials/s)\n", trials,
+               threads_used, wall_s, trials_per_s);
+}
+
+JsonReport::JsonReport(std::string bench_name, const Options& options)
+    : bench_name_(std::move(bench_name)),
+      json_path_(options.json_path),
+      seed_(options.sweep.seed) {}
+
+void JsonReport::add_metric(const std::string& name, const std::vector<double>& samples) {
+  metrics_.push_back(sim::summarize(name, samples));
+}
+
+void JsonReport::add_scalar(const std::string& name, double value) {
+  scalars_.emplace_back(name, value);
+}
+
+void JsonReport::set_timing(std::size_t trials, std::size_t threads_used, double wall_s,
+                            double trials_per_s) {
+  trials_ = trials;
+  threads_used_ = threads_used;
+  wall_s_ = wall_s;
+  trials_per_s_ = trials_per_s;
+}
+
+bool JsonReport::write() const {
+  if (json_path_.empty()) return true;
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"bench\": \"" << bench_name_ << "\",\n";
+  out << "  \"trials\": " << trials_ << ",\n";
+  out << "  \"threads\": " << threads_used_ << ",\n";
+  out << "  \"seed\": " << seed_ << ",\n";
+  out << "  \"wall_s\": " << json_double(wall_s_) << ",\n";
+  out << "  \"trials_per_s\": " << json_double(trials_per_s_) << ",\n";
+  out << "  \"scalars\": {";
+  for (std::size_t i = 0; i < scalars_.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << scalars_[i].first
+        << "\": " << json_double(scalars_[i].second);
+  }
+  out << (scalars_.empty() ? "" : "\n  ") << "},\n";
+  out << "  \"metrics\": [";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    const sim::MetricSummary& m = metrics_[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"name\": \"" << m.name << "\", \"count\": " << m.count
+        << ", \"mean\": " << json_double(m.mean) << ", \"median\": " << json_double(m.median)
+        << ", \"p10\": " << json_double(m.p10) << ", \"p90\": " << json_double(m.p90)
+        << ", \"min\": " << json_double(m.min) << ", \"max\": " << json_double(m.max) << "}";
+  }
+  out << (metrics_.empty() ? "" : "\n  ") << "]\n";
+  out << "}\n";
+  std::ofstream file(json_path_);
+  if (!file) {
+    std::fprintf(stderr, "warning: could not write JSON report to '%s'\n", json_path_.c_str());
+    return false;
+  }
+  file << out.str();
+  return static_cast<bool>(file);
+}
+
+}  // namespace mmx::bench

@@ -36,6 +36,25 @@ class Rng {
   /// draws with the parent.
   Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
 
+  /// Counter-based seed derivation (splitmix64 of root + index*gamma):
+  /// a pure function of (root_seed, index), touching no engine state.
+  /// Stream `i` is therefore the same value no matter how many other
+  /// streams exist, in what order they are created, or on which thread —
+  /// the property parallel sweeps need for bit-identical results at any
+  /// thread count (sequential fork() cannot give this: stream i would
+  /// depend on the i-1 forks before it).
+  static std::uint64_t derive_seed(std::uint64_t root_seed, std::uint64_t index) {
+    std::uint64_t z = root_seed + (index + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// The `index`-th independent stream of `root_seed` (see derive_seed).
+  static Rng stream(std::uint64_t root_seed, std::uint64_t index) {
+    return Rng(derive_seed(root_seed, index));
+  }
+
   std::mt19937_64& engine() { return engine_; }
 
  private:

@@ -1,0 +1,121 @@
+// Deterministic parallel Monte-Carlo sweep engine.
+//
+// A sweep is N independent trials of a pure function
+//   T trial(std::size_t index, Rng& rng)
+// fanned across a work-stealing pool. Two guarantees make the parallel
+// run bit-identical to the serial one at any thread count:
+//
+//   1. Seeding — trial i draws from Rng::stream(seed, i), a counter-based
+//      derivation that is a pure function of (root seed, trial index):
+//      no trial's randomness depends on scheduling or on other trials.
+//   2. Ordering — trial i commits its result into slot i of a
+//      preallocated vector; reductions over `SweepResult::trials` then
+//      see the same operands in the same order regardless of which
+//      worker finished first.
+//
+// docs/PARALLELISM.md walks through the scheme and how to add a sweep.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "mmx/common/rng.hpp"
+#include "mmx/sim/thread_pool.hpp"
+
+namespace mmx::sim {
+
+struct SweepConfig {
+  std::size_t trials = 30;
+  std::size_t threads = 0;  // 0 = one worker per hardware thread
+  std::uint64_t seed = 0x6d6d5821ULL;
+};
+
+/// Results committed in trial order, plus the wall-clock the sweep took.
+template <typename T>
+struct SweepResult {
+  std::vector<T> trials;
+  double wall_s = 0.0;
+  double trials_per_s = 0.0;
+  std::size_t threads_used = 1;
+};
+
+/// Five-number summary of one metric across trials (JSON-report unit).
+struct MetricSummary {
+  std::string name;
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p10 = 0.0;
+  double p90 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+MetricSummary summarize(std::string name, const std::vector<double>& samples);
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepConfig config = {});
+
+  const SweepConfig& config() const { return config_; }
+  /// Worker count after resolving `threads == 0`.
+  std::size_t threads() const { return threads_; }
+
+  /// Run `config().trials` trials of `fn(index, rng)`; results commit in
+  /// trial order. `T` must be default-constructible and must not be
+  /// `bool` (`std::vector<bool>` slots are not independently writable
+  /// across threads).
+  template <typename Fn>
+  auto run(Fn&& fn) { return map(config_.trials, std::forward<Fn>(fn)); }
+
+  /// Same engine over an explicit item count (e.g. grid cells, distance
+  /// points) when the sweep size is not `config().trials`.
+  template <typename Fn>
+  auto map(std::size_t count, Fn&& fn)
+      -> SweepResult<std::decay_t<std::invoke_result_t<Fn&, std::size_t, Rng&>>> {
+    using T = std::decay_t<std::invoke_result_t<Fn&, std::size_t, Rng&>>;
+    static_assert(!std::is_same_v<T, bool>, "return a struct or int instead of bool");
+    SweepResult<T> out;
+    out.threads_used = threads_;
+    out.trials.resize(count);
+    const auto start = std::chrono::steady_clock::now();
+    if (threads_ <= 1 || count <= 1) {
+      for (std::size_t i = 0; i < count; ++i) {
+        Rng rng = Rng::stream(config_.seed, i);
+        out.trials[i] = fn(i, rng);
+      }
+    } else {
+      // Contiguous chunks (~8 per worker) amortize queue traffic for
+      // microsecond-scale trials while leaving enough tasks to steal.
+      // Chunking cannot change results: trial i still draws from stream
+      // i and writes slot i no matter which chunk carries it.
+      const std::size_t chunk = std::max<std::size_t>(1, count / (threads_ * 8));
+      ThreadPool pool(threads_);
+      for (std::size_t begin = 0; begin < count; begin += chunk) {
+        const std::size_t end = std::min(count, begin + chunk);
+        pool.submit([&out, &fn, this, begin, end] {
+          for (std::size_t i = begin; i < end; ++i) {
+            Rng rng = Rng::stream(config_.seed, i);
+            out.trials[i] = fn(i, rng);
+          }
+        });
+      }
+      pool.wait_idle();
+    }
+    out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    out.trials_per_s = out.wall_s > 0.0 ? static_cast<double>(count) / out.wall_s : 0.0;
+    return out;
+  }
+
+ private:
+  SweepConfig config_;
+  std::size_t threads_;
+};
+
+}  // namespace mmx::sim

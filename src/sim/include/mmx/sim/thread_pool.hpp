@@ -1,0 +1,73 @@
+// Work-stealing thread pool for independent simulation trials.
+//
+// Each worker owns a deque: the owner pops newest-first from the back,
+// idle workers steal oldest-first from the front of a victim's queue, so
+// imbalanced trial costs (e.g. ray traces whose path count varies with
+// placement) rebalance without a central contended queue. Tasks must not
+// submit to the pool from inside a task; sweeps fan out from the caller.
+//
+// Determinism contract: the pool guarantees nothing about execution
+// order — callers that need reproducible results must make every task a
+// pure function of its index (see SweepRunner, docs/PARALLELISM.md).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mmx::sim {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` means one worker per hardware thread.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task (round-robin across worker queues). Thread-safe.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished. If any task threw,
+  /// rethrows the first captured exception (the rest are dropped).
+  void wait_idle();
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static std::size_t hardware_threads();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  bool try_pop(std::size_t self, std::function<void()>& out);
+  void run_worker(std::size_t self);
+  void finish_task();
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable idle_cv_;
+  std::atomic<std::size_t> queued_{0};     // tasks not yet popped
+  std::atomic<std::size_t> in_flight_{0};  // queued + currently running
+  std::atomic<std::size_t> next_queue_{0};
+  bool stop_ = false;  // guarded by wake_mutex_
+
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;  // guarded by error_mutex_
+};
+
+}  // namespace mmx::sim

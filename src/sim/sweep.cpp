@@ -1,0 +1,27 @@
+#include "mmx/sim/sweep.hpp"
+
+#include <stdexcept>
+
+#include "mmx/sim/stats.hpp"
+
+namespace mmx::sim {
+
+MetricSummary summarize(std::string name, const std::vector<double>& samples) {
+  if (samples.empty()) throw std::invalid_argument("summarize: empty sample");
+  MetricSummary s;
+  s.name = std::move(name);
+  s.count = samples.size();
+  s.mean = mean(samples);
+  s.median = median(samples);
+  s.p10 = percentile(samples, 10.0);
+  s.p90 = percentile(samples, 90.0);
+  s.min = min_of(samples);
+  s.max = max_of(samples);
+  return s;
+}
+
+SweepRunner::SweepRunner(SweepConfig config)
+    : config_(config),
+      threads_(config.threads == 0 ? ThreadPool::hardware_threads() : config.threads) {}
+
+}  // namespace mmx::sim

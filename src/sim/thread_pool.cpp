@@ -1,0 +1,111 @@
+#include "mmx/sim/thread_pool.hpp"
+
+#include <utility>
+
+namespace mmx::sim {
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = num_threads == 0 ? hardware_threads() : num_threads;
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) workers_.emplace_back([this, i] { run_worker(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const std::size_t slot = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    const std::lock_guard<std::mutex> qlock(queues_[slot]->mutex);
+    queues_[slot]->tasks.push_back(std::move(task));
+  }
+  {
+    // Publish availability under wake_mutex_ so a worker between its
+    // predicate check and its sleep cannot miss the notify.
+    const std::lock_guard<std::mutex> lock(wake_mutex_);
+    queued_.fetch_add(1, std::memory_order_relaxed);
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
+  // Own queue first, newest task (LIFO keeps the working set warm)...
+  {
+    WorkerQueue& q = *queues_[self];
+    const std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // ...then steal the oldest task from the first non-empty victim.
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    WorkerQueue& q = *queues_[(self + k) % queues_.size()];
+    const std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::finish_task() {
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    const std::lock_guard<std::mutex> lock(wake_mutex_);
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run_worker(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(self, task)) {
+      try {
+        task();
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      finish_task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock, [this] {
+      return stop_ || queued_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stop_ && queued_.load(std::memory_order_relaxed) == 0) return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  {
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    idle_cv_.wait(lock, [this] { return in_flight_.load(std::memory_order_acquire) == 0; });
+  }
+  const std::lock_guard<std::mutex> lock(error_mutex_);
+  if (first_error_) {
+    const std::exception_ptr err = std::exchange(first_error_, nullptr);
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace mmx::sim

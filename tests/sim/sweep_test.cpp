@@ -1,0 +1,236 @@
+// Sweep-engine determinism regression: the parallel Monte-Carlo runner
+// is only trustworthy if the thread count is invisible in the numbers.
+// Same seed => byte-identical results at 1, 2 and 8 workers, and the
+// SweepRunner port of Fig. 11 must reproduce the pre-existing serial
+// loop exactly — any drift silently invalidates every scaled-up figure.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "mmx/baseline/fixed_beam.hpp"
+#include "mmx/channel/blockage.hpp"
+#include "mmx/channel/presets.hpp"
+#include "mmx/common/rng.hpp"
+#include "mmx/common/units.hpp"
+#include "mmx/phy/ber.hpp"
+#include "mmx/sim/sweep.hpp"
+#include "mmx/sim/thread_pool.hpp"
+
+namespace mmx::sim {
+namespace {
+
+/// Byte-exact equality: catches drift EXPECT_DOUBLE_EQ would forgive
+/// (signed zeros, last-ulp noise from a reordered reduction).
+bool bit_identical(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  if (a.empty()) return true;
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  pool.submit([&count] { ++count; });
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, RethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([] { throw std::runtime_error("trial exploded"); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool stays usable after the error is delivered.
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(RngStream, IsAPureFunctionOfSeedAndIndex) {
+  // Counter-based derivation: stream i must not depend on how many other
+  // streams were created, in what order, or on any engine state.
+  Rng late = Rng::stream(123, 7);
+  Rng early = Rng::stream(123, 7);
+  for (int i = 0; i < 100; ++i) {
+    (void)Rng::stream(123, static_cast<std::uint64_t>(i));  // unrelated derivations
+  }
+  Rng after = Rng::stream(123, 7);
+  const double a = late.uniform();
+  EXPECT_EQ(a, early.uniform());
+  EXPECT_EQ(a, after.uniform());
+}
+
+TEST(RngStream, DistinctIndicesGiveIndependentStreams) {
+  Rng s0 = Rng::stream(123, 0);
+  Rng s1 = Rng::stream(123, 1);
+  std::vector<double> d0(64);
+  std::vector<double> d1(64);
+  for (std::size_t i = 0; i < d0.size(); ++i) {
+    d0[i] = s0.uniform();
+    d1[i] = s1.uniform();
+  }
+  EXPECT_FALSE(bit_identical(d0, d1));
+}
+
+/// A trial with a data-dependent number of draws — the worst case for
+/// any scheme that shares a generator across trials.
+double variable_draw_trial(std::size_t index, Rng& rng) {
+  const int draws = rng.uniform_int(1, 32);
+  double acc = static_cast<double>(index);
+  for (int i = 0; i < draws; ++i) acc += rng.gaussian(2.0);
+  return acc;
+}
+
+std::vector<double> run_sweep(std::size_t threads) {
+  SweepConfig cfg;
+  cfg.trials = 500;
+  cfg.threads = threads;
+  cfg.seed = 2024;
+  SweepRunner runner(cfg);
+  return runner.run(variable_draw_trial).trials;
+}
+
+TEST(SweepRunner, ByteIdenticalAtOneTwoAndEightThreads) {
+  const std::vector<double> t1 = run_sweep(1);
+  const std::vector<double> t2 = run_sweep(2);
+  const std::vector<double> t8 = run_sweep(8);
+  EXPECT_TRUE(bit_identical(t1, t2)) << "2-thread sweep diverged from serial";
+  EXPECT_TRUE(bit_identical(t1, t8)) << "8-thread sweep diverged from serial";
+}
+
+TEST(SweepRunner, RepeatedRunsAreByteIdentical) {
+  EXPECT_TRUE(bit_identical(run_sweep(4), run_sweep(4)));
+}
+
+TEST(SweepRunner, DifferentSeedsDiverge) {
+  SweepConfig cfg;
+  cfg.trials = 50;
+  cfg.threads = 2;
+  cfg.seed = 1;
+  const auto a = SweepRunner(cfg).run(variable_draw_trial).trials;
+  cfg.seed = 2;
+  const auto b = SweepRunner(cfg).run(variable_draw_trial).trials;
+  EXPECT_FALSE(bit_identical(a, b));
+}
+
+TEST(SweepRunner, CommitsResultsInTrialOrder) {
+  SweepConfig cfg;
+  cfg.trials = 256;
+  cfg.threads = 8;
+  SweepRunner runner(cfg);
+  const auto result = runner.run([](std::size_t i, Rng&) { return static_cast<double>(i); });
+  std::vector<double> expected(cfg.trials);
+  std::iota(expected.begin(), expected.end(), 0.0);
+  EXPECT_TRUE(bit_identical(result.trials, expected));
+}
+
+TEST(SweepRunner, PropagatesTrialExceptions) {
+  SweepConfig cfg;
+  cfg.trials = 64;
+  cfg.threads = 4;
+  SweepRunner runner(cfg);
+  EXPECT_THROW(runner.run([](std::size_t i, Rng&) -> double {
+                 if (i == 17) throw std::runtime_error("bad trial");
+                 return 0.0;
+               }),
+               std::runtime_error);
+}
+
+// --- Fig. 11 equivalence ---------------------------------------------------
+// The exact serial loop the bench shipped with before the sweep engine
+// (one shared Rng, placements evaluated in order) versus the SweepRunner
+// port (serial placement pre-pass + parallel evaluation). 30 placements,
+// seed 11 — the historical Fig. 11 configuration.
+
+struct Fig11Point {
+  double ber_with;
+  double ber_without;
+};
+
+Fig11Point evaluate_placement(const channel::Pose& ap, const Vec2& pos, double orientation_rad) {
+  const antenna::MmxBeamPair beams;
+  const antenna::Dipole ap_antenna;
+  const sim::LinkBudget budget;
+  const rf::SpdtSwitch spdt;
+  channel::Room room = channel::furnished_lab();
+  channel::park_person(room, pos, ap.position);
+  const channel::RayTracer tracer(room);
+  const channel::Pose node{pos, orientation_rad};
+  const auto modes =
+      baseline::compare_modes_avg(tracer, node, beams, ap, ap_antenna, 24.125e9, budget, spdt);
+  return {std::max(phy::kBerFloor, modes.with_otam.joint_ber),
+          std::max(phy::kBerFloor, modes.without_otam.joint_ber)};
+}
+
+TEST(SweepRunner, MatchesPreexistingSerialFig11Loop) {
+  const std::size_t kPlacements = 30;
+  const std::uint64_t kSeed = 11;
+  const channel::Pose ap = channel::furnished_lab_ap();
+
+  // Pre-existing serial loop: one Rng, draw-and-evaluate per placement.
+  std::vector<double> serial_with;
+  std::vector<double> serial_without;
+  {
+    Rng rng(kSeed);
+    for (std::size_t i = 0; i < kPlacements; ++i) {
+      const Vec2 pos{rng.uniform(0.5, 3.5), rng.uniform(0.3, 4.8)};
+      const double toward_ap = (ap.position - pos).angle();
+      const double orient = toward_ap + deg_to_rad(rng.uniform(-60.0, 60.0));
+      const Fig11Point p = evaluate_placement(ap, pos, orient);
+      serial_with.push_back(p.ber_with);
+      serial_without.push_back(p.ber_without);
+    }
+  }
+
+  // Sweep port: identical serial draw pass, parallel evaluation.
+  struct Placement {
+    Vec2 pos;
+    double orientation_rad;
+  };
+  Rng rng(kSeed);
+  std::vector<Placement> placements(kPlacements);
+  for (Placement& p : placements) {
+    p.pos = Vec2{rng.uniform(0.5, 3.5), rng.uniform(0.3, 4.8)};
+    p.orientation_rad = (ap.position - p.pos).angle() + deg_to_rad(rng.uniform(-60.0, 60.0));
+  }
+  SweepConfig cfg;
+  cfg.trials = kPlacements;
+  cfg.threads = 4;
+  cfg.seed = kSeed;
+  const auto sweep = SweepRunner(cfg).run([&](std::size_t i, Rng&) {
+    return evaluate_placement(ap, placements[i].pos, placements[i].orientation_rad);
+  });
+
+  std::vector<double> sweep_with;
+  std::vector<double> sweep_without;
+  for (const Fig11Point& p : sweep.trials) {
+    sweep_with.push_back(p.ber_with);
+    sweep_without.push_back(p.ber_without);
+  }
+  EXPECT_TRUE(bit_identical(serial_with, sweep_with))
+      << "parallel Fig. 11 sweep diverged from the serial loop (with OTAM)";
+  EXPECT_TRUE(bit_identical(serial_without, sweep_without))
+      << "parallel Fig. 11 sweep diverged from the serial loop (without OTAM)";
+}
+
+}  // namespace
+}  // namespace mmx::sim

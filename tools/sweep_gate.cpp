@@ -1,0 +1,145 @@
+// sweep_gate — CI's parallel-speedup gate.
+//
+// Reads two JSON reports written by the bench harness (a serial run and
+// a parallel run of the same sweep), computes the throughput speedup and
+// fails if it is under the threshold. Always prints the numbers — and
+// appends a markdown row to $GITHUB_STEP_SUMMARY when set — so the perf
+// lane leaves an advisory comment whether or not the gate trips.
+//
+// usage: sweep_gate SERIAL.json PARALLEL.json [--min-speedup X]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+struct Report {
+  std::string bench;
+  long long trials = 0;
+  long long threads = 0;
+  double wall_s = 0.0;
+  double trials_per_s = 0.0;
+};
+
+// The harness writes these files (bench/harness.cpp), so a key scan is
+// enough — this is not a general JSON parser.
+bool find_number(const std::string& text, const char* key, double& out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* start = text.c_str() + pos + needle.size();
+  char* end = nullptr;
+  out = std::strtod(start, &end);
+  return end != start;
+}
+
+bool find_string(const std::string& text, const char* key, std::string& out) {
+  const std::string needle = std::string("\"") + key + "\": \"";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  const std::size_t begin = pos + needle.size();
+  const std::size_t close = text.find('"', begin);
+  if (close == std::string::npos) return false;
+  out = text.substr(begin, close - begin);
+  return true;
+}
+
+bool load_report(const char* path, Report& r) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "sweep_gate: cannot open '%s'\n", path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  double trials = 0.0;
+  double threads = 0.0;
+  if (!find_string(text, "bench", r.bench) || !find_number(text, "trials", trials) ||
+      !find_number(text, "threads", threads) || !find_number(text, "wall_s", r.wall_s) ||
+      !find_number(text, "trials_per_s", r.trials_per_s)) {
+    std::fprintf(stderr, "sweep_gate: '%s' is not a bench-harness JSON report\n", path);
+    return false;
+  }
+  r.trials = static_cast<long long>(trials);
+  r.threads = static_cast<long long>(threads);
+  return true;
+}
+
+void append_step_summary(const Report& serial, const Report& parallel, double speedup,
+                         double min_speedup, bool pass) {
+  const char* path = std::getenv("GITHUB_STEP_SUMMARY");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;
+  out << "### Sweep speedup gate — " << parallel.bench << (pass ? " ✅\n" : " ❌\n\n");
+  out << "| run | trials | threads | wall [s] | trials/s |\n";
+  out << "|---|---|---|---|---|\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "| serial | %lld | %lld | %.3f | %.1f |\n", serial.trials,
+                serial.threads, serial.wall_s, serial.trials_per_s);
+  out << line;
+  std::snprintf(line, sizeof(line), "| parallel | %lld | %lld | %.3f | %.1f |\n",
+                parallel.trials, parallel.threads, parallel.wall_s, parallel.trials_per_s);
+  out << line;
+  std::snprintf(line, sizeof(line), "\n**speedup: %.2fx** (gate: >= %.2fx)\n", speedup,
+                min_speedup);
+  out << line;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double min_speedup = 1.5;
+  const char* serial_path = nullptr;
+  const char* parallel_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
+      min_speedup = std::strtod(argv[++i], nullptr);
+    } else if (serial_path == nullptr) {
+      serial_path = argv[i];
+    } else if (parallel_path == nullptr) {
+      parallel_path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: sweep_gate SERIAL.json PARALLEL.json [--min-speedup X]\n");
+      return 2;
+    }
+  }
+  if (serial_path == nullptr || parallel_path == nullptr) {
+    std::fprintf(stderr, "usage: sweep_gate SERIAL.json PARALLEL.json [--min-speedup X]\n");
+    return 2;
+  }
+
+  Report serial;
+  Report parallel;
+  if (!load_report(serial_path, serial) || !load_report(parallel_path, parallel)) return 2;
+  if (serial.bench != parallel.bench || serial.trials != parallel.trials) {
+    std::fprintf(stderr, "sweep_gate: reports disagree (bench '%s'/%lld trials vs '%s'/%lld)\n",
+                 serial.bench.c_str(), serial.trials, parallel.bench.c_str(), parallel.trials);
+    return 2;
+  }
+  if (serial.trials_per_s <= 0.0) {
+    std::fprintf(stderr, "sweep_gate: serial report has no throughput\n");
+    return 2;
+  }
+
+  const double speedup = parallel.trials_per_s / serial.trials_per_s;
+  const bool pass = speedup >= min_speedup;
+  std::printf("sweep_gate: %s, %lld trials\n", serial.bench.c_str(), serial.trials);
+  std::printf("  serial:   %lld thread(s), %8.3f s wall, %10.1f trials/s\n", serial.threads,
+              serial.wall_s, serial.trials_per_s);
+  std::printf("  parallel: %lld thread(s), %8.3f s wall, %10.1f trials/s\n", parallel.threads,
+              parallel.wall_s, parallel.trials_per_s);
+  std::printf("  speedup:  %.2fx (gate: >= %.2fx) -> %s\n", speedup, min_speedup,
+              pass ? "PASS" : "FAIL");
+  append_step_summary(serial, parallel, speedup, min_speedup, pass);
+  if (!pass) {
+    std::printf("::error::parallel sweep is only %.2fx faster than serial (gate %.2fx)\n",
+                speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}
