@@ -11,15 +11,18 @@ namespace mmx::bench {
 namespace {
 
 [[noreturn]] void usage(const char* prog, std::size_t default_trials, std::uint64_t default_seed,
-                        const char* trials_meaning, int exit_code) {
+                        const char* trials_meaning, const std::vector<ExtraFlag>& extras,
+                        int exit_code) {
   std::fprintf(stderr,
-               "usage: %s [--trials N] [--threads K] [--seed S] [--json PATH]\n"
+               "usage: %s [--trials N] [--threads K] [--seed S] [--json PATH]%s\n"
                "  --trials N    %s (default %zu)\n"
                "  --threads K   worker threads, 0 = one per hardware thread (default 0)\n"
                "  --seed S      root seed; trial i draws from Rng::stream(S, i) (default %llu)\n"
                "  --json PATH   write metric summaries + wall-clock + trials/s as JSON\n",
-               prog, trials_meaning, default_trials,
+               prog, extras.empty() ? "" : " [bench flags]", trials_meaning, default_trials,
                static_cast<unsigned long long>(default_seed));
+  for (const ExtraFlag& e : extras)
+    std::fprintf(stderr, "  %s %s\n", e.flag, e.help);
   std::exit(exit_code);
 }
 
@@ -44,6 +47,12 @@ std::string json_double(double v) {
 
 Options parse_args(int argc, char** argv, std::size_t default_trials,
                    std::uint64_t default_seed, const char* trials_meaning) {
+  return parse_args(argc, argv, default_trials, default_seed, trials_meaning, {});
+}
+
+Options parse_args(int argc, char** argv, std::size_t default_trials,
+                   std::uint64_t default_seed, const char* trials_meaning,
+                   const std::vector<ExtraFlag>& extras) {
   Options opt;
   opt.sweep.trials = default_trials;
   opt.sweep.seed = default_seed;
@@ -57,6 +66,11 @@ Options parse_args(int argc, char** argv, std::size_t default_trials,
       }
       return argv[++i];
     };
+    const auto extra = [&]() -> ExtraFlag const* {
+      for (const ExtraFlag& e : extras)
+        if (std::strcmp(arg, e.flag) == 0) return &e;
+      return nullptr;
+    };
     if (std::strcmp(arg, "--trials") == 0) {
       opt.sweep.trials = static_cast<std::size_t>(parse_u64(prog, arg, value()));
     } else if (std::strcmp(arg, "--threads") == 0) {
@@ -66,10 +80,12 @@ Options parse_args(int argc, char** argv, std::size_t default_trials,
     } else if (std::strcmp(arg, "--json") == 0) {
       opt.json_path = value();
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
-      usage(prog, default_trials, default_seed, trials_meaning, 0);
+      usage(prog, default_trials, default_seed, trials_meaning, extras, 0);
+    } else if (const ExtraFlag* e = extra()) {
+      *e->value = value();
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s'\n", prog, arg);
-      usage(prog, default_trials, default_seed, trials_meaning, 2);
+      usage(prog, default_trials, default_seed, trials_meaning, extras, 2);
     }
   }
   if (opt.sweep.trials == 0) {

@@ -26,10 +26,24 @@ struct Options {
   std::string json_path;  // empty = no JSON report
 };
 
+/// A bench-specific flag on top of the shared set. `value` must point at
+/// a string pre-loaded with the default; it receives the raw argument
+/// (the bench parses/validates it). `help` is the usage line suffix.
+struct ExtraFlag {
+  const char* flag;    // e.g. "--nodes"
+  const char* help;    // e.g. "resident things (default 10000)"
+  std::string* value;  // non-owning; holds default, receives override
+};
+
 /// Parse the shared sweep flags; prints usage and exits on --help or a
 /// malformed/unknown argument.
 Options parse_args(int argc, char** argv, std::size_t default_trials,
                    std::uint64_t default_seed, const char* trials_meaning = "trials");
+
+/// Same, plus bench-specific flags (e.g. scale_churn's --nodes/--cache).
+Options parse_args(int argc, char** argv, std::size_t default_trials,
+                   std::uint64_t default_seed, const char* trials_meaning,
+                   const std::vector<ExtraFlag>& extras);
 
 void report_timing_line(std::size_t trials, std::size_t threads_used, double wall_s,
                         double trials_per_s);

@@ -1,0 +1,98 @@
+// Scale lane: 10^4-node join/leave/move/block churn (docs/SCALING.md).
+//
+// Runs the ScaleScenario — a V-band AP serving `--nodes` things under
+// crowd blockage and population churn — and reports steady-state link
+// measurement throughput. The same scenario runs with the link cache on
+// (default) or off (`--cache off`); every simulated quantity is
+// bit-identical between the two arms (pinned by tests/sim/
+// scale_scenario_test.cpp), so the JSON reports differ only in timing
+// and tools/sweep_gate can gate the cached arm's speedup:
+//
+//   scale_churn --cache off --json base.json
+//   scale_churn --cache on  --json cached.json
+//   sweep_gate base.json cached.json --min-speedup 5
+//
+// JSON semantics: "trials" = total link measurements, "trials_per_s" =
+// measurements per second of measurement-phase wall clock (join storms
+// and event bookkeeping excluded — they are identical in both arms and
+// are not what the cache accelerates).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "mmx/sim/scale_scenario.hpp"
+#include "mmx/sim/sweep.hpp"
+
+#include "harness.hpp"
+
+using namespace mmx;
+
+int main(int argc, char** argv) {
+  std::string nodes_arg = "10000";
+  std::string cache_arg = "on";
+  const bench::Options opt = bench::parse_args(
+      argc, argv, 128, 4242, "measurement rounds (0.0625 s apart)",
+      {{"--nodes", "N   resident things (default 10000)", &nodes_arg},
+       {"--cache", "on|off   evaluate links through the LinkCache (default on)", &cache_arg}});
+
+  char* end = nullptr;
+  const unsigned long long nodes = std::strtoull(nodes_arg.c_str(), &end, 10);
+  if (end == nodes_arg.c_str() || *end != '\0' || nodes == 0) {
+    std::fprintf(stderr, "scale_churn: --nodes expects a positive integer, got '%s'\n",
+                 nodes_arg.c_str());
+    return 2;
+  }
+  if (cache_arg != "on" && cache_arg != "off") {
+    std::fprintf(stderr, "scale_churn: --cache expects on|off, got '%s'\n", cache_arg.c_str());
+    return 2;
+  }
+
+  sim::ScaleConfig cfg = sim::make_scale_config(static_cast<std::size_t>(nodes));
+  cfg.use_cache = cache_arg == "on";
+  cfg.refresh_threads = opt.sweep.threads;
+  cfg.duration_s = cfg.measure_interval_s * static_cast<double>(opt.sweep.trials);
+  cfg.join_window_s = std::min(cfg.join_window_s, cfg.duration_s);
+
+  std::printf("=== Scale churn: %llu things, cache %s ===\n", nodes, cache_arg.c_str());
+  const sim::ScaleScenario scenario(cfg);
+  const sim::ScaleReport rep = scenario.run(opt.sweep.seed);
+
+  std::printf("  joins %zu (granted %zu, denied %zu)  leaves %zu  moves %zu\n", rep.joins,
+              rep.granted, rep.denied, rep.leaves, rep.moves);
+  std::printf("  rounds %zu  link evals %zu  crowd updates %zu\n", rep.measure_rounds,
+              rep.link_evals, rep.blocker_updates);
+  std::printf("  cache: refills %zu  hit rate %.3f  revalidated %llu  invalidated %llu\n",
+              rep.cache_refills, rep.cache.hit_rate(),
+              static_cast<unsigned long long>(rep.cache.revalidated),
+              static_cast<unsigned long long>(rep.cache.invalidated));
+  std::printf("  links: mean SNR %.1f dB  mean joint BER %.2e  mean rate %.2f Mbps\n",
+              rep.mean_snr_db, rep.mean_joint_ber, rep.mean_rate_bps / 1e6);
+  std::printf("  ARQ: tx %llu  delivered %llu  gave up %llu  delivery %.4f\n",
+              static_cast<unsigned long long>(rep.arq.transmissions),
+              static_cast<unsigned long long>(rep.arq.delivered),
+              static_cast<unsigned long long>(rep.arq.gave_up), rep.delivery_ratio);
+
+  const double per_s = rep.measure_wall_s > 0.0
+                           ? static_cast<double>(rep.link_evals) / rep.measure_wall_s
+                           : 0.0;
+  const std::size_t threads = sim::SweepRunner(opt.sweep).threads();
+  bench::report_timing_line(rep.link_evals, threads, rep.measure_wall_s, per_s);
+
+  bench::JsonReport report("scale_churn", opt);
+  report.set_timing(rep.link_evals, threads, rep.measure_wall_s, per_s);
+  report.add_scalar("nodes", static_cast<double>(nodes));
+  report.add_scalar("cache_on", cfg.use_cache ? 1.0 : 0.0);
+  report.add_scalar("granted", static_cast<double>(rep.granted));
+  report.add_scalar("denied", static_cast<double>(rep.denied));
+  report.add_scalar("leaves", static_cast<double>(rep.leaves));
+  report.add_scalar("moves", static_cast<double>(rep.moves));
+  report.add_scalar("cache_refills", static_cast<double>(rep.cache_refills));
+  report.add_scalar("cache_hit_rate", rep.cache.hit_rate());
+  report.add_scalar("mean_snr_db", rep.mean_snr_db);
+  report.add_scalar("mean_joint_ber", rep.mean_joint_ber);
+  report.add_scalar("mean_rate_bps", rep.mean_rate_bps);
+  report.add_scalar("delivery_ratio", rep.delivery_ratio);
+  return report.write() ? 0 : 1;
+}

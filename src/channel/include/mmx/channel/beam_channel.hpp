@@ -20,6 +20,8 @@ namespace mmx::channel {
 struct Pose {
   Vec2 position;
   double orientation_rad = 0.0;  ///< boresight direction, CCW from +x
+
+  bool operator==(const Pose&) const = default;
 };
 
 struct BeamGains {

@@ -48,9 +48,12 @@ class RayTracer {
   /// single-bounce reflection per visible wall/reflector, and — with
   /// `max_bounces` >= 2 — ordered double bounces (image-of-image method).
   /// Paths whose total excess loss exceeds `max_excess_loss_db` are
-  /// dropped.
+  /// dropped. With `apply_blockers` false, blocker crossings contribute
+  /// no loss and no pruning: the result is the wall-only path *superset*
+  /// a link cache uses to decide which nodes a blocker move can affect
+  /// (blockers attenuate paths but never create or bend them).
   std::vector<Path> trace(Vec2 tx, Vec2 rx, double max_excess_loss_db = 60.0,
-                          int max_bounces = 1) const;
+                          int max_bounces = 1, bool apply_blockers = true) const;
 
   /// Complex amplitude gain of one path at `freq_hz` (isotropic ends).
   static std::complex<double> path_amplitude(const Path& path, double freq_hz);

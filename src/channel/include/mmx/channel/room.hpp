@@ -7,6 +7,7 @@
 // (furniture, whiteboards), and cylindrical blockers (people).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,12 @@ class Room {
 
   bool contains(Vec2 p) const;
 
+  /// Geometry generation counter: bumped by every mutation (reflector /
+  /// partition / blocker add, blocker move, blocker clear). Caches keyed
+  /// on the epoch (sim::LinkCache) stay exactly coherent: an unchanged
+  /// epoch guarantees every previously computed ray trace is still valid.
+  std::uint64_t epoch() const { return epoch_; }
+
   double width() const { return width_; }
   double height() const { return height_; }
   const std::vector<Wall>& walls() const { return walls_; }
@@ -84,6 +91,7 @@ class Room {
   double height_;
   std::vector<Wall> walls_;
   std::vector<Blocker> blockers_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace mmx::channel

@@ -44,7 +44,11 @@ double RayTracer::transmission_loss_db(Vec2 a, Vec2 b,
 constexpr double kReflectedBlockageFraction = 0.5;
 
 std::vector<Path> RayTracer::trace(Vec2 tx, Vec2 rx, double max_excess_loss_db,
-                                   int max_bounces) const {
+                                   int max_bounces, bool apply_blockers) const {
+  // Blocker-free traces feed cache-coherence decisions: see header.
+  const auto blockers = [&](Vec2 a, Vec2 b, int& crossings, double scale) {
+    return apply_blockers ? blocker_loss_db(a, b, crossings, scale) : 0.0;
+  };
   if (max_bounces < 1 || max_bounces > 2)
     throw std::invalid_argument("RayTracer: max_bounces must be 1 or 2");
   if (tx == rx) throw std::invalid_argument("RayTracer: tx and rx coincide");
@@ -58,7 +62,7 @@ std::vector<Path> RayTracer::trace(Vec2 tx, Vec2 rx, double max_excess_loss_db,
     p.departure_rad = (rx - tx).angle();
     p.arrival_rad = (tx - rx).angle();
     int crossings = 0;
-    p.excess_loss_db = blocker_loss_db(tx, rx, crossings, 1.0);
+    p.excess_loss_db = blockers(tx, rx, crossings, 1.0);
     p.excess_loss_db += transmission_loss_db(tx, rx, {});
     p.blocker_crossings = crossings;
     if (p.excess_loss_db <= max_excess_loss_db) paths.push_back(p);
@@ -87,8 +91,8 @@ std::vector<Path> RayTracer::trace(Vec2 tx, Vec2 rx, double max_excess_loss_db,
     p.via = via;
     int crossings = 0;
     double loss = wall.material.reflection_loss_db;
-    loss += blocker_loss_db(tx, via, crossings, kReflectedBlockageFraction);
-    loss += blocker_loss_db(via, rx, crossings, kReflectedBlockageFraction);
+    loss += blockers(tx, via, crossings, kReflectedBlockageFraction);
+    loss += blockers(via, rx, crossings, kReflectedBlockageFraction);
     const int wall_id = static_cast<int>(w);
     loss += transmission_loss_db(tx, via, {wall_id});
     loss += transmission_loss_db(via, rx, {wall_id});
@@ -131,9 +135,9 @@ std::vector<Path> RayTracer::trace(Vec2 tx, Vec2 rx, double max_excess_loss_db,
         p.via2 = p2;
         int crossings = 0;
         double loss = first.material.reflection_loss_db + second.material.reflection_loss_db;
-        loss += blocker_loss_db(tx, p1, crossings, kReflectedBlockageFraction);
-        loss += blocker_loss_db(p1, p2, crossings, kReflectedBlockageFraction);
-        loss += blocker_loss_db(p2, rx, crossings, kReflectedBlockageFraction);
+        loss += blockers(tx, p1, crossings, kReflectedBlockageFraction);
+        loss += blockers(p1, p2, crossings, kReflectedBlockageFraction);
+        loss += blockers(p2, rx, crossings, kReflectedBlockageFraction);
         const int wid = static_cast<int>(wi);
         const int wjd = static_cast<int>(wj);
         loss += transmission_loss_db(tx, p1, {wid});

@@ -33,26 +33,35 @@ Room::Room(double width_m, double height_m, Material wall_material)
 void Room::add_reflector(Segment segment, Material material) {
   if (segment.length() <= 0.0) throw std::invalid_argument("Room: zero-length reflector");
   walls_.push_back({segment, std::move(material), /*blocks_transmission=*/false});
+  ++epoch_;
 }
 
 void Room::add_partition(Segment segment, Material material) {
   if (segment.length() <= 0.0) throw std::invalid_argument("Room: zero-length partition");
   walls_.push_back({segment, std::move(material), /*blocks_transmission=*/true});
+  ++epoch_;
 }
 
 std::size_t Room::add_blocker(Blocker blocker) {
   if (blocker.radius <= 0.0) throw std::invalid_argument("Room: blocker radius must be > 0");
   if (blocker.loss_db < 0.0) throw std::invalid_argument("Room: blocker loss must be >= 0");
   blockers_.push_back(blocker);
+  ++epoch_;
   return blockers_.size() - 1;
 }
 
 void Room::move_blocker(std::size_t index, Vec2 new_center) {
   if (index >= blockers_.size()) throw std::out_of_range("Room: blocker index");
+  if (blockers_[index].center == new_center) return;  // no-op moves keep caches warm
   blockers_[index].center = new_center;
+  ++epoch_;
 }
 
-void Room::clear_blockers() { blockers_.clear(); }
+void Room::clear_blockers() {
+  if (blockers_.empty()) return;
+  blockers_.clear();
+  ++epoch_;
+}
 
 bool Room::contains(Vec2 p) const {
   return p.x >= 0.0 && p.x <= width_ && p.y >= 0.0 && p.y <= height_;

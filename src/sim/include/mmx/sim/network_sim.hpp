@@ -3,16 +3,26 @@
 // Binds the substrates together: ray-traced channel, orthogonal beam
 // pair, link budget, FDM/SDM initialization, and the AP's TMA — enough
 // to regenerate every network-level experiment in the paper (§9.2-§9.5).
+//
+// Link-layer results are memoized through a LinkCache keyed on
+// (node pose, Room::epoch()) — bit-identical to re-tracing, but repeated
+// gains()/link() queries against unchanged geometry cost a map lookup
+// instead of a ray trace (docs/SCALING.md). Set SimConfig::link_cache
+// false (or call the *_uncached accessors) to force fresh traces.
 #pragma once
 
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "mmx/antenna/tma.hpp"
 #include "mmx/channel/beam_channel.hpp"
 #include "mmx/channel/room.hpp"
+#include "mmx/common/units.hpp"
 #include "mmx/mac/init_protocol.hpp"
+#include "mmx/rf/vco.hpp"
 #include "mmx/sim/link_budget.hpp"
+#include "mmx/sim/link_cache.hpp"
 
 namespace mmx::sim {
 
@@ -31,6 +41,16 @@ struct SimConfig {
   /// tames the near-far problem co-channel TMA groups otherwise have.
   bool sdm_power_control = true;
   mac::InitConfig init{};
+  /// Band the AP's FDM allocator manages. Defaults to the paper's 24 GHz
+  /// ISM band; large-scale scenarios widen it (e.g. 57-64 GHz, which the
+  /// paper's §10 discussion and the band60 ablation consider).
+  double band_low_hz = kIsmLowHz;
+  double band_high_hz = kIsmHighHz;
+  /// Node VCO model — must cover the band or grants are denied.
+  rf::VcoSpec node_vco{};
+  /// Memoize per-node link state (LinkCache). Results are bit-identical
+  /// with the cache on or off; this only trades memory for ray traces.
+  bool link_cache = true;
 };
 
 class NetworkSimulator {
@@ -41,34 +61,65 @@ class NetworkSimulator {
   /// Returns the node id, or nullopt if the AP denied the request.
   std::optional<std::uint16_t> add_node(const channel::Pose& pose, double rate_bps);
 
+  /// Register a node at the link layer WITHOUT requesting spectrum — an
+  /// unassociated "thing" the AP still tracks (gains/link/bearing work;
+  /// grant() does not). Large-scale churn keeps denied joiners resident
+  /// this way so they can retry as spectrum frees up.
+  std::uint16_t add_tracked_node(const channel::Pose& pose);
+
   void remove_node(std::uint16_t id);
   void set_node_pose(std::uint16_t id, const channel::Pose& pose);
 
   /// The room is mutable so scenarios can move blockers between
-  /// measurements.
+  /// measurements. Mutations bump Room::epoch(), which is what keeps the
+  /// link cache coherent.
   channel::Room& room() { return room_; }
   const channel::Room& room() const { return room_; }
 
-  /// Fresh per-beam channel gains for a node (re-traces rays).
+  /// Per-beam channel gains for a node (memoized; see class comment).
   channel::BeamGains gains(std::uint16_t id) const;
 
-  /// OTAM link metrics (paper's "with OTAM" scenario).
+  /// Always re-traces, bypassing the cache (cross-check path).
+  channel::BeamGains gains_uncached(std::uint16_t id) const;
+
+  /// OTAM link metrics (paper's "with OTAM" scenario). Memoized.
   OtamLink link(std::uint16_t id) const;
 
-  /// Fixed-beam ASK baseline ("without OTAM", §9.2 scenario 1).
+  /// Always re-evaluates from a fresh trace, bypassing the cache.
+  OtamLink link_uncached(std::uint16_t id) const;
+
+  /// Fixed-beam ASK baseline ("without OTAM", §9.2 scenario 1). Memoized.
   OtamLink fixed_beam_link(std::uint16_t id) const;
 
-  /// SINR per node when ALL nodes transmit simultaneously (§9.5):
-  /// co-channel nodes leak through TMA harmonic sidelobes, other-channel
-  /// nodes through the channelization filters.
+  /// Batched cache (re)fill: recomputes every stale entry, fanned across
+  /// `threads` workers (0 = one per hardware thread) via the SweepRunner
+  /// engine — results are bit-identical to a serial refresh at any thread
+  /// count. Returns the number of entries recomputed. No-op when the
+  /// cache is disabled.
+  std::size_t refresh_cache(std::size_t threads = 0);
+
+  const LinkCacheStats& cache_stats() const { return cache_.stats(); }
+  void reset_cache_stats() { cache_.reset_stats(); }
+
+  /// SINR per node when ALL associated nodes transmit simultaneously
+  /// (§9.5): co-channel nodes leak through TMA harmonic sidelobes,
+  /// other-channel nodes through the channelization filters.
   std::map<std::uint16_t, double> sinr_all_db() const;
 
   const mac::ChannelGrant& grant(std::uint16_t id) const;
 
+  /// True if the node holds a channel grant (add_tracked_node and denied
+  /// joiners are resident but unassociated).
+  bool is_associated(std::uint16_t id) const;
+
   /// Node's arrival bearing at the AP (AP-frame azimuth of the LoS).
   double bearing_at_ap(std::uint16_t id) const;
 
-  std::size_t num_nodes() const { return nodes_.size(); }
+  /// Current pose of a resident node.
+  const channel::Pose& node_pose(std::uint16_t id) const;
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_associated() const;
   const channel::Pose& ap_pose() const { return ap_pose_; }
   const LinkBudget& budget() const { return budget_; }
 
@@ -76,9 +127,23 @@ class NetworkSimulator {
   struct NodeState {
     channel::Pose pose;
     mac::ChannelGrant grant;
+    bool associated = true;
+  };
+
+  /// Flat id-indexed storage (ids are issued densely): the link()/gains()
+  /// hot path resolves a node in one array read instead of a map walk,
+  /// which matters at 10^4 nodes x many polls per second (docs/SCALING.md).
+  struct NodeSlot {
+    NodeState state;
+    bool present = false;
   };
 
   const NodeState& node(std::uint16_t id) const;
+  void store_node(std::uint16_t id, NodeState state);
+  channel::BeamGains compute_gains(const channel::Pose& pose) const;
+  LinkCache::Entry make_entry(const channel::Pose& pose,
+                              const LinkCache::Entry* prior) const;
+  LinkCache::Entry& cache_entry(std::uint16_t id, const NodeState& n) const;
 
   channel::Room room_;
   channel::Pose ap_pose_;
@@ -89,8 +154,10 @@ class NetworkSimulator {
   antenna::TimeModulatedArray tma_;
   mac::InitProtocol init_;
   rf::SpdtSwitch spdt_;
-  std::map<std::uint16_t, NodeState> nodes_;
+  std::vector<NodeSlot> nodes_;
+  std::size_t num_nodes_ = 0;
   std::uint16_t next_id_ = 1;
+  mutable LinkCache cache_;
 };
 
 }  // namespace mmx::sim

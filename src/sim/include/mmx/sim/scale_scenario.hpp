@@ -1,0 +1,103 @@
+// Large-scale join/leave/move/block churn driver ("billions of things").
+//
+// Marries the discrete-event engine, the MAC substrates (init grants,
+// stop-and-wait ARQ, AIMD rate control) and the dynamic-blockage models
+// into one reproducible workload: `nodes` things join an AP over a join
+// window, a walking crowd perturbs the geometry, a slice of the
+// population moves or power-cycles every churn interval, and the AP
+// measures every resident link every measurement interval — the access
+// pattern the LinkCache exists for (many reads per geometry mutation).
+//
+// The run is a pure function of (config, seed): every stochastic choice
+// draws from a counter-derived Rng stream, so reports are bit-identical
+// at any `refresh_threads` — the same determinism contract as the sweep
+// engine (docs/PARALLELISM.md) extended to a stateful scenario.
+#pragma once
+
+#include <cstdint>
+
+#include "mmx/mac/arq.hpp"
+#include "mmx/sim/link_cache.hpp"
+#include "mmx/sim/network_sim.hpp"
+
+namespace mmx::sim {
+
+struct ScaleConfig {
+  /// Things attempting to join. Joins are spread over `join_window_s`.
+  std::size_t nodes = 10000;
+  double room_width_m = 12.0;
+  double room_height_m = 8.0;
+  /// Walking people (random-waypoint blockers).
+  std::size_t walkers = 3;
+  double walker_speed_mps = 1.3;
+  double duration_s = 8.0;
+  double join_window_s = 2.0;
+  /// Geometry/population churn cadence: walkers advance, `move_fraction`
+  /// of residents re-pose, `leave_fraction` power-cycle.
+  double churn_interval_s = 1.0;
+  /// Link measurement cadence (AP polls every resident node for link
+  /// adaptation). Many polls per churn tick — the read-heavy regime the
+  /// cache targets; people change the geometry at ~1 Hz, the MAC reads
+  /// link state at frame granularity.
+  double measure_interval_s = 0.0625;
+  double move_fraction = 0.01;
+  double leave_fraction = 0.002;
+  /// Per-node demanded rate; bandwidth follows via the init protocol.
+  double node_rate_bps = 0.5e6;
+  /// Frame size used to turn a link BER into a delivery probability.
+  double frame_bits = 1000.0;
+  /// Evaluate links through the cache (false = re-trace every query; the
+  /// bench's baseline arm). Results are bit-identical either way.
+  bool use_cache = true;
+  /// Worker threads for the batched cache refresh (0 = all cores).
+  std::size_t refresh_threads = 1;
+  SimConfig sim{};
+};
+
+/// Defaults sized for the 10^4-node lane: a 7 GHz band at 57-64 GHz (the
+/// paper's §10 scaling direction; the ISM band grants O(100) channels,
+/// V-band grants O(10^4)) with a VCO spec covering it and a tight guard.
+ScaleConfig make_scale_config(std::size_t nodes = 10000);
+
+struct ScaleReport {
+  std::size_t joins = 0;            ///< join attempts (incl. power-cycle rejoins)
+  std::size_t granted = 0;          ///< joins that got a channel grant
+  std::size_t denied = 0;           ///< joins kept resident but unassociated
+  std::size_t leaves = 0;
+  std::size_t moves = 0;
+  std::size_t blocker_updates = 0;  ///< crowd advances (epoch bumps)
+  std::size_t measure_rounds = 0;
+  std::size_t link_evals = 0;       ///< total per-node link measurements
+  std::size_t cache_refills = 0;    ///< entries recomputed by batched refresh
+  LinkCacheStats cache{};           ///< end-of-run cache counters
+  mac::ArqStats arq{};              ///< aggregated over all nodes
+  double mean_snr_db = 0.0;
+  double mean_joint_ber = 0.0;
+  double mean_rate_bps = 0.0;       ///< AIMD rate, averaged over final states
+  double delivery_ratio = 0.0;      ///< delivered / offered frames
+  /// Wall-clock spent inside measurement rounds (cache refresh + link
+  /// polls + per-node MAC) — the quantity the link cache accelerates.
+  /// Excluded from operator== (timing is machine-dependent).
+  double measure_wall_s = 0.0;
+
+  /// Compares every simulated quantity; ignores timing and all cache
+  /// counters (cache_refills, cache.*), which legitimately differ between
+  /// the cached and uncached arms of an otherwise identical run.
+  bool operator==(const ScaleReport&) const;
+};
+
+class ScaleScenario {
+ public:
+  explicit ScaleScenario(ScaleConfig cfg = make_scale_config());
+
+  /// Run the full scenario. Deterministic: same (config, seed) gives a
+  /// bit-identical report at any refresh_threads / use_cache setting.
+  ScaleReport run(std::uint64_t seed) const;
+
+  const ScaleConfig& config() const { return cfg_; }
+
+ private:
+  ScaleConfig cfg_;
+};
+
+}  // namespace mmx::sim

@@ -2,10 +2,20 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
+#include "mmx/channel/ray_tracer.hpp"
 #include "mmx/common/units.hpp"
+#include "mmx/sim/sweep.hpp"
 
 namespace mmx::sim {
+
+namespace {
+// Trace parameters behind gains(); corridors_for must use the same ones
+// so the cache's corridor set stays a superset of the real path set.
+constexpr double kTraceMaxExcessLossDb = 60.0;
+constexpr int kTraceMaxBounces = 1;
+}  // namespace
 
 NetworkSimulator::NetworkSimulator(channel::Room room, channel::Pose ap_pose, SimConfig cfg)
     : room_(std::move(room)),
@@ -15,9 +25,12 @@ NetworkSimulator::NetworkSimulator(channel::Room room, channel::Pose ap_pose, Si
       beams_(antenna::BeamPairSpec{.freq_hz = cfg.freq_hz}),
       ap_antenna_(),
       tma_(antenna::TimeModulatedArray::progressive(cfg.tma, cfg.tma_delay_frac, cfg.tma_tau)),
-      init_(mac::FdmAllocator(kIsmLowHz, kIsmHighHz, cfg.init.guard_hz), rf::Vco{}, cfg.init) {
+      init_(mac::FdmAllocator(cfg.band_low_hz, cfg.band_high_hz, cfg.init.guard_hz),
+            rf::Vco(cfg.node_vco), cfg.init) {
   if (!room_.contains(ap_pose.position))
     throw std::invalid_argument("NetworkSimulator: AP outside the room");
+  if (cfg.band_low_hz >= cfg.band_high_hz)
+    throw std::invalid_argument("NetworkSimulator: band_low_hz must be < band_high_hz");
 }
 
 std::optional<std::uint16_t> NetworkSimulator::add_node(const channel::Pose& pose,
@@ -31,41 +44,139 @@ std::optional<std::uint16_t> NetworkSimulator::add_node(const channel::Pose& pos
   const auto reply = init_.handle(mac::ChannelRequest{id, rate_bps, bearing});
   const auto* grant = std::get_if<mac::ChannelGrant>(&reply);
   if (!grant) return std::nullopt;
-  nodes_[id] = NodeState{pose, *grant};
+  store_node(id, NodeState{pose, *grant, /*associated=*/true});
   return id;
 }
 
+std::uint16_t NetworkSimulator::add_tracked_node(const channel::Pose& pose) {
+  if (!room_.contains(pose.position))
+    throw std::invalid_argument("NetworkSimulator: node outside the room");
+  const std::uint16_t id = next_id_++;
+  store_node(id, NodeState{pose, mac::ChannelGrant{}, /*associated=*/false});
+  return id;
+}
+
+void NetworkSimulator::store_node(std::uint16_t id, NodeState state) {
+  if (id >= nodes_.size()) nodes_.resize(id + 1);
+  nodes_[id] = NodeSlot{std::move(state), /*present=*/true};
+  ++num_nodes_;
+}
+
 void NetworkSimulator::remove_node(std::uint16_t id) {
-  if (nodes_.erase(id) > 0) init_.release(id);
+  if (id >= nodes_.size() || !nodes_[id].present) return;
+  nodes_[id] = NodeSlot{};
+  --num_nodes_;
+  init_.release(id);
+  cache_.erase(id);
 }
 
 void NetworkSimulator::set_node_pose(std::uint16_t id, const channel::Pose& pose) {
   if (!room_.contains(pose.position))
     throw std::invalid_argument("NetworkSimulator: node outside the room");
-  const auto it = nodes_.find(id);
-  if (it == nodes_.end()) throw std::out_of_range("NetworkSimulator: unknown node");
-  it->second.pose = pose;
+  if (id >= nodes_.size() || !nodes_[id].present)
+    throw std::out_of_range("NetworkSimulator: unknown node");
+  if (nodes_[id].state.pose == pose) return;
+  nodes_[id].state.pose = pose;
+  cache_.erase(id);  // exactly this entry; everyone else stays warm
 }
 
 const NetworkSimulator::NodeState& NetworkSimulator::node(std::uint16_t id) const {
-  const auto it = nodes_.find(id);
-  if (it == nodes_.end()) throw std::out_of_range("NetworkSimulator: unknown node");
-  return it->second;
+  if (id >= nodes_.size() || !nodes_[id].present)
+    throw std::out_of_range("NetworkSimulator: unknown node");
+  return nodes_[id].state;
+}
+
+channel::BeamGains NetworkSimulator::compute_gains(const channel::Pose& pose) const {
+  const channel::RayTracer tracer(room_);
+  return channel::compute_beam_gains(tracer, pose, beams_, ap_pose_, ap_antenna_,
+                                     cfg_.freq_hz);
+}
+
+LinkCache::Entry NetworkSimulator::make_entry(const channel::Pose& pose,
+                                              const LinkCache::Entry* prior) const {
+  LinkCache::Entry e;
+  e.pose = pose;
+  e.gains = compute_gains(pose);
+  // A stale same-pose entry keeps valid corridors (walls and pose decide
+  // them, and both are unchanged) — reuse instead of re-tracing.
+  if (prior != nullptr && prior->pose == pose)
+    e.corridors = prior->corridors;
+  else
+    e.corridors = LinkCache::corridors_for(room_, pose.position, ap_pose_.position,
+                                           kTraceMaxExcessLossDb, kTraceMaxBounces);
+  return e;
+}
+
+LinkCache::Entry& NetworkSimulator::cache_entry(std::uint16_t id, const NodeState& n) const {
+  cache_.reconcile(room_);
+  return cache_.ensure(
+      id, n.pose, [&](const LinkCache::Entry* prior) { return make_entry(n.pose, prior); });
 }
 
 channel::BeamGains NetworkSimulator::gains(std::uint16_t id) const {
   const NodeState& n = node(id);
-  channel::RayTracer tracer(room_);
-  return channel::compute_beam_gains(tracer, n.pose, beams_, ap_pose_, ap_antenna_,
-                                     cfg_.freq_hz);
+  if (!cfg_.link_cache) return compute_gains(n.pose);
+  return cache_entry(id, n).gains;
+}
+
+channel::BeamGains NetworkSimulator::gains_uncached(std::uint16_t id) const {
+  return compute_gains(node(id).pose);
 }
 
 OtamLink NetworkSimulator::link(std::uint16_t id) const {
-  return budget_.evaluate_otam(gains(id), spdt_);
+  const NodeState& n = node(id);
+  if (!cfg_.link_cache) return budget_.evaluate_otam(compute_gains(n.pose), spdt_);
+  LinkCache::Entry& e = cache_entry(id, n);
+  if (!e.has_otam) {
+    e.otam = budget_.evaluate_otam(e.gains, spdt_);
+    e.has_otam = true;
+  }
+  return e.otam;
+}
+
+OtamLink NetworkSimulator::link_uncached(std::uint16_t id) const {
+  return budget_.evaluate_otam(gains_uncached(id), spdt_);
 }
 
 OtamLink NetworkSimulator::fixed_beam_link(std::uint16_t id) const {
-  return budget_.evaluate_fixed_beam(gains(id));
+  const NodeState& n = node(id);
+  if (!cfg_.link_cache) return budget_.evaluate_fixed_beam(compute_gains(n.pose));
+  LinkCache::Entry& e = cache_entry(id, n);
+  if (!e.has_fixed) {
+    e.fixed = budget_.evaluate_fixed_beam(e.gains);
+    e.has_fixed = true;
+  }
+  return e.fixed;
+}
+
+std::size_t NetworkSimulator::refresh_cache(std::size_t threads) {
+  if (!cfg_.link_cache) return 0;
+  cache_.reconcile(room_);
+  struct Job {
+    std::uint16_t id = 0;
+    channel::Pose pose;
+  };
+  std::vector<Job> stale;
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    if (!nodes_[id].present) continue;
+    const channel::Pose& pose = nodes_[id].state.pose;
+    if (!cache_.valid(static_cast<std::uint16_t>(id), pose))
+      stale.push_back({static_cast<std::uint16_t>(id), pose});
+  }
+  if (stale.empty()) return 0;
+
+  // Fan the refills over the sweep engine: each entry is a pure function
+  // of (pose, room), so any schedule commits identical bits; the runner's
+  // trial-order commit then makes the whole refresh order-independent.
+  SweepRunner runner(SweepConfig{.trials = stale.size(), .threads = threads, .seed = 0});
+  auto filled = runner.map(stale.size(), [&](std::size_t i, Rng& /*rng*/) {
+    // Concurrent reads of the cache map are safe here: nothing mutates it
+    // until the runner has joined and store_refill commits below.
+    return make_entry(stale[i].pose, cache_.find(stale[i].id));
+  });
+  for (std::size_t i = 0; i < stale.size(); ++i)
+    cache_.store_refill(stale[i].id, std::move(filled.trials[i]));
+  return stale.size();
 }
 
 const mac::ChannelGrant& NetworkSimulator::grant(std::uint16_t id) const {
@@ -74,6 +185,18 @@ const mac::ChannelGrant& NetworkSimulator::grant(std::uint16_t id) const {
   const auto it = init_.grants().find(id);
   if (it == init_.grants().end()) throw std::out_of_range("NetworkSimulator: unknown node");
   return it->second;
+}
+
+bool NetworkSimulator::is_associated(std::uint16_t id) const { return node(id).associated; }
+
+std::size_t NetworkSimulator::num_associated() const {
+  std::size_t n = 0;
+  for (const NodeSlot& slot : nodes_) n += (slot.present && slot.state.associated) ? 1 : 0;
+  return n;
+}
+
+const channel::Pose& NetworkSimulator::node_pose(std::uint16_t id) const {
+  return node(id).pose;
 }
 
 double NetworkSimulator::bearing_at_ap(std::uint16_t id) const {
@@ -85,8 +208,10 @@ std::map<std::uint16_t, double> NetworkSimulator::sinr_all_db() const {
   // Received power (stronger OTAM level) per node, in watts.
   std::map<std::uint16_t, double> rx_w;
   std::map<std::uint16_t, double> bearing;
-  for (const auto& [id, st] : nodes_) {
-    const OtamLink l = budget_.evaluate_otam(gains(id), spdt_);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].present || !nodes_[i].state.associated) continue;
+    const auto id = static_cast<std::uint16_t>(i);
+    const OtamLink l = link(id);
     rx_w[id] = dbm_to_watt(std::max(l.rx1_dbm, l.rx0_dbm));
     bearing[id] = bearing_at_ap(id);
   }
@@ -98,11 +223,11 @@ std::map<std::uint16_t, double> NetworkSimulator::sinr_all_db() const {
   // to the weakest member's receive level.
   if (cfg_.sdm_power_control) {
     std::map<std::pair<double, double>, double> group_min;  // (centre, bw) -> min rx
-    for (const auto& [id, st] : nodes_) {
+    for (const auto& [id, w] : rx_w) {
       const auto& ch = grant(id).channel;
       const auto key = std::make_pair(ch.center_hz, ch.bandwidth_hz);
       const auto it = group_min.find(key);
-      if (it == group_min.end() || rx_w.at(id) < it->second) group_min[key] = rx_w.at(id);
+      if (it == group_min.end() || w < it->second) group_min[key] = w;
     }
     for (auto& [id, w] : rx_w) {
       const auto& ch = grant(id).channel;
@@ -112,13 +237,13 @@ std::map<std::uint16_t, double> NetworkSimulator::sinr_all_db() const {
 
   const auto share_count = [&](const mac::ChannelAllocation& ch) {
     std::size_t n = 0;
-    for (const auto& [jd, sj] : nodes_)
+    for (const auto& [jd, wj] : rx_w)
       if (grant(jd).channel == ch) ++n;
     return n;
   };
 
   std::map<std::uint16_t, double> out;
-  for (const auto& [id, st] : nodes_) {
+  for (const auto& [id, wi] : rx_w) {
     const mac::ChannelGrant& gi = grant(id);
     const int m_i = gi.sdm_harmonic;
     // The TMA gain applies only to SDM groups; plain FDM nodes are
@@ -126,17 +251,17 @@ std::map<std::uint16_t, double> NetworkSimulator::sinr_all_db() const {
     const bool shared_i = share_count(gi.channel) > 1;
     const double g_own =
         shared_i ? tma_.harmonic_power(m_i, bearing.at(id)) : 1.0;
-    const double wanted = rx_w.at(id) * std::max(g_own, 1e-12);
+    const double wanted = wi * std::max(g_own, 1e-12);
 
     double interference = 0.0;
-    for (const auto& [jd, sj] : nodes_) {
+    for (const auto& [jd, wj] : rx_w) {
       if (jd == id) continue;
       if (grant(jd).channel == gi.channel) {
         // Co-channel: leakage through the harmonic-m_i pattern toward j.
         const double g_leak = tma_.harmonic_power(m_i, bearing.at(jd));
-        interference += rx_w.at(jd) * g_leak;
+        interference += wj * g_leak;
       } else {
-        interference += rx_w.at(jd) * aclr * (shared_i ? g_own : 1.0);
+        interference += wj * aclr * (shared_i ? g_own : 1.0);
       }
     }
     const double noise = noise_w * (shared_i ? g_own : 1.0);

@@ -1,0 +1,235 @@
+#include "mmx/sim/scale_scenario.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "mmx/channel/blockage.hpp"
+#include "mmx/common/units.hpp"
+#include "mmx/mac/rate_control.hpp"
+#include "mmx/sim/event_queue.hpp"
+
+namespace mmx::sim {
+
+ScaleConfig make_scale_config(std::size_t nodes) {
+  ScaleConfig cfg;
+  cfg.nodes = nodes;
+  // V-band deployment (paper §10's scaling direction; cf. the band60
+  // ablation): 7 GHz of spectrum instead of the 250 MHz ISM sliver, a VCO
+  // spec covering it with margin for the FSK tone offsets, and a tight
+  // guard so O(10^4) half-megabit channels fit.
+  cfg.sim.freq_hz = 60.5e9;
+  cfg.sim.band_low_hz = 57.0e9;
+  cfg.sim.band_high_hz = 64.0e9;
+  cfg.sim.node_vco.f_min_hz = 56.5e9;
+  cfg.sim.node_vco.f_max_hz = 64.5e9;
+  cfg.sim.init.guard_hz = 0.25e6;
+  return cfg;
+}
+
+bool ScaleReport::operator==(const ScaleReport& o) const {
+  return joins == o.joins && granted == o.granted && denied == o.denied &&
+         leaves == o.leaves && moves == o.moves && blocker_updates == o.blocker_updates &&
+         measure_rounds == o.measure_rounds && link_evals == o.link_evals &&
+         arq.transmissions == o.arq.transmissions && arq.delivered == o.arq.delivered &&
+         arq.gave_up == o.arq.gave_up && arq.duplicate_acks == o.arq.duplicate_acks &&
+         mean_snr_db == o.mean_snr_db && mean_joint_ber == o.mean_joint_ber &&
+         mean_rate_bps == o.mean_rate_bps && delivery_ratio == o.delivery_ratio;
+  // Cache traffic (cache_refills, cache.*) and measure_wall_s are
+  // intentionally excluded: the cached and uncached arms must agree on
+  // every simulated quantity, and only those — cache counters are zero
+  // with the cache off, and timing is machine-dependent.
+}
+
+namespace {
+
+// One resident thing and its per-node protocol state. Every stochastic
+// choice it makes draws from its own counter-derived stream, so the
+// sequence is independent of the other things and of thread count.
+struct Thing {
+  Thing(Rng r, double initial_rate_bps, mac::RateControlConfig rc)
+      : rng(r), rate(initial_rate_bps, rc) {}
+
+  Rng rng;
+  mac::RateController rate;
+  mac::ArqSender arq;
+  std::uint16_t id = 0;
+  std::uint16_t next_seq = 0;
+  bool associated = false;
+};
+
+}  // namespace
+
+ScaleScenario::ScaleScenario(ScaleConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.nodes == 0) throw std::invalid_argument("ScaleScenario: nodes must be > 0");
+  if (cfg_.measure_interval_s <= 0.0 || cfg_.churn_interval_s <= 0.0)
+    throw std::invalid_argument("ScaleScenario: intervals must be > 0");
+}
+
+ScaleReport ScaleScenario::run(std::uint64_t seed) const {
+  const ScaleConfig& c = cfg_;
+  const double margin_m = 0.5;  // keep poses off the walls
+
+  channel::Room room(c.room_width_m, c.room_height_m);
+  const channel::Pose ap{{c.room_width_m / 2.0, c.room_height_m / 2.0}, 0.0};
+
+  SimConfig sim_cfg = c.sim;
+  sim_cfg.link_cache = c.use_cache;
+  NetworkSimulator sim(std::move(room), ap, sim_cfg);
+
+  // Dedicated streams: 0 = crowd, 1 = churn decisions, 2+i = thing i.
+  Rng crowd_rng = Rng::stream(seed, 0);
+  Rng churn_rng = Rng::stream(seed, 1);
+  channel::WalkingCrowd crowd(sim.room(), c.walkers, c.walker_speed_mps, crowd_rng);
+
+  const mac::RateControlConfig rc{.min_rate_bps = c.node_rate_bps / 4.0,
+                                  .max_rate_bps = c.node_rate_bps,
+                                  .recovery_step_bps = c.node_rate_bps / 8.0};
+
+  ScaleReport rep;
+  std::vector<Thing> things;
+  things.reserve(c.nodes);
+
+  const auto random_pose = [&](Rng& rng) {
+    const Vec2 p{rng.uniform(margin_m, c.room_width_m - margin_m),
+                 rng.uniform(margin_m, c.room_height_m - margin_m)};
+    // Face roughly at the AP — things are installed pointing at the hub.
+    const double aim = (ap.position - p).angle() + rng.uniform(-0.3, 0.3);
+    return channel::Pose{p, aim};
+  };
+
+  // Register `thing` (fresh join or power-cycle rejoin) at `pose`:
+  // channel request first, resident-but-unassociated fallback on deny.
+  const auto register_thing = [&](Thing& thing, const channel::Pose& pose) {
+    ++rep.joins;
+    if (const auto id = sim.add_node(pose, c.node_rate_bps)) {
+      thing.id = *id;
+      thing.associated = true;
+      ++rep.granted;
+    } else {
+      thing.id = sim.add_tracked_node(pose);
+      thing.associated = false;
+      ++rep.denied;
+    }
+  };
+
+  EventQueue q;
+
+  // Join storm: all things arrive spread over the join window.
+  for (std::size_t i = 0; i < c.nodes; ++i) {
+    const double t = c.join_window_s * static_cast<double>(i + 1) / static_cast<double>(c.nodes);
+    q.schedule_at(t, [&, i] {
+      things.emplace_back(Rng::stream(seed, 2 + i), c.node_rate_bps, rc);
+      Thing& thing = things.back();
+      register_thing(thing, random_pose(thing.rng));
+    });
+  }
+
+  // Churn ticks: crowd walks, a slice of things re-pose, a slice
+  // power-cycles, and unassociated things retry the freed spectrum.
+  // Scheduled before the measurement ticks so that at equal timestamps
+  // the FIFO tie-break runs geometry changes first, measurements second.
+  std::size_t retry_cursor = 0;
+  for (double t = c.churn_interval_s; t <= c.duration_s; t += c.churn_interval_s) {
+    q.schedule_at(t, [&] {
+      crowd.update(c.churn_interval_s, crowd_rng);
+      ++rep.blocker_updates;
+      if (things.empty()) return;
+
+      const auto slice = [&](double frac) {
+        return static_cast<std::size_t>(
+            std::llround(frac * static_cast<double>(things.size())));
+      };
+
+      for (std::size_t k = 0; k < slice(c.move_fraction); ++k) {
+        Thing& thing = things[static_cast<std::size_t>(
+            churn_rng.uniform_int(0, static_cast<int>(things.size()) - 1))];
+        sim.set_node_pose(thing.id, random_pose(thing.rng));
+        ++rep.moves;
+      }
+
+      const std::size_t n_leave = slice(c.leave_fraction);
+      for (std::size_t k = 0; k < n_leave; ++k) {
+        Thing& thing = things[static_cast<std::size_t>(
+            churn_rng.uniform_int(0, static_cast<int>(things.size()) - 1))];
+        sim.remove_node(thing.id);
+        ++rep.leaves;
+        register_thing(thing, random_pose(thing.rng));  // power-cycle: rejoin
+      }
+
+      // Denied things retry as departures free spectrum (round-robin scan).
+      std::size_t retries = n_leave;
+      for (std::size_t scanned = 0; retries > 0 && scanned < things.size(); ++scanned) {
+        Thing& thing = things[retry_cursor++ % things.size()];
+        if (thing.associated) continue;
+        const channel::Pose pose = sim.node_pose(thing.id);
+        sim.remove_node(thing.id);
+        register_thing(thing, pose);
+        --retries;
+      }
+    });
+  }
+
+  // Measurement ticks: the AP refreshes stale cache entries in one batch,
+  // then polls every resident link and runs each thing's ARQ + AIMD step.
+  double snr_sum_db = 0.0;
+  double ber_sum = 0.0;
+  for (double t = c.measure_interval_s; t <= c.duration_s; t += c.measure_interval_s) {
+    q.schedule_at(t, [&] {
+      const auto t0 = std::chrono::steady_clock::now();
+      ++rep.measure_rounds;
+      rep.cache_refills += sim.refresh_cache(c.refresh_threads);
+      for (Thing& thing : things) {
+        const OtamLink l = c.use_cache ? sim.link(thing.id) : sim.link_uncached(thing.id);
+        ++rep.link_evals;
+        snr_sum_db += l.snr_db;
+        ber_sum += l.joint_ber;
+        if (!thing.associated) continue;
+
+        if (thing.arq.next_action() == mac::ArqSender::Action::kIdle)
+          thing.arq.offer(thing.next_seq++);
+        if (thing.arq.next_action() != mac::ArqSender::Action::kTransmit) continue;
+        thing.arq.on_transmitted();
+        const double p_frame = std::pow(1.0 - l.joint_ber, c.frame_bits);
+        if (thing.rng.chance(p_frame)) {
+          thing.arq.on_ack(thing.arq.current_seq());
+          thing.rate.on_success();
+        } else {
+          thing.arq.on_timeout();
+          thing.rate.on_failure();
+        }
+      }
+      rep.measure_wall_s += std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - t0).count();
+    });
+  }
+
+  q.run_until(c.duration_s);
+
+  rep.cache = sim.cache_stats();
+  double rate_sum_bps = 0.0;
+  std::size_t rate_count = 0;
+  for (const Thing& thing : things) {
+    rep.arq.transmissions += thing.arq.stats().transmissions;
+    rep.arq.delivered += thing.arq.stats().delivered;
+    rep.arq.gave_up += thing.arq.stats().gave_up;
+    rep.arq.duplicate_acks += thing.arq.stats().duplicate_acks;
+    if (thing.associated) {
+      rate_sum_bps += thing.rate.rate_bps();
+      ++rate_count;
+    }
+  }
+  if (rep.link_evals > 0) {
+    rep.mean_snr_db = snr_sum_db / static_cast<double>(rep.link_evals);
+    rep.mean_joint_ber = ber_sum / static_cast<double>(rep.link_evals);
+  }
+  if (rate_count > 0) rep.mean_rate_bps = rate_sum_bps / static_cast<double>(rate_count);
+  const std::uint64_t resolved = rep.arq.delivered + rep.arq.gave_up;
+  if (resolved > 0)
+    rep.delivery_ratio = static_cast<double>(rep.arq.delivered) / static_cast<double>(resolved);
+  return rep;
+}
+
+}  // namespace mmx::sim

@@ -63,5 +63,70 @@ TEST(EventQueue, PastSchedulingThrows) {
   EXPECT_THROW(q.schedule_at(3.0, nullptr), std::invalid_argument);
 }
 
+TEST(EventQueue, NegativeDeltaThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_in(-0.5, [] {}), std::invalid_argument);
+}
+
+// The scale lane leans on this: its churn and measurement ticks share
+// timestamps (including one exactly at duration_s), and correctness
+// requires the boundary event to run and same-time events to keep
+// schedule order.
+TEST(EventQueue, EventExactlyAtBoundaryExecutes) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(2.0, [&] { ++fired; });
+  q.schedule_at(2.0 + 1e-9, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(2.0), 2u);  // t == t_end is inside the window
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, ReentrantZeroDelayRunsAfterQueuedSameTimeEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(1.0, [&] {
+    order.push_back(0);
+    // Scheduled from inside a handler at now(): must run at the same
+    // timestamp but AFTER the events already queued for t=1.0 (FIFO by
+    // insertion seq, not by scheduling depth).
+    q.schedule_in(0.0, [&] { order.push_back(9); });
+  });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(1.0, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 9}));
+}
+
+TEST(EventQueue, PreScheduledAndHandlerScheduledInterleaveBySeq) {
+  // Two generations of same-time events: the second generation (created
+  // while running) lands strictly after every first-generation event,
+  // and within each generation order is insertion order.
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i)
+    q.schedule_at(5.0, [&order, &q, i] {
+      order.push_back(i);
+      q.schedule_in(0.0, [&order, i] { order.push_back(10 + i); });
+    });
+  EXPECT_EQ(q.run_until(5.0), 6u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 10, 11, 12}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunAllAfterRunUntilResumesFromBoundary) {
+  EventQueue q;
+  std::vector<double> seen;
+  q.schedule_at(1.0, [&] { seen.push_back(q.now()); });
+  q.schedule_at(3.0, [&] { seen.push_back(q.now()); });
+  q.run_until(2.0);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  q.run_all();
+  EXPECT_EQ(seen, (std::vector<double>{1.0, 3.0}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
 }  // namespace
 }  // namespace mmx::sim

@@ -1,0 +1,157 @@
+// Validation lane: Monte-Carlo sample-level demodulation cross-checked
+// against the analytic BER models over an SNR grid.
+//
+// The network layer (Fig. 11 regeneration, the scale lane's frame
+// delivery draws) trusts `ber_two_level` / `ber_bfsk_noncoherent` as a
+// stand-in for running the sample-level PHY; this suite is the contract
+// that keeps that substitution honest. For each SNR point we synthesize
+// actual waveforms, add calibrated AWGN, demodulate, count errors, and
+// require the measured BER to sit within a 3x band of the prediction
+// (~1 dB on the waterfall — the envelope/Gaussian approximation gap).
+//
+// Complements tests/phy/ber_validation_test.cpp, which pins the ASK
+// branch at the default OTAM contrast: this grid uses a different beam
+// contrast for ASK and adds the FSK branch, which the phy suite does not
+// cross-validate at sample level.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mmx/common/rng.hpp"
+#include "mmx/common/units.hpp"
+#include "mmx/dsp/noise.hpp"
+#include "mmx/phy/ask.hpp"
+#include "mmx/phy/ber.hpp"
+#include "mmx/phy/fsk.hpp"
+#include "mmx/phy/otam.hpp"
+#include "mmx/phy/preamble.hpp"
+
+namespace mmx::phy {
+namespace {
+
+PhyConfig test_cfg() {
+  PhyConfig cfg;
+  cfg.symbol_rate_hz = 1e6;
+  cfg.samples_per_symbol = 16;
+  cfg.fsk_freq0_hz = -2e6;
+  cfg.fsk_freq1_hz = 2e6;
+  cfg.guard_frac = 0.0;  // integrate the whole symbol so n_avg is exact
+  return cfg;
+}
+
+// A weaker beam contrast than the phy-suite fixture (|h0| = 0.35 vs
+// 0.25): the ASK decision margin shrinks, so this grid exercises the
+// analytic model at a point the existing validation does not.
+const OtamChannel kChannel{{0.35, 0.0}, {1.0, 0.0}};
+
+double measured_ask_ber(double snr_db, std::size_t total_bits, Rng& rng) {
+  const PhyConfig cfg = test_cfg();
+  rf::SpdtSwitch sw;
+  const Bits& prefix = default_preamble();
+  std::size_t errors = 0;
+  std::size_t counted = 0;
+  while (counted < total_bits) {
+    Bits bits = prefix;
+    for (int i = 0; i < 2000; ++i) bits.push_back(rng.uniform_int(0, 1));
+    auto rx = otam_synthesize(bits, cfg, kChannel, sw);
+    // The analytic noise_power argument is relative to the strong level.
+    const OtamLevels lv = otam_levels(kChannel, sw);
+    const double noise_power = lv.level1 * lv.level1 / db_to_lin(snr_db);
+    dsp::add_awgn(rx, noise_power, rng);
+    const AskDecision d = ask_demodulate(rx, cfg, prefix);
+    // Drop sync failures (a real receiver re-arms on a bad training
+    // field); counting them would measure polarity flips, not BER.
+    std::size_t prefix_err = 0;
+    for (std::size_t i = 0; i < prefix.size(); ++i) prefix_err += (d.bits[i] != prefix[i]);
+    if (prefix_err > prefix.size() / 4) continue;
+    for (std::size_t i = prefix.size(); i < bits.size(); ++i) {
+      errors += (d.bits[i] != bits[i]);
+      ++counted;
+    }
+  }
+  return static_cast<double>(errors) / static_cast<double>(counted);
+}
+
+double predicted_ask_ber(double snr_db) {
+  const PhyConfig cfg = test_cfg();
+  rf::SpdtSwitch sw;
+  const OtamLevels lv = otam_levels(kChannel, sw);
+  const double noise_power = lv.level1 * lv.level1 / db_to_lin(snr_db);
+  return ber_two_level(lv.level1, lv.level0, noise_power, cfg.samples_per_symbol);
+}
+
+/// Measure the FSK branch: pure unit-amplitude BFSK tones + AWGN at a
+/// per-sample SNR, Goertzel tone discrimination.
+double measured_fsk_ber(double snr_db, std::size_t total_bits, Rng& rng) {
+  const PhyConfig cfg = test_cfg();
+  std::size_t errors = 0;
+  std::size_t counted = 0;
+  while (counted < total_bits) {
+    Bits bits(2000);
+    for (int& b : bits) b = rng.uniform_int(0, 1);
+    auto rx = fsk_modulate(bits, cfg);
+    const double noise_power = 1.0 / db_to_lin(snr_db);  // unit tone amplitude
+    dsp::add_awgn(rx, noise_power, rng);
+    const FskDecision d = fsk_demodulate(rx, cfg);
+    for (std::size_t i = 0; i < bits.size(); ++i) errors += (d.bits[i] != bits[i]);
+    counted += bits.size();
+  }
+  return static_cast<double>(errors) / static_cast<double>(counted);
+}
+
+/// The Goertzel filter integrates the tone coherently over the symbol, so
+/// the per-symbol SNR entering the non-coherent BFSK formula is the
+/// per-sample SNR times the samples integrated (= sps at guard_frac 0) —
+/// the same n_avg mapping LinkBudget::evaluate_otam uses.
+double predicted_fsk_ber(double snr_db) {
+  const PhyConfig cfg = test_cfg();
+  const double n_used = static_cast<double>(cfg.samples_per_symbol);
+  return ber_bfsk_noncoherent(db_to_lin(snr_db) * n_used);
+}
+
+class AskMcSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AskMcSweep, MeasuredWithinFactorOfAnalytic) {
+  const double snr_db = GetParam();
+  Rng rng(static_cast<std::uint64_t>(snr_db * 1000.0) + 11);
+  const double predicted = predicted_ask_ber(snr_db);
+  ASSERT_GT(predicted, 1e-4) << "pick SNRs where errors are countable";
+  const auto bits_needed = static_cast<std::size_t>(std::min(2e6, 200.0 / predicted));
+  const double measured = measured_ask_ber(snr_db, bits_needed, rng);
+  EXPECT_GT(measured, predicted / 3.0) << "SNR " << snr_db;
+  EXPECT_LT(measured, predicted * 3.0) << "SNR " << snr_db;
+}
+
+// Per-sample SNRs putting the per-symbol (x16) ASK BER in a countable
+// range for the 0.35-contrast channel.
+INSTANTIATE_TEST_SUITE_P(Grid, AskMcSweep, ::testing::Values(-8.0, -6.5, -5.0));
+
+class FskMcSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FskMcSweep, MeasuredWithinFactorOfAnalytic) {
+  const double snr_db = GetParam();
+  Rng rng(static_cast<std::uint64_t>(snr_db * 1000.0) + 13);
+  const double predicted = predicted_fsk_ber(snr_db);
+  ASSERT_GT(predicted, 1e-4) << "pick SNRs where errors are countable";
+  const auto bits_needed = static_cast<std::size_t>(std::min(2e6, 200.0 / predicted));
+  const double measured = measured_fsk_ber(snr_db, bits_needed, rng);
+  EXPECT_GT(measured, predicted / 3.0) << "SNR " << snr_db;
+  EXPECT_LT(measured, predicted * 3.0) << "SNR " << snr_db;
+}
+
+// Per-sample SNRs mapping to per-symbol gammas of ~5.7/7.1/9.0 — FSK BER
+// ~3e-2 down to ~5e-3.
+INSTANTIATE_TEST_SUITE_P(Grid, FskMcSweep, ::testing::Values(-4.5, -3.5, -2.5));
+
+TEST(McBerValidation, AskWaterfallMonotone) {
+  Rng rng(101);
+  EXPECT_GT(measured_ask_ber(-9.0, 40000, rng), measured_ask_ber(-5.0, 40000, rng));
+}
+
+TEST(McBerValidation, FskWaterfallMonotone) {
+  Rng rng(103);
+  EXPECT_GT(measured_fsk_ber(-5.0, 40000, rng), measured_fsk_ber(-2.0, 40000, rng));
+}
+
+}  // namespace
+}  // namespace mmx::phy
