@@ -13,11 +13,9 @@
 
 #include "mmx/common/rng.hpp"
 #include "mmx/common/units.hpp"
-#include "mmx/dsp/noise.hpp"
 #include "mmx/phy/ber.hpp"
 #include "mmx/phy/coding.hpp"
-#include "mmx/phy/joint.hpp"
-#include "mmx/phy/otam.hpp"
+#include "mmx/phy/pipeline.hpp"
 #include "mmx/phy/preamble.hpp"
 #include "mmx/sim/sweep.hpp"
 
@@ -41,15 +39,16 @@ double measured_coded_ber(CodingProfile profile, double snr_db, std::size_t fram
 
   std::size_t errors = 0;
   std::size_t counted = 0;
+  FramePipeline& pipe = thread_pipeline(cfg);  // warm buffers across frames
   for (std::size_t frame = 0; frame < frames; ++frame) {
     Bits body(1200);
     for (int& b : body) b = rng.uniform_int(0, 1);
     Bits bits = preamble;
     const Bits coded = encode_body(body, profile);
     bits.insert(bits.end(), coded.begin(), coded.end());
-    auto rx = otam_synthesize(bits, cfg, ch, sw);
-    dsp::add_awgn(rx, dsp::mean_power(rx) / db_to_lin(snr_db), rng);
-    const JointDecision d = joint_demodulate(rx, cfg, preamble);
+    pipe.synthesize_otam(bits, ch, sw);
+    pipe.add_noise_snr(snr_db, rng);
+    const JointDecision& d = pipe.demodulate_joint(preamble);
     Bits rx_body(d.bits.begin() + static_cast<long>(preamble.size()), d.bits.end());
     if (profile != CodingProfile::kNone) {
       rx_body.resize(coded.size());

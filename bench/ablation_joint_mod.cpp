@@ -13,11 +13,7 @@
 
 #include "mmx/common/rng.hpp"
 #include "mmx/common/units.hpp"
-#include "mmx/dsp/noise.hpp"
-#include "mmx/phy/ask.hpp"
-#include "mmx/phy/fsk.hpp"
-#include "mmx/phy/joint.hpp"
-#include "mmx/phy/otam.hpp"
+#include "mmx/phy/pipeline.hpp"
 #include "mmx/sim/sweep.hpp"
 
 #include "harness.hpp"
@@ -50,12 +46,15 @@ int main(int argc, char** argv) {
     const OtamChannel ch{{h0, 0.0}, {1.0, 0.0}};
     Bits bits = prefix;
     for (std::size_t i = 0; i < bits_per_point; ++i) bits.push_back(rng.uniform_int(0, 1));
-    auto rx = otam_synthesize(bits, cfg, ch, sw);
-    dsp::add_awgn(rx, dsp::mean_power(rx) / db_to_lin(snr_db), rng);
+    // Thread-local frame pipeline: buffers warm after the first point on
+    // each worker, so the sweep body stops allocating per trial.
+    FramePipeline& pipe = thread_pipeline(cfg);
+    pipe.synthesize_otam(bits, ch, sw);
+    pipe.add_noise_snr(snr_db, rng);
 
-    const AskDecision ask = ask_demodulate(rx, cfg, prefix);
-    const FskDecision fsk = fsk_demodulate(rx, cfg);
-    const JointDecision joint = joint_demodulate(rx, cfg, prefix);
+    const AskDecision& ask = pipe.demodulate_ask(prefix);
+    const FskDecision& fsk = pipe.demodulate_fsk();
+    const JointDecision& joint = pipe.demodulate_joint(prefix);
     std::size_t err_ask = 0;
     std::size_t err_fsk = 0;
     std::size_t err_joint = 0;

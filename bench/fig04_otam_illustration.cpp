@@ -10,9 +10,7 @@
 #include "mmx/channel/blockage.hpp"
 #include "mmx/common/rng.hpp"
 #include "mmx/common/units.hpp"
-#include "mmx/dsp/noise.hpp"
-#include "mmx/phy/joint.hpp"
-#include "mmx/phy/otam.hpp"
+#include "mmx/phy/pipeline.hpp"
 #include "mmx/phy/preamble.hpp"
 
 using namespace mmx;
@@ -42,9 +40,10 @@ void run_scenario(const char* label, bool blocked, Rng& rng) {
   Bits bits = preamble;
   for (int b : {1, 0, 1}) bits.push_back(b);  // the paper's "101" example
 
-  auto rx = otam_synthesize(bits, cfg, {g.h0, g.h1}, sw);
-  dsp::add_awgn(rx, dsp::mean_power(rx) / db_to_lin(25.0), rng);
-  const JointDecision d = joint_demodulate(rx, cfg, preamble);
+  FramePipeline& pipe = thread_pipeline(cfg);
+  pipe.synthesize_otam(bits, {g.h0, g.h1}, sw);
+  pipe.add_noise_snr(25.0, rng);
+  const JointDecision& d = pipe.demodulate_joint(preamble);
 
   std::printf("--- %s ---\n", label);
   std::printf("  |h1| (Beam 1 path): %6.1f dB   |h0| (Beam 0 path): %6.1f dB\n",

@@ -9,9 +9,7 @@
 #include "mmx/common/rng.hpp"
 #include "mmx/common/units.hpp"
 #include "mmx/dsp/envelope.hpp"
-#include "mmx/dsp/noise.hpp"
-#include "mmx/phy/joint.hpp"
-#include "mmx/phy/otam.hpp"
+#include "mmx/phy/pipeline.hpp"
 
 using namespace mmx;
 using namespace mmx::phy;
@@ -30,18 +28,19 @@ void run_case(const char* label, const OtamChannel& ch, Rng& rng) {
   Bits bits = prefix;
   for (int b : {1, 1, 0, 1, 0, 0}) bits.push_back(b);
 
-  auto rx = otam_synthesize(bits, cfg, ch, sw);
-  dsp::add_awgn(rx, dsp::mean_power(rx) / db_to_lin(22.0), rng);
+  FramePipeline& pipe = thread_pipeline(cfg);
+  pipe.synthesize_otam(bits, ch, sw);
+  pipe.add_noise_snr(22.0, rng);
 
   std::printf("--- %s ---\n", label);
-  const auto env = dsp::symbol_envelopes(rx, cfg.samples_per_symbol, cfg.guard_frac);
+  const auto env = dsp::symbol_envelopes(pipe.rx(), cfg.samples_per_symbol, cfg.guard_frac);
   std::printf("  bit:       ");
   for (int b : bits) std::printf("   %d  ", b);
   std::printf("\n  envelope:  ");
   for (double e : env) std::printf("%5.2f ", e / env[0]);
   std::printf(" (relative to first symbol)\n");
 
-  const JointDecision d = joint_demodulate(rx, cfg, prefix);
+  const JointDecision& d = pipe.demodulate_joint(prefix);
   const char* mode = d.mode == DecisionMode::kAsk    ? "ASK"
                      : d.mode == DecisionMode::kFsk  ? "FSK"
                                                      : "joint";

@@ -5,6 +5,9 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
+
+#include "build_info.hpp"
 
 namespace mmx::bench {
 
@@ -41,6 +44,16 @@ std::string json_double(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
+}
+
+// Compiler flag strings can contain quotes/backslashes; escape for JSON.
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out.push_back('\\');
+    out.push_back(*s);
+  }
+  return out;
 }
 
 }  // namespace
@@ -147,7 +160,13 @@ bool JsonReport::write() const {
         << ", \"p10\": " << json_double(m.p10) << ", \"p90\": " << json_double(m.p90)
         << ", \"min\": " << json_double(m.min) << ", \"max\": " << json_double(m.max) << "}";
   }
-  out << (metrics_.empty() ? "" : "\n  ") << "]\n";
+  out << (metrics_.empty() ? "" : "\n  ") << "],\n";
+  // Run metadata last: tools/sweep_gate key-scans the document, so the
+  // gated keys above must appear before any free-form strings.
+  out << "  \"meta\": {\"git_sha\": \"" << json_escape(kBuildGitSha) << "\", \"compiler\": \""
+      << json_escape(kBuildCompiler) << "\", \"cxx_flags\": \"" << json_escape(kBuildCxxFlags)
+      << "\", \"build_type\": \"" << json_escape(kBuildType)
+      << "\", \"cpu_cores\": " << std::thread::hardware_concurrency() << "}\n";
   out << "}\n";
   std::ofstream file(json_path_);
   if (!file) {

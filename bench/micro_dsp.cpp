@@ -1,120 +1,211 @@
-// Microbenchmarks (google-benchmark): throughput of the primitives the
-// AP runs per received sample — the budget that decides how many nodes
-// one AP CPU can demodulate in real time.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks of the per-sample DSP fast path, on the shared sweep
+// harness (same flags/JSON as every other bench).
+//
+// Two kernel sets are selectable with --kernels:
+//   fast  the production path: rotator NCO/Goertzel, plan-based FFT,
+//         block FIR, and the FramePipeline frame context
+//   ref   the retained pre-rewrite forms (tests/reference): one cos/sin
+//         pair per sample, twiddle-recurrence FFT, allocating per-call
+//         demodulators
+//
+// --stage picks one workload for a machine-readable run (the JSON bench
+// name carries the stage, so tools/sweep_gate can compare a matched
+// ref/fast pair); the default `all` prints a ref-vs-fast table. CI's
+// bench-perf lane gates goertzel at >= 3x and the fig11-style frame
+// stage (synthesize -> AWGN -> joint demodulate at the pinned config) at
+// >= 2x.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
-#include "mmx/channel/beam_channel.hpp"
+#include "harness.hpp"
 #include "mmx/common/rng.hpp"
 #include "mmx/dsp/fft.hpp"
 #include "mmx/dsp/fir.hpp"
 #include "mmx/dsp/goertzel.hpp"
 #include "mmx/dsp/noise.hpp"
-#include "mmx/common/units.hpp"
-#include "mmx/phy/joint.hpp"
-#include "mmx/phy/otam.hpp"
+#include "mmx/dsp/tone.hpp"
+#include "mmx/dsp/workspace.hpp"
+#include "mmx/phy/pipeline.hpp"
+#include "reference_kernels.hpp"
 
 using namespace mmx;
 
 namespace {
 
-dsp::Cvec noise_block(std::size_t n) {
-  Rng rng(1);
+// Pinned fig11-style operating point (paper §9: 1 Mb/s link, ±2 MHz
+// tones, 9 dB level gap between the beams, 20 dB SNR).
+constexpr std::size_t kFrameBits = 1000;
+constexpr double kSnrDb = 20.0;
+const phy::Bits kPrefix = {1, 0, 1, 0};
+
+phy::PhyConfig pinned_config() {
+  phy::PhyConfig cfg;
+  cfg.symbol_rate_hz = 1e6;
+  cfg.samples_per_symbol = 16;
+  cfg.fsk_freq0_hz = -2e6;
+  cfg.fsk_freq1_hz = 2e6;
+  return cfg;
+}
+
+const phy::OtamChannel kChannel{{1e-4, 0.0}, {1e-3, 0.0}};
+
+dsp::Cvec noise_block(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
   return dsp::awgn(n, 1.0, rng);
 }
 
-void BM_Fft(benchmark::State& state) {
-  dsp::Cvec x = noise_block(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    dsp::Cvec y = x;
-    dsp::fft_inplace(y);
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_Fft)->Arg(256)->Arg(1024)->Arg(4096);
+// Each trial returns a checksum/BER so the work cannot be optimized away
+// and ref/fast runs can be sanity-compared in the JSON metrics.
 
-void BM_Goertzel(benchmark::State& state) {
-  const dsp::Cvec x = noise_block(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(dsp::goertzel_power(x, 1e6, 16e6));
+double trial_goertzel(bool fast) {
+  static const dsp::Cvec x = noise_block(4096, 1);
+  const double fs = 16e6;
+  if (fast) {
+    static const dsp::GoertzelBank bank({-2e6, 2e6}, fs);
+    double p[2];
+    bank.measure(x, p);
+    return p[0] + p[1];
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+  return refdsp::goertzel_power(x, -2e6, fs) + refdsp::goertzel_power(x, 2e6, fs);
 }
-BENCHMARK(BM_Goertzel)->Arg(16)->Arg(256);
 
-void BM_FirFilter(benchmark::State& state) {
-  dsp::FirFilter fir(dsp::design_lowpass(16e6, 2e6, 63));
-  const dsp::Cvec x = noise_block(4096);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(fir.process(x).data());
+double trial_fft(bool fast) {
+  static const dsp::Cvec x = noise_block(1024, 2);
+  thread_local dsp::Cvec buf;
+  buf = x;
+  if (fast) {
+    dsp::fft_inplace(buf);
+  } else {
+    refdsp::fft_inplace(buf);
   }
-  state.SetItemsProcessed(state.iterations() * 4096);
+  return buf[1].real();
 }
-BENCHMARK(BM_FirFilter);
 
-void BM_OtamSynthesize(benchmark::State& state) {
-  Rng rng(2);
-  phy::PhyConfig cfg;
-  cfg.symbol_rate_hz = 1e6;
-  cfg.samples_per_symbol = 16;
-  cfg.fsk_freq0_hz = -2e6;
-  cfg.fsk_freq1_hz = 2e6;
-  rf::SpdtSwitch sw;
-  phy::Bits bits(1000);
-  for (int& b : bits) b = rng.uniform_int(0, 1);
-  const phy::OtamChannel ch{{1e-4, 0.0}, {1e-3, 0.0}};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(phy::otam_synthesize(bits, cfg, ch, sw).data());
+double trial_fir(bool fast) {
+  static const dsp::Rvec taps = dsp::design_lowpass(16e6, 2e6, 63);
+  static const dsp::Cvec x = noise_block(4096, 3);
+  if (fast) {
+    thread_local dsp::FirFilter f(taps);
+    thread_local dsp::Cvec out;
+    f.reset();  // fresh state every trial keeps results scheduling-independent
+    out.resize(x.size());
+    f.process_into(x, out, dsp::DspWorkspace::tls());
+    return out[100].real();
   }
-  state.SetItemsProcessed(state.iterations() * bits.size());
+  return refdsp::fir_apply(taps, x)[100].real();
 }
-BENCHMARK(BM_OtamSynthesize);
 
-void BM_JointDemodulate(benchmark::State& state) {
-  Rng rng(3);
-  phy::PhyConfig cfg;
-  cfg.symbol_rate_hz = 1e6;
-  cfg.samples_per_symbol = 16;
-  cfg.fsk_freq0_hz = -2e6;
-  cfg.fsk_freq1_hz = 2e6;
-  rf::SpdtSwitch sw;
-  phy::Bits bits{1, 0, 1, 0};
-  for (int i = 0; i < 1000; ++i) bits.push_back(rng.uniform_int(0, 1));
-  const phy::OtamChannel ch{{1e-4, 0.0}, {1e-3, 0.0}};
-  auto rx = phy::otam_synthesize(bits, cfg, ch, sw);
-  dsp::add_awgn_snr(rx, 20.0, rng);
-  const phy::Bits prefix{1, 0, 1, 0};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(phy::joint_demodulate(rx, cfg, prefix).bits.data());
+double trial_nco(bool fast) {
+  constexpr std::size_t kSamples = 65536;
+  if (fast) {
+    thread_local dsp::Cvec buf(kSamples);
+    dsp::Nco nco(16e6, 1.7e6);
+    nco.generate_into(buf);
+    return buf.back().real();
   }
-  state.SetItemsProcessed(state.iterations() * bits.size());
+  refdsp::RefNco nco(16e6, 1.7e6);
+  return nco.generate(kSamples).back().real();
 }
-BENCHMARK(BM_JointDemodulate);
 
-void BM_RayTrace(benchmark::State& state) {
-  channel::Room room(6.0, 4.0);
-  room.add_blocker(channel::human_blocker({3.0, 2.0}));
-  channel::RayTracer tracer(room);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(tracer.trace({1.0, 2.0}, {5.0, 2.5}));
-  }
+const phy::Bits& frame_bits(Rng& rng) {
+  thread_local phy::Bits frame;
+  frame.assign(kPrefix.begin(), kPrefix.end());
+  for (std::size_t i = 0; i < kFrameBits; ++i) frame.push_back(rng.chance(0.5) ? 1 : 0);
+  return frame;
 }
-BENCHMARK(BM_RayTrace);
 
-void BM_BeamGains(benchmark::State& state) {
-  channel::Room room(6.0, 4.0);
-  channel::RayTracer tracer(room);
-  antenna::MmxBeamPair beams;
-  antenna::Dipole ap_ant;
-  const channel::Pose node{{1.0, 2.0}, 0.3};
-  const channel::Pose ap{{5.0, 2.0}, kPi};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        channel::compute_beam_gains(tracer, node, beams, ap, ap_ant, 24.125e9));
+double trial_otam(bool fast, Rng& rng) {
+  const phy::PhyConfig cfg = pinned_config();
+  const rf::SpdtSwitch spdt;
+  const phy::Bits& bits = frame_bits(rng);
+  if (fast) {
+    phy::FramePipeline& pipe = phy::thread_pipeline(cfg);
+    pipe.synthesize_otam(bits, kChannel, spdt);
+    return std::abs(pipe.rx()[5]);
   }
+  return std::abs(refdsp::otam_synthesize(bits, cfg, kChannel, spdt)[5]);
 }
-BENCHMARK(BM_BeamGains);
+
+double trial_fig11(bool fast, Rng& rng) {
+  const phy::PhyConfig cfg = pinned_config();
+  const rf::SpdtSwitch spdt;
+  const phy::Bits& bits = frame_bits(rng);
+  std::size_t errors = 0;
+  if (fast) {
+    phy::FramePipeline& pipe = phy::thread_pipeline(cfg);
+    pipe.synthesize_otam(bits, kChannel, spdt);
+    pipe.add_noise_snr(kSnrDb, rng);
+    const phy::JointDecision& d = pipe.demodulate_joint(kPrefix);
+    for (std::size_t i = kPrefix.size(); i < bits.size(); ++i) errors += (d.bits[i] != bits[i]);
+  } else {
+    dsp::Cvec rx = refdsp::otam_synthesize(bits, cfg, kChannel, spdt);
+    dsp::add_awgn_snr(rx, kSnrDb, rng);
+    const phy::JointDecision d = refdsp::joint_demodulate(rx, cfg, kPrefix);
+    for (std::size_t i = kPrefix.size(); i < bits.size(); ++i) errors += (d.bits[i] != bits[i]);
+  }
+  return static_cast<double>(errors) / static_cast<double>(kFrameBits);
+}
+
+const std::vector<std::string> kStages = {"goertzel", "fig11", "fft", "fir", "otam", "nco"};
+
+sim::SweepResult<double> run_stage(const std::string& stage, bool fast,
+                                   sim::SweepRunner& runner) {
+  if (stage == "goertzel") return runner.run([&](std::size_t, Rng&) { return trial_goertzel(fast); });
+  if (stage == "fft") return runner.run([&](std::size_t, Rng&) { return trial_fft(fast); });
+  if (stage == "fir") return runner.run([&](std::size_t, Rng&) { return trial_fir(fast); });
+  if (stage == "nco") return runner.run([&](std::size_t, Rng&) { return trial_nco(fast); });
+  if (stage == "otam") return runner.run([&](std::size_t, Rng& rng) { return trial_otam(fast, rng); });
+  return runner.run([&](std::size_t, Rng& rng) { return trial_fig11(fast, rng); });
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string stage = "all";
+  std::string kernels = "fast";
+  const bench::Options opt = bench::parse_args(
+      argc, argv, /*default_trials=*/600, /*default_seed=*/0x6d6d5821ULL, "trials per stage",
+      {{"--stage", "all|goertzel|fig11|fft|fir|otam|nco (default all)", &stage},
+       {"--kernels", "fast|ref kernel set (default fast)", &kernels}});
+  if (kernels != "fast" && kernels != "ref") {
+    std::fprintf(stderr, "micro_dsp: --kernels must be fast or ref, got '%s'\n", kernels.c_str());
+    return 2;
+  }
+  const bool fast = kernels == "fast";
+  sim::SweepRunner runner(opt.sweep);
+
+  if (stage == "all") {
+    bench::JsonReport report("micro_dsp", opt);
+    std::printf("# micro_dsp — ref vs fast kernels, %zu trials/stage, %zu threads\n",
+                opt.sweep.trials, runner.threads());
+    std::printf("%-10s %14s %14s %9s\n", "stage", "ref trials/s", "fast trials/s", "speedup");
+    for (const std::string& s : kStages) {
+      const sim::SweepResult<double> ref = run_stage(s, /*fast=*/false, runner);
+      const sim::SweepResult<double> fst = run_stage(s, /*fast=*/true, runner);
+      const double speedup = ref.trials_per_s > 0.0 ? fst.trials_per_s / ref.trials_per_s : 0.0;
+      std::printf("%-10s %14.1f %14.1f %8.2fx\n", s.c_str(), ref.trials_per_s, fst.trials_per_s,
+                  speedup);
+      report.add_scalar("speedup_" + s, speedup);
+      if (s == "fig11") report.record(fst);
+    }
+    return report.write() ? 0 : 1;
+  }
+
+  bool known = false;
+  for (const std::string& s : kStages) known = known || (s == stage);
+  if (!known) {
+    std::fprintf(stderr, "micro_dsp: unknown --stage '%s'\n", stage.c_str());
+    return 2;
+  }
+  const sim::SweepResult<double> result = run_stage(stage, fast, runner);
+  bench::report_timing(result);
+  std::printf("[micro_dsp] stage=%s kernels=%s trials=%zu trials_per_s=%.1f\n", stage.c_str(),
+              kernels.c_str(), result.trials.size(), result.trials_per_s);
+  bench::JsonReport report("micro_dsp_" + stage, opt);
+  report.record(result);
+  report.add_metric("checksum", result.trials);
+  return report.write() ? 0 : 1;
+}

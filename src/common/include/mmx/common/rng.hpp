@@ -5,6 +5,7 @@
 // touches global random state.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 
@@ -15,8 +16,13 @@ class Rng {
   explicit Rng(std::uint64_t seed = 0x6d6d5821ULL) : engine_(seed) {}
 
   /// Uniform double in [lo, hi).
+  ///
+  /// Top 53 bits of one engine draw scaled by 2^-53 — the same value
+  /// grid as std::generate_canonical but without its per-draw floating
+  /// divide, which dominates AWGN synthesis cost.
   double uniform(double lo = 0.0, double hi = 1.0) {
-    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    const double u = static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+    return lo + u * (hi - lo);
   }
 
   /// Uniform integer in [lo, hi] inclusive.
@@ -24,13 +30,33 @@ class Rng {
     return std::uniform_int_distribution<int>(lo, hi)(engine_);
   }
 
-  /// Zero-mean Gaussian with the given standard deviation.
+  /// Gaussian with the given standard deviation and mean.
+  ///
+  /// Marsaglia polar method with the second variate of each pair cached:
+  /// AWGN synthesis draws one Gaussian per I/Q component, so a
+  /// per-call `std::normal_distribution` temporary (which must discard
+  /// its spare) would do every rejection loop and log/sqrt twice. The
+  /// cached spare is scaled by the sigma/mean of the call that consumes
+  /// it, so interleaved sigmas stay correct.
   double gaussian(double sigma = 1.0, double mean = 0.0) {
-    return std::normal_distribution<double>(mean, sigma)(engine_);
+    if (have_spare_) {
+      have_spare_ = false;
+      return mean + sigma * spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return mean + sigma * u * m;
   }
 
   /// Bernoulli trial.
-  bool chance(double p) { return std::bernoulli_distribution(p)(engine_); }
+  bool chance(double p) { return uniform() < p; }
 
   /// Fork an independent stream (e.g. one per node) without correlating
   /// draws with the parent.
@@ -59,6 +85,8 @@ class Rng {
 
  private:
   std::mt19937_64 engine_;
+  double spare_ = 0.0;      // second variate of the last Marsaglia pair
+  bool have_spare_ = false;
 };
 
 }  // namespace mmx

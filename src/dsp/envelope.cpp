@@ -7,30 +7,49 @@
 
 namespace mmx::dsp {
 
-Rvec envelope(std::span<const Complex> x, std::size_t smooth_len) {
+void envelope_into(std::span<const Complex> x, std::span<double> out, std::size_t smooth_len) {
   if (smooth_len == 0) throw std::invalid_argument("envelope: smooth_len must be > 0");
-  Rvec env(x.size());
+  if (out.size() != x.size()) throw std::invalid_argument("envelope_into: size mismatch");
   MovingAverage ma(smooth_len);
-  for (std::size_t i = 0; i < x.size(); ++i) env[i] = ma.process(std::abs(x[i]));
+  // sqrt(|x|^2) instead of std::abs: abs on complex is a hypot libcall
+  // (careful about overflow near DBL_MAX); baseband samples are O(1), so
+  // the direct form is safe and differs by at most ~1 ulp.
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out[i] = ma.process(std::sqrt(std::norm(x[i])));
+}
+
+Rvec envelope(std::span<const Complex> x, std::size_t smooth_len) {
+  Rvec env(x.size());
+  envelope_into(x, env, smooth_len);
   return env;
+}
+
+void symbol_envelopes_into(std::span<const Complex> x, std::size_t samples_per_symbol,
+                           double guard_frac, std::span<double> out) {
+  if (samples_per_symbol == 0)
+    throw std::invalid_argument("symbol_envelopes: samples_per_symbol must be > 0");
+  if (guard_frac < 0.0 || guard_frac >= 0.5)
+    throw std::invalid_argument("symbol_envelopes: guard_frac must be in [0, 0.5)");
+  const std::size_t n_sym = x.size() / samples_per_symbol;
+  if (out.size() != n_sym)
+    throw std::invalid_argument("symbol_envelopes_into: out must hold one value per symbol");
+  const auto guard = static_cast<std::size_t>(guard_frac * static_cast<double>(samples_per_symbol));
+  for (std::size_t s = 0; s < n_sym; ++s) {
+    const std::size_t begin = s * samples_per_symbol + guard;
+    const std::size_t end = (s + 1) * samples_per_symbol - guard;
+    double acc = 0.0;
+    // sqrt(norm) rather than the hypot-based std::abs — see envelope_into.
+    for (std::size_t i = begin; i < end; ++i) acc += std::sqrt(std::norm(x[i]));
+    out[s] = acc / static_cast<double>(end - begin);
+  }
 }
 
 Rvec symbol_envelopes(std::span<const Complex> x, std::size_t samples_per_symbol,
                       double guard_frac) {
   if (samples_per_symbol == 0)
     throw std::invalid_argument("symbol_envelopes: samples_per_symbol must be > 0");
-  if (guard_frac < 0.0 || guard_frac >= 0.5)
-    throw std::invalid_argument("symbol_envelopes: guard_frac must be in [0, 0.5)");
-  const std::size_t n_sym = x.size() / samples_per_symbol;
-  const auto guard = static_cast<std::size_t>(guard_frac * static_cast<double>(samples_per_symbol));
-  Rvec out(n_sym, 0.0);
-  for (std::size_t s = 0; s < n_sym; ++s) {
-    const std::size_t begin = s * samples_per_symbol + guard;
-    const std::size_t end = (s + 1) * samples_per_symbol - guard;
-    double acc = 0.0;
-    for (std::size_t i = begin; i < end; ++i) acc += std::abs(x[i]);
-    out[s] = acc / static_cast<double>(end - begin);
-  }
+  Rvec out(x.size() / samples_per_symbol, 0.0);
+  symbol_envelopes_into(x, samples_per_symbol, guard_frac, out);
   return out;
 }
 

@@ -5,48 +5,9 @@
 #include <stdexcept>
 
 #include "mmx/common/units.hpp"
+#include "mmx/dsp/fft_plan.hpp"
 
 namespace mmx::dsp {
-namespace {
-
-bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
-
-void bit_reverse_permute(std::span<Complex> x) {
-  const std::size_t n = x.size();
-  std::size_t j = 0;
-  for (std::size_t i = 1; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(x[i], x[j]);
-  }
-}
-
-void fft_core(std::span<Complex> x, bool inverse) {
-  const std::size_t n = x.size();
-  if (!is_pow2(n)) throw std::invalid_argument("fft: size must be a power of two");
-  bit_reverse_permute(x);
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
-    const Complex wlen{std::cos(ang), std::sin(ang)};
-    for (std::size_t i = 0; i < n; i += len) {
-      Complex w{1.0, 0.0};
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex u = x[i + k];
-        const Complex v = x[i + k + len / 2] * w;
-        x[i + k] = u + v;
-        x[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-  if (inverse) {
-    const double inv = 1.0 / static_cast<double>(n);
-    for (Complex& s : x) s *= inv;
-  }
-}
-
-}  // namespace
 
 std::size_t next_pow2(std::size_t n) {
   std::size_t p = 1;
@@ -54,8 +15,8 @@ std::size_t next_pow2(std::size_t n) {
   return p;
 }
 
-void fft_inplace(std::span<Complex> x) { fft_core(x, /*inverse=*/false); }
-void ifft_inplace(std::span<Complex> x) { fft_core(x, /*inverse=*/true); }
+void fft_inplace(std::span<Complex> x) { fft_plan(x.size()).forward(x); }
+void ifft_inplace(std::span<Complex> x) { fft_plan(x.size()).inverse(x); }
 
 Cvec fft(std::span<const Complex> x) {
   Cvec out(x.begin(), x.end());

@@ -1,5 +1,6 @@
 #include "mmx/dsp/fir.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -61,7 +62,7 @@ Rvec design_bandpass(double sample_rate_hz, double low_hz, double high_hz, std::
   Complex resp{0.0, 0.0};
   for (std::size_t i = 0; i < taps; ++i) {
     const double ph = -kTwoPi * fc / sample_rate_hz * static_cast<double>(i);
-    resp += h[i] * Complex{std::cos(ph), std::sin(ph)};
+    resp += h[i] * Complex{std::cos(ph), std::sin(ph)};  // mmx-lint: allow(trig-per-sample) -- per-tap design-time evaluation, not a sample loop
   }
   const double mag = std::abs(resp);
   if (mag > 0.0)
@@ -87,8 +88,34 @@ Complex FirFilter::process(Complex x) {
 
 Cvec FirFilter::process(std::span<const Complex> x) {
   Cvec out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = process(x[i]);
+  process_into(x, out, DspWorkspace::tls());
   return out;
+}
+
+void FirFilter::process_into(std::span<const Complex> x, std::span<Complex> out,
+                             DspWorkspace& ws) {
+  if (out.size() != x.size())
+    throw std::invalid_argument("FirFilter::process_into: size mismatch");
+  const std::size_t taps = taps_.size();
+  const std::size_t hist = taps - 1;
+  // Lay [history | block] out contiguously so the inner sum is a straight
+  // dot product — no per-tap ring modulo. Tap order matches the
+  // single-sample path exactly, so outputs are bit-identical to it.
+  auto scratch = ws.cvec(hist + x.size());
+  Cvec& scr = *scratch;
+  for (std::size_t i = 0; i < hist; ++i) scr[i] = delay_[(head_ + 1 + i) % taps];
+  std::copy(x.begin(), x.end(), scr.begin() + hist);
+  const double* tp = taps_.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const Complex* newest = scr.data() + hist + i;
+    Complex acc{0.0, 0.0};
+    for (std::size_t k = 0; k < taps; ++k) acc += tp[k] * *(newest - k);
+    out[i] = acc;
+  }
+  // Re-seed the ring with the last `hist` inputs (newest at slot hist-1,
+  // next write at head_ = taps-1) — the layout the sample path expects.
+  for (std::size_t i = 0; i < hist; ++i) delay_[i] = scr[x.size() + i];
+  head_ = taps - 1;
 }
 
 void FirFilter::reset() {
@@ -100,7 +127,7 @@ Complex FirFilter::frequency_response(double freq_hz, double sample_rate_hz) con
   Complex acc{0.0, 0.0};
   for (std::size_t i = 0; i < taps_.size(); ++i) {
     const double ph = -kTwoPi * freq_hz / sample_rate_hz * static_cast<double>(i);
-    acc += taps_[i] * Complex{std::cos(ph), std::sin(ph)};
+    acc += taps_[i] * Complex{std::cos(ph), std::sin(ph)};  // mmx-lint: allow(trig-per-sample) -- per-tap analysis helper, not a sample loop
   }
   return acc;
 }

@@ -15,11 +15,21 @@ namespace mmx::dsp {
 /// samples (1 = no smoothing).
 Rvec envelope(std::span<const Complex> x, std::size_t smooth_len = 1);
 
+/// In-place form of `envelope`: writes into `out` (out.size() == x.size()).
+void envelope_into(std::span<const Complex> x, std::span<double> out,
+                   std::size_t smooth_len = 1);
+
 /// Mean envelope per symbol: splits `x` into consecutive symbols of
 /// `samples_per_symbol` and returns the average |x| in (a centred window
 /// of) each. `guard_frac` in [0, 0.5) trims that fraction from both ends
 /// of the symbol to avoid switch-transition samples.
 Rvec symbol_envelopes(std::span<const Complex> x, std::size_t samples_per_symbol,
                       double guard_frac = 0.1);
+
+/// Span form of `symbol_envelopes`: writes one value per full symbol into
+/// `out` (out.size() == x.size() / samples_per_symbol). Bit-identical to
+/// the allocating wrapper.
+void symbol_envelopes_into(std::span<const Complex> x, std::size_t samples_per_symbol,
+                           double guard_frac, std::span<double> out);
 
 }  // namespace mmx::dsp

@@ -1,0 +1,48 @@
+// Cached radix-2 FFT plan: per-size twiddle factors and bit-reversal
+// table, computed once per thread and reused for every transform of that
+// size.
+//
+// `fft_core` used to rebuild its twiddles on every call via the
+// `w *= wlen` recurrence — one complex multiply of setup per butterfly
+// plus the accumulated rounding of the recurrence chain. A plan spends
+// the transcendentals once (directly per twiddle, so each factor is
+// correctly rounded) and the transform itself touches only tables.
+// `fft_inplace`/`ifft_inplace` route through the per-thread plan cache
+// transparently.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mmx/dsp/types.hpp"
+
+namespace mmx::dsp {
+
+class FftPlan {
+ public:
+  /// Build a plan for transforms of `n` points. `n` must be a power of
+  /// two (throws std::invalid_argument otherwise).
+  explicit FftPlan(std::size_t n);
+
+  /// In-place forward DFT of exactly `size()` points.
+  void forward(std::span<Complex> x) const;
+  /// In-place inverse DFT (includes the 1/N normalization).
+  void inverse(std::span<Complex> x) const;
+
+  std::size_t size() const { return n_; }
+
+ private:
+  void transform(std::span<Complex> x, bool inverse) const;
+
+  std::size_t n_;
+  std::vector<std::uint32_t> bitrev_;  // bitrev_[i] = bit-reversed index of i
+  Cvec twiddle_;  // forward twiddles, stages concatenated (n - 1 entries)
+};
+
+/// This thread's cached plan for size `n` (built on first use). The
+/// cache is thread-local, so plans are shared by every kernel on the
+/// thread but never contended across SweepRunner workers.
+const FftPlan& fft_plan(std::size_t n);
+
+}  // namespace mmx::dsp

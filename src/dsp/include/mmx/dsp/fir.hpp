@@ -10,6 +10,7 @@
 
 #include "mmx/dsp/types.hpp"
 #include "mmx/dsp/window.hpp"
+#include "mmx/dsp/workspace.hpp"
 
 namespace mmx::dsp {
 
@@ -32,6 +33,13 @@ class FirFilter {
 
   Complex process(Complex x);
   Cvec process(std::span<const Complex> x);
+
+  /// Block form: filter `x` into `out` (same length; `out` may alias
+  /// `x`). Scratch comes from `ws`, so a warm workspace makes this
+  /// allocation-free. Bit-identical to feeding process(Complex) sample
+  /// by sample — the inner sum runs in the same tap order.
+  void process_into(std::span<const Complex> x, std::span<Complex> out, DspWorkspace& ws);
+
   void reset();
 
   std::size_t num_taps() const { return taps_.size(); }

@@ -3,9 +3,17 @@
 // The FSK half of the joint ASK-FSK demodulator (paper §6.3) only needs
 // the energy at two known tone frequencies per symbol; Goertzel computes
 // that in O(N) per tone without a full FFT.
+//
+// Fast path: the correlation phasor e^{-jwn} is advanced by a complex
+// rotator (`rot *= step`) instead of per-sample cos/sin, with periodic
+// renormalization so rounding cannot accumulate into amplitude drift
+// (docs/DSP_FASTPATH.md derives the bound). `GoertzelBank` sweeps
+// several bins in a single pass over the block — the FSK discriminator
+// reads both tone powers while the symbol is still in cache.
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "mmx/dsp/types.hpp"
 
@@ -32,10 +40,30 @@ class GoertzelBin {
   std::size_t count() const { return n_; }
 
  private:
-  double w_;  // radians/sample
+  Complex step_;           // e^{-jw}, fixed at construction
+  Complex rot_{1.0, 0.0};  // e^{-jwn}, advanced per sample
   Complex acc_{0.0, 0.0};
-  double phase_ = 0.0;
+  std::size_t until_renorm_;
   std::size_t n_ = 0;
+};
+
+/// Batched multi-bin Goertzel: measures the power at several fixed
+/// frequencies in one pass over a block. The per-symbol FSK/joint
+/// demodulators use a two-bin bank so each symbol is read once, not once
+/// per tone.
+class GoertzelBank {
+ public:
+  GoertzelBank(std::span<const double> freqs_hz, double sample_rate_hz);
+  GoertzelBank(std::initializer_list<double> freqs_hz, double sample_rate_hz);
+
+  std::size_t bins() const { return steps_.size(); }
+
+  /// powers[i] = |X(f_i)|^2 / n^2 over `x` (0 for an empty block).
+  /// `powers.size()` must be >= bins().
+  void measure(std::span<const Complex> x, std::span<double> powers) const;
+
+ private:
+  std::vector<Complex> steps_;  // e^{-jw_i} per bin
 };
 
 }  // namespace mmx::dsp

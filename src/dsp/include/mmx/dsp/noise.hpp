@@ -10,6 +10,10 @@ namespace mmx::dsp {
 /// I and Q).
 Cvec awgn(std::size_t n, double power_lin, Rng& rng);
 
+/// Fill `out` with AWGN of total mean power `power_lin` (no allocation).
+/// Draw-for-draw identical to `awgn` at the same RNG state.
+void awgn_into(std::span<Complex> out, double power_lin, Rng& rng);
+
 /// Add AWGN of mean power `power_lin` to `x` in place.
 void add_awgn(std::span<Complex> x, double power_lin, Rng& rng);
 

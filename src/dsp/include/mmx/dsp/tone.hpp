@@ -3,13 +3,29 @@
 // The mmX node's entire transmitter is "a sine wave steered between two
 // beams" (paper §5.1), so phase-continuous tone generation is the
 // fundamental transmit primitive of the whole simulator.
+//
+// Fast path: samples come from a unit phasor advanced by one complex
+// multiply per sample. The true phase is still tracked (cheap add +
+// conditional wrap), and the phasor is resynchronized to it exactly every
+// few hundred samples and at every retune/set_phase, so rounding drift is
+// bounded and the `phase()` contract is unchanged (docs/DSP_FASTPATH.md).
 #pragma once
 
 #include <cstddef>
 
+#include "mmx/common/units.hpp"
 #include "mmx/dsp/types.hpp"
 
 namespace mmx::dsp {
+
+/// Wrap `a` into (-pi, pi] given it left the range by at most one step of
+/// magnitude <= pi — a branch instead of wrap_angle's fmod on the
+/// per-sample path.
+inline double wrap_step(double a) {
+  if (a > kPi) return a - kTwoPi;
+  if (a <= -kPi) return a + kTwoPi;
+  return a;
+}
 
 /// Phase-continuous complex oscillator.
 ///
@@ -23,24 +39,50 @@ class Nco {
   Nco(double sample_rate_hz, double freq_hz = 0.0);
 
   /// Change frequency; takes effect from the next sample, phase-continuous.
+  /// Retuning to the current frequency is free.
   void set_frequency(double freq_hz);
   double frequency() const { return freq_hz_; }
   double phase() const { return phase_; }
-  void set_phase(double rad) { phase_ = rad; }
+  void set_phase(double rad);
 
   /// Produce the next sample (unit amplitude) and advance the phase.
-  Complex next();
+  /// Inline: called once per sample from synthesis loops in other TUs.
+  Complex next() {
+    const Complex s = phasor_;
+    phasor_ = cmul(phasor_, step_phasor_);
+    phase_ = wrap_step(phase_ + step_);
+    if (--until_resync_ == 0) resync();
+    return s;
+  }
 
   /// Produce `n` samples into a new vector.
   Cvec generate(std::size_t n);
 
+  /// Fill `out` with the next out.size() samples (no allocation).
+  /// Bit-identical to calling next() out.size() times, but batched so the
+  /// oscillator state stays in registers between resyncs.
+  void generate_into(std::span<Complex> out);
+
+  /// Fill `out` with the next out.size() samples, each multiplied by
+  /// `gain` — the per-symbol shape of the OTAM synthesizer. Advances the
+  /// oscillator exactly like generate_into.
+  void modulate_into(std::span<Complex> out, Complex gain);
+
   double sample_rate() const { return sample_rate_hz_; }
 
  private:
+  static constexpr std::size_t kResyncInterval = 256;
+
+  void tune(double freq_hz);
+  void resync();  // phasor_ = e^{j phase_}, exactly
+
   double sample_rate_hz_;
-  double freq_hz_;
-  double phase_ = 0.0;  // radians
+  double freq_hz_ = 0.0;
+  double phase_ = 0.0;  // radians, always the authoritative state
   double step_ = 0.0;   // radians per sample
+  Complex phasor_{1.0, 0.0};       // e^{j phase_} up to bounded drift
+  Complex step_phasor_{1.0, 0.0};  // e^{j step_}
+  std::size_t until_resync_ = kResyncInterval;
 };
 
 /// One-shot unit tone: n samples of exp(j 2 pi f t) at the given start phase.

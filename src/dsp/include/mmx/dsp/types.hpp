@@ -16,6 +16,18 @@ using Complex = std::complex<double>;
 using Cvec = std::vector<Complex>;
 using Rvec = std::vector<double>;
 
+/// Finite-math complex multiply for per-sample loops.
+///
+/// `std::complex` operator* compiles to the `__muldc3` libcall (C99 Annex G
+/// requires inf/NaN fixups), which costs a function call per sample. This
+/// inline form performs the identical four-multiply/two-add sequence that
+/// __muldc3 uses on its finite path, so results are bit-identical for the
+/// finite operands DSP kernels produce — it just stays inlined.
+inline Complex cmul(const Complex& a, const Complex& b) {
+  return Complex{a.real() * b.real() - a.imag() * b.imag(),
+                 a.real() * b.imag() + a.imag() * b.real()};
+}
+
 /// Mean power (|x|^2 averaged) of a block. Empty input -> 0.
 double mean_power(std::span<const Complex> x);
 

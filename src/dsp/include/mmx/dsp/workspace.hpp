@@ -1,0 +1,90 @@
+// Per-thread scratch arena for the DSP fast path.
+//
+// The demodulation pipeline used to allocate a fresh vector at every
+// stage (`otam_synthesize`, `FirFilter::process`, `awgn`, the envelope
+// and tone-power statistics). At the paper's operating point — one AP
+// CPU demodulating thousands of node streams in real time — that
+// allocator traffic dominates once the per-sample math is cheap. A
+// `DspWorkspace` owns a pool of reusable buffers: a kernel leases one,
+// sizes it, and returns it on scope exit with its capacity intact, so a
+// steady-state loop performs zero heap allocations after warm-up.
+//
+// Buffers are leased RAII-style and returned in any order. The pool is
+// not thread-safe by design; each thread uses its own workspace
+// (`DspWorkspace::tls()`), which also keeps SweepRunner trials
+// independent and bit-identical at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "mmx/dsp/types.hpp"
+
+namespace mmx::dsp {
+
+class DspWorkspace {
+ public:
+  DspWorkspace() = default;
+  DspWorkspace(const DspWorkspace&) = delete;
+  DspWorkspace& operator=(const DspWorkspace&) = delete;
+
+  /// RAII lease of a pooled vector. Move-only; returns the buffer to the
+  /// workspace on destruction. The lease must not outlive the workspace.
+  template <typename Vec>
+  class Lease {
+   public:
+    Lease(Lease&& o) noexcept : ws_(o.ws_), v_(o.v_) { o.v_ = nullptr; }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() {
+      if (v_ != nullptr) ws_->release(v_);
+    }
+
+    Vec& operator*() const { return *v_; }
+    Vec* operator->() const { return v_; }
+
+   private:
+    friend class DspWorkspace;
+    Lease(DspWorkspace* ws, Vec* v) : ws_(ws), v_(v) {}
+    DspWorkspace* ws_;
+    Vec* v_;
+  };
+
+  using CvecLease = Lease<Cvec>;
+  using RvecLease = Lease<Rvec>;
+
+  /// Lease a complex buffer sized to exactly `n` elements. Newly exposed
+  /// elements are value-initialized (vector::resize semantics); capacity
+  /// from earlier leases is reused, so a warm workspace allocates nothing.
+  CvecLease cvec(std::size_t n);
+  /// Same for a real buffer.
+  RvecLease rvec(std::size_t n);
+
+  /// Number of heap allocations the pool has performed (new buffers plus
+  /// capacity growths). Stable across two identical runs = zero-alloc
+  /// steady state; the pipeline tests pin exactly that.
+  std::size_t alloc_events() const { return alloc_events_; }
+  /// Buffers currently leased out (diagnostic; 0 between pipeline calls).
+  std::size_t leased() const { return leased_; }
+
+  /// This thread's workspace (function-local thread_local).
+  static DspWorkspace& tls();
+
+ private:
+  template <typename Vec>
+  Vec* acquire(std::vector<std::unique_ptr<Vec>>& pool, std::vector<Vec*>& free_list,
+               std::size_t n);
+  void release(Cvec* v);
+  void release(Rvec* v);
+
+  std::vector<std::unique_ptr<Cvec>> cpool_;
+  std::vector<Cvec*> cfree_;
+  std::vector<std::unique_ptr<Rvec>> rpool_;
+  std::vector<Rvec*> rfree_;
+  std::size_t alloc_events_ = 0;
+  std::size_t leased_ = 0;
+};
+
+}  // namespace mmx::dsp

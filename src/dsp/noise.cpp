@@ -7,11 +7,15 @@
 
 namespace mmx::dsp {
 
-Cvec awgn(std::size_t n, double power_lin, Rng& rng) {
+void awgn_into(std::span<Complex> out, double power_lin, Rng& rng) {
   if (power_lin < 0.0) throw std::invalid_argument("awgn: power must be >= 0");
   const double sigma = std::sqrt(power_lin / 2.0);
-  Cvec out(n);
   for (Complex& s : out) s = Complex{rng.gaussian(sigma), rng.gaussian(sigma)};
+}
+
+Cvec awgn(std::size_t n, double power_lin, Rng& rng) {
+  Cvec out(n);
+  awgn_into(out, power_lin, rng);
   return out;
 }
 

@@ -1,0 +1,47 @@
+#include "mmx/dsp/workspace.hpp"
+
+namespace mmx::dsp {
+
+template <typename Vec>
+Vec* DspWorkspace::acquire(std::vector<std::unique_ptr<Vec>>& pool, std::vector<Vec*>& free_list,
+                           std::size_t n) {
+  Vec* v = nullptr;
+  if (free_list.empty()) {
+    pool.push_back(std::make_unique<Vec>());
+    v = pool.back().get();
+    ++alloc_events_;
+  } else {
+    v = free_list.back();
+    free_list.pop_back();
+  }
+  const std::size_t cap_before = v->capacity();
+  v->resize(n);
+  if (v->capacity() > cap_before) ++alloc_events_;
+  ++leased_;
+  return v;
+}
+
+DspWorkspace::CvecLease DspWorkspace::cvec(std::size_t n) {
+  return CvecLease(this, acquire(cpool_, cfree_, n));
+}
+
+DspWorkspace::RvecLease DspWorkspace::rvec(std::size_t n) {
+  return RvecLease(this, acquire(rpool_, rfree_, n));
+}
+
+void DspWorkspace::release(Cvec* v) {
+  cfree_.push_back(v);
+  --leased_;
+}
+
+void DspWorkspace::release(Rvec* v) {
+  rfree_.push_back(v);
+  --leased_;
+}
+
+DspWorkspace& DspWorkspace::tls() {
+  thread_local DspWorkspace ws;
+  return ws;
+}
+
+}  // namespace mmx::dsp

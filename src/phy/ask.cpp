@@ -62,30 +62,35 @@ double stddev_around(std::span<const double> v, double mean, double threshold, b
 
 }  // namespace
 
-dsp::Cvec ask_modulate(const Bits& bits, const PhyConfig& cfg, AskLevels levels) {
+void ask_modulate_into(const Bits& bits, const PhyConfig& cfg, dsp::Cvec& out,
+                       AskLevels levels) {
   cfg.validate();
   if (levels.amp1 <= levels.amp0)
     throw std::invalid_argument("ask_modulate: amp1 must exceed amp0");
   dsp::Nco nco(cfg.sample_rate_hz(), 0.0);
-  dsp::Cvec out;
-  out.reserve(bits.size() * cfg.samples_per_symbol);
+  out.resize(bits.size() * cfg.samples_per_symbol);
+  std::size_t idx = 0;
   for (int b : bits) {
     if (b != 0 && b != 1) throw std::invalid_argument("ask_modulate: bits must be 0/1");
     const double a = b ? levels.amp1 : levels.amp0;
-    for (std::size_t i = 0; i < cfg.samples_per_symbol; ++i) out.push_back(a * nco.next());
+    nco.modulate_into(std::span<dsp::Complex>(out.data() + idx, cfg.samples_per_symbol),
+                      dsp::Complex{a, 0.0});
+    idx += cfg.samples_per_symbol;
   }
+}
+
+dsp::Cvec ask_modulate(const Bits& bits, const PhyConfig& cfg, AskLevels levels) {
+  dsp::Cvec out;
+  ask_modulate_into(bits, cfg, out, levels);
   return out;
 }
 
-AskDecision ask_demodulate(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
-                           const Bits& known_prefix) {
-  cfg.validate();
-  const dsp::Rvec env = dsp::symbol_envelopes(rx, cfg.samples_per_symbol, cfg.guard_frac);
+void ask_decide(std::span<const double> env, const Bits& known_prefix, AskDecision& d) {
   if (env.empty()) throw std::invalid_argument("ask_demodulate: no full symbol in capture");
   if (known_prefix.size() > env.size())
     throw std::invalid_argument("ask_demodulate: prefix longer than capture");
 
-  AskDecision d;
+  d.bits.clear();
   double mu0 = 0.0;
   double mu1 = 0.0;
   if (!known_prefix.empty()) {
@@ -128,6 +133,21 @@ AskDecision ask_demodulate(std::span<const dsp::Complex> rx, const PhyConfig& cf
     if (d.inverted) bit ^= 1;
     d.bits.push_back(bit);
   }
+}
+
+void ask_demodulate_into(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
+                         const Bits& known_prefix, dsp::DspWorkspace& ws, AskDecision& d) {
+  cfg.validate();
+  const std::size_t n_sym = rx.size() / cfg.samples_per_symbol;
+  auto env = ws.rvec(n_sym);
+  dsp::symbol_envelopes_into(rx, cfg.samples_per_symbol, cfg.guard_frac, *env);
+  ask_decide(*env, known_prefix, d);
+}
+
+AskDecision ask_demodulate(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
+                           const Bits& known_prefix) {
+  AskDecision d;
+  ask_demodulate_into(rx, cfg, known_prefix, dsp::DspWorkspace::tls(), d);
   return d;
 }
 

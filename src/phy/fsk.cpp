@@ -3,44 +3,83 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "mmx/dsp/goertzel.hpp"
 #include "mmx/dsp/tone.hpp"
 
 namespace mmx::phy {
 
-dsp::Cvec fsk_modulate(const Bits& bits, const PhyConfig& cfg) {
+void fsk_modulate_into(const Bits& bits, const PhyConfig& cfg, dsp::Cvec& out) {
   cfg.validate();
   dsp::Nco nco(cfg.sample_rate_hz(), cfg.fsk_freq0_hz);
-  dsp::Cvec out;
-  out.reserve(bits.size() * cfg.samples_per_symbol);
+  out.resize(bits.size() * cfg.samples_per_symbol);
+  std::size_t idx = 0;
   for (int b : bits) {
     if (b != 0 && b != 1) throw std::invalid_argument("fsk_modulate: bits must be 0/1");
     nco.set_frequency(b ? cfg.fsk_freq1_hz : cfg.fsk_freq0_hz);
-    for (std::size_t i = 0; i < cfg.samples_per_symbol; ++i) out.push_back(nco.next());
+    nco.generate_into(std::span<dsp::Complex>(out.data() + idx, cfg.samples_per_symbol));
+    idx += cfg.samples_per_symbol;
   }
+}
+
+dsp::Cvec fsk_modulate(const Bits& bits, const PhyConfig& cfg) {
+  dsp::Cvec out;
+  fsk_modulate_into(bits, cfg, out);
   return out;
 }
 
-FskDecision fsk_demodulate(std::span<const dsp::Complex> rx, const PhyConfig& cfg) {
+dsp::GoertzelBank fsk_tone_bank(const PhyConfig& cfg) {
   cfg.validate();
+  return dsp::GoertzelBank({cfg.fsk_freq0_hz, cfg.fsk_freq1_hz}, cfg.sample_rate_hz());
+}
+
+void fsk_measure_tones(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
+                       const dsp::GoertzelBank& bank, std::span<double> p0,
+                       std::span<double> p1) {
   const std::size_t sps = cfg.samples_per_symbol;
   const std::size_t n_sym = rx.size() / sps;
-  if (n_sym == 0) throw std::invalid_argument("fsk_demodulate: no full symbol in capture");
+  if (p0.size() != n_sym || p1.size() != n_sym)
+    throw std::invalid_argument("fsk_measure_tones: p0/p1 must hold one value per symbol");
+  if (bank.bins() != 2) throw std::invalid_argument("fsk_measure_tones: bank must hold 2 tones");
   const auto guard = static_cast<std::size_t>(cfg.guard_frac * static_cast<double>(sps));
-  const double fs = cfg.sample_rate_hz();
+  for (std::size_t s = 0; s < n_sym; ++s) {
+    const std::span<const dsp::Complex> sym = rx.subspan(s * sps + guard, sps - 2 * guard);
+    double pw[2];
+    bank.measure(sym, pw);
+    p0[s] = pw[0];
+    p1[s] = pw[1];
+  }
+}
 
-  FskDecision d;
+void fsk_decide(std::span<const double> p0, std::span<const double> p1, FskDecision& d) {
+  const std::size_t n_sym = p0.size();
+  if (n_sym == 0) throw std::invalid_argument("fsk_demodulate: no full symbol in capture");
+  if (p1.size() != n_sym) throw std::invalid_argument("fsk_decide: p0/p1 size mismatch");
+  d.bits.clear();
   d.bits.reserve(n_sym);
   double margin_acc = 0.0;
   for (std::size_t s = 0; s < n_sym; ++s) {
-    const std::span<const dsp::Complex> sym = rx.subspan(s * sps + guard, sps - 2 * guard);
-    const double p0 = dsp::goertzel_power(sym, cfg.fsk_freq0_hz, fs);
-    const double p1 = dsp::goertzel_power(sym, cfg.fsk_freq1_hz, fs);
-    d.bits.push_back(p1 > p0 ? 1 : 0);
-    const double tot = p0 + p1;
-    margin_acc += (tot > 0.0) ? std::abs(p1 - p0) / tot : 0.0;
+    d.bits.push_back(p1[s] > p0[s] ? 1 : 0);
+    const double tot = p0[s] + p1[s];
+    margin_acc += (tot > 0.0) ? std::abs(p1[s] - p0[s]) / tot : 0.0;
   }
   d.margin = margin_acc / static_cast<double>(n_sym);
+}
+
+void fsk_demodulate_into(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
+                         const dsp::GoertzelBank& bank, dsp::DspWorkspace& ws,
+                         FskDecision& d) {
+  cfg.validate();
+  const std::size_t n_sym = rx.size() / cfg.samples_per_symbol;
+  if (n_sym == 0) throw std::invalid_argument("fsk_demodulate: no full symbol in capture");
+  auto p0_lease = ws.rvec(n_sym);
+  auto p1_lease = ws.rvec(n_sym);
+  fsk_measure_tones(rx, cfg, bank, *p0_lease, *p1_lease);
+  fsk_decide(*p0_lease, *p1_lease, d);
+}
+
+FskDecision fsk_demodulate(std::span<const dsp::Complex> rx, const PhyConfig& cfg) {
+  FskDecision d;
+  const dsp::GoertzelBank bank = fsk_tone_bank(cfg);
+  fsk_demodulate_into(rx, cfg, bank, dsp::DspWorkspace::tls(), d);
   return d;
 }
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include "mmx/dsp/types.hpp"
+#include "mmx/dsp/workspace.hpp"
 #include "mmx/phy/config.hpp"
 
 namespace mmx::phy {
@@ -16,6 +17,11 @@ struct AskLevels {
 /// Generate the complex-baseband ASK waveform for a bit stream at the
 /// channel-centre tone (0 Hz offset), phase-continuous.
 dsp::Cvec ask_modulate(const Bits& bits, const PhyConfig& cfg, AskLevels levels = {});
+
+/// In-place form of `ask_modulate`: resizes `out` and fills it, reusing
+/// capacity across frames. Identical samples to the wrapper.
+void ask_modulate_into(const Bits& bits, const PhyConfig& cfg, dsp::Cvec& out,
+                       AskLevels levels = {});
 
 struct AskDecision {
   Bits bits;
@@ -30,5 +36,15 @@ struct AskDecision {
 /// symbol envelopes decides, and polarity defaults to bright=1.
 AskDecision ask_demodulate(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
                            const Bits& known_prefix = {});
+
+/// Decision core on precomputed per-symbol envelopes (see
+/// dsp::symbol_envelopes). `d` is fully overwritten; its bits capacity is
+/// reused. Identical to ask_demodulate fed the same capture.
+void ask_decide(std::span<const double> env, const Bits& known_prefix, AskDecision& d);
+
+/// Allocation-free form of `ask_demodulate`: envelope scratch comes from
+/// `ws`, the decision lands in `d` (buffers reused across calls).
+void ask_demodulate_into(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
+                         const Bits& known_prefix, dsp::DspWorkspace& ws, AskDecision& d);
 
 }  // namespace mmx::phy

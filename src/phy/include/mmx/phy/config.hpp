@@ -27,6 +27,9 @@ struct PhyConfig {
     return symbol_rate_hz * static_cast<double>(samples_per_symbol);
   }
 
+  /// Field-wise equality — lets pipeline caches key on the config.
+  friend bool operator==(const PhyConfig&, const PhyConfig&) = default;
+
   void validate() const {
     if (symbol_rate_hz <= 0.0) throw std::invalid_argument("PhyConfig: symbol rate must be > 0");
     if (samples_per_symbol < 4)

@@ -3,7 +3,9 @@
 // per beam, so bit 0 and bit 1 ride slightly different carrier offsets.
 #pragma once
 
+#include "mmx/dsp/goertzel.hpp"
 #include "mmx/dsp/types.hpp"
+#include "mmx/dsp/workspace.hpp"
 #include "mmx/phy/config.hpp"
 
 namespace mmx::phy {
@@ -12,6 +14,10 @@ namespace mmx::phy {
 /// bit 1 -> cfg.fsk_freq1_hz, both at unit amplitude.
 dsp::Cvec fsk_modulate(const Bits& bits, const PhyConfig& cfg);
 
+/// In-place form of `fsk_modulate`: resizes `out` and fills it, reusing
+/// capacity across frames. Identical samples to the wrapper.
+void fsk_modulate_into(const Bits& bits, const PhyConfig& cfg, dsp::Cvec& out);
+
 struct FskDecision {
   Bits bits;
   /// Mean per-symbol tone-power margin |P1 - P0| / (P1 + P0): quality in
@@ -19,10 +25,33 @@ struct FskDecision {
   double margin = 0.0;
 };
 
+/// Build the two-tone Goertzel bank matching `cfg` (bin 0 = fsk_freq0_hz,
+/// bin 1 = fsk_freq1_hz). Demodulators that run many frames at one config
+/// construct this once and pass it in.
+dsp::GoertzelBank fsk_tone_bank(const PhyConfig& cfg);
+
+/// Measurement core: per-symbol Goertzel powers at the two FSK tones,
+/// both swept in a single pass over each (guard-trimmed) symbol via
+/// `bank` (must be fsk_tone_bank(cfg)). p0/p1 hold one value per full
+/// symbol. Numerically identical to two independent goertzel_power calls.
+void fsk_measure_tones(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
+                       const dsp::GoertzelBank& bank, std::span<double> p0,
+                       std::span<double> p1);
+
+/// Decision core on precomputed per-symbol tone powers. `d.bits` capacity
+/// is reused across calls.
+void fsk_decide(std::span<const double> p0, std::span<const double> p1, FskDecision& d);
+
 /// Non-coherent tone discrimination: per-symbol Goertzel power at the two
 /// tone frequencies, larger wins. Amplitude-agnostic — this is what
 /// rescues OTAM when the two beams' path losses happen to be equal
 /// (Fig. 9b).
 FskDecision fsk_demodulate(std::span<const dsp::Complex> rx, const PhyConfig& cfg);
+
+/// Allocation-free form of `fsk_demodulate`: tone-power scratch comes from
+/// `ws`, the decision lands in `d` (buffers reused across calls).
+void fsk_demodulate_into(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
+                         const dsp::GoertzelBank& bank, dsp::DspWorkspace& ws,
+                         FskDecision& d);
 
 }  // namespace mmx::phy

@@ -9,7 +9,10 @@
 #pragma once
 
 #include "mmx/dsp/types.hpp"
+#include "mmx/dsp/workspace.hpp"
+#include "mmx/phy/ask.hpp"
 #include "mmx/phy/config.hpp"
+#include "mmx/phy/fsk.hpp"
 
 namespace mmx::phy {
 
@@ -30,5 +33,17 @@ struct JointDecision {
 /// the tone-to-bit mapping is fixed by the transmitter's VCO).
 JointDecision joint_demodulate(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
                                const Bits& known_prefix = {});
+
+/// Allocation-free form of `joint_demodulate`. The per-symbol envelope and
+/// tone-power statistics are computed exactly once and shared between the
+/// ASK branch, the FSK branch, and the fusion loop (the standalone
+/// demodulators each recompute their own). `bank` must be
+/// fsk_tone_bank(cfg); `ask_scratch`/`fsk_scratch` receive the branch
+/// decisions and reuse their buffers across calls. Numerically identical
+/// to the wrapper.
+void joint_demodulate_into(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
+                           const Bits& known_prefix, const dsp::GoertzelBank& bank,
+                           dsp::DspWorkspace& ws, AskDecision& ask_scratch,
+                           FskDecision& fsk_scratch, JointDecision& d);
 
 }  // namespace mmx::phy

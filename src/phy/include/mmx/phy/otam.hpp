@@ -32,6 +32,13 @@ struct OtamChannel {
 dsp::Cvec otam_synthesize(const Bits& bits, const PhyConfig& cfg, const OtamChannel& channel,
                           const rf::SpdtSwitch& spdt, double tx_amplitude = 1.0);
 
+/// In-place form of `otam_synthesize`: resizes `out` to
+/// bits.size() * cfg.samples_per_symbol and fills it, so repeated frames
+/// of the same length reuse the buffer's capacity. The allocating wrapper
+/// delegates here and produces identical samples.
+void otam_synthesize_into(const Bits& bits, const PhyConfig& cfg, const OtamChannel& channel,
+                          const rf::SpdtSwitch& spdt, dsp::Cvec& out, double tx_amplitude = 1.0);
+
 /// Time-varying variant: one OtamChannel per symbol (a moving node or a
 /// person crossing the LoS mid-frame). `channels.size()` must equal
 /// `bits.size()`. This is the §1 "works in dynamic environments" claim

@@ -1,0 +1,86 @@
+// Reusable frame-pipeline context — the zero-allocation fast path for
+// Monte-Carlo loops (docs/DSP_FASTPATH.md).
+//
+// A trial of the fig. 10–13 experiments is synthesize → add noise →
+// demodulate. Run through the free functions, every stage allocates:
+// the TX waveform, the noise vector, the envelope and tone-power arrays,
+// the decision bit vectors. A FramePipeline owns all of those buffers
+// (plus the two-tone Goertzel bank and a DspWorkspace for kernel
+// scratch), so after the first trial warms the pool a steady-state loop
+// performs zero heap allocations — `workspace().alloc_events()` is
+// observable and pinned by tests/phy/pipeline_test.cpp.
+//
+// Results are numerically identical to the free-function path; the
+// pipeline only removes redundant work (allocations, and the joint
+// demodulator's duplicated per-symbol statistics). One pipeline per
+// thread (see thread_pipeline) keeps SweepRunner trials bit-identical at
+// any thread count.
+#pragma once
+
+#include <span>
+
+#include "mmx/common/rng.hpp"
+#include "mmx/dsp/goertzel.hpp"
+#include "mmx/dsp/types.hpp"
+#include "mmx/dsp/workspace.hpp"
+#include "mmx/phy/ask.hpp"
+#include "mmx/phy/config.hpp"
+#include "mmx/phy/fsk.hpp"
+#include "mmx/phy/joint.hpp"
+#include "mmx/phy/otam.hpp"
+#include "mmx/rf/spdt.hpp"
+
+namespace mmx::phy {
+
+class FramePipeline {
+ public:
+  explicit FramePipeline(const PhyConfig& cfg);
+  FramePipeline(const FramePipeline&) = delete;
+  FramePipeline& operator=(const FramePipeline&) = delete;
+
+  const PhyConfig& config() const { return cfg_; }
+
+  /// The current frame (TX output after a synthesize/modulate call, RX
+  /// capture after add_noise*). Valid until the next synthesize/load.
+  std::span<const dsp::Complex> rx() const { return rx_; }
+
+  // --- TX: fill the internal frame buffer (capacity reused) ------------
+  void synthesize_otam(const Bits& bits, const OtamChannel& channel,
+                       const rf::SpdtSwitch& spdt, double tx_amplitude = 1.0);
+  void modulate_ask(const Bits& bits, AskLevels levels = {});
+  void modulate_fsk(const Bits& bits);
+  /// Copy an externally produced capture into the frame buffer.
+  void load(std::span<const dsp::Complex> capture);
+
+  // --- Channel ---------------------------------------------------------
+  void add_noise(double power_lin, Rng& rng);
+  void add_noise_snr(double snr_db, Rng& rng);
+
+  // --- RX: decisions live in the pipeline, reused across calls ---------
+  const AskDecision& demodulate_ask(const Bits& known_prefix = {});
+  const FskDecision& demodulate_fsk();
+  const JointDecision& demodulate_joint(const Bits& known_prefix = {});
+
+  /// Kernel scratch arena (exposed so callers can watch alloc_events()).
+  dsp::DspWorkspace& workspace() { return ws_; }
+
+ private:
+  PhyConfig cfg_;
+  dsp::GoertzelBank bank_;  // {fsk_freq0_hz, fsk_freq1_hz}
+  dsp::DspWorkspace ws_;
+  dsp::Cvec rx_;
+  AskDecision ask_;
+  FskDecision fsk_;
+  JointDecision joint_;
+  // Branch scratch for demodulate_joint (kept separate from ask_/fsk_ so
+  // a joint call does not clobber standalone-branch results).
+  AskDecision joint_ask_;
+  FskDecision joint_fsk_;
+};
+
+/// This thread's pipeline for `cfg`: repeat calls with an equal config
+/// return the same (warm) instance, so SweepRunner trial bodies can grab
+/// a pipeline by config without threading state through the closure.
+FramePipeline& thread_pipeline(const PhyConfig& cfg);
+
+}  // namespace mmx::phy

@@ -6,8 +6,6 @@
 
 #include "mmx/dsp/envelope.hpp"
 #include "mmx/dsp/goertzel.hpp"
-#include "mmx/phy/ask.hpp"
-#include "mmx/phy/fsk.hpp"
 
 namespace mmx::phy {
 namespace {
@@ -21,18 +19,31 @@ double weight(double q) { return q * q; }
 
 }  // namespace
 
-JointDecision joint_demodulate(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
-                               const Bits& known_prefix) {
+void joint_demodulate_into(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
+                           const Bits& known_prefix, const dsp::GoertzelBank& bank,
+                           dsp::DspWorkspace& ws, AskDecision& ask_scratch,
+                           FskDecision& fsk_scratch, JointDecision& d) {
   cfg.validate();
   const std::size_t sps = cfg.samples_per_symbol;
   const std::size_t n_sym = rx.size() / sps;
   if (n_sym == 0) throw std::invalid_argument("joint_demodulate: no full symbol in capture");
 
-  // Branch decisions (each also yields its quality measure).
-  const AskDecision ask = ask_demodulate(rx, cfg, known_prefix);
-  const FskDecision fsk = fsk_demodulate(rx, cfg);
+  // Per-symbol statistics, computed once: the envelope feeds the ASK
+  // branch and the fusion loop; the tone powers feed the FSK branch and
+  // the fusion loop. The standalone demodulators recompute these, so the
+  // joint path used to do every measurement twice.
+  auto env = ws.rvec(n_sym);
+  dsp::symbol_envelopes_into(rx, sps, cfg.guard_frac, *env);
+  auto p0 = ws.rvec(n_sym);
+  auto p1 = ws.rvec(n_sym);
+  fsk_measure_tones(rx, cfg, bank, *p0, *p1);
 
-  JointDecision d;
+  // Branch decisions (each also yields its quality measure).
+  ask_decide(*env, known_prefix, ask_scratch);
+  fsk_decide(*p0, *p1, fsk_scratch);
+  const AskDecision& ask = ask_scratch;
+  const FskDecision& fsk = fsk_scratch;
+
   d.ask_separation = ask.separation;
   d.ask_inverted = ask.inverted;
   d.fsk_margin = fsk.margin;
@@ -58,20 +69,18 @@ JointDecision joint_demodulate(std::span<const dsp::Complex> rx, const PhyConfig
   const double w_fsk = weight(q_fsk);
   const double w_tot = w_ask + w_fsk + kEps;
 
-  // Per-symbol soft fusion.
-  const dsp::Rvec env = dsp::symbol_envelopes(rx, sps, cfg.guard_frac);
-  const auto guard = static_cast<std::size_t>(cfg.guard_frac * static_cast<double>(sps));
-  const double fs = cfg.sample_rate_hz();
+  // Per-symbol soft fusion over the shared statistics.
   const double ask_scale = std::max(ask.threshold, kEps);
   const double polarity = ask.inverted ? -1.0 : 1.0;
 
+  d.bits.clear();
   d.bits.reserve(n_sym);
+  const dsp::Rvec& envv = *env;
+  const dsp::Rvec& p0v = *p0;
+  const dsp::Rvec& p1v = *p1;
   for (std::size_t s = 0; s < n_sym; ++s) {
-    const double z_ask = polarity * (env[s] - ask.threshold) / ask_scale;
-    const std::span<const dsp::Complex> sym = rx.subspan(s * sps + guard, sps - 2 * guard);
-    const double p0 = dsp::goertzel_power(sym, cfg.fsk_freq0_hz, fs);
-    const double p1 = dsp::goertzel_power(sym, cfg.fsk_freq1_hz, fs);
-    const double z_fsk = (p1 - p0) / (p0 + p1 + kEps);
+    const double z_ask = polarity * (envv[s] - ask.threshold) / ask_scale;
+    const double z_fsk = (p1v[s] - p0v[s]) / (p0v[s] + p1v[s] + kEps);
     const double z = (w_ask * z_ask + w_fsk * z_fsk) / w_tot;
     d.bits.push_back(z > 0.0 ? 1 : 0);
   }
@@ -83,6 +92,15 @@ JointDecision joint_demodulate(std::span<const dsp::Complex> rx, const PhyConfig
   } else {
     d.mode = DecisionMode::kJoint;
   }
+}
+
+JointDecision joint_demodulate(std::span<const dsp::Complex> rx, const PhyConfig& cfg,
+                               const Bits& known_prefix) {
+  const dsp::GoertzelBank bank = fsk_tone_bank(cfg);
+  AskDecision ask;
+  FskDecision fsk;
+  JointDecision d;
+  joint_demodulate_into(rx, cfg, known_prefix, bank, dsp::DspWorkspace::tls(), ask, fsk, d);
   return d;
 }
 

@@ -6,8 +6,8 @@
 
 namespace mmx::phy {
 
-dsp::Cvec otam_synthesize(const Bits& bits, const PhyConfig& cfg, const OtamChannel& channel,
-                          const rf::SpdtSwitch& spdt, double tx_amplitude) {
+void otam_synthesize_into(const Bits& bits, const PhyConfig& cfg, const OtamChannel& channel,
+                          const rf::SpdtSwitch& spdt, dsp::Cvec& out, double tx_amplitude) {
   cfg.validate();
   spdt.check_symbol_rate(cfg.symbol_rate_hz);
   if (tx_amplitude <= 0.0) throw std::invalid_argument("otam_synthesize: amplitude must be > 0");
@@ -18,14 +18,21 @@ dsp::Cvec otam_synthesize(const Bits& bits, const PhyConfig& cfg, const OtamChan
   const std::complex<double> eff0 = g_thru * channel.h0 + g_leak * channel.h1;
 
   dsp::Nco nco(cfg.sample_rate_hz(), cfg.fsk_freq0_hz);  // the node's single VCO
-  dsp::Cvec out;
-  out.reserve(bits.size() * cfg.samples_per_symbol);
+  out.resize(bits.size() * cfg.samples_per_symbol);
+  std::size_t idx = 0;
   for (int b : bits) {
     if (b != 0 && b != 1) throw std::invalid_argument("otam_synthesize: bits must be 0/1");
     nco.set_frequency(b ? cfg.fsk_freq1_hz : cfg.fsk_freq0_hz);
     const std::complex<double> eff = tx_amplitude * (b ? eff1 : eff0);
-    for (std::size_t i = 0; i < cfg.samples_per_symbol; ++i) out.push_back(eff * nco.next());
+    nco.modulate_into(std::span<dsp::Complex>(out.data() + idx, cfg.samples_per_symbol), eff);
+    idx += cfg.samples_per_symbol;
   }
+}
+
+dsp::Cvec otam_synthesize(const Bits& bits, const PhyConfig& cfg, const OtamChannel& channel,
+                          const rf::SpdtSwitch& spdt, double tx_amplitude) {
+  dsp::Cvec out;
+  otam_synthesize_into(bits, cfg, channel, spdt, out, tx_amplitude);
   return out;
 }
 
@@ -42,8 +49,8 @@ dsp::Cvec otam_synthesize_varying(const Bits& bits, const PhyConfig& cfg,
   const double g_leak = spdt.leak_gain();
 
   dsp::Nco nco(cfg.sample_rate_hz(), cfg.fsk_freq0_hz);
-  dsp::Cvec out;
-  out.reserve(bits.size() * cfg.samples_per_symbol);
+  dsp::Cvec out(bits.size() * cfg.samples_per_symbol);
+  std::size_t idx = 0;
   for (std::size_t s = 0; s < bits.size(); ++s) {
     const int b = bits[s];
     if (b != 0 && b != 1)
@@ -53,7 +60,8 @@ dsp::Cvec otam_synthesize_varying(const Bits& bits, const PhyConfig& cfg,
     const std::complex<double> eff =
         tx_amplitude * (b ? (g_thru * ch.h1 + g_leak * ch.h0)
                           : (g_thru * ch.h0 + g_leak * ch.h1));
-    for (std::size_t i = 0; i < cfg.samples_per_symbol; ++i) out.push_back(eff * nco.next());
+    nco.modulate_into(std::span<dsp::Complex>(out.data() + idx, cfg.samples_per_symbol), eff);
+    idx += cfg.samples_per_symbol;
   }
   return out;
 }
@@ -67,14 +75,15 @@ dsp::Cvec fixed_beam_ask_synthesize(const Bits& bits, const PhyConfig& cfg,
   if (ask_floor < 0.0 || ask_floor >= 1.0)
     throw std::invalid_argument("fixed_beam_ask_synthesize: floor must be in [0,1)");
   dsp::Nco nco(cfg.sample_rate_hz(), 0.0);
-  dsp::Cvec out;
-  out.reserve(bits.size() * cfg.samples_per_symbol);
+  dsp::Cvec out(bits.size() * cfg.samples_per_symbol);
+  std::size_t idx = 0;
   for (int b : bits) {
     if (b != 0 && b != 1)
       throw std::invalid_argument("fixed_beam_ask_synthesize: bits must be 0/1");
     const std::complex<double> eff =
         tx_amplitude * (b ? 1.0 : ask_floor) * channel.h1;
-    for (std::size_t i = 0; i < cfg.samples_per_symbol; ++i) out.push_back(eff * nco.next());
+    nco.modulate_into(std::span<dsp::Complex>(out.data() + idx, cfg.samples_per_symbol), eff);
+    idx += cfg.samples_per_symbol;
   }
   return out;
 }

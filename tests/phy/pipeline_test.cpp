@@ -1,0 +1,154 @@
+// FramePipeline: the reusable frame context must (a) reproduce the
+// free-function path exactly, (b) run allocation-free (workspace-side)
+// after warm-up, and (c) match the retained reference demodulators at
+// the decision level.
+#include <gtest/gtest.h>
+
+#include "mmx/common/rng.hpp"
+#include "mmx/dsp/noise.hpp"
+#include "mmx/phy/pipeline.hpp"
+#include "reference_kernels.hpp"
+
+namespace mmx::phy {
+namespace {
+
+PhyConfig fig11_config() {
+  PhyConfig cfg;
+  cfg.symbol_rate_hz = 1e6;
+  cfg.samples_per_symbol = 16;
+  cfg.fsk_freq0_hz = -2e6;
+  cfg.fsk_freq1_hz = 2e6;
+  return cfg;
+}
+
+Bits random_frame(Rng& rng, std::size_t n_bits) {
+  Bits bits = {1, 0, 1, 0};  // training prefix with both values
+  for (std::size_t i = 0; i < n_bits; ++i) bits.push_back(rng.chance(0.5) ? 1 : 0);
+  return bits;
+}
+
+TEST(FramePipeline, MatchesFreeFunctionPathExactly) {
+  const PhyConfig cfg = fig11_config();
+  const OtamChannel ch{{1e-4, 0.0}, {1e-3, 0.0}};
+  const rf::SpdtSwitch spdt;
+  const Bits prefix = {1, 0, 1, 0};
+  Rng bits_rng(100);
+  const Bits bits = random_frame(bits_rng, 200);
+
+  FramePipeline pipe(cfg);
+  for (std::uint64_t trial = 0; trial < 5; ++trial) {
+    Rng rng_a = Rng::stream(77, trial);
+    Rng rng_b = Rng::stream(77, trial);
+
+    pipe.synthesize_otam(bits, ch, spdt);
+    pipe.add_noise_snr(20.0, rng_a);
+    const JointDecision& fast = pipe.demodulate_joint(prefix);
+
+    dsp::Cvec rx = otam_synthesize(bits, cfg, ch, spdt);
+    dsp::add_awgn_snr(rx, 20.0, rng_b);
+    const JointDecision slow = joint_demodulate(rx, cfg, prefix);
+
+    EXPECT_EQ(fast.bits, slow.bits);
+    EXPECT_EQ(fast.mode, slow.mode);
+    EXPECT_DOUBLE_EQ(fast.ask_separation, slow.ask_separation);
+    EXPECT_DOUBLE_EQ(fast.fsk_margin, slow.fsk_margin);
+    EXPECT_EQ(fast.ask_inverted, slow.ask_inverted);
+
+    const AskDecision& ask_fast = pipe.demodulate_ask(prefix);
+    const AskDecision ask_slow = ask_demodulate(rx, cfg, prefix);
+    EXPECT_EQ(ask_fast.bits, ask_slow.bits);
+    EXPECT_DOUBLE_EQ(ask_fast.threshold, ask_slow.threshold);
+
+    const FskDecision& fsk_fast = pipe.demodulate_fsk();
+    const FskDecision fsk_slow = fsk_demodulate(rx, cfg);
+    EXPECT_EQ(fsk_fast.bits, fsk_slow.bits);
+    EXPECT_DOUBLE_EQ(fsk_fast.margin, fsk_slow.margin);
+  }
+}
+
+TEST(FramePipeline, AgreesWithReferenceDemodulators) {
+  const PhyConfig cfg = fig11_config();
+  const OtamChannel ch{{2e-4, 1e-4}, {1e-3, -2e-4}};
+  const rf::SpdtSwitch spdt;
+  const Bits prefix = {1, 0, 1, 0};
+  Rng bits_rng(5);
+  const Bits bits = random_frame(bits_rng, 500);
+
+  FramePipeline pipe(cfg);
+  Rng noise_a = Rng::stream(13, 0);
+  Rng noise_b = Rng::stream(13, 0);
+
+  pipe.synthesize_otam(bits, ch, spdt);
+  pipe.add_noise_snr(18.0, noise_a);
+  const JointDecision& fast = pipe.demodulate_joint(prefix);
+
+  // The reference path re-synthesizes with the per-sample-trig NCO, so
+  // samples differ at the 1e-13 level; at 18 dB SNR the hard decisions
+  // must nonetheless agree bit for bit.
+  dsp::Cvec rx = refdsp::otam_synthesize(bits, cfg, ch, spdt);
+  dsp::add_awgn_snr(rx, 18.0, noise_b);
+  const JointDecision ref = refdsp::joint_demodulate(rx, cfg, prefix);
+
+  EXPECT_EQ(fast.bits, ref.bits);
+  EXPECT_EQ(fast.mode, ref.mode);
+  EXPECT_NEAR(fast.ask_separation, ref.ask_separation, 1e-6 * ref.ask_separation + 1e-9);
+  EXPECT_NEAR(fast.fsk_margin, ref.fsk_margin, 1e-6);
+}
+
+TEST(FramePipeline, ZeroWorkspaceAllocationsAfterWarmup) {
+  const PhyConfig cfg = fig11_config();
+  const OtamChannel ch{{1e-4, 0.0}, {1e-3, 0.0}};
+  const rf::SpdtSwitch spdt;
+  const Bits prefix = {1, 0, 1, 0};
+  Rng bits_rng(3);
+  const Bits bits = random_frame(bits_rng, 1000);
+
+  FramePipeline pipe(cfg);
+  // Warm-up trial sizes every pooled buffer.
+  Rng rng0 = Rng::stream(1, 0);
+  pipe.synthesize_otam(bits, ch, spdt);
+  pipe.add_noise_snr(20.0, rng0);
+  (void)pipe.demodulate_joint(prefix);
+  (void)pipe.demodulate_ask(prefix);
+  (void)pipe.demodulate_fsk();
+
+  const std::size_t warm = pipe.workspace().alloc_events();
+  for (std::uint64_t trial = 1; trial <= 50; ++trial) {
+    Rng rng = Rng::stream(1, trial);
+    pipe.synthesize_otam(bits, ch, spdt);
+    pipe.add_noise_snr(20.0, rng);
+    (void)pipe.demodulate_joint(prefix);
+    (void)pipe.demodulate_ask(prefix);
+    (void)pipe.demodulate_fsk();
+  }
+  EXPECT_EQ(pipe.workspace().alloc_events(), warm);
+  EXPECT_EQ(pipe.workspace().leased(), 0u);
+}
+
+TEST(FramePipeline, ThreadPipelineKeyedByConfig) {
+  const PhyConfig a = fig11_config();
+  PhyConfig b = fig11_config();
+  b.samples_per_symbol = 32;
+  FramePipeline& pa1 = thread_pipeline(a);
+  FramePipeline& pb = thread_pipeline(b);
+  FramePipeline& pa2 = thread_pipeline(a);
+  EXPECT_EQ(&pa1, &pa2);
+  EXPECT_NE(&pa1, &pb);
+  EXPECT_EQ(pb.config().samples_per_symbol, 32u);
+}
+
+TEST(FramePipeline, LoadCopiesExternalCapture) {
+  const PhyConfig cfg = fig11_config();
+  FramePipeline pipe(cfg);
+  Rng rng(8);
+  dsp::Cvec capture = fsk_modulate({1, 0, 1, 1, 0, 0, 1, 0}, cfg);
+  dsp::add_awgn_snr(capture, 15.0, rng);
+  pipe.load(capture);
+  const FskDecision& fast = pipe.demodulate_fsk();
+  const FskDecision slow = fsk_demodulate(capture, cfg);
+  EXPECT_EQ(fast.bits, slow.bits);
+  EXPECT_DOUBLE_EQ(fast.margin, slow.margin);
+}
+
+}  // namespace
+}  // namespace mmx::phy

@@ -1,0 +1,389 @@
+// Verbatim copies of the pre-fast-path kernels (see header). Trig calls
+// in per-sample loops are the whole point here, so the lint rule does not
+// scan tests/; these TUs must stay out of src/dsp/.
+#include "reference_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mmx/common/units.hpp"
+#include "mmx/dsp/envelope.hpp"
+
+namespace mmx::refdsp {
+
+using mmx::kTwoPi;
+using mmx::wrap_angle;
+
+Complex goertzel(std::span<const Complex> x, double freq_hz, double sample_rate_hz) {
+  if (sample_rate_hz <= 0.0) throw std::invalid_argument("goertzel: sample rate must be > 0");
+  const double w = kTwoPi * freq_hz / sample_rate_hz;
+  Complex acc{0.0, 0.0};
+  double phase = 0.0;
+  for (const Complex& s : x) {
+    acc += s * Complex{std::cos(phase), -std::sin(phase)};
+    phase = wrap_angle(phase + w);
+  }
+  return acc;
+}
+
+double goertzel_power(std::span<const Complex> x, double freq_hz, double sample_rate_hz) {
+  if (x.empty()) return 0.0;
+  const Complex c = goertzel(x, freq_hz, sample_rate_hz);
+  const double n = static_cast<double>(x.size());
+  return std::norm(c) / (n * n);
+}
+
+RefNco::RefNco(double sample_rate_hz, double freq_hz) : sample_rate_hz_(sample_rate_hz) {
+  if (sample_rate_hz <= 0.0) throw std::invalid_argument("Nco: sample rate must be > 0");
+  set_frequency(freq_hz);
+}
+
+void RefNco::set_frequency(double freq_hz) {
+  if (std::abs(freq_hz) > sample_rate_hz_ / 2.0)
+    throw std::invalid_argument("Nco: frequency exceeds Nyquist");
+  freq_hz_ = freq_hz;
+  step_ = kTwoPi * freq_hz / sample_rate_hz_;
+}
+
+Complex RefNco::next() {
+  const Complex s{std::cos(phase_), std::sin(phase_)};
+  phase_ = wrap_angle(phase_ + step_);
+  return s;
+}
+
+Cvec RefNco::generate(std::size_t n) {
+  Cvec out(n);
+  for (Complex& s : out) s = next();
+  return out;
+}
+
+Cvec chirp(double sample_rate_hz, double f0_hz, double f1_hz, std::size_t n) {
+  if (sample_rate_hz <= 0.0) throw std::invalid_argument("chirp: sample rate must be > 0");
+  Cvec out(n);
+  if (n == 0) return out;
+  const double df = (f1_hz - f0_hz) / static_cast<double>(n);
+  double phase = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = Complex{std::cos(phase), std::sin(phase)};
+    const double f = f0_hz + df * static_cast<double>(i);
+    phase = wrap_angle(phase + kTwoPi * f / sample_rate_hz);
+  }
+  return out;
+}
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void bit_reverse_permute(std::span<Complex> x) {
+  const std::size_t n = x.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+}
+
+void fft_core(std::span<Complex> x, bool inverse) {
+  const std::size_t n = x.size();
+  if (!is_pow2(n)) throw std::invalid_argument("fft: size must be a power of two");
+  bit_reverse_permute(x);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
+    const Complex wlen{std::cos(ang), std::sin(ang)};
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = x[i + k];
+        const Complex v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (Complex& s : x) s *= inv;
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::span<Complex> x) { fft_core(x, /*inverse=*/false); }
+void ifft_inplace(std::span<Complex> x) { fft_core(x, /*inverse=*/true); }
+
+Cvec naive_dft(std::span<const Complex> x, bool inverse) {
+  const std::size_t n = x.size();
+  Cvec out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ang =
+          sign * kTwoPi * static_cast<double>(k) * static_cast<double>(i) / static_cast<double>(n);
+      acc += x[i] * Complex{std::cos(ang), std::sin(ang)};
+    }
+    out[k] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+
+Cvec fir_apply(const Rvec& taps, std::span<const Complex> x) {
+  if (taps.empty()) throw std::invalid_argument("fir_apply: empty taps");
+  Cvec delay(taps.size(), Complex{});
+  std::size_t head = 0;
+  Cvec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    delay[head] = x[i];
+    Complex acc{0.0, 0.0};
+    std::size_t idx = head;
+    for (const double t : taps) {
+      acc += t * delay[idx];
+      idx = (idx == 0) ? delay.size() - 1 : idx - 1;
+    }
+    head = (head + 1) % delay.size();
+    out[i] = acc;
+  }
+  return out;
+}
+
+// --- PHY ---------------------------------------------------------------
+
+Cvec otam_synthesize(const phy::Bits& bits, const phy::PhyConfig& cfg,
+                     const phy::OtamChannel& channel, const rf::SpdtSwitch& spdt,
+                     double tx_amplitude) {
+  cfg.validate();
+  spdt.check_symbol_rate(cfg.symbol_rate_hz);
+  if (tx_amplitude <= 0.0) throw std::invalid_argument("otam_synthesize: amplitude must be > 0");
+  const double g_thru = spdt.through_gain();
+  const double g_leak = spdt.leak_gain();
+  const std::complex<double> eff1 = g_thru * channel.h1 + g_leak * channel.h0;
+  const std::complex<double> eff0 = g_thru * channel.h0 + g_leak * channel.h1;
+
+  RefNco nco(cfg.sample_rate_hz(), cfg.fsk_freq0_hz);
+  Cvec out;
+  out.reserve(bits.size() * cfg.samples_per_symbol);
+  for (int b : bits) {
+    if (b != 0 && b != 1) throw std::invalid_argument("otam_synthesize: bits must be 0/1");
+    nco.set_frequency(b ? cfg.fsk_freq1_hz : cfg.fsk_freq0_hz);
+    const std::complex<double> eff = tx_amplitude * (b ? eff1 : eff0);
+    for (std::size_t i = 0; i < cfg.samples_per_symbol; ++i) out.push_back(eff * nco.next());
+  }
+  return out;
+}
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+struct TwoMeans {
+  double low;
+  double high;
+  double threshold;
+};
+
+TwoMeans two_means(std::span<const double> v) {
+  const auto [mn, mx] = std::minmax_element(v.begin(), v.end());
+  double lo = *mn;
+  double hi = *mx;
+  for (int iter = 0; iter < 32; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    double slo = 0.0;
+    double shi = 0.0;
+    std::size_t nlo = 0;
+    std::size_t nhi = 0;
+    for (double x : v) {
+      if (x < mid) {
+        slo += x;
+        ++nlo;
+      } else {
+        shi += x;
+        ++nhi;
+      }
+    }
+    const double new_lo = (nlo > 0) ? slo / static_cast<double>(nlo) : lo;
+    const double new_hi = (nhi > 0) ? shi / static_cast<double>(nhi) : hi;
+    if (std::abs(new_lo - lo) < kEps && std::abs(new_hi - hi) < kEps) break;
+    lo = new_lo;
+    hi = new_hi;
+  }
+  return {lo, hi, (lo + hi) / 2.0};
+}
+
+double stddev_around(std::span<const double> v, double mean, double threshold, bool upper) {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (double x : v) {
+    const bool is_upper = x >= threshold;
+    if (is_upper != upper) continue;
+    acc += (x - mean) * (x - mean);
+    ++n;
+  }
+  return (n > 0) ? std::sqrt(acc / static_cast<double>(n)) : 0.0;
+}
+
+double weight(double q) { return q * q; }
+
+// Pre-rewrite symbol_envelopes: per-sample std::abs (the hypot libcall).
+// The production kernel switched to sqrt(norm); the reference demodulators
+// keep this form so ref-vs-fast comparisons measure the old pipeline.
+Rvec ref_symbol_envelopes(std::span<const Complex> x, std::size_t samples_per_symbol,
+                          double guard_frac) {
+  if (samples_per_symbol == 0)
+    throw std::invalid_argument("symbol_envelopes: samples_per_symbol must be > 0");
+  if (guard_frac < 0.0 || guard_frac >= 0.5)
+    throw std::invalid_argument("symbol_envelopes: guard_frac must be in [0, 0.5)");
+  const std::size_t n_sym = x.size() / samples_per_symbol;
+  Rvec out(n_sym, 0.0);
+  const auto guard = static_cast<std::size_t>(guard_frac * static_cast<double>(samples_per_symbol));
+  for (std::size_t s = 0; s < n_sym; ++s) {
+    const std::size_t begin = s * samples_per_symbol + guard;
+    const std::size_t end = (s + 1) * samples_per_symbol - guard;
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) acc += std::abs(x[i]);
+    out[s] = acc / static_cast<double>(end - begin);
+  }
+  return out;
+}
+
+}  // namespace
+
+phy::AskDecision ask_demodulate(std::span<const Complex> rx, const phy::PhyConfig& cfg,
+                                const phy::Bits& known_prefix) {
+  cfg.validate();
+  const Rvec env = ref_symbol_envelopes(rx, cfg.samples_per_symbol, cfg.guard_frac);
+  if (env.empty()) throw std::invalid_argument("ask_demodulate: no full symbol in capture");
+  if (known_prefix.size() > env.size())
+    throw std::invalid_argument("ask_demodulate: prefix longer than capture");
+
+  phy::AskDecision d;
+  double mu0 = 0.0;
+  double mu1 = 0.0;
+  if (!known_prefix.empty()) {
+    std::size_t n0 = 0;
+    std::size_t n1 = 0;
+    for (std::size_t i = 0; i < known_prefix.size(); ++i) {
+      if (known_prefix[i]) {
+        mu1 += env[i];
+        ++n1;
+      } else {
+        mu0 += env[i];
+        ++n0;
+      }
+    }
+    if (n0 == 0 || n1 == 0)
+      throw std::invalid_argument("ask_demodulate: prefix must contain both bit values");
+    mu0 /= static_cast<double>(n0);
+    mu1 /= static_cast<double>(n1);
+    d.inverted = mu1 < mu0;
+    d.threshold = (mu0 + mu1) / 2.0;
+  } else {
+    const TwoMeans tm = two_means(env);
+    mu0 = tm.low;
+    mu1 = tm.high;
+    d.threshold = tm.threshold;
+    d.inverted = false;
+  }
+
+  const double hi = std::max(mu0, mu1);
+  const double lo = std::min(mu0, mu1);
+  const double s_hi = stddev_around(env, hi, d.threshold, true);
+  const double s_lo = stddev_around(env, lo, d.threshold, false);
+  d.separation = (hi - lo) / (s_hi + s_lo + kEps);
+
+  d.bits.reserve(env.size());
+  for (double e : env) {
+    int bit = (e >= d.threshold) ? 1 : 0;
+    if (d.inverted) bit ^= 1;
+    d.bits.push_back(bit);
+  }
+  return d;
+}
+
+phy::FskDecision fsk_demodulate(std::span<const Complex> rx, const phy::PhyConfig& cfg) {
+  cfg.validate();
+  const std::size_t sps = cfg.samples_per_symbol;
+  const std::size_t n_sym = rx.size() / sps;
+  if (n_sym == 0) throw std::invalid_argument("fsk_demodulate: no full symbol in capture");
+  const auto guard = static_cast<std::size_t>(cfg.guard_frac * static_cast<double>(sps));
+  const double fs = cfg.sample_rate_hz();
+
+  phy::FskDecision d;
+  d.bits.reserve(n_sym);
+  double margin_acc = 0.0;
+  for (std::size_t s = 0; s < n_sym; ++s) {
+    const std::span<const Complex> sym = rx.subspan(s * sps + guard, sps - 2 * guard);
+    const double p0 = goertzel_power(sym, cfg.fsk_freq0_hz, fs);
+    const double p1 = goertzel_power(sym, cfg.fsk_freq1_hz, fs);
+    d.bits.push_back(p1 > p0 ? 1 : 0);
+    const double tot = p0 + p1;
+    margin_acc += (tot > 0.0) ? std::abs(p1 - p0) / tot : 0.0;
+  }
+  d.margin = margin_acc / static_cast<double>(n_sym);
+  return d;
+}
+
+phy::JointDecision joint_demodulate(std::span<const Complex> rx, const phy::PhyConfig& cfg,
+                                    const phy::Bits& known_prefix) {
+  cfg.validate();
+  const std::size_t sps = cfg.samples_per_symbol;
+  const std::size_t n_sym = rx.size() / sps;
+  if (n_sym == 0) throw std::invalid_argument("joint_demodulate: no full symbol in capture");
+
+  const phy::AskDecision ask = refdsp::ask_demodulate(rx, cfg, known_prefix);
+  const phy::FskDecision fsk = refdsp::fsk_demodulate(rx, cfg);
+
+  phy::JointDecision d;
+  d.ask_separation = ask.separation;
+  d.ask_inverted = ask.inverted;
+  d.fsk_margin = fsk.margin;
+
+  double q_ask = ask.separation;
+  double q_fsk = 4.0 * fsk.margin;
+  if (!known_prefix.empty()) {
+    std::size_t ask_err = 0;
+    std::size_t fsk_err = 0;
+    for (std::size_t i = 0; i < known_prefix.size(); ++i) {
+      ask_err += (ask.bits[i] != known_prefix[i]);
+      fsk_err += (fsk.bits[i] != known_prefix[i]);
+    }
+    if (ask_err > 0) q_ask /= static_cast<double>(1 + 2 * ask_err);
+    if (fsk_err > 0) q_fsk /= static_cast<double>(1 + 2 * fsk_err);
+  }
+
+  const double w_ask = weight(q_ask);
+  const double w_fsk = weight(q_fsk);
+  const double w_tot = w_ask + w_fsk + kEps;
+
+  const Rvec env = ref_symbol_envelopes(rx, sps, cfg.guard_frac);
+  const auto guard = static_cast<std::size_t>(cfg.guard_frac * static_cast<double>(sps));
+  const double fs = cfg.sample_rate_hz();
+  const double ask_scale = std::max(ask.threshold, kEps);
+  const double polarity = ask.inverted ? -1.0 : 1.0;
+
+  d.bits.reserve(n_sym);
+  for (std::size_t s = 0; s < n_sym; ++s) {
+    const double z_ask = polarity * (env[s] - ask.threshold) / ask_scale;
+    const std::span<const Complex> sym = rx.subspan(s * sps + guard, sps - 2 * guard);
+    const double p0 = goertzel_power(sym, cfg.fsk_freq0_hz, fs);
+    const double p1 = goertzel_power(sym, cfg.fsk_freq1_hz, fs);
+    const double z_fsk = (p1 - p0) / (p0 + p1 + kEps);
+    const double z = (w_ask * z_ask + w_fsk * z_fsk) / w_tot;
+    d.bits.push_back(z > 0.0 ? 1 : 0);
+  }
+
+  if (w_ask > 9.0 * w_fsk) {
+    d.mode = phy::DecisionMode::kAsk;
+  } else if (w_fsk > 9.0 * w_ask) {
+    d.mode = phy::DecisionMode::kFsk;
+  } else {
+    d.mode = phy::DecisionMode::kJoint;
+  }
+  return d;
+}
+
+}  // namespace mmx::refdsp

@@ -1,0 +1,82 @@
+// Pre-fast-path ("reference") forms of the hot DSP and PHY kernels,
+// kept verbatim from before the rotator/plan rewrite so tests and
+// benchmarks can check the fast path against them:
+//
+//  - per-sample-trig Goertzel and NCO (cos/sin each sample, wrap_angle),
+//  - the twiddle-recurrence FFT (w *= wlen inside the butterfly), plus a
+//    naive O(N^2) DFT as ground truth,
+//  - the allocating per-call demodulators that recompute every statistic.
+//
+// These are intentionally slow. They are the baseline for the
+// kernel-equivalence suite (tests/dsp/fastpath_equivalence_test.cpp) and
+// for the ref-vs-fast speedup gates in bench/micro_dsp.cpp.
+#pragma once
+
+#include <cstddef>
+
+#include "mmx/dsp/types.hpp"
+#include "mmx/phy/ask.hpp"
+#include "mmx/phy/config.hpp"
+#include "mmx/phy/fsk.hpp"
+#include "mmx/phy/joint.hpp"
+#include "mmx/phy/otam.hpp"
+#include "mmx/rf/spdt.hpp"
+
+namespace mmx::refdsp {
+
+using dsp::Complex;
+using dsp::Cvec;
+using dsp::Rvec;
+
+/// Direct-correlation Goertzel, one cos/sin pair per sample.
+Complex goertzel(std::span<const Complex> x, double freq_hz, double sample_rate_hz);
+double goertzel_power(std::span<const Complex> x, double freq_hz, double sample_rate_hz);
+
+/// Phase-accumulator NCO, one cos/sin pair per sample.
+class RefNco {
+ public:
+  RefNco(double sample_rate_hz, double freq_hz);
+  void set_frequency(double freq_hz);
+  void set_phase(double rad) { phase_ = rad; }
+  double phase() const { return phase_; }
+  Complex next();
+  Cvec generate(std::size_t n);
+
+ private:
+  double sample_rate_hz_;
+  double freq_hz_ = 0.0;
+  double phase_ = 0.0;
+  double step_ = 0.0;
+};
+
+/// Per-sample-trig linear chirp.
+Cvec chirp(double sample_rate_hz, double f0_hz, double f1_hz, std::size_t n);
+
+/// Radix-2 FFT with the w *= wlen twiddle recurrence (no plan/tables).
+void fft_inplace(std::span<Complex> x);
+void ifft_inplace(std::span<Complex> x);
+
+/// Naive O(N^2) DFT — ground truth for the plan-vs-reference checks.
+Cvec naive_dft(std::span<const Complex> x, bool inverse);
+
+/// Fresh per-sample ring-buffer FIR pass over `x` (zero initial state).
+Cvec fir_apply(const Rvec& taps, std::span<const Complex> x);
+
+// --- PHY: the allocating per-call demodulation path -------------------
+
+Cvec otam_synthesize(const phy::Bits& bits, const phy::PhyConfig& cfg,
+                     const phy::OtamChannel& channel, const rf::SpdtSwitch& spdt,
+                     double tx_amplitude = 1.0);
+
+phy::AskDecision ask_demodulate(std::span<const Complex> rx, const phy::PhyConfig& cfg,
+                                const phy::Bits& known_prefix = {});
+
+phy::FskDecision fsk_demodulate(std::span<const Complex> rx, const phy::PhyConfig& cfg);
+
+/// The old joint demodulator: runs both branch demodulators (each with
+/// its own allocations) and then re-measures the envelope and both tone
+/// powers a second time in the fusion loop.
+phy::JointDecision joint_demodulate(std::span<const Complex> rx, const phy::PhyConfig& cfg,
+                                    const phy::Bits& known_prefix = {});
+
+}  // namespace mmx::refdsp

@@ -19,11 +19,8 @@
 
 #include "mmx/common/rng.hpp"
 #include "mmx/common/units.hpp"
-#include "mmx/dsp/noise.hpp"
-#include "mmx/phy/ask.hpp"
 #include "mmx/phy/ber.hpp"
-#include "mmx/phy/fsk.hpp"
-#include "mmx/phy/otam.hpp"
+#include "mmx/phy/pipeline.hpp"
 #include "mmx/phy/preamble.hpp"
 
 namespace mmx::phy {
@@ -50,15 +47,16 @@ double measured_ask_ber(double snr_db, std::size_t total_bits, Rng& rng) {
   const Bits& prefix = default_preamble();
   std::size_t errors = 0;
   std::size_t counted = 0;
+  FramePipeline& pipe = thread_pipeline(cfg);  // warm buffers across frames
   while (counted < total_bits) {
     Bits bits = prefix;
     for (int i = 0; i < 2000; ++i) bits.push_back(rng.uniform_int(0, 1));
-    auto rx = otam_synthesize(bits, cfg, kChannel, sw);
+    pipe.synthesize_otam(bits, kChannel, sw);
     // The analytic noise_power argument is relative to the strong level.
     const OtamLevels lv = otam_levels(kChannel, sw);
     const double noise_power = lv.level1 * lv.level1 / db_to_lin(snr_db);
-    dsp::add_awgn(rx, noise_power, rng);
-    const AskDecision d = ask_demodulate(rx, cfg, prefix);
+    pipe.add_noise(noise_power, rng);
+    const AskDecision& d = pipe.demodulate_ask(prefix);
     // Drop sync failures (a real receiver re-arms on a bad training
     // field); counting them would measure polarity flips, not BER.
     std::size_t prefix_err = 0;
@@ -86,13 +84,14 @@ double measured_fsk_ber(double snr_db, std::size_t total_bits, Rng& rng) {
   const PhyConfig cfg = test_cfg();
   std::size_t errors = 0;
   std::size_t counted = 0;
+  FramePipeline& pipe = thread_pipeline(cfg);  // warm buffers across frames
   while (counted < total_bits) {
     Bits bits(2000);
     for (int& b : bits) b = rng.uniform_int(0, 1);
-    auto rx = fsk_modulate(bits, cfg);
+    pipe.modulate_fsk(bits);
     const double noise_power = 1.0 / db_to_lin(snr_db);  // unit tone amplitude
-    dsp::add_awgn(rx, noise_power, rng);
-    const FskDecision d = fsk_demodulate(rx, cfg);
+    pipe.add_noise(noise_power, rng);
+    const FskDecision& d = pipe.demodulate_fsk();
     for (std::size_t i = 0; i < bits.size(); ++i) errors += (d.bits[i] != bits[i]);
     counted += bits.size();
   }

@@ -24,6 +24,12 @@
 //   db-arith       The 10^(x/10) / 10*log10(x) conversion arithmetic lives
 //                  only in mmx/common/units.{hpp,cpp}; everyone else calls
 //                  db_to_lin/lin_to_db and friends.
+//   trig-per-sample In DSP kernel TUs (src/dsp/*.cpp), no std::sin/std::cos
+//                  inside a loop: per-sample trig is exactly what the
+//                  rotator-phasor fast path removed (docs/DSP_FASTPATH.md).
+//                  Setup/design-time loops (window/FIR design, plan and
+//                  phasor construction, periodic resyncs) carry a reasoned
+//                  allow() suppression.
 //
 // Suppression: append `// mmx-lint: allow(<rule>) -- <reason>` to the
 // offending line. A suppression without a reason is itself a violation.
@@ -277,6 +283,70 @@ void check_db_arith(const SourceFile& f, std::vector<Violation>& out, bool stric
 }
 
 // ---------------------------------------------------------------------------
+// Rule: trig-per-sample
+// ---------------------------------------------------------------------------
+
+// Flag sin/cos calls that sit inside a loop of a DSP kernel TU. Loop
+// extent is tracked with a brace-depth stack: a `for`/`while` header opens
+// a frame at the depth of its body brace, and the frame pops when that
+// brace closes. Braceless single-statement bodies end at the first `;`
+// after the header's closing parenthesis. This is a heuristic over
+// stripped source lines, not a parse — good enough to catch a
+// transcendental sneaking back into a per-sample loop.
+void check_trig_per_sample(const SourceFile& f, std::vector<Violation>& out) {
+  static const std::regex kTrig(R"(\b(std\s*::\s*)?(sin|cos)\s*\()");
+  static const std::regex kLoop(R"(\b(for|while)\s*\()");
+  int depth = 0;
+  std::vector<int> loop_depths;  // brace depth of each enclosing loop body
+  bool in_header = false;        // inside a loop header's parentheses
+  bool pending_body = false;     // header closed, body not yet begun
+  int paren = 0;
+  for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
+    const std::string& line = f.code_lines[i];
+    std::smatch m;
+    std::size_t header_pos = std::string::npos;
+    if (std::regex_search(line, m, kLoop)) header_pos = static_cast<std::size_t>(m.position(0));
+    const bool in_loop =
+        !loop_depths.empty() || in_header || pending_body || header_pos != std::string::npos;
+    if (in_loop && std::regex_search(line, kTrig)) {
+      const std::size_t lineno = i + 1;
+      if (!line_allows(f.raw_lines[i], "trig-per-sample", out, f, lineno))
+        out.push_back({f.rel, lineno, "trig-per-sample",
+                       "sin/cos in a loop of a DSP kernel TU; advance a unit phasor (one "
+                       "complex multiply per sample, periodic resync) instead, or mark a "
+                       "setup/design loop with a reasoned allow()"});
+    }
+    for (std::size_t j = 0; j < line.size(); ++j) {
+      if (j == header_pos) {
+        in_header = true;
+        paren = 0;
+      }
+      const char c = line[j];
+      if (in_header) {
+        if (c == '(') ++paren;
+        if (c == ')' && --paren == 0) {
+          in_header = false;
+          pending_body = true;
+        }
+        continue;
+      }
+      if (c == '{') {
+        ++depth;
+        if (pending_body) {
+          loop_depths.push_back(depth);
+          pending_body = false;
+        }
+      } else if (c == '}') {
+        if (!loop_depths.empty() && loop_depths.back() == depth) loop_depths.pop_back();
+        --depth;
+      } else if (c == ';' && pending_body) {
+        pending_body = false;  // braceless body ended
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -336,6 +406,8 @@ int main(int argc, char** argv) {
       check_db_arith(f, violations, /*strict_pow10=*/in_src);
       if (public_header) check_units_suffix(f, violations);
       if (hot_path) check_no_float(f, violations);
+      if (starts_with(f.rel, "src/dsp/") && has_ext(p, {".cpp", ".cc"}))
+        check_trig_per_sample(f, violations);
     }
   }
 
