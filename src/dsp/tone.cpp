@@ -44,7 +44,7 @@ void Nco::resync() {
 }
 
 Cvec Nco::generate(std::size_t n) {
-  Cvec out(n);
+  Cvec out(n);  // mmx-analyze: allow(hot-path-alloc) -- allocating convenience wrapper; the zero-alloc fast path is generate_into
   generate_into(out);
   return out;
 }

@@ -68,7 +68,7 @@ void ask_modulate_into(const Bits& bits, const PhyConfig& cfg, dsp::Cvec& out,
   if (levels.amp1 <= levels.amp0)
     throw std::invalid_argument("ask_modulate: amp1 must exceed amp0");
   dsp::Nco nco(cfg.sample_rate_hz(), 0.0);
-  out.resize(bits.size() * cfg.samples_per_symbol);
+  out.resize(bits.size() * cfg.samples_per_symbol);  // mmx-analyze: allow(hot-path-alloc) -- out-param keeps its capacity across frames; steady state allocates nothing (pipeline_test)
   std::size_t idx = 0;
   for (int b : bits) {
     if (b != 0 && b != 1) throw std::invalid_argument("ask_modulate: bits must be 0/1");

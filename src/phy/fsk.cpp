@@ -10,7 +10,7 @@ namespace mmx::phy {
 void fsk_modulate_into(const Bits& bits, const PhyConfig& cfg, dsp::Cvec& out) {
   cfg.validate();
   dsp::Nco nco(cfg.sample_rate_hz(), cfg.fsk_freq0_hz);
-  out.resize(bits.size() * cfg.samples_per_symbol);
+  out.resize(bits.size() * cfg.samples_per_symbol);  // mmx-analyze: allow(hot-path-alloc) -- out-param keeps its capacity across frames; steady state allocates nothing (pipeline_test)
   std::size_t idx = 0;
   for (int b : bits) {
     if (b != 0 && b != 1) throw std::invalid_argument("fsk_modulate: bits must be 0/1");

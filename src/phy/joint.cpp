@@ -74,7 +74,7 @@ void joint_demodulate_into(std::span<const dsp::Complex> rx, const PhyConfig& cf
   const double polarity = ask.inverted ? -1.0 : 1.0;
 
   d.bits.clear();
-  d.bits.reserve(n_sym);
+  d.bits.reserve(n_sym);  // mmx-analyze: allow(hot-path-alloc) -- decision buffer reuses its capacity across frames; steady state allocates nothing (pipeline_test)
   const dsp::Rvec& envv = *env;
   const dsp::Rvec& p0v = *p0;
   const dsp::Rvec& p1v = *p1;
@@ -82,7 +82,7 @@ void joint_demodulate_into(std::span<const dsp::Complex> rx, const PhyConfig& cf
     const double z_ask = polarity * (envv[s] - ask.threshold) / ask_scale;
     const double z_fsk = (p1v[s] - p0v[s]) / (p0v[s] + p1v[s] + kEps);
     const double z = (w_ask * z_ask + w_fsk * z_fsk) / w_tot;
-    d.bits.push_back(z > 0.0 ? 1 : 0);
+    d.bits.push_back(z > 0.0 ? 1 : 0);  // mmx-analyze: allow(hot-path-alloc) -- within the reserve() above; never reallocates
   }
 
   if (w_ask > 9.0 * w_fsk) {

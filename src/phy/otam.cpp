@@ -18,7 +18,7 @@ void otam_synthesize_into(const Bits& bits, const PhyConfig& cfg, const OtamChan
   const std::complex<double> eff0 = g_thru * channel.h0 + g_leak * channel.h1;
 
   dsp::Nco nco(cfg.sample_rate_hz(), cfg.fsk_freq0_hz);  // the node's single VCO
-  out.resize(bits.size() * cfg.samples_per_symbol);
+  out.resize(bits.size() * cfg.samples_per_symbol);  // mmx-analyze: allow(hot-path-alloc) -- out-param keeps its capacity across frames; steady state allocates nothing (pipeline_test)
   std::size_t idx = 0;
   for (int b : bits) {
     if (b != 0 && b != 1) throw std::invalid_argument("otam_synthesize: bits must be 0/1");

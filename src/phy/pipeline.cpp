@@ -24,7 +24,7 @@ void FramePipeline::modulate_ask(const Bits& bits, AskLevels levels) {
 void FramePipeline::modulate_fsk(const Bits& bits) { fsk_modulate_into(bits, cfg_, rx_); }
 
 void FramePipeline::load(std::span<const dsp::Complex> capture) {
-  rx_.resize(capture.size());
+  rx_.resize(capture.size());  // mmx-analyze: allow(hot-path-alloc) -- member capture buffer reuses capacity; alloc_events() stability pinned by pipeline_test
   std::copy(capture.begin(), capture.end(), rx_.begin());
 }
 

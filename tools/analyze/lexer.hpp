@@ -1,0 +1,21 @@
+// C++ lexer for mmx_analyze.
+//
+// Not a compiler front end — a single-pass tokenizer that classifies
+// exactly the things a source-level rule checker must never confuse:
+// line/block comments, ordinary and raw string literals (with encoding
+// prefixes), character literals, numeric literals with digit
+// separators, and preprocessor logical lines (backslash continuations
+// joined). Everything else becomes identifier / number / punctuator
+// tokens with line:column positions.
+#pragma once
+
+#include <string_view>
+
+#include "token.hpp"
+
+namespace mmx::analyze {
+
+/// Lex a whole translation unit. `rel` is carried through to findings.
+LexedFile lex(std::string_view src, std::string rel);
+
+}  // namespace mmx::analyze

@@ -1,0 +1,77 @@
+// mmx_analyze — token-aware cross-TU static analyzer for the mmX repo.
+//
+// Usage:
+//   mmx_analyze <repo_root> [--baseline <file>] [--no-baseline]
+//               [--sarif <out.sarif>] [--dump-graph <out.dot>]
+//               [--list-rules]
+//
+// Exit codes: 0 clean (or fully suppressed/baselined), 1 findings,
+// 2 usage or I/O error. The default baseline is
+// <repo_root>/tools/analyze/baseline.txt when it exists.
+//
+// Rule families and the suppression/baseline formats are documented in
+// docs/STATIC_ANALYSIS.md.
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "analyzer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmx::analyze;
+  AnalyzeOptions opts;
+  bool no_baseline = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "mmx_analyze: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--baseline")
+      opts.baseline_path = value("--baseline");
+    else if (arg == "--no-baseline")
+      no_baseline = true;
+    else if (arg == "--sarif")
+      opts.sarif_path = value("--sarif");
+    else if (arg == "--dump-graph")
+      opts.dot_path = value("--dump-graph");
+    else if (arg == "--list-rules") {
+      for (const RuleInfo& r : rule_table()) std::cout << r.id << "\t" << r.summary << "\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "mmx_analyze: unknown flag " << arg << "\n";
+      return 2;
+    } else if (opts.root.empty()) {
+      opts.root = arg;
+    } else {
+      std::cerr << "mmx_analyze: unexpected argument " << arg << "\n";
+      return 2;
+    }
+  }
+  if (opts.root.empty()) {
+    std::cerr << "usage: mmx_analyze <repo_root> [--baseline <file>] [--no-baseline]\n"
+              << "                   [--sarif <out.sarif>] [--dump-graph <out.dot>] "
+                 "[--list-rules]\n";
+    return 2;
+  }
+  if (opts.baseline_path.empty() && !no_baseline) {
+    const std::filesystem::path def =
+        std::filesystem::path(opts.root) / "tools" / "analyze" / "baseline.txt";
+    if (std::filesystem::exists(def)) opts.baseline_path = def.string();
+  }
+  if (no_baseline) opts.baseline_path.clear();
+
+  const AnalyzeResult result = analyze_repo(opts);
+  for (const Finding& f : result.findings) {
+    std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  std::cerr << "mmx_analyze: " << result.files_scanned << " files scanned, "
+            << result.findings.size() << " finding(s), " << result.inline_suppressed
+            << " suppressed inline, " << result.baselined << " baselined\n";
+  if (result.io_error) return 2;
+  return result.findings.empty() ? 0 : 1;
+}

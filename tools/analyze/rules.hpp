@@ -1,0 +1,60 @@
+// Token-level rule families for mmx_analyze.
+//
+// Every rule walks the lexed token stream of one translation unit (plus
+// the tokens of preprocessor bodies where that matters), so comments,
+// strings and macro text can never produce false positives. The five
+// historical `mmx_lint` rules live here re-based on tokens, joined by
+// the hot-path allocation and determinism families. The repo-wide
+// layering family is in include_graph.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "token.hpp"
+
+namespace mmx::analyze {
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  std::size_t line = 0;
+  std::string symbol;  // stable baseline key: the offending construct
+  std::string message;
+};
+
+/// Where a file sits in the tree decides which rule families apply.
+struct FileClass {
+  bool in_src = false;         // under src/
+  bool public_header = false;  // src/*/include/**/*.{hpp,h}
+  bool float_hot = false;      // src/{dsp,phy,rf}: no-float scope
+  bool dsp_kernel_tu = false;  // src/dsp/*.{cpp,cc}: trig-per-sample scope
+  bool alloc_scope = false;    // src/: hot-path-alloc scope
+  bool det_scope = false;      // src/sim/ or bench/: determinism scope
+  bool units_impl = false;     // units.{hpp,cpp}: owns dB arithmetic
+  bool rng_impl = false;       // rng.hpp: owns the raw engine
+};
+
+FileClass classify(const std::string& rel);
+
+// Rule families. Each appends findings; suppressions are applied later
+// by the analyzer so rules stay pure.
+void check_units_suffix(const LexedFile& f, std::vector<Finding>& out);
+void check_rng_discipline(const LexedFile& f, std::vector<Finding>& out);
+void check_no_float(const LexedFile& f, std::vector<Finding>& out);
+void check_db_arith(const LexedFile& f, bool strict_pow10, std::vector<Finding>& out);
+void check_trig_per_sample(const LexedFile& f, std::vector<Finding>& out);
+void check_hot_path_alloc(const LexedFile& f, std::vector<Finding>& out);
+void check_determinism(const LexedFile& f, std::vector<Finding>& out);
+
+/// Apply every per-file rule family the classification selects.
+void run_file_rules(const LexedFile& f, const FileClass& cls, std::vector<Finding>& out);
+
+/// Rule id -> one-line description, for SARIF metadata and --list-rules.
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+const std::vector<RuleInfo>& rule_table();
+
+}  // namespace mmx::analyze

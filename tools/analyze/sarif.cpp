@@ -1,0 +1,65 @@
+#include "sarif.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mmx::analyze {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+        "Schemata/sarif-schema-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [{\n"
+     << "    \"tool\": {\"driver\": {\n"
+     << "      \"name\": \"mmx_analyze\",\n"
+     << "      \"informationUri\": \"docs/STATIC_ANALYSIS.md\",\n"
+     << "      \"rules\": [\n";
+  const std::vector<RuleInfo>& rules = rule_table();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << "        {\"id\": \"" << rules[i].id << "\", \"shortDescription\": {\"text\": \""
+       << json_escape(rules[i].summary) << "\"}}" << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n    }},\n    \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "      {\"ruleId\": \"" << json_escape(f.rule) << "\", \"level\": \"error\", "
+       << "\"message\": {\"text\": \"" << json_escape(f.message) << "\"}, "
+       << "\"locations\": [{\"physicalLocation\": {"
+       << "\"artifactLocation\": {\"uri\": \"" << json_escape(f.file)
+       << "\", \"uriBaseId\": \"SRCROOT\"}, "
+       << "\"region\": {\"startLine\": " << (f.line > 0 ? f.line : 1) << "}}}]}"
+       << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n  }]\n}\n";
+  return os.str();
+}
+
+}  // namespace mmx::analyze

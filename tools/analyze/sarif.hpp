@@ -1,0 +1,17 @@
+// Minimal SARIF 2.1.0 serializer for mmx_analyze findings, so the CI
+// static-analysis job can surface findings as GitHub code-scanning
+// annotations on the PR diff.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace mmx::analyze {
+
+/// Serialize findings as a SARIF 2.1.0 log (one run, one driver). File
+/// paths are emitted repo-relative with uriBaseId SRCROOT.
+std::string to_sarif(const std::vector<Finding>& findings);
+
+}  // namespace mmx::analyze

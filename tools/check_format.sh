@@ -5,8 +5,9 @@
 #   tools/check_format.sh --fix    # rewrite them in place
 #
 # Exits 0 when everything is formatted, 1 when files need changes, and 0
-# with a notice when no clang-format binary is available (the check is
-# advisory until formatting lands everywhere; CI runs it non-fatally).
+# with a notice when no clang-format binary is available so machines
+# without the tool are not blocked. CI installs clang-format and gates
+# on this check (static-analysis job).
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -20,7 +21,7 @@ for candidate in clang-format clang-format-18 clang-format-17 clang-format-16; d
   fi
 done
 if [ -z "$clang_format" ]; then
-  echo "check_format: no clang-format binary found; skipping (advisory check)"
+  echo "check_format: no clang-format binary found; skipping (CI gates on this)"
   exit 0
 fi
 
