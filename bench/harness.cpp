@@ -8,6 +8,9 @@
 #include <thread>
 
 #include "build_info.hpp"
+#include "mmx/obs/export.hpp"
+#include "mmx/obs/obs.hpp"
+#include "mmx/obs/trace.hpp"
 
 namespace mmx::bench {
 
@@ -21,7 +24,9 @@ namespace {
                "  --trials N    %s (default %zu)\n"
                "  --threads K   worker threads, 0 = one per hardware thread (default 0)\n"
                "  --seed S      root seed; trial i draws from Rng::stream(S, i) (default %llu)\n"
-               "  --json PATH   write metric summaries + wall-clock + trials/s as JSON\n",
+               "  --json PATH   write metric summaries + wall-clock + trials/s as JSON\n"
+               "  --obs         collect mmx::obs instruments; adds an \"obs\" JSON block\n"
+               "  --trace PATH  write chrome://tracing JSON of the run (implies --obs)\n",
                prog, extras.empty() ? "" : " [bench flags]", trials_meaning, default_trials,
                static_cast<unsigned long long>(default_seed));
   for (const ExtraFlag& e : extras)
@@ -54,6 +59,51 @@ std::string json_escape(const char* s) {
     out.push_back(*s);
   }
   return out;
+}
+
+// The "obs" report block: every registered instrument plus the
+// Prometheus text exposition, emitted only when --obs was given so
+// un-instrumented reports stay byte-identical to pre-obs builds.
+std::string obs_json_block() {
+  std::ostringstream counters, gauges, hists;
+  std::size_t nc = 0, ng = 0, nh = 0;
+  obs::Registry::global().for_each([&](const std::string& name, char kind,
+                                       const obs::Counter* c, const obs::Gauge* g,
+                                       const obs::Histogram* h) {
+    if (kind == 'c') {
+      counters << (nc++ == 0 ? "\n" : ",\n") << "      \"" << name << "\": " << c->value();
+    } else if (kind == 'g') {
+      gauges << (ng++ == 0 ? "\n" : ",\n") << "      \"" << name << "\": {\"value\": "
+             << g->value() << ", \"max\": " << g->max_seen() << "}";
+    } else {
+      hists << (nh++ == 0 ? "\n" : ",\n") << "      {\"name\": \"" << name
+            << "\", \"count\": " << h->count() << ", \"sum\": " << h->sum()
+            << ", \"buckets\": [";
+      bool first = true;
+      for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+        const std::uint64_t n = h->bucket(i);
+        if (n == 0) continue;
+        hists << (first ? "" : ", ") << "{\"le\": " << obs::Histogram::upper_bound(i)
+              << ", \"n\": " << n << "}";
+        first = false;
+      }
+      hists << "]}";
+    }
+  });
+  std::ostringstream out;
+  out << "  \"obs\": {\n";
+  out << "    \"enabled\": " << (obs::enabled() ? "true" : "false") << ",\n";
+  out << "    \"dropped_events\": " << obs::TraceSink::global().dropped() << ",\n";
+  out << "    \"counters\": {" << counters.str() << (nc == 0 ? "" : "\n    ") << "},\n";
+  out << "    \"gauges\": {" << gauges.str() << (ng == 0 ? "" : "\n    ") << "},\n";
+  out << "    \"histograms\": [" << hists.str() << (nh == 0 ? "" : "\n    ") << "],\n";
+  out << "    \"prometheus\": [";
+  const std::vector<std::string> lines = obs::prometheus_lines();
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    out << (i == 0 ? "\n" : ",\n") << "      \"" << json_escape(lines[i].c_str()) << "\"";
+  out << (lines.empty() ? "" : "\n    ") << "]\n";
+  out << "  }\n";
+  return out.str();
 }
 
 }  // namespace
@@ -92,6 +142,11 @@ Options parse_args(int argc, char** argv, std::size_t default_trials,
       opt.sweep.seed = parse_u64(prog, arg, value());
     } else if (std::strcmp(arg, "--json") == 0) {
       opt.json_path = value();
+    } else if (std::strcmp(arg, "--obs") == 0) {
+      opt.obs = true;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      opt.trace_path = value();
+      opt.obs = true;
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       usage(prog, default_trials, default_seed, trials_meaning, extras, 0);
     } else if (const ExtraFlag* e = extra()) {
@@ -105,6 +160,24 @@ Options parse_args(int argc, char** argv, std::size_t default_trials,
     std::fprintf(stderr, "%s: --trials must be >= 1\n", prog);
     std::exit(2);
   }
+  if (opt.obs) {
+#if MMX_OBS_ENABLED
+    // Fresh run scope: instruments registered by earlier static init (or
+    // a prior in-process run) start from zero, and the trace carries only
+    // this run's events. Buffers stay at the sink's default capacity —
+    // refill workers register a fresh buffer per parallel batch, so
+    // oversizing every buffer multiplies into real allocation cost on
+    // the measured path (and the default holds a full lane's events).
+    obs::Registry::global().reset_values();
+    obs::TraceSink::global().clear();
+    obs::set_enabled(true);
+#else
+    std::fprintf(stderr,
+                 "%s: built with MMX_OBS=OFF; instrumentation is compiled out and the obs "
+                 "report will be empty\n",
+                 prog);
+#endif
+  }
   return opt;
 }
 
@@ -117,6 +190,8 @@ void report_timing_line(std::size_t trials, std::size_t threads_used, double wal
 JsonReport::JsonReport(std::string bench_name, const Options& options)
     : bench_name_(std::move(bench_name)),
       json_path_(options.json_path),
+      trace_path_(options.trace_path),
+      obs_enabled_(options.obs),
       seed_(options.sweep.seed) {}
 
 void JsonReport::add_metric(const std::string& name, const std::vector<double>& samples) {
@@ -136,7 +211,12 @@ void JsonReport::set_timing(std::size_t trials, std::size_t threads_used, double
 }
 
 bool JsonReport::write() const {
-  if (json_path_.empty()) return true;
+  bool ok = true;
+  if (!trace_path_.empty() && !obs::write_chrome_trace(trace_path_)) {
+    std::fprintf(stderr, "warning: could not write chrome trace to '%s'\n", trace_path_.c_str());
+    ok = false;
+  }
+  if (json_path_.empty()) return ok;
   std::ostringstream out;
   out << "{\n";
   out << "  \"bench\": \"" << bench_name_ << "\",\n";
@@ -166,7 +246,12 @@ bool JsonReport::write() const {
   out << "  \"meta\": {\"git_sha\": \"" << json_escape(kBuildGitSha) << "\", \"compiler\": \""
       << json_escape(kBuildCompiler) << "\", \"cxx_flags\": \"" << json_escape(kBuildCxxFlags)
       << "\", \"build_type\": \"" << json_escape(kBuildType)
-      << "\", \"cpu_cores\": " << std::thread::hardware_concurrency() << "}\n";
+      << "\", \"cpu_cores\": " << std::thread::hardware_concurrency() << "}"
+      << (obs_enabled_ ? ",\n" : "\n");
+  // The obs block sits after "meta" for the same reason meta sits last:
+  // sweep_gate/bench_trend key-scan the document and must see the gated
+  // numeric keys before any free-form instrument names.
+  if (obs_enabled_) out << obs_json_block();
   out << "}\n";
   std::ofstream file(json_path_);
   if (!file) {
@@ -174,7 +259,7 @@ bool JsonReport::write() const {
     return false;
   }
   file << out.str();
-  return static_cast<bool>(file);
+  return ok && static_cast<bool>(file);
 }
 
 }  // namespace mmx::bench

@@ -6,10 +6,15 @@
 //   --seed S      root seed (trial i draws from Rng::stream(S, i))
 //   --json PATH   write a machine-readable report (metric summaries,
 //                 wall-clock, throughput) for CI's perf lane
+//   --obs         enable mmx::obs collection; the JSON report gains an
+//                 "obs" block (counters, histograms, prometheus text)
+//   --trace PATH  write the merged trace as chrome://tracing JSON
+//                 (implies --obs)
 //
 // Figure output goes to stdout exactly as before (byte-identical at the
 // historical defaults); sweep timing goes to stderr so redirected figure
-// text never changes with thread count or machine speed.
+// text never changes with thread count or machine speed. Without --obs
+// the report is byte-identical to an uninstrumented build's.
 #pragma once
 
 #include <cstdint>
@@ -23,7 +28,9 @@ namespace mmx::bench {
 
 struct Options {
   sim::SweepConfig sweep;
-  std::string json_path;  // empty = no JSON report
+  std::string json_path;   // empty = no JSON report
+  std::string trace_path;  // empty = no chrome trace (--trace sets it)
+  bool obs = false;        // runtime obs collection (--obs / --trace)
 };
 
 /// A bench-specific flag on top of the shared set. `value` must point at
@@ -78,6 +85,8 @@ class JsonReport {
  private:
   std::string bench_name_;
   std::string json_path_;
+  std::string trace_path_;
+  bool obs_enabled_ = false;
   std::uint64_t seed_;
   std::size_t trials_ = 0;
   std::size_t threads_used_ = 0;

@@ -1,5 +1,7 @@
 #include "mmx/dsp/workspace.hpp"
 
+#include "mmx/obs/obs.hpp"
+
 namespace mmx::dsp {
 
 template <typename Vec>
@@ -10,13 +12,17 @@ Vec* DspWorkspace::acquire(std::vector<std::unique_ptr<Vec>>& pool, std::vector<
     pool.push_back(std::make_unique<Vec>());
     v = pool.back().get();
     ++alloc_events_;
+    MMX_OBS_COUNT("dsp.workspace.alloc_events", 1);
   } else {
     v = free_list.back();
     free_list.pop_back();
   }
   const std::size_t cap_before = v->capacity();
   v->resize(n);
-  if (v->capacity() > cap_before) ++alloc_events_;
+  if (v->capacity() > cap_before) {
+    ++alloc_events_;
+    MMX_OBS_COUNT("dsp.workspace.alloc_events", 1);
+  }
   ++leased_;
   return v;
 }

@@ -2,7 +2,16 @@
 
 #include <stdexcept>
 
+#include "mmx/obs/obs.hpp"
+
 namespace mmx::mac {
+
+void ArqStats::publish_obs() const {
+  MMX_OBS_COUNT("mac.arq.transmissions", transmissions);
+  MMX_OBS_COUNT("mac.arq.delivered", delivered);
+  MMX_OBS_COUNT("mac.arq.gave_up", gave_up);
+  MMX_OBS_COUNT("mac.arq.duplicate_acks", duplicate_acks);
+}
 
 ArqSender::ArqSender(ArqConfig cfg) : cfg_(cfg) {
   if (cfg.max_retries < 0) throw std::invalid_argument("ArqSender: max_retries must be >= 0");

@@ -21,6 +21,13 @@ struct ArqStats {
   std::uint64_t delivered = 0;      ///< acked payloads
   std::uint64_t gave_up = 0;        ///< payloads dropped after retries
   std::uint64_t duplicate_acks = 0;
+
+  /// Add these totals onto the global `mmx::obs` counters
+  /// (`mac.arq.transmissions`, `.delivered`, `.gave_up`,
+  /// `.duplicate_acks`). Called once per run on aggregated stats — the
+  /// per-frame state machine itself carries no instrumentation, so ARQ
+  /// throughput is identical with observability on or off.
+  void publish_obs() const;
 };
 
 /// One-outstanding-frame sender. Drive it with offer() / on_ack() /

@@ -8,6 +8,8 @@
 // bounded by the channel grant and the switch cap.
 #pragma once
 
+#include <cstdint>
+
 namespace mmx::mac {
 
 struct RateControlConfig {
@@ -27,12 +29,17 @@ class RateController {
 
   double rate_bps() const { return rate_; }
   int consecutive_failures() const { return fails_; }
+  /// Multiplicative decreases taken so far. Aggregated onto the global
+  /// `mac.rate.backoffs` obs counter once per run by the scale scenario;
+  /// the AIMD step itself carries no instrumentation.
+  std::uint64_t backoffs() const { return backoffs_; }
   const RateControlConfig& config() const { return cfg_; }
 
  private:
   RateControlConfig cfg_;
   double rate_;
   int fails_ = 0;
+  std::uint64_t backoffs_ = 0;
 };
 
 }  // namespace mmx::mac

@@ -28,6 +28,7 @@ void RateController::on_failure() {
   if (++fails_ < cfg_.failures_to_backoff) return;
   fails_ = 0;
   rate_ = std::max(cfg_.min_rate_bps, rate_ * cfg_.backoff_factor);
+  ++backoffs_;
 }
 
 }  // namespace mmx::mac

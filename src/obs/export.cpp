@@ -1,0 +1,76 @@
+#include "mmx/obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mmx::obs {
+
+namespace {
+
+// Trace-event names are instrument-style identifiers, but escape anyway
+// so a future name can't break the document.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string chrome_trace_json() {
+  TraceSink& sink = TraceSink::global();
+  const std::vector<TraceSink::MergedEvent> events = sink.merged();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSink::MergedEvent& m : events) {
+    const TraceEvent& e = m.event;
+    if (!first) out << ",";
+    first = false;
+    const std::string name = json_escape(sink.name(e.name_id));
+    const double ts_us = static_cast<double>(e.t0_ns) / 1e3;
+    char num[64];
+    std::snprintf(num, sizeof(num), "%.3f", ts_us);
+    out << "\n{\"name\":\"" << name << "\",\"cat\":\"mmx\",\"pid\":1,\"tid\":" << m.tid
+        << ",\"ts\":" << num;
+    switch (e.kind) {
+      case EventKind::kSpan: {
+        std::snprintf(num, sizeof(num), "%.3f", static_cast<double>(e.t1_ns - e.t0_ns) / 1e3);
+        out << ",\"ph\":\"X\",\"dur\":" << num << ",\"args\":{\"key\":" << e.key << "}}";
+        break;
+      }
+      case EventKind::kInstant:
+        out << ",\"ph\":\"i\",\"s\":\"t\",\"args\":{\"key\":" << e.key << "}}";
+        break;
+      case EventKind::kSample:
+        out << ",\"ph\":\"C\",\"args\":{\"" << name << "\":" << e.value << ",\"key\":" << e.key
+            << "}}";
+        break;
+    }
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":" << sink.dropped()
+      << "}}\n";
+  return out.str();
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << chrome_trace_json();
+  return static_cast<bool>(file);
+}
+
+std::vector<std::string> prometheus_lines() {
+  std::vector<std::string> lines;
+  std::istringstream in(Registry::global().prometheus_text());
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace mmx::obs

@@ -1,0 +1,32 @@
+// Exporters: chrome://tracing JSON and Prometheus-style text.
+//
+// chrome_trace_json() serializes the merged trace (spans as "X" events,
+// instants as "i", counter samples as "C") in the Trace Event Format
+// chrome://tracing and Perfetto load directly; the bench harness writes
+// it behind --trace and CI uploads it as the `trace` artifact.
+// prometheus_lines() is the text exposition of every registered
+// instrument; the harness appends it to the JSON run metadata so every
+// BENCH_*.json carries the run's counters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mmx/obs/obs.hpp"
+#include "mmx/obs/trace.hpp"
+
+namespace mmx::obs {
+
+/// Full chrome://tracing document ({"traceEvents": [...]}). Timestamps
+/// are microseconds (the format's unit); the ordering key is carried in
+/// each event's args so a trace can be joined back to trial indices.
+std::string chrome_trace_json();
+
+/// Write chrome_trace_json() to `path`; false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+/// Registry::global().prometheus_text() split into lines (the harness
+/// embeds them as a JSON string array).
+std::vector<std::string> prometheus_lines();
+
+}  // namespace mmx::obs

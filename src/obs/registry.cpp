@@ -1,0 +1,145 @@
+#include "mmx/obs/obs.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace mmx::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*; mmX instrument
+// names use dots, which become underscores under an mmx_ prefix.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "mmx_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+struct Registry::Impl {
+  template <typename T>
+  struct Named {
+    explicit Named(std::string n) : name(std::move(n)) {}
+    std::string name;
+    T instrument;  // atomics inside: construct in place, never move
+  };
+
+  // Deques: stable addresses across registration, no per-instrument
+  // unique_ptr hop on the (cold) lookup path.
+  mutable std::mutex mu;
+  std::deque<Named<Counter>> counters;
+  std::deque<Named<Gauge>> gauges;
+  std::deque<Named<Histogram>> histograms;
+
+  template <typename T>
+  T& lookup(std::deque<Named<T>>& pool, std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mu);
+    for (Named<T>& n : pool)
+      if (n.name == name) return n.instrument;
+    pool.emplace_back(std::string(name));
+    return pool.back().instrument;
+  }
+};
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& im = impl();
+  return im.lookup(im.counters, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Impl& im = impl();
+  return im.lookup(im.gauges, name);
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  Impl& im = impl();
+  return im.lookup(im.histograms, name);
+}
+
+void Registry::reset_values() {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& n : im.counters) n.instrument.reset();
+  for (auto& n : im.gauges) n.instrument.reset();
+  for (auto& n : im.histograms) n.instrument.reset();
+}
+
+void Registry::for_each(const std::function<void(const std::string&, char, const Counter*,
+                                                 const Gauge*, const Histogram*)>& fn) const {
+  Impl& im = impl();
+  // Snapshot (name, kind, pointer) triples under the lock, then visit
+  // sorted by name so export order never depends on registration races.
+  struct Item {
+    const std::string* name;
+    char kind;
+    const Counter* c;
+    const Gauge* g;
+    const Histogram* h;
+  };
+  std::vector<Item> items;
+  {
+    const std::lock_guard<std::mutex> lock(im.mu);
+    items.reserve(im.counters.size() + im.gauges.size() + im.histograms.size());
+    for (const auto& n : im.counters) items.push_back({&n.name, 'c', &n.instrument, nullptr, nullptr});
+    for (const auto& n : im.gauges) items.push_back({&n.name, 'g', nullptr, &n.instrument, nullptr});
+    for (const auto& n : im.histograms)
+      items.push_back({&n.name, 'h', nullptr, nullptr, &n.instrument});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return *a.name < *b.name; });
+  for (const Item& it : items) fn(*it.name, it.kind, it.c, it.g, it.h);
+}
+
+std::string Registry::prometheus_text() const {
+  std::ostringstream out;
+  for_each([&](const std::string& name, char kind, const Counter* c, const Gauge* g,
+               const Histogram* h) {
+    const std::string pname = prometheus_name(name);
+    if (kind == 'c') {
+      out << "# TYPE " << pname << " counter\n" << pname << " " << c->value() << "\n";
+    } else if (kind == 'g') {
+      out << "# TYPE " << pname << " gauge\n" << pname << " " << g->value() << "\n";
+      out << pname << "_max " << g->max_seen() << "\n";
+    } else {
+      out << "# TYPE " << pname << " histogram\n";
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+        const std::uint64_t n = h->bucket(i);
+        if (n == 0) continue;
+        cumulative += n;
+        out << pname << "_bucket{le=\"" << Histogram::upper_bound(i) << "\"} " << cumulative
+            << "\n";
+      }
+      out << pname << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+      out << pname << "_sum " << h->sum() << "\n";
+      out << pname << "_count " << cumulative << "\n";
+    }
+  });
+  return out.str();
+}
+
+}  // namespace mmx::obs

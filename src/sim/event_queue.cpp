@@ -2,12 +2,16 @@
 
 #include <stdexcept>
 
+#include "mmx/obs/obs.hpp"
+
 namespace mmx::sim {
 
 void EventQueue::schedule_at(double t, Handler fn) {
   if (t < now_) throw std::invalid_argument("EventQueue: cannot schedule in the past");
   if (!fn) throw std::invalid_argument("EventQueue: null handler");
   queue_.push({t, seq_++, std::move(fn)});
+  MMX_OBS_COUNT("event_queue.scheduled", 1);
+  MMX_OBS_GAUGE_SET("event_queue.depth", queue_.size());
 }
 
 void EventQueue::schedule_in(double dt, Handler fn) { schedule_at(now_ + dt, std::move(fn)); }
@@ -21,6 +25,8 @@ std::size_t EventQueue::run_until(double t_end) {
     ev.fn();
     ++executed;
   }
+  MMX_OBS_COUNT("event_queue.executed", executed);
+  MMX_OBS_GAUGE_SET("event_queue.depth", queue_.size());
   if (now_ < t_end) now_ = t_end;
   return executed;
 }
@@ -34,6 +40,8 @@ std::size_t EventQueue::run_all() {
     ev.fn();
     ++executed;
   }
+  MMX_OBS_COUNT("event_queue.executed", executed);
+  MMX_OBS_GAUGE_SET("event_queue.depth", 0);
   return executed;
 }
 

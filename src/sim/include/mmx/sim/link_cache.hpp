@@ -37,6 +37,12 @@
 
 namespace mmx::sim {
 
+/// Per-instance counters. publish_obs() mirrors the totals onto the
+/// global `mmx::obs` registry (`link_cache.*` counters, exported by the
+/// bench harness's --obs dump) in one bulk add per run — the hit path
+/// itself carries no instrumentation, so lookups cost the same with
+/// observability enabled as disabled (the <2% budget in
+/// docs/OBSERVABILITY.md).
 struct LinkCacheStats {
   std::uint64_t hits = 0;         ///< lookups served from a valid entry
   std::uint64_t misses = 0;       ///< lookups that had to recompute
@@ -48,6 +54,11 @@ struct LinkCacheStats {
     const std::uint64_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
   }
+
+  /// Add these totals onto the global obs counters (`link_cache.hits`,
+  /// `.misses`, `.refills`, `.revalidated`, `.invalidated`). No-op when
+  /// collection is disabled.
+  void publish_obs() const;
 };
 
 class LinkCache {

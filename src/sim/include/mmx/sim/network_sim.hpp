@@ -158,6 +158,7 @@ class NetworkSimulator {
   std::size_t num_nodes_ = 0;
   std::uint16_t next_id_ = 1;
   mutable LinkCache cache_;
+  std::uint64_t refresh_gen_ = 0;  ///< refresh_cache() call count (trace span key)
 };
 
 }  // namespace mmx::sim

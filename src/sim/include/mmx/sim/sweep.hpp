@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "mmx/common/rng.hpp"
+#include "mmx/obs/trace.hpp"
 #include "mmx/sim/thread_pool.hpp"
 
 namespace mmx::sim {
@@ -34,6 +35,12 @@ struct SweepConfig {
   std::size_t trials = 30;
   std::size_t threads = 0;  // 0 = one worker per hardware thread
   std::uint64_t seed = 0x6d6d5821ULL;
+  /// Emit a "sweep.trial" trace span per trial when collection is on.
+  /// Callers that fan out sub-microsecond work items at high rate (the
+  /// link-cache refresh path) turn this off: the batch-level span they
+  /// already hold tells the story, and per-item spans would cost more
+  /// than the items (docs/OBSERVABILITY.md's <2% budget).
+  bool trace_trials = true;
 };
 
 /// Results committed in trial order, plus the wall-clock the sweep took.
@@ -85,8 +92,15 @@ class SweepRunner {
     out.threads_used = threads_;
     out.trials.resize(count);
     const auto start = std::chrono::steady_clock::now();
+    // Span keys combine a per-process run generation with the trial
+    // index: unique across successive map() calls (e.g. the repeated
+    // cache-refresh batches), so the deterministic trace merge never
+    // sees one key produced by two runs. Generations are deterministic
+    // because sweeps are launched serially from the driving thread.
+    const std::uint64_t trace_run = next_trace_run() << 40;
     if (threads_ <= 1 || count <= 1) {
       for (std::size_t i = 0; i < count; ++i) {
+        MMX_OBS_SPAN_IF(config_.trace_trials, "sweep.trial", trace_run | i);
         Rng rng = Rng::stream(config_.seed, i);
         out.trials[i] = fn(i, rng);
       }
@@ -99,8 +113,14 @@ class SweepRunner {
       ThreadPool pool(threads_);
       for (std::size_t begin = 0; begin < count; begin += chunk) {
         const std::size_t end = std::min(count, begin + chunk);
-        pool.submit([&out, &fn, this, begin, end] {
+        MMX_OBS_GAUGE_ADD("sweep.queue_depth", 1);
+        pool.submit([&out, &fn, this, begin, end, trace_run] {
+          (void)trace_run;
+          // Trial spans are keyed on the trial index, so the merged
+          // trace is schedule-independent (docs/OBSERVABILITY.md).
+          MMX_OBS_GAUGE_ADD("sweep.queue_depth", -1);
           for (std::size_t i = begin; i < end; ++i) {
+            MMX_OBS_SPAN_IF(config_.trace_trials, "sweep.trial", trace_run | i);
             Rng rng = Rng::stream(config_.seed, i);
             out.trials[i] = fn(i, rng);
           }
@@ -114,6 +134,9 @@ class SweepRunner {
   }
 
  private:
+  /// Monotonic per-process sweep-launch counter (trace span key prefix).
+  static std::uint64_t next_trace_run();
+
   SweepConfig config_;
   std::size_t threads_;
 };

@@ -3,8 +3,17 @@
 #include <algorithm>
 
 #include "mmx/channel/ray_tracer.hpp"
+#include "mmx/obs/obs.hpp"
 
 namespace mmx::sim {
+
+void LinkCacheStats::publish_obs() const {
+  MMX_OBS_COUNT("link_cache.hits", hits);
+  MMX_OBS_COUNT("link_cache.misses", misses);
+  MMX_OBS_COUNT("link_cache.refills", refills);
+  MMX_OBS_COUNT("link_cache.revalidated", revalidated);
+  MMX_OBS_COUNT("link_cache.invalidated", invalidated);
+}
 
 void LinkCache::snapshot(const channel::Room& room) {
   seen_epoch_ = room.epoch();

@@ -6,6 +6,7 @@
 
 #include "mmx/channel/ray_tracer.hpp"
 #include "mmx/common/units.hpp"
+#include "mmx/obs/trace.hpp"
 #include "mmx/sim/sweep.hpp"
 
 namespace mmx::sim {
@@ -151,6 +152,7 @@ OtamLink NetworkSimulator::fixed_beam_link(std::uint16_t id) const {
 
 std::size_t NetworkSimulator::refresh_cache(std::size_t threads) {
   if (!cfg_.link_cache) return 0;
+  MMX_OBS_SPAN("sim.refresh_cache", refresh_gen_++);
   cache_.reconcile(room_);
   struct Job {
     std::uint16_t id = 0;
@@ -168,7 +170,11 @@ std::size_t NetworkSimulator::refresh_cache(std::size_t threads) {
   // Fan the refills over the sweep engine: each entry is a pure function
   // of (pose, room), so any schedule commits identical bits; the runner's
   // trial-order commit then makes the whole refresh order-independent.
-  SweepRunner runner(SweepConfig{.trials = stale.size(), .threads = threads, .seed = 0});
+  // trace_trials off: refills are sub-microsecond and this batch already
+  // sits inside the sim.refresh_cache span above — per-item spans here
+  // would dominate the observability budget on the scale lane.
+  SweepRunner runner(SweepConfig{
+      .trials = stale.size(), .threads = threads, .seed = 0, .trace_trials = false});
   auto filled = runner.map(stale.size(), [&](std::size_t i, Rng& /*rng*/) {
     // Concurrent reads of the cache map are safe here: nothing mutates it
     // until the runner has joined and store_refill commits below.

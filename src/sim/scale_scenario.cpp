@@ -9,6 +9,8 @@
 #include "mmx/channel/blockage.hpp"
 #include "mmx/common/units.hpp"
 #include "mmx/mac/rate_control.hpp"
+#include "mmx/obs/obs.hpp"
+#include "mmx/obs/trace.hpp"
 #include "mmx/sim/event_queue.hpp"
 
 namespace mmx::sim {
@@ -104,14 +106,17 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
   // channel request first, resident-but-unassociated fallback on deny.
   const auto register_thing = [&](Thing& thing, const channel::Pose& pose) {
     ++rep.joins;
+    MMX_OBS_COUNT("scale.joins", 1);
     if (const auto id = sim.add_node(pose, c.node_rate_bps)) {
       thing.id = *id;
       thing.associated = true;
       ++rep.granted;
+      MMX_OBS_COUNT("scale.granted", 1);
     } else {
       thing.id = sim.add_tracked_node(pose);
       thing.associated = false;
       ++rep.denied;
+      MMX_OBS_COUNT("scale.denied", 1);
     }
   };
 
@@ -132,8 +137,10 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
   // Scheduled before the measurement ticks so that at equal timestamps
   // the FIFO tie-break runs geometry changes first, measurements second.
   std::size_t retry_cursor = 0;
+  std::uint64_t churn_tick = 0;
   for (double t = c.churn_interval_s; t <= c.duration_s; t += c.churn_interval_s) {
     q.schedule_at(t, [&] {
+      MMX_OBS_SPAN("scale.churn_tick", churn_tick++);
       crowd.update(c.churn_interval_s, crowd_rng);
       ++rep.blocker_updates;
       if (things.empty()) return;
@@ -148,6 +155,7 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
             churn_rng.uniform_int(0, static_cast<int>(things.size()) - 1))];
         sim.set_node_pose(thing.id, random_pose(thing.rng));
         ++rep.moves;
+        MMX_OBS_COUNT("scale.moves", 1);
       }
 
       const std::size_t n_leave = slice(c.leave_fraction);
@@ -156,6 +164,7 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
             churn_rng.uniform_int(0, static_cast<int>(things.size()) - 1))];
         sim.remove_node(thing.id);
         ++rep.leaves;
+        MMX_OBS_COUNT("scale.leaves", 1);
         register_thing(thing, random_pose(thing.rng));  // power-cycle: rejoin
       }
 
@@ -168,6 +177,7 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
         sim.remove_node(thing.id);
         register_thing(thing, pose);
         --retries;
+        MMX_OBS_COUNT("scale.retries", 1);
       }
     });
   }
@@ -180,6 +190,8 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
     q.schedule_at(t, [&] {
       const auto t0 = std::chrono::steady_clock::now();
       ++rep.measure_rounds;
+      MMX_OBS_SPAN("scale.measure_round", rep.measure_rounds);
+      std::uint64_t round_timeouts = 0;
       rep.cache_refills += sim.refresh_cache(c.refresh_threads);
       for (Thing& thing : things) {
         const OtamLink l = c.use_cache ? sim.link(thing.id) : sim.link_uncached(thing.id);
@@ -199,8 +211,12 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
         } else {
           thing.arq.on_timeout();
           thing.rate.on_failure();
+          ++round_timeouts;
         }
       }
+      // Timeouts clustered per measurement round: the trace signal that
+      // shows retry bursts following blocker moves (docs/OBSERVABILITY.md).
+      MMX_OBS_SAMPLE("scale.retry_burst", rep.measure_rounds, round_timeouts);
       rep.measure_wall_s += std::chrono::duration<double>(
           std::chrono::steady_clock::now() - t0).count();
     });
@@ -211,16 +227,30 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
   rep.cache = sim.cache_stats();
   double rate_sum_bps = 0.0;
   std::size_t rate_count = 0;
+  std::uint64_t rate_backoffs = 0;
   for (const Thing& thing : things) {
     rep.arq.transmissions += thing.arq.stats().transmissions;
     rep.arq.delivered += thing.arq.stats().delivered;
     rep.arq.gave_up += thing.arq.stats().gave_up;
     rep.arq.duplicate_acks += thing.arq.stats().duplicate_acks;
+    rate_backoffs += thing.rate.backoffs();
     if (thing.associated) {
       rate_sum_bps += thing.rate.rate_bps();
       ++rate_count;
+      // Final AIMD operating point per thing: the backoff histogram the
+      // paper-scale lane exports (log2 buckets, so 125k/250k/500k bps
+      // land in distinct bins).
+      MMX_OBS_RECORD("scale.thing_rate_bps",
+                     static_cast<std::uint64_t>(thing.rate.rate_bps()));
     }
   }
+  // Hot-path stats reach the obs registry here, as one bulk add per run:
+  // the per-event sites (cache lookups, ARQ frames, AIMD steps) run a
+  // million-plus times per lane and would eat the <2% enabled-cost
+  // budget if each mirrored its increment individually.
+  rep.cache.publish_obs();
+  rep.arq.publish_obs();
+  MMX_OBS_COUNT("mac.rate.backoffs", rate_backoffs);
   if (rep.link_evals > 0) {
     rep.mean_snr_db = snr_sum_db / static_cast<double>(rep.link_evals);
     rep.mean_joint_ber = ber_sum / static_cast<double>(rep.link_evals);

@@ -1,5 +1,6 @@
 #include "mmx/sim/sweep.hpp"
 
+#include <atomic>
 #include <stdexcept>
 
 #include "mmx/sim/stats.hpp"
@@ -23,5 +24,10 @@ MetricSummary summarize(std::string name, const std::vector<double>& samples) {
 SweepRunner::SweepRunner(SweepConfig config)
     : config_(config),
       threads_(config.threads == 0 ? ThreadPool::hardware_threads() : config.threads) {}
+
+std::uint64_t SweepRunner::next_trace_run() {
+  static std::atomic<std::uint64_t> gen{0};
+  return gen.fetch_add(1, std::memory_order_relaxed);
+}
 
 }  // namespace mmx::sim

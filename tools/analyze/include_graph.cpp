@@ -12,9 +12,9 @@ namespace {
 // they are siblings and may not include each other.
 const std::map<std::string, int>& ranks() {
   static const std::map<std::string, int> kRanks = {
-      {"common", 0}, {"dsp", 1},  {"rf", 2},  {"antenna", 2}, {"channel", 3},
-      {"phy", 4},    {"mac", 5},  {"sim", 6}, {"core", 7},    {"baseline", 8},
-      {"tools", 100}, {"bench", 100}, {"tests", 100}, {"examples", 100},
+      {"common", 0},  {"obs", 1},     {"dsp", 2},     {"rf", 3},        {"antenna", 3},
+      {"channel", 4}, {"phy", 5},     {"mac", 6},     {"sim", 7},       {"core", 8},
+      {"baseline", 9}, {"tools", 100}, {"bench", 100}, {"tests", 100},  {"examples", 100},
   };
   return kRanks;
 }

@@ -1,0 +1,149 @@
+// bench_trend — CI's perf-trend lane.
+//
+// Compares freshly generated bench-harness JSON reports against the
+// committed baselines in bench/baselines/ (matched by file name) and
+// fails when any bench's throughput regressed by more than the allowed
+// fraction. Speedups and small wobbles only change the report; a fresh
+// report with no baseline warns but does not gate, so adding a bench
+// does not require landing its baseline in the same change.
+//
+// Prints a markdown delta table to stdout and appends the same table to
+// $GITHUB_STEP_SUMMARY when set.
+//
+// usage: bench_trend --baselines DIR FRESH.json... [--max-regression 0.20]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report_json.hpp"
+
+namespace {
+
+using mmx::tools::Report;
+
+[[noreturn]] void usage(int exit_code) {
+  std::fprintf(stderr,
+               "usage: bench_trend --baselines DIR FRESH.json... [--max-regression F]\n"
+               "  --baselines DIR     directory of committed baseline reports; each fresh\n"
+               "                      report is matched to DIR/<its basename>\n"
+               "  --max-regression F  fail when trials_per_s drops by more than this\n"
+               "                      fraction of the baseline (default 0.20)\n");
+  std::exit(exit_code);
+}
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+struct Row {
+  std::string bench;
+  std::string file;
+  double base_tps = 0.0;
+  double fresh_tps = 0.0;
+  bool have_baseline = false;
+  bool regressed = false;
+};
+
+std::string markdown_table(const std::vector<Row>& rows, double max_regression) {
+  std::ostringstream out;
+  out << "### Bench perf trend (gate: regression <= " << static_cast<int>(max_regression * 100)
+      << "%)\n\n";
+  out << "| bench | baseline trials/s | fresh trials/s | delta | status |\n";
+  out << "|---|---|---|---|---|\n";
+  char line[512];
+  for (const Row& r : rows) {
+    if (!r.have_baseline) {
+      std::snprintf(line, sizeof(line), "| %s | — | %.1f | — | ⚠️ no baseline (%s) |\n",
+                    r.bench.c_str(), r.fresh_tps, r.file.c_str());
+      out << line;
+      continue;
+    }
+    const double delta = (r.fresh_tps - r.base_tps) / r.base_tps;
+    std::snprintf(line, sizeof(line), "| %s | %.1f | %.1f | %+.1f%% | %s |\n", r.bench.c_str(),
+                  r.base_tps, r.fresh_tps, delta * 100.0, r.regressed ? "❌ regressed" : "✅");
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baselines_dir;
+  double max_regression = 0.20;
+  std::vector<const char*> fresh_paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--baselines") == 0 && i + 1 < argc) {
+      baselines_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-regression") == 0 && i + 1 < argc) {
+      max_regression = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      usage(0);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "bench_trend: unknown argument '%s'\n", argv[i]);
+      usage(2);
+    } else {
+      fresh_paths.push_back(argv[i]);
+    }
+  }
+  if (baselines_dir.empty() || fresh_paths.empty()) usage(2);
+  if (max_regression <= 0.0 || max_regression >= 1.0) {
+    std::fprintf(stderr, "bench_trend: --max-regression must be in (0, 1)\n");
+    return 2;
+  }
+
+  std::vector<Row> rows;
+  bool any_regressed = false;
+  for (const char* path : fresh_paths) {
+    Report fresh;
+    if (!mmx::tools::load_report("bench_trend", path, fresh)) return 2;  // fresh must parse
+    Row row;
+    row.bench = fresh.bench;
+    row.file = basename_of(path);
+    row.fresh_tps = fresh.trials_per_s;
+
+    const std::string base_path = baselines_dir + "/" + row.file;
+    Report base;
+    std::ifstream probe(base_path);
+    if (probe && mmx::tools::load_report("bench_trend", base_path.c_str(), base)) {
+      if (base.bench != fresh.bench) {
+        std::fprintf(stderr, "bench_trend: '%s' is baseline for '%s', fresh is '%s'\n",
+                     base_path.c_str(), base.bench.c_str(), fresh.bench.c_str());
+        return 2;
+      }
+      if (base.trials_per_s <= 0.0) {
+        std::fprintf(stderr, "bench_trend: baseline '%s' has no throughput\n",
+                     base_path.c_str());
+        return 2;
+      }
+      row.have_baseline = true;
+      row.base_tps = base.trials_per_s;
+      row.regressed = fresh.trials_per_s < base.trials_per_s * (1.0 - max_regression);
+      any_regressed = any_regressed || row.regressed;
+    } else {
+      std::fprintf(stderr, "bench_trend: warning: no baseline '%s' for '%s' (not gated)\n",
+                   base_path.c_str(), path);
+    }
+    rows.push_back(row);
+  }
+
+  const std::string table = markdown_table(rows, max_regression);
+  std::fputs(table.c_str(), stdout);
+  if (const char* summary = std::getenv("GITHUB_STEP_SUMMARY");
+      summary != nullptr && *summary != '\0') {
+    std::ofstream out(summary, std::ios::app);
+    if (out) out << table << "\n";
+  }
+  for (const Row& r : rows) {
+    if (r.regressed)
+      std::printf("::error::%s regressed: %.1f -> %.1f trials/s (gate: -%d%%)\n",
+                  r.bench.c_str(), r.base_tps, r.fresh_tps,
+                  static_cast<int>(max_regression * 100));
+  }
+  return any_regressed ? 1 : 0;
+}

@@ -1,0 +1,74 @@
+// Key-scan reader for bench-harness JSON reports, shared by the CI perf
+// tools (sweep_gate, bench_trend).
+//
+// The harness (bench/harness.cpp) writes the gated numeric keys —
+// "bench", "trials", "threads", "wall_s", "trials_per_s" — before any
+// free-form text ("meta", "obs"), so a first-occurrence key scan is
+// sufficient and a general JSON parser is not. Anything else reading
+// these files should keep that contract in mind.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace mmx::tools {
+
+struct Report {
+  std::string bench;
+  long long trials = 0;
+  long long threads = 0;
+  double wall_s = 0.0;
+  double trials_per_s = 0.0;
+};
+
+/// First occurrence of `"key":` followed by a number. False if absent.
+inline bool find_number(const std::string& text, const char* key, double& out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* start = text.c_str() + pos + needle.size();
+  char* end = nullptr;
+  out = std::strtod(start, &end);
+  return end != start;
+}
+
+/// First occurrence of `"key": "` up to the closing quote.
+inline bool find_string(const std::string& text, const char* key, std::string& out) {
+  const std::string needle = std::string("\"") + key + "\": \"";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  const std::size_t begin = pos + needle.size();
+  const std::size_t close = text.find('"', begin);
+  if (close == std::string::npos) return false;
+  out = text.substr(begin, close - begin);
+  return true;
+}
+
+/// Load a harness report; complains on stderr (prefixed with `tool`) and
+/// returns false when the file is missing or not a harness report.
+inline bool load_report(const char* tool, const char* path, Report& r) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open '%s'\n", tool, path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  double trials = 0.0;
+  double threads = 0.0;
+  if (!find_string(text, "bench", r.bench) || !find_number(text, "trials", trials) ||
+      !find_number(text, "threads", threads) || !find_number(text, "wall_s", r.wall_s) ||
+      !find_number(text, "trials_per_s", r.trials_per_s)) {
+    std::fprintf(stderr, "%s: '%s' is not a bench-harness JSON report\n", tool, path);
+    return false;
+  }
+  r.trials = static_cast<long long>(trials);
+  r.threads = static_cast<long long>(threads);
+  return true;
+}
+
+}  // namespace mmx::tools

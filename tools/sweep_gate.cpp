@@ -6,68 +6,22 @@
 // appends a markdown row to $GITHUB_STEP_SUMMARY when set — so the perf
 // lane leaves an advisory comment whether or not the gate trips.
 //
+// The same binary also serves as the obs-overhead gate: with the plain
+// run as SERIAL and the instrumented run as PARALLEL, `--min-speedup
+// 0.98` asserts the instrumented run keeps >= 98% of the throughput.
+//
 // usage: sweep_gate SERIAL.json PARALLEL.json [--min-speedup X]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <sstream>
 #include <string>
+
+#include "report_json.hpp"
 
 namespace {
 
-struct Report {
-  std::string bench;
-  long long trials = 0;
-  long long threads = 0;
-  double wall_s = 0.0;
-  double trials_per_s = 0.0;
-};
-
-// The harness writes these files (bench/harness.cpp), so a key scan is
-// enough — this is not a general JSON parser.
-bool find_number(const std::string& text, const char* key, double& out) {
-  const std::string needle = std::string("\"") + key + "\":";
-  const std::size_t pos = text.find(needle);
-  if (pos == std::string::npos) return false;
-  const char* start = text.c_str() + pos + needle.size();
-  char* end = nullptr;
-  out = std::strtod(start, &end);
-  return end != start;
-}
-
-bool find_string(const std::string& text, const char* key, std::string& out) {
-  const std::string needle = std::string("\"") + key + "\": \"";
-  const std::size_t pos = text.find(needle);
-  if (pos == std::string::npos) return false;
-  const std::size_t begin = pos + needle.size();
-  const std::size_t close = text.find('"', begin);
-  if (close == std::string::npos) return false;
-  out = text.substr(begin, close - begin);
-  return true;
-}
-
-bool load_report(const char* path, Report& r) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "sweep_gate: cannot open '%s'\n", path);
-    return false;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string text = buf.str();
-  double trials = 0.0;
-  double threads = 0.0;
-  if (!find_string(text, "bench", r.bench) || !find_number(text, "trials", trials) ||
-      !find_number(text, "threads", threads) || !find_number(text, "wall_s", r.wall_s) ||
-      !find_number(text, "trials_per_s", r.trials_per_s)) {
-    std::fprintf(stderr, "sweep_gate: '%s' is not a bench-harness JSON report\n", path);
-    return false;
-  }
-  r.trials = static_cast<long long>(trials);
-  r.threads = static_cast<long long>(threads);
-  return true;
-}
+using mmx::tools::Report;
 
 void append_step_summary(const Report& serial, const Report& parallel, double speedup,
                          double min_speedup, bool pass) {
@@ -115,7 +69,9 @@ int main(int argc, char** argv) {
 
   Report serial;
   Report parallel;
-  if (!load_report(serial_path, serial) || !load_report(parallel_path, parallel)) return 2;
+  if (!mmx::tools::load_report("sweep_gate", serial_path, serial) ||
+      !mmx::tools::load_report("sweep_gate", parallel_path, parallel))
+    return 2;
   if (serial.bench != parallel.bench || serial.trials != parallel.trials) {
     std::fprintf(stderr, "sweep_gate: reports disagree (bench '%s'/%lld trials vs '%s'/%lld)\n",
                  serial.bench.c_str(), serial.trials, parallel.bench.c_str(), parallel.trials);
