@@ -32,10 +32,12 @@ using namespace mmx;
 int main(int argc, char** argv) {
   std::string nodes_arg = "10000";
   std::string cache_arg = "on";
+  std::string faults_arg = "off";
   const bench::Options opt = bench::parse_args(
       argc, argv, 128, 4242, "measurement rounds (0.0625 s apart)",
       {{"--nodes", "N   resident things (default 10000)", &nodes_arg},
-       {"--cache", "on|off   evaluate links through the LinkCache (default on)", &cache_arg}});
+       {"--cache", "on|off   evaluate links through the LinkCache (default on)", &cache_arg},
+       {"--faults", "on|off   inject the default fault storm (default off)", &faults_arg}});
 
   char* end = nullptr;
   const unsigned long long nodes = std::strtoull(nodes_arg.c_str(), &end, 10);
@@ -48,14 +50,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "scale_churn: --cache expects on|off, got '%s'\n", cache_arg.c_str());
     return 2;
   }
+  if (faults_arg != "on" && faults_arg != "off") {
+    std::fprintf(stderr, "scale_churn: --faults expects on|off, got '%s'\n", faults_arg.c_str());
+    return 2;
+  }
+  const bool faults_on = faults_arg == "on";
 
   sim::ScaleConfig cfg = sim::make_scale_config(static_cast<std::size_t>(nodes));
   cfg.use_cache = cache_arg == "on";
   cfg.refresh_threads = opt.sweep.threads;
   cfg.duration_s = cfg.measure_interval_s * static_cast<double>(opt.sweep.trials);
   cfg.join_window_s = std::min(cfg.join_window_s, cfg.duration_s);
+  if (faults_on) cfg.faults = sim::make_fault_storm();
 
-  std::printf("=== Scale churn: %llu things, cache %s ===\n", nodes, cache_arg.c_str());
+  std::printf("=== Scale churn: %llu things, cache %s, faults %s ===\n", nodes,
+              cache_arg.c_str(), faults_arg.c_str());
   const sim::ScaleScenario scenario(cfg);
   const sim::ScaleReport rep = scenario.run(opt.sweep.seed);
 
@@ -73,6 +82,24 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(rep.arq.transmissions),
               static_cast<unsigned long long>(rep.arq.delivered),
               static_cast<unsigned long long>(rep.arq.gave_up), rep.delivery_ratio);
+  const double mean_recovery_rounds =
+      rep.faults.recoveries > 0
+          ? static_cast<double>(rep.faults.recovery_rounds_sum) /
+                static_cast<double>(rep.faults.recoveries)
+          : 0.0;
+  if (faults_on) {
+    std::printf("  faults: storms %llu  cycles %llu  revoked %llu  acks lost %llu\n",
+                static_cast<unsigned long long>(rep.faults.storms),
+                static_cast<unsigned long long>(rep.faults.power_cycles),
+                static_cast<unsigned long long>(rep.faults.revocations),
+                static_cast<unsigned long long>(rep.faults.acks_lost));
+    std::printf("  recovery: reaped %llu  escalations %llu  rejoins %llu"
+                "  recovered %llu (mean %.1f rounds)\n",
+                static_cast<unsigned long long>(rep.faults.reaped),
+                static_cast<unsigned long long>(rep.faults.escalations),
+                static_cast<unsigned long long>(rep.faults.rejoin_attempts),
+                static_cast<unsigned long long>(rep.faults.recoveries), mean_recovery_rounds);
+  }
 
   const double per_s = rep.measure_wall_s > 0.0
                            ? static_cast<double>(rep.link_evals) / rep.measure_wall_s
@@ -80,10 +107,11 @@ int main(int argc, char** argv) {
   const std::size_t threads = sim::SweepRunner(opt.sweep).threads();
   bench::report_timing_line(rep.link_evals, threads, rep.measure_wall_s, per_s);
 
-  bench::JsonReport report("scale_churn", opt);
+  bench::JsonReport report(faults_on ? "scale_churn_faults" : "scale_churn", opt);
   report.set_timing(rep.link_evals, threads, rep.measure_wall_s, per_s);
   report.add_scalar("nodes", static_cast<double>(nodes));
   report.add_scalar("cache_on", cfg.use_cache ? 1.0 : 0.0);
+  report.add_scalar("faults_on", faults_on ? 1.0 : 0.0);
   report.add_scalar("granted", static_cast<double>(rep.granted));
   report.add_scalar("denied", static_cast<double>(rep.denied));
   report.add_scalar("leaves", static_cast<double>(rep.leaves));
@@ -94,5 +122,15 @@ int main(int argc, char** argv) {
   report.add_scalar("mean_joint_ber", rep.mean_joint_ber);
   report.add_scalar("mean_rate_bps", rep.mean_rate_bps);
   report.add_scalar("delivery_ratio", rep.delivery_ratio);
+  if (faults_on) {
+    report.add_scalar("fault_storms", static_cast<double>(rep.faults.storms));
+    report.add_scalar("fault_power_cycles", static_cast<double>(rep.faults.power_cycles));
+    report.add_scalar("fault_revocations", static_cast<double>(rep.faults.revocations));
+    report.add_scalar("fault_reaped", static_cast<double>(rep.faults.reaped));
+    report.add_scalar("fault_escalations", static_cast<double>(rep.faults.escalations));
+    report.add_scalar("fault_rejoins", static_cast<double>(rep.faults.rejoin_attempts));
+    report.add_scalar("fault_recoveries", static_cast<double>(rep.faults.recoveries));
+    report.add_scalar("mean_recovery_rounds", mean_recovery_rounds);
+  }
   return report.write() ? 0 : 1;
 }

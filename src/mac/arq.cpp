@@ -16,6 +16,19 @@ void ArqStats::publish_obs() const {
 ArqSender::ArqSender(ArqConfig cfg) : cfg_(cfg) {
   if (cfg.max_retries < 0) throw std::invalid_argument("ArqSender: max_retries must be >= 0");
   if (cfg.timeout_s <= 0.0) throw std::invalid_argument("ArqSender: timeout must be > 0");
+  if (cfg.backoff_factor < 1.0)
+    throw std::invalid_argument("ArqSender: backoff_factor must be >= 1");
+  if (cfg.max_timeout_s < 0.0)
+    throw std::invalid_argument("ArqSender: max_timeout_s must be >= 0");
+}
+
+double ArqSender::current_timeout_s() const {
+  double t = cfg_.timeout_s;
+  for (int i = 1; i < attempts_; ++i) {
+    t *= cfg_.backoff_factor;
+    if (cfg_.max_timeout_s > 0.0 && t >= cfg_.max_timeout_s) return cfg_.max_timeout_s;
+  }
+  return t;
 }
 
 bool ArqSender::offer(std::uint16_t seq) {

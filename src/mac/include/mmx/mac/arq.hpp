@@ -13,7 +13,15 @@ namespace mmx::mac {
 
 struct ArqConfig {
   int max_retries = 4;       ///< attempts after the first transmission
-  double timeout_s = 2e-3;   ///< ack wait per attempt
+  double timeout_s = 2e-3;   ///< ack wait for the first attempt
+  /// Per-attempt multiplicative growth of the ack wait (capped
+  /// exponential retry backoff). The legacy fixed 2 ms cadence burned
+  /// every retry inside one blockage burst; a factor > 1 spreads the
+  /// retries so later ones land after the blocker has moved on. The
+  /// default 1.0 keeps the legacy byte-stream exactly.
+  double backoff_factor = 1.0;
+  /// Upper bound on the backed-off ack wait; 0 = uncapped.
+  double max_timeout_s = 0.0;
 };
 
 struct ArqStats {
@@ -54,6 +62,12 @@ class ArqSender {
   Action next_action() const;
   std::uint16_t current_seq() const { return seq_; }
   int attempts() const { return attempts_; }
+
+  /// Ack wait the transport should arm for the current attempt:
+  /// timeout_s * backoff_factor^(attempts - 1), capped at max_timeout_s
+  /// when that is set. Before the first transmission (attempts == 0) it
+  /// is timeout_s.
+  double current_timeout_s() const;
   const ArqStats& stats() const { return stats_; }
   const ArqConfig& config() const { return cfg_; }
 

@@ -48,6 +48,40 @@ struct InitConfig {
   double max_harmonic_mismatch_rad = 0.07;
 };
 
+/// Capped-exponential backoff for rejoin / re-grant attempts.
+struct BackoffConfig {
+  double base_s = 0.125;   ///< first retry delay
+  double factor = 2.0;     ///< per-attempt growth
+  double cap_s = 2.0;      ///< delay ceiling
+  /// Jitter as a fraction of the computed delay: the returned delay is
+  /// uniform in [delay * (1 - jitter_frac), delay * (1 + jitter_frac)].
+  /// Jitter draws come from the caller's Rng, so two nodes with
+  /// independent streams desynchronize while a run stays reproducible.
+  double jitter_frac = 0.25;
+};
+
+/// Per-node retry pacer for re-acquisition after a deny, a revoked grant,
+/// or a power cycle (mmWave links die abruptly — §9.3's standing person,
+/// a reaped zombie grant). Deterministic: the delay sequence is a pure
+/// function of the attempt count and the caller-supplied Rng stream.
+class RejoinBackoff {
+ public:
+  explicit RejoinBackoff(BackoffConfig cfg = {});
+
+  /// Delay before the next attempt; advances the attempt counter.
+  double next_delay_s(Rng& rng);
+
+  /// A successful (re)grant resets the schedule.
+  void reset() { attempt_ = 0; }
+
+  int attempt() const { return attempt_; }
+  const BackoffConfig& config() const { return cfg_; }
+
+ private:
+  BackoffConfig cfg_;
+  int attempt_ = 0;
+};
+
 class InitProtocol {
  public:
   InitProtocol(FdmAllocator allocator, rf::Vco node_vco, InitConfig cfg = {});

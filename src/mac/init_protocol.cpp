@@ -15,6 +15,30 @@ std::vector<HarmonicSlot> default_sdm_slots() {
   return slots;
 }
 
+RejoinBackoff::RejoinBackoff(BackoffConfig cfg) : cfg_(cfg) {
+  if (cfg.base_s <= 0.0) throw std::invalid_argument("RejoinBackoff: base_s must be > 0");
+  if (cfg.factor < 1.0) throw std::invalid_argument("RejoinBackoff: factor must be >= 1");
+  if (cfg.cap_s < cfg.base_s)
+    throw std::invalid_argument("RejoinBackoff: cap_s must be >= base_s");
+  if (cfg.jitter_frac < 0.0 || cfg.jitter_frac >= 1.0)
+    throw std::invalid_argument("RejoinBackoff: jitter_frac must be in [0, 1)");
+}
+
+double RejoinBackoff::next_delay_s(Rng& rng) {
+  double delay = cfg_.base_s;
+  for (int i = 0; i < attempt_; ++i) {
+    delay *= cfg_.factor;
+    if (delay >= cfg_.cap_s) {
+      delay = cfg_.cap_s;
+      break;
+    }
+  }
+  ++attempt_;
+  if (cfg_.jitter_frac > 0.0)
+    delay *= rng.uniform(1.0 - cfg_.jitter_frac, 1.0 + cfg_.jitter_frac);
+  return delay;
+}
+
 InitProtocol::InitProtocol(FdmAllocator allocator, rf::Vco node_vco, InitConfig cfg)
     : allocator_(std::move(allocator)), node_vco_(node_vco), cfg_(std::move(cfg)) {
   if (cfg_.spectral_efficiency <= 0.0)

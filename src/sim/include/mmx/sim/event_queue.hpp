@@ -1,8 +1,18 @@
 // Minimal discrete-event engine for network-level simulations.
+//
+// Scheduling hands back an EventId so pending events can be cancelled or
+// rescheduled — the fault layer (mmx::sim::faults) leans on this for
+// timers that race real events: a rejoin backoff timer is cancelled when
+// the node re-associates through another path, a reap timer slides when
+// the node is heard again. Cancellation is lazy (tombstoned in the heap,
+// resolved at pop time), so cancel/reschedule are O(log n) and safe to
+// call from inside a running handler — including on the handler's own id,
+// which is a no-op because an event is retired before it runs.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
 #include <vector>
 
@@ -11,40 +21,66 @@ namespace mmx::sim {
 class EventQueue {
  public:
   using Handler = std::function<void()>;
+  /// Ticket for a scheduled event. Never reused within one queue.
+  using EventId = std::uint64_t;
+  static constexpr EventId kInvalidEvent = 0;
 
   /// Schedule `fn` at absolute time `t` (seconds). Must not be in the past.
-  void schedule_at(double t, Handler fn);
+  EventId schedule_at(double t, Handler fn);
 
   /// Schedule `fn` `dt` seconds from now.
-  void schedule_in(double dt, Handler fn);
+  EventId schedule_in(double dt, Handler fn);
+
+  /// Drop a pending event. Returns false if `id` already ran, was
+  /// cancelled, or never existed — cancelling the currently running
+  /// event from inside its own handler therefore returns false.
+  bool cancel(EventId id);
+
+  /// Move a pending event to absolute time `t` (which must not be in the
+  /// past), keeping its handler and id. The event's FIFO rank among
+  /// same-time events is its reschedule order, not its original one.
+  /// Returns false if `id` is not pending.
+  bool reschedule(EventId id, double t);
 
   /// Run events until the queue empties or time would pass `t_end`.
-  /// Returns the number of events executed.
+  /// Returns the number of events executed (cancelled events never count).
   std::size_t run_until(double t_end);
 
   /// Run everything (caller guarantees termination).
   std::size_t run_all();
 
   double now() const { return now_; }
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  bool empty() const { return live_.empty(); }
+  std::size_t pending() const { return live_.size(); }
 
  private:
-  struct Event {
+  struct QueueEntry {
     double time;
     std::uint64_t seq;  // FIFO tie-break for simultaneous events
-    Handler fn;
+    EventId id;
+    std::uint32_t gen;  // stale entries (cancel/reschedule) are skipped
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
+  struct LiveEvent {
+    Handler fn;
+    std::uint32_t gen = 0;
+  };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Pop heap entries until the top is live; returns false when drained.
+  bool settle_top();
+
+  // Ordered map: iteration order (unused today) and memory behavior stay
+  // deterministic, per the sim-layer determinism rules.
+  std::map<EventId, LiveEvent> live_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
+  EventId next_id_ = 1;
 };
 
 }  // namespace mmx::sim

@@ -70,6 +70,25 @@ class NetworkSimulator {
   void remove_node(std::uint16_t id);
   void set_node_pose(std::uint16_t id, const channel::Pose& pose);
 
+  /// AP-side liveness: record that `id` was heard at sim time `now_s`
+  /// (data frame or side-channel keepalive — the side channel is not on
+  /// the mmWave link, so blockage does not silence it). Nodes never
+  /// noted are exempt from reaping.
+  void note_activity(std::uint16_t id, double now_s);
+
+  /// Dead-resident reaping: a node that power-cycles never sends a clean
+  /// leave, so its grant squats on spectrum until the AP gives up on it.
+  /// Removes every associated, liveness-tracked node silent for
+  /// `silence_timeout_s` or longer (releasing its grant and slot) and
+  /// returns the reaped ids in ascending order — deterministic, so fault
+  /// runs stay bit-identical at any refresh thread count.
+  std::vector<std::uint16_t> reap_inactive(double now_s, double silence_timeout_s);
+
+  /// AP-initiated grant revocation: free the node's spectrum but keep it
+  /// resident and tracked (it must renegotiate via the init protocol).
+  /// Returns false if `id` is unknown or already unassociated.
+  bool revoke_grant(std::uint16_t id);
+
   /// The room is mutable so scenarios can move blockers between
   /// measurements. Mutations bump Room::epoch(), which is what keeps the
   /// link cache coherent.
@@ -128,6 +147,8 @@ class NetworkSimulator {
     channel::Pose pose;
     mac::ChannelGrant grant;
     bool associated = true;
+    /// Last note_activity() time; negative = never noted (reap-exempt).
+    double last_active_s = -1.0;
   };
 
   /// Flat id-indexed storage (ids are issued densely): the link()/gains()

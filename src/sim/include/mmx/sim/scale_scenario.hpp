@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "mmx/mac/arq.hpp"
+#include "mmx/sim/faults.hpp"
 #include "mmx/sim/link_cache.hpp"
 #include "mmx/sim/network_sim.hpp"
 
@@ -51,6 +52,10 @@ struct ScaleConfig {
   bool use_cache = true;
   /// Worker threads for the batched cache refresh (0 = all cores).
   std::size_t refresh_threads = 1;
+  /// Fault injection + recovery policy (docs/ROBUSTNESS.md). Disabled by
+  /// default, which keeps the scenario byte-identical to the fault-free
+  /// code path; `make_fault_storm()` is the pinned robustness-lane storm.
+  FaultConfig faults{};
   SimConfig sim{};
 };
 
@@ -71,6 +76,7 @@ struct ScaleReport {
   std::size_t cache_refills = 0;    ///< entries recomputed by batched refresh
   LinkCacheStats cache{};           ///< end-of-run cache counters
   mac::ArqStats arq{};              ///< aggregated over all nodes
+  FaultStats faults{};              ///< injected faults + recovery accounting
   double mean_snr_db = 0.0;
   double mean_joint_ber = 0.0;
   double mean_rate_bps = 0.0;       ///< AIMD rate, averaged over final states

@@ -71,6 +71,37 @@ void NetworkSimulator::remove_node(std::uint16_t id) {
   cache_.erase(id);
 }
 
+void NetworkSimulator::note_activity(std::uint16_t id, double now_s) {
+  if (id >= nodes_.size() || !nodes_[id].present)
+    throw std::out_of_range("NetworkSimulator: unknown node");
+  nodes_[id].state.last_active_s = now_s;
+}
+
+std::vector<std::uint16_t> NetworkSimulator::reap_inactive(double now_s,
+                                                           double silence_timeout_s) {
+  if (silence_timeout_s <= 0.0)
+    throw std::invalid_argument("NetworkSimulator: silence_timeout_s must be > 0");
+  std::vector<std::uint16_t> reaped;
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    const NodeSlot& slot = nodes_[id];
+    if (!slot.present || !slot.state.associated || slot.state.last_active_s < 0.0) continue;
+    if (now_s - slot.state.last_active_s >= silence_timeout_s)
+      reaped.push_back(static_cast<std::uint16_t>(id));
+  }
+  for (const std::uint16_t id : reaped) remove_node(id);
+  MMX_OBS_COUNT("sim.ap.reaped", reaped.size());
+  return reaped;
+}
+
+bool NetworkSimulator::revoke_grant(std::uint16_t id) {
+  if (id >= nodes_.size() || !nodes_[id].present || !nodes_[id].state.associated) return false;
+  init_.release(id);
+  nodes_[id].state.grant = mac::ChannelGrant{};
+  nodes_[id].state.associated = false;
+  MMX_OBS_COUNT("sim.ap.revocations", 1);
+  return true;
+}
+
 void NetworkSimulator::set_node_pose(std::uint16_t id, const channel::Pose& pose) {
   if (!room_.contains(pose.position))
     throw std::invalid_argument("NetworkSimulator: node outside the room");

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <functional>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -37,6 +39,7 @@ bool ScaleReport::operator==(const ScaleReport& o) const {
          measure_rounds == o.measure_rounds && link_evals == o.link_evals &&
          arq.transmissions == o.arq.transmissions && arq.delivered == o.arq.delivered &&
          arq.gave_up == o.arq.gave_up && arq.duplicate_acks == o.arq.duplicate_acks &&
+         faults == o.faults &&
          mean_snr_db == o.mean_snr_db && mean_joint_ber == o.mean_joint_ber &&
          mean_rate_bps == o.mean_rate_bps && delivery_ratio == o.delivery_ratio;
   // Cache traffic (cache_refills, cache.*) and measure_wall_s are
@@ -51,15 +54,31 @@ namespace {
 // choice it makes draws from its own counter-derived stream, so the
 // sequence is independent of the other things and of thread count.
 struct Thing {
-  Thing(Rng r, double initial_rate_bps, mac::RateControlConfig rc)
-      : rng(r), rate(initial_rate_bps, rc) {}
+  Thing(Rng r, double initial_rate_bps, mac::RateControlConfig rc,
+        mac::ArqConfig arq_cfg, mac::BackoffConfig backoff_cfg)
+      : rng(r), rate(initial_rate_bps, rc), arq(arq_cfg), backoff(backoff_cfg) {}
 
   Rng rng;
   mac::RateController rate;
   mac::ArqSender arq;
+  mac::RejoinBackoff backoff;
+  channel::Pose pose{};
   std::uint16_t id = 0;
   std::uint16_t next_seq = 0;
   bool associated = false;
+  /// Holds a slot in the simulator (associated or tracked). False while
+  /// powered off, reaped, or between an escalation and its rejoin.
+  bool resident = false;
+  bool down = false;  ///< powered off by a fault (no slot, no timers)
+  /// Outage bracket: set when connectivity is lost to a fault, cleared —
+  /// and accounted — on the next successful grant.
+  bool in_outage = false;
+  std::uint64_t outage_start_round = 0;
+  /// Measurement round before which retry pacing holds transmission
+  /// (derived from the ARQ's backed-off ack wait). 0 = no gate.
+  std::uint64_t next_tx_round = 0;
+  int giveup_streak = 0;  ///< consecutive ARQ give-ups (escalation trigger)
+  EventQueue::EventId rejoin_timer = EventQueue::kInvalidEvent;
 };
 
 }  // namespace
@@ -72,6 +91,7 @@ ScaleScenario::ScaleScenario(ScaleConfig cfg) : cfg_(std::move(cfg)) {
 
 ScaleReport ScaleScenario::run(std::uint64_t seed) const {
   const ScaleConfig& c = cfg_;
+  const FaultConfig& fc = c.faults;
   const double margin_m = 0.5;  // keep poses off the walls
 
   channel::Room room(c.room_width_m, c.room_height_m);
@@ -81,7 +101,9 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
   sim_cfg.link_cache = c.use_cache;
   NetworkSimulator sim(std::move(room), ap, sim_cfg);
 
-  // Dedicated streams: 0 = crowd, 1 = churn decisions, 2+i = thing i.
+  // Dedicated streams: 0 = crowd, 1 = churn decisions, 2+i = thing i. The
+  // fault plan draws from its own derived domain (faults.cpp), so an
+  // enabled fault layer never perturbs these streams.
   Rng crowd_rng = Rng::stream(seed, 0);
   Rng churn_rng = Rng::stream(seed, 1);
   channel::WalkingCrowd crowd(sim.room(), c.walkers, c.walker_speed_mps, crowd_rng);
@@ -93,6 +115,13 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
   ScaleReport rep;
   std::vector<Thing> things;
   things.reserve(c.nodes);
+  EventQueue q;
+
+  // Fault-layer bookkeeping. `id_to_thing` maps a live sim id back to its
+  // thing (index + 1; 0 = unmapped) so AP-side reaping can find the owner;
+  // `fade_depth` counts overlapping storms covering each thing.
+  std::vector<std::uint32_t> id_to_thing;
+  std::vector<std::uint16_t> fade_depth(fc.enabled ? c.nodes : 0, 0);
 
   const auto random_pose = [&](Rng& rng) {
     const Vec2 p{rng.uniform(margin_m, c.room_width_m - margin_m),
@@ -102,11 +131,40 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
     return channel::Pose{p, aim};
   };
 
+  // A successful grant ends any fault outage: credit the recovery and
+  // reset the escalation state.
+  const auto record_recovery = [&](Thing& t) {
+    t.backoff.reset();
+    t.giveup_streak = 0;
+    if (!t.in_outage) return;
+    t.in_outage = false;
+    ++rep.faults.recoveries;
+    const std::uint64_t rounds = rep.measure_rounds - t.outage_start_round;
+    rep.faults.recovery_rounds_sum += rounds;
+    MMX_OBS_RECORD("faults.time_to_recover_rounds", rounds);
+  };
+
+  const auto begin_outage = [&](Thing& t) {
+    if (t.in_outage) return;
+    t.in_outage = true;
+    t.outage_start_round = rep.measure_rounds;
+  };
+
+  // Drop a thing's slot in the simulator (fault paths only).
+  const auto unregister = [&](Thing& t) {
+    if (!t.resident) return;
+    if (t.id < id_to_thing.size()) id_to_thing[t.id] = 0;
+    sim.remove_node(t.id);
+    t.resident = false;
+    t.associated = false;
+  };
+
   // Register `thing` (fresh join or power-cycle rejoin) at `pose`:
   // channel request first, resident-but-unassociated fallback on deny.
-  const auto register_thing = [&](Thing& thing, const channel::Pose& pose) {
+  const auto register_thing = [&](Thing& thing, std::size_t idx, const channel::Pose& pose) {
     ++rep.joins;
     MMX_OBS_COUNT("scale.joins", 1);
+    thing.pose = pose;
     if (const auto id = sim.add_node(pose, c.node_rate_bps)) {
       thing.id = *id;
       thing.associated = true;
@@ -118,18 +176,129 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
       ++rep.denied;
       MMX_OBS_COUNT("scale.denied", 1);
     }
+    thing.resident = true;
+    if (!fc.enabled) return;
+    if (thing.id >= id_to_thing.size()) id_to_thing.resize(thing.id + 1u, 0);
+    id_to_thing[thing.id] = static_cast<std::uint32_t>(idx) + 1;
+    sim.note_activity(thing.id, q.now());
+    if (thing.associated) {
+      record_recovery(thing);
+      // Another path (churn retry, reaper rejoin) may have re-granted us
+      // while a backoff timer was pending — retire it.
+      if (thing.rejoin_timer != EventQueue::kInvalidEvent) {
+        q.cancel(thing.rejoin_timer);
+        thing.rejoin_timer = EventQueue::kInvalidEvent;
+      }
+    }
   };
 
-  EventQueue q;
+  // Re-acquisition with capped exponential backoff + deterministic jitter
+  // (the thing's own stream): schedule_rejoin arms the timer,
+  // attempt_rejoin runs the init protocol and re-arms on deny.
+  std::function<void(std::size_t)> attempt_rejoin;
+  const auto schedule_rejoin = [&](std::size_t idx) {
+    Thing& t = things[idx];
+    if (t.rejoin_timer != EventQueue::kInvalidEvent) return;  // already pending
+    const double delay_s = t.backoff.next_delay_s(t.rng);
+    t.rejoin_timer = q.schedule_in(delay_s, [&, idx] { attempt_rejoin(idx); });
+  };
+  attempt_rejoin = [&](std::size_t idx) {
+    Thing& t = things[idx];
+    t.rejoin_timer = EventQueue::kInvalidEvent;
+    // Stale timer: powered off again, or re-granted through another path.
+    if (t.down || t.associated) return;
+    ++rep.faults.rejoin_attempts;
+    if (t.resident) unregister(t);  // shed the tracked residency first
+    register_thing(t, idx, t.pose);
+    if (!t.associated) schedule_rejoin(idx);  // denied: back off harder
+  };
 
   // Join storm: all things arrive spread over the join window.
   for (std::size_t i = 0; i < c.nodes; ++i) {
     const double t = c.join_window_s * static_cast<double>(i + 1) / static_cast<double>(c.nodes);
     q.schedule_at(t, [&, i] {
-      things.emplace_back(Rng::stream(seed, 2 + i), c.node_rate_bps, rc);
+      Rng thing_rng = Rng::stream(seed, 2 + i);
+      mac::ArqConfig arq_cfg;
+      mac::BackoffConfig backoff_cfg;
+      if (fc.enabled) {
+        arq_cfg = fc.arq;
+        backoff_cfg = fc.rejoin_backoff;
+        // Cheap node clocks drift: skew this node's ack wait once for life.
+        if (fc.timeout_skew_frac > 0.0)
+          arq_cfg.timeout_s *=
+              thing_rng.uniform(1.0 - fc.timeout_skew_frac, 1.0 + fc.timeout_skew_frac);
+      }
+      things.emplace_back(thing_rng, c.node_rate_bps, rc, arq_cfg, backoff_cfg);
       Thing& thing = things.back();
-      register_thing(thing, random_pose(thing.rng));
+      register_thing(thing, things.size() - 1, random_pose(thing.rng));
     });
+  }
+
+  // Arm the fault plan: storms fade a random slice of links, power-cycles
+  // kill nodes silently (their grants become zombies the AP must reap),
+  // revocations yank grants back. Victim choice draws from each event's
+  // own plan-indexed stream, so it cannot perturb any other draw.
+  FaultInjector injector{FaultPlan::compile(fc, c.duration_s, seed)};
+  if (fc.enabled) {
+    FaultHooks hooks;
+    hooks.storm_begin = [&](Rng& rng, double fade_s) {
+      ++rep.faults.storms;
+      if (things.empty()) return;
+      auto faded = std::make_shared<std::vector<std::uint32_t>>();
+      for (std::size_t i = 0; i < things.size(); ++i) {
+        if (rng.chance(fc.storm_fraction)) {
+          ++fade_depth[i];
+          faded->push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+      q.schedule_in(fade_s, [&, faded] {
+        for (const std::uint32_t i : *faded) --fade_depth[i];
+      });
+    };
+    hooks.power_cycle = [&](Rng& rng, double down_s) {
+      if (things.empty()) return;
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(things.size()) - 1));
+      Thing& t = things[idx];
+      if (t.down) return;  // already dark
+      ++rep.faults.power_cycles;
+      t.down = true;
+      if (t.rejoin_timer != EventQueue::kInvalidEvent) {
+        q.cancel(t.rejoin_timer);
+        t.rejoin_timer = EventQueue::kInvalidEvent;
+      }
+      if (t.associated) {
+        // Silent death: no clean leave, so the AP keeps the grant — a
+        // zombie squatting on spectrum until reap_inactive() notices the
+        // silence. Orphan the id now; the node reboots with no memory of
+        // the session and will rejoin as a fresh identity.
+        begin_outage(t);
+        if (t.id < id_to_thing.size()) id_to_thing[t.id] = 0;
+        t.resident = false;
+        t.associated = false;
+      } else if (t.resident) {
+        unregister(t);  // tracked-only resident: nothing squats, just vanish
+      }
+      q.schedule_in(down_s, [&, idx] {
+        things[idx].down = false;
+        attempt_rejoin(idx);
+      });
+    };
+    hooks.revoke = [&](Rng& rng) {
+      std::vector<std::uint32_t> candidates;
+      for (std::size_t i = 0; i < things.size(); ++i)
+        if (things[i].associated) candidates.push_back(static_cast<std::uint32_t>(i));
+      if (candidates.empty()) return;
+      const std::size_t idx = candidates[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(candidates.size()) - 1))];
+      Thing& t = things[idx];
+      ++rep.faults.revocations;
+      sim.revoke_grant(t.id);
+      t.associated = false;
+      begin_outage(t);
+      schedule_rejoin(idx);
+    };
+    injector.arm(q, std::move(hooks));
   }
 
   // Churn ticks: crowd walks, a slice of things re-pose, a slice
@@ -153,37 +322,47 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
       for (std::size_t k = 0; k < slice(c.move_fraction); ++k) {
         Thing& thing = things[static_cast<std::size_t>(
             churn_rng.uniform_int(0, static_cast<int>(things.size()) - 1))];
-        sim.set_node_pose(thing.id, random_pose(thing.rng));
+        const channel::Pose pose = random_pose(thing.rng);
+        // A powered-off/reaped thing has no slot to move; the draws above
+        // still happen, keeping the streams aligned across fault configs.
+        if (fc.enabled && !thing.resident) continue;
+        sim.set_node_pose(thing.id, pose);
+        thing.pose = pose;
         ++rep.moves;
         MMX_OBS_COUNT("scale.moves", 1);
       }
 
       const std::size_t n_leave = slice(c.leave_fraction);
       for (std::size_t k = 0; k < n_leave; ++k) {
-        Thing& thing = things[static_cast<std::size_t>(
-            churn_rng.uniform_int(0, static_cast<int>(things.size()) - 1))];
-        sim.remove_node(thing.id);
+        const auto victim = static_cast<std::size_t>(
+            churn_rng.uniform_int(0, static_cast<int>(things.size()) - 1));
+        Thing& thing = things[victim];
+        if (fc.enabled && (thing.down || !thing.resident)) continue;  // already dark
+        if (fc.enabled) unregister(thing); else sim.remove_node(thing.id);
         ++rep.leaves;
         MMX_OBS_COUNT("scale.leaves", 1);
-        register_thing(thing, random_pose(thing.rng));  // power-cycle: rejoin
+        register_thing(thing, victim, random_pose(thing.rng));  // power-cycle: rejoin
       }
 
       // Denied things retry as departures free spectrum (round-robin scan).
       std::size_t retries = n_leave;
       for (std::size_t scanned = 0; retries > 0 && scanned < things.size(); ++scanned) {
-        Thing& thing = things[retry_cursor++ % things.size()];
+        const std::size_t ti = retry_cursor++ % things.size();
+        Thing& thing = things[ti];
         if (thing.associated) continue;
+        if (fc.enabled && (thing.down || !thing.resident)) continue;
         const channel::Pose pose = sim.node_pose(thing.id);
-        sim.remove_node(thing.id);
-        register_thing(thing, pose);
+        if (fc.enabled) unregister(thing); else sim.remove_node(thing.id);
+        register_thing(thing, ti, pose);
         --retries;
         MMX_OBS_COUNT("scale.retries", 1);
       }
     });
   }
 
-  // Measurement ticks: the AP refreshes stale cache entries in one batch,
-  // then polls every resident link and runs each thing's ARQ + AIMD step.
+  // Measurement ticks: the AP reaps dead residents, refreshes stale cache
+  // entries in one batch, then polls every resident link and runs each
+  // thing's ARQ + AIMD step.
   double snr_sum_db = 0.0;
   double ber_sum = 0.0;
   for (double t = c.measure_interval_s; t <= c.duration_s; t += c.measure_interval_s) {
@@ -192,8 +371,30 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
       ++rep.measure_rounds;
       MMX_OBS_SPAN("scale.measure_round", rep.measure_rounds);
       std::uint64_t round_timeouts = 0;
+
+      if (fc.enabled) {
+        // AP housekeeping: reclaim grants whose holders went silent. A
+        // zombie (power-cycled holder) is already orphaned; a live thing
+        // reaped for being quiet notices the lost beacon and rejoins.
+        for (const std::uint16_t id : sim.reap_inactive(q.now(), fc.reap_timeout_s)) {
+          ++rep.faults.reaped;
+          const std::uint32_t slot = id < id_to_thing.size() ? id_to_thing[id] : 0;
+          if (slot == 0) continue;  // zombie: owner is gone
+          Thing& t = things[slot - 1];
+          id_to_thing[id] = 0;
+          t.resident = false;
+          if (t.associated) {
+            t.associated = false;
+            begin_outage(t);
+          }
+          if (!t.down) schedule_rejoin(slot - 1);
+        }
+      }
+
       rep.cache_refills += sim.refresh_cache(c.refresh_threads);
-      for (Thing& thing : things) {
+      for (std::size_t i = 0; i < things.size(); ++i) {
+        Thing& thing = things[i];
+        if (fc.enabled && !thing.resident) continue;  // dark: nothing to poll
         const OtamLink l = c.use_cache ? sim.link(thing.id) : sim.link_uncached(thing.id);
         ++rep.link_evals;
         snr_sum_db += l.snr_db;
@@ -203,15 +404,56 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
         if (thing.arq.next_action() == mac::ArqSender::Action::kIdle)
           thing.arq.offer(thing.next_seq++);
         if (thing.arq.next_action() != mac::ArqSender::Action::kTransmit) continue;
+        // Retry pacing: the backed-off ack wait holds retransmission for
+        // whole measurement rounds, spreading retries past a storm.
+        if (fc.enabled && rep.measure_rounds < thing.next_tx_round) continue;
         thing.arq.on_transmitted();
-        const double p_frame = std::pow(1.0 - l.joint_ber, c.frame_bits);
-        if (thing.rng.chance(p_frame)) {
+        if (fc.enabled) sim.note_activity(thing.id, q.now());
+        double p_frame = std::pow(1.0 - l.joint_ber, c.frame_bits);
+        if (fc.enabled && fade_depth[i] > 0) p_frame *= fc.storm_delivery_frac;
+        const bool delivered = thing.rng.chance(p_frame);
+        bool acked = delivered;
+        if (acked && fc.ack_loss_frac > 0.0 && thing.rng.chance(fc.ack_loss_frac)) {
+          acked = false;  // frame arrived; the ack never did
+          ++rep.faults.acks_lost;
+        }
+        if (acked && fc.ack_corrupt_frac > 0.0 && thing.rng.chance(fc.ack_corrupt_frac)) {
+          // The ack returns mangled: the sender sees a wrong-seq ack
+          // (counted as a duplicate), discards it, and times out anyway.
+          thing.arq.on_ack(static_cast<std::uint16_t>(thing.arq.current_seq() + 0x8000u));
+          acked = false;
+          ++rep.faults.acks_corrupted;
+        }
+        if (acked) {
           thing.arq.on_ack(thing.arq.current_seq());
           thing.rate.on_success();
+          thing.giveup_streak = 0;
+          thing.next_tx_round = 0;
         } else {
           thing.arq.on_timeout();
           thing.rate.on_failure();
           ++round_timeouts;
+          if (fc.enabled) {
+            if (thing.arq.next_action() == mac::ArqSender::Action::kTransmit) {
+              const double wait_s = thing.arq.current_timeout_s();
+              thing.next_tx_round =
+                  rep.measure_rounds +
+                  std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                                 std::llround(wait_s / c.measure_interval_s)));
+            } else {
+              // Gave the payload up. A streak of give-ups means the link
+              // is dead, not unlucky: escalate to a full re-acquisition.
+              ++thing.giveup_streak;
+              thing.next_tx_round = rep.measure_rounds + 1;
+              if (fc.arq_giveups_to_rejoin > 0 &&
+                  thing.giveup_streak >= fc.arq_giveups_to_rejoin) {
+                ++rep.faults.escalations;
+                begin_outage(thing);
+                unregister(thing);
+                schedule_rejoin(i);
+              }
+            }
+          }
         }
       }
       // Timeouts clustered per measurement round: the trace signal that
@@ -250,6 +492,7 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
   // budget if each mirrored its increment individually.
   rep.cache.publish_obs();
   rep.arq.publish_obs();
+  if (fc.enabled) rep.faults.publish_obs();
   MMX_OBS_COUNT("mac.rate.backoffs", rate_backoffs);
   if (rep.link_evals > 0) {
     rep.mean_snr_db = snr_sum_db / static_cast<double>(rep.link_evals);

@@ -84,6 +84,53 @@ TEST(ArqSender, BadConfigThrows) {
                std::invalid_argument);
 }
 
+TEST(ArqSender, DefaultConfigKeepsAFlatTimeout) {
+  // backoff_factor defaults to 1.0: the retry cadence — and therefore the
+  // byte-stream of every pre-existing scenario — is unchanged.
+  ArqSender arq;
+  EXPECT_DOUBLE_EQ(arq.current_timeout_s(), arq.config().timeout_s);
+  arq.offer(1);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    arq.on_transmitted();
+    EXPECT_DOUBLE_EQ(arq.current_timeout_s(), arq.config().timeout_s);
+    arq.on_timeout();
+  }
+}
+
+TEST(ArqSender, BackoffGrowsPerAttemptAndCaps) {
+  ArqSender arq(ArqConfig{.max_retries = 6, .timeout_s = 1e-3,
+                          .backoff_factor = 2.0, .max_timeout_s = 5e-3});
+  arq.offer(1);
+  const double expected[] = {1e-3, 2e-3, 4e-3, 5e-3, 5e-3};  // capped at 5 ms
+  for (const double want : expected) {
+    arq.on_transmitted();
+    EXPECT_DOUBLE_EQ(arq.current_timeout_s(), want);
+    arq.on_timeout();
+  }
+}
+
+TEST(ArqSender, BackoffResetsForTheNextPayload) {
+  ArqSender arq(ArqConfig{.max_retries = 4, .timeout_s = 1e-3, .backoff_factor = 2.0});
+  arq.offer(1);
+  arq.on_transmitted();
+  arq.on_timeout();
+  arq.on_transmitted();
+  EXPECT_DOUBLE_EQ(arq.current_timeout_s(), 2e-3);  // second attempt, backed off
+  arq.on_ack(1);
+  arq.offer(2);
+  arq.on_transmitted();
+  EXPECT_DOUBLE_EQ(arq.current_timeout_s(), 1e-3);  // fresh payload, fresh schedule
+}
+
+TEST(ArqSender, BadBackoffConfigThrows) {
+  EXPECT_THROW(ArqSender(ArqConfig{.max_retries = 1, .timeout_s = 1e-3,
+                                   .backoff_factor = 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(ArqSender(ArqConfig{.max_retries = 1, .timeout_s = 1e-3,
+                                   .backoff_factor = 2.0, .max_timeout_s = -1.0}),
+               std::invalid_argument);
+}
+
 TEST(ArqReceiver, FiltersDuplicates) {
   ArqReceiver rx;
   EXPECT_TRUE(rx.accept(1, 10));

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "mmx/common/units.hpp"
@@ -181,6 +182,56 @@ TEST(InitProtocol, BadConfigThrows) {
   bad2.sdm_capacity = 0;
   EXPECT_THROW(InitProtocol(FdmAllocator(kIsmLowHz, kIsmHighHz), rf::Vco{}, bad2),
                std::invalid_argument);
+}
+
+TEST(RejoinBackoff, NoJitterFollowsCappedDoubling) {
+  RejoinBackoff bo(BackoffConfig{.base_s = 0.1, .factor = 2.0, .cap_s = 0.7,
+                                 .jitter_frac = 0.0});
+  Rng rng = Rng::stream(1, 0);
+  const double expected[] = {0.1, 0.2, 0.4, 0.7, 0.7};  // capped
+  int attempt = 0;
+  for (const double want : expected) {
+    EXPECT_EQ(bo.attempt(), attempt++);
+    EXPECT_DOUBLE_EQ(bo.next_delay_s(rng), want);
+  }
+}
+
+TEST(RejoinBackoff, JitterStaysInBandAndIsSeedDeterministic) {
+  const BackoffConfig cfg{.base_s = 0.125, .factor = 2.0, .cap_s = 1.0,
+                          .jitter_frac = 0.25};
+  RejoinBackoff a(cfg), b(cfg);
+  Rng rng_a = Rng::stream(9, 4);
+  Rng rng_b = Rng::stream(9, 4);
+  double nominal = cfg.base_s;
+  for (int i = 0; i < 8; ++i) {
+    const double da = a.next_delay_s(rng_a);
+    EXPECT_GE(da, nominal * (1.0 - cfg.jitter_frac));
+    EXPECT_LE(da, nominal * (1.0 + cfg.jitter_frac));
+    // Same config + same stream = same schedule: the determinism the
+    // fault lane's bit-identical contract leans on.
+    EXPECT_EQ(da, b.next_delay_s(rng_b));
+    nominal = std::min(nominal * cfg.factor, cfg.cap_s);
+  }
+}
+
+TEST(RejoinBackoff, ResetRestartsTheSchedule) {
+  RejoinBackoff bo(BackoffConfig{.base_s = 0.1, .factor = 2.0, .cap_s = 2.0,
+                                 .jitter_frac = 0.0});
+  Rng rng = Rng::stream(2, 0);
+  bo.next_delay_s(rng);
+  bo.next_delay_s(rng);
+  EXPECT_EQ(bo.attempt(), 2);
+  bo.reset();  // a successful re-grant forgives the history
+  EXPECT_EQ(bo.attempt(), 0);
+  EXPECT_DOUBLE_EQ(bo.next_delay_s(rng), 0.1);
+}
+
+TEST(RejoinBackoff, BadConfigThrows) {
+  EXPECT_THROW(RejoinBackoff(BackoffConfig{.base_s = 0.0}), std::invalid_argument);
+  EXPECT_THROW(RejoinBackoff(BackoffConfig{.factor = 0.9}), std::invalid_argument);
+  EXPECT_THROW(RejoinBackoff(BackoffConfig{.base_s = 1.0, .cap_s = 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(RejoinBackoff(BackoffConfig{.jitter_frac = 1.0}), std::invalid_argument);
 }
 
 }  // namespace

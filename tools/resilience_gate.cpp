@@ -1,0 +1,102 @@
+// resilience_gate — CI's fault-storm delivery floor.
+//
+// Reads the JSON report from the fault arm of the scale bench
+// (`bench_scale_churn --faults on`) and fails if the delivery ratio fell
+// under the committed floor, or if the recovery machinery went quiet (a
+// storm that injects faults but records no recoveries means the rejoin /
+// reap paths silently stopped working — exactly the regression this gate
+// exists to catch). Always prints the numbers — and appends a markdown
+// summary to $GITHUB_STEP_SUMMARY when set — so the perf lane leaves an
+// advisory comment whether or not the gate trips.
+//
+// usage: resilience_gate FAULTS.json [--min-delivery X] [--min-recoveries N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "report_json.hpp"
+
+namespace {
+
+void append_step_summary(const mmx::tools::Report& rep, double delivery, double recoveries,
+                         double mean_recovery_rounds, double min_delivery, bool pass) {
+  const char* path = std::getenv("GITHUB_STEP_SUMMARY");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;
+  out << "### Resilience gate — " << rep.bench << (pass ? " ✅\n\n" : " ❌\n\n");
+  out << "| delivery ratio | floor | recoveries | mean recovery [rounds] |\n";
+  out << "|---|---|---|---|\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "| %.4f | %.4f | %.0f | %.1f |\n", delivery, min_delivery,
+                recoveries, mean_recovery_rounds);
+  out << line;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double min_delivery = 0.5;
+  double min_recoveries = 1.0;
+  const char* report_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--min-delivery") == 0 && i + 1 < argc) {
+      min_delivery = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--min-recoveries") == 0 && i + 1 < argc) {
+      min_recoveries = std::strtod(argv[++i], nullptr);
+    } else if (report_path == nullptr) {
+      report_path = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: resilience_gate FAULTS.json [--min-delivery X] [--min-recoveries N]\n");
+      return 2;
+    }
+  }
+  if (report_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: resilience_gate FAULTS.json [--min-delivery X] [--min-recoveries N]\n");
+    return 2;
+  }
+
+  mmx::tools::Report rep;
+  if (!mmx::tools::load_report("resilience_gate", report_path, rep)) return 2;
+
+  std::ifstream in(report_path);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  double delivery = 0.0;
+  double faults_on = 0.0;
+  double recoveries = 0.0;
+  double mean_recovery_rounds = 0.0;
+  if (!mmx::tools::find_number(text, "delivery_ratio", delivery) ||
+      !mmx::tools::find_number(text, "faults_on", faults_on) ||
+      !mmx::tools::find_number(text, "fault_recoveries", recoveries) ||
+      !mmx::tools::find_number(text, "mean_recovery_rounds", mean_recovery_rounds)) {
+    std::fprintf(stderr, "resilience_gate: %s is not a fault-arm scale report\n", report_path);
+    return 2;
+  }
+  if (faults_on != 1.0) {
+    std::fprintf(stderr, "resilience_gate: %s was produced with faults off\n", report_path);
+    return 2;
+  }
+
+  const bool delivery_ok = delivery >= min_delivery;
+  const bool recovery_ok = recoveries >= min_recoveries;
+  const bool pass = delivery_ok && recovery_ok;
+  std::printf("resilience_gate: %s\n", rep.bench.c_str());
+  std::printf("  delivery ratio: %.4f (floor: %.4f) -> %s\n", delivery, min_delivery,
+              delivery_ok ? "PASS" : "FAIL");
+  std::printf("  recoveries: %.0f (floor: %.0f), mean %.1f rounds -> %s\n", recoveries,
+              min_recoveries, mean_recovery_rounds, recovery_ok ? "PASS" : "FAIL");
+  append_step_summary(rep, delivery, recoveries, mean_recovery_rounds, min_delivery, pass);
+  if (!delivery_ok)
+    std::printf("::error::fault-storm delivery ratio %.4f fell under the %.4f floor\n",
+                delivery, min_delivery);
+  if (!recovery_ok)
+    std::printf("::error::fault storm recorded %.0f recoveries (floor %.0f) — recovery paths "
+                "may be dead\n", recoveries, min_recoveries);
+  return pass ? 0 : 1;
+}
