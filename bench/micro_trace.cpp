@@ -1,0 +1,242 @@
+// Micro-benchmarks of the geometry fast path (channel::RoomPlan) against
+// the reference RayTracer, on the shared sweep harness.
+//
+// Two kernel sets are selectable with --kernels:
+//   fast  the production path: compiled RoomPlan, tabulated AP images,
+//         batched trace_batch_into, caller-owned PathList workspace
+//   ref   RayTracer::trace — the frozen bit-exact reference (allocating
+//         one vector per call, deriving every image inline)
+//
+// Every trial folds the traced paths into a checksum, so the work cannot
+// be optimized away AND ref/fast runs are bitwise-comparable: the default
+// `all` mode runs matched ref/fast pairs per stage, prints the speedup
+// table, and FAILS (exit 1) if any stage's per-trial checksums differ —
+// a perf report that doubles as an equivalence test. --stage picks one
+// workload for a machine-readable run (the JSON bench name carries the
+// stage, so tools/sweep_gate can compare a matched ref/fast pair); CI's
+// bench-perf lane gates the refill stage at >= 3x (docs/GEOMETRY.md).
+//
+// Stages:
+//   refill   the sim's cache-refill inner loop at its pinned config
+//            (1 bounce, 60 dB): 10k nodes against one AP in a 12 m x 8 m
+//            room with 3 human blockers, in 64-node blocks, one
+//            blockers-on gains trace + one blockers-off corridor trace
+//            per node — exactly NetworkSimulator::refill_block's shape
+//   trace    single-pair trace_into, random endpoints, 1 bounce
+//   bounce2  single-pair trace, 2 bounces (image-of-image heavy)
+//   dense    48 blockers (grid broad phase on), 2 bounces
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "mmx/channel/ray_tracer.hpp"
+#include "mmx/channel/room_plan.hpp"
+#include "mmx/common/rng.hpp"
+
+using namespace mmx;
+
+namespace {
+
+constexpr double kRoomW = 12.0;
+constexpr double kRoomH = 8.0;
+constexpr Vec2 kAp{6.0, 4.0};
+// The sim's pinned trace config (network_sim.cpp): 1 bounce, 60 dB.
+constexpr double kMaxExcessDb = 60.0;
+constexpr std::size_t kRefillNodes = 10000;
+constexpr std::size_t kBlock = 64;  // NetworkSimulator's kRefillBlock
+
+channel::Room make_room(int blockers, std::uint64_t seed) {
+  channel::Room room(kRoomW, kRoomH);
+  Rng rng(seed);
+  for (int i = 0; i < blockers; ++i)
+    room.add_blocker({{rng.uniform(0.5, kRoomW - 0.5), rng.uniform(0.5, kRoomH - 0.5)},
+                      rng.uniform(0.15, 0.35), rng.uniform(10.0, 30.0)});
+  return room;
+}
+
+double path_checksum(const channel::Path& p) {
+  return p.length_m + p.excess_loss_db + static_cast<double>(p.blocker_crossings);
+}
+
+// One fixture per stage flavour, built once: the plan compiles per
+// Room::epoch() and the AP image table per (endpoint, epoch) — exactly
+// the amortization the production refill enjoys.
+struct Fixture {
+  channel::Room room;
+  channel::RayTracer tracer;
+  channel::RoomPlan plan;
+  channel::ImageTable ap_images;
+
+  Fixture(int blockers, std::uint64_t seed, int max_bounces)
+      : room(make_room(blockers, seed)), tracer(room), plan(room) {
+    plan.build_images(kAp, max_bounces, ap_images);
+  }
+};
+
+Fixture& refill_fixture() {
+  static Fixture f(/*blockers=*/3, /*seed=*/0x5eedULL, /*max_bounces=*/1);
+  return f;
+}
+Fixture& sparse_fixture() {
+  static Fixture f(/*blockers=*/3, /*seed=*/0x5eedULL, /*max_bounces=*/2);
+  return f;
+}
+Fixture& dense_fixture() {
+  static Fixture f(/*blockers=*/48, /*seed=*/0xd05eULL, /*max_bounces=*/2);
+  return f;
+}
+
+const std::vector<Vec2>& refill_nodes() {
+  static const std::vector<Vec2> nodes = [] {
+    std::vector<Vec2> out;
+    out.reserve(kRefillNodes);
+    Rng rng(0x10adULL);
+    for (std::size_t i = 0; i < kRefillNodes; ++i)
+      out.push_back({rng.uniform(0.25, kRoomW - 0.25), rng.uniform(0.25, kRoomH - 0.25)});
+    return out;
+  }();
+  return nodes;
+}
+
+// The sim's refill inner loop: per 64-node block, one batched gains trace
+// (blockers applied) and one batched corridor trace (blockers off).
+// Checksums accumulate per-stream in node order, so ref and fast sum the
+// same doubles in the same sequence — bitwise-equal results.
+double trial_refill(bool fast) {
+  Fixture& f = refill_fixture();
+  const std::vector<Vec2>& nodes = refill_nodes();
+  double acc_gains = 0.0;
+  double acc_corr = 0.0;
+  if (fast) {
+    thread_local channel::PathList ws;
+    thread_local std::vector<std::uint32_t> offs;
+    for (std::size_t lo = 0; lo < nodes.size(); lo += kBlock) {
+      const std::size_t n = std::min(kBlock, nodes.size() - lo);
+      const std::span<const Vec2> block(nodes.data() + lo, n);
+      offs.resize(2 * (n + 1));
+      const std::span<std::uint32_t> o1(offs.data(), n + 1);
+      const std::span<std::uint32_t> o2(offs.data() + n + 1, n + 1);
+      ws.clear();
+      // The fused refill kernel: gains + corridors from one pass.
+      f.plan.trace_batch_dual_into(kAp, block, f.ap_images, ws, o1, o2, kMaxExcessDb, 1);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (const channel::Path& p : ws.slice(o1[i], o1[i + 1])) acc_gains += path_checksum(p);
+        for (const channel::Path& p : ws.slice(o2[i], o2[i + 1])) acc_corr += path_checksum(p);
+      }
+    }
+  } else {
+    for (const Vec2 node : nodes) {
+      for (const channel::Path& p : f.tracer.trace(node, kAp, kMaxExcessDb, 1, true))
+        acc_gains += path_checksum(p);
+      for (const channel::Path& p : f.tracer.trace(node, kAp, kMaxExcessDb, 1, false))
+        acc_corr += path_checksum(p);
+    }
+  }
+  return acc_gains + acc_corr;
+}
+
+// Single-pair tracing with per-trial random endpoints. Endpoints are
+// drawn before the kernel branch, so ref and fast consume identical rng
+// streams and the checksums stay comparable.
+double trial_single(bool fast, Rng& rng, Fixture& f, int max_bounces) {
+  double acc = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    const Vec2 tx{rng.uniform(0.25, kRoomW - 0.25), rng.uniform(0.25, kRoomH - 0.25)};
+    const Vec2 rx{rng.uniform(0.25, kRoomW - 0.25), rng.uniform(0.25, kRoomH - 0.25)};
+    if (tx == rx) continue;
+    if (fast) {
+      thread_local channel::PathList ws;
+      ws.clear();
+      for (const channel::Path& p :
+           f.plan.trace_into(tx, rx, ws, kMaxExcessDb, max_bounces, true))
+        acc += path_checksum(p);
+    } else {
+      for (const channel::Path& p : f.tracer.trace(tx, rx, kMaxExcessDb, max_bounces, true))
+        acc += path_checksum(p);
+    }
+  }
+  return acc;
+}
+
+const std::vector<std::string> kStages = {"refill", "trace", "bounce2", "dense"};
+
+sim::SweepResult<double> run_stage(const std::string& stage, bool fast,
+                                   sim::SweepRunner& runner) {
+  if (stage == "refill") return runner.run([&](std::size_t, Rng&) { return trial_refill(fast); });
+  if (stage == "trace")
+    return runner.run(
+        [&](std::size_t, Rng& rng) { return trial_single(fast, rng, sparse_fixture(), 1); });
+  if (stage == "bounce2")
+    return runner.run(
+        [&](std::size_t, Rng& rng) { return trial_single(fast, rng, sparse_fixture(), 2); });
+  return runner.run(
+      [&](std::size_t, Rng& rng) { return trial_single(fast, rng, dense_fixture(), 2); });
+}
+
+bool checksums_match(const sim::SweepResult<double>& a, const sim::SweepResult<double>& b) {
+  if (a.trials.size() != b.trials.size()) return false;
+  for (std::size_t i = 0; i < a.trials.size(); ++i)
+    if (a.trials[i] != b.trials[i]) return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string stage = "all";
+  std::string kernels = "fast";
+  const bench::Options opt = bench::parse_args(
+      argc, argv, /*default_trials=*/20, /*default_seed=*/0x6d6d5821ULL, "trials per stage",
+      {{"--stage", "all|refill|trace|bounce2|dense (default all)", &stage},
+       {"--kernels", "fast|ref kernel set (default fast)", &kernels}});
+  if (kernels != "fast" && kernels != "ref") {
+    std::fprintf(stderr, "micro_trace: --kernels must be fast or ref, got '%s'\n",
+                 kernels.c_str());
+    return 2;
+  }
+  const bool fast = kernels == "fast";
+  sim::SweepRunner runner(opt.sweep);
+
+  if (stage == "all") {
+    bench::JsonReport report("micro_trace", opt);
+    std::printf("# micro_trace — RayTracer (ref) vs RoomPlan (fast), %zu trials/stage, %zu threads\n",
+                opt.sweep.trials, runner.threads());
+    std::printf("%-10s %14s %14s %9s %9s\n", "stage", "ref trials/s", "fast trials/s", "speedup",
+                "bitwise");
+    for (const std::string& s : kStages) {
+      const sim::SweepResult<double> ref = run_stage(s, /*fast=*/false, runner);
+      const sim::SweepResult<double> fst = run_stage(s, /*fast=*/true, runner);
+      const bool same = checksums_match(ref, fst);
+      const double speedup = ref.trials_per_s > 0.0 ? fst.trials_per_s / ref.trials_per_s : 0.0;
+      std::printf("%-10s %14.1f %14.1f %8.2fx %9s\n", s.c_str(), ref.trials_per_s,
+                  fst.trials_per_s, speedup, same ? "ok" : "MISMATCH");
+      if (!same) {
+        std::fprintf(stderr, "micro_trace: stage '%s' checksums diverge from the reference\n",
+                     s.c_str());
+        return 1;
+      }
+      report.add_scalar("speedup_" + s, speedup);
+      if (s == "refill") report.record(fst);
+    }
+    return report.write() ? 0 : 1;
+  }
+
+  bool known = false;
+  for (const std::string& s : kStages) known = known || (s == stage);
+  if (!known) {
+    std::fprintf(stderr, "micro_trace: unknown --stage '%s'\n", stage.c_str());
+    return 2;
+  }
+  const sim::SweepResult<double> result = run_stage(stage, fast, runner);
+  bench::report_timing(result);
+  std::printf("[micro_trace] stage=%s kernels=%s trials=%zu trials_per_s=%.1f\n", stage.c_str(),
+              kernels.c_str(), result.trials.size(), result.trials_per_s);
+  bench::JsonReport report("micro_trace_" + stage, opt);
+  report.record(result);
+  report.add_metric("checksum", result.trials);
+  return report.write() ? 0 : 1;
+}

@@ -13,11 +13,10 @@ double BeamGains::contrast_db() const {
   return std::abs(amp_to_db(a1 / a0));
 }
 
-BeamGains compute_beam_gains(const RayTracer& tracer, const Pose& node,
-                             const antenna::MmxBeamPair& beams, const Pose& ap,
-                             const antenna::Element& ap_antenna, double freq_hz) {
+BeamGains beam_gains_from_paths(std::span<const Path> paths, const Pose& node,
+                                const antenna::MmxBeamPair& beams, const Pose& ap,
+                                const antenna::Element& ap_antenna, double freq_hz) {
   BeamGains g{};
-  const auto paths = tracer.trace(node.position, ap.position);
   for (const Path& p : paths) {
     // Angles in each device's own frame.
     const double dep = wrap_angle(p.departure_rad - node.orientation_rad);
@@ -29,6 +28,13 @@ BeamGains compute_beam_gains(const RayTracer& tracer, const Pose& node,
     ++g.paths_used;
   }
   return g;
+}
+
+BeamGains compute_beam_gains(const RayTracer& tracer, const Pose& node,
+                             const antenna::MmxBeamPair& beams, const Pose& ap,
+                             const antenna::Element& ap_antenna, double freq_hz) {
+  const auto paths = tracer.trace(node.position, ap.position);
+  return beam_gains_from_paths(paths, node, beams, ap, ap_antenna, freq_hz);
 }
 
 BeamGains compute_beam_gains_avg(const RayTracer& tracer, const Pose& node,

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <complex>
+#include <span>
 
 #include "mmx/antenna/element.hpp"
 #include "mmx/antenna/mmx_beams.hpp"
@@ -39,6 +40,14 @@ struct BeamGains {
 BeamGains compute_beam_gains(const RayTracer& tracer, const Pose& node,
                              const antenna::MmxBeamPair& beams, const Pose& ap,
                              const antenna::Element& ap_antenna, double freq_hz);
+
+/// Same accumulation over an already-traced path set — the entry point
+/// for the RoomPlan batch path, where one trace_batch_into produces the
+/// per-node path windows. Bit-identical to compute_beam_gains when
+/// `paths` is the trace of (node.position -> ap.position).
+BeamGains beam_gains_from_paths(std::span<const Path> paths, const Pose& node,
+                                const antenna::MmxBeamPair& beams, const Pose& ap,
+                                const antenna::Element& ap_antenna, double freq_hz);
 
 /// Fading-averaged variant: |h_b| is the RMS over path phases (incoherent
 /// power sum), the quantity a time-averaged SNR measurement sees when

@@ -9,7 +9,6 @@
 #pragma once
 
 #include <complex>
-#include <initializer_list>
 #include <span>
 #include <vector>
 
@@ -18,6 +17,18 @@
 namespace mmx::channel {
 
 enum class PathKind { kLineOfSight, kReflected, kDoubleReflected };
+
+/// Wall ids a transmission scan must ignore — a leg's own reflecting
+/// wall(s) touch the leg at an endpoint and must not count as crossings.
+/// At most two walls are ever skipped (the two bounce walls of a
+/// double-reflected leg), so a 2-slot mask beats scanning a list per
+/// wall: the old initializer_list scan was O(walls x skip) per leg.
+struct WallSkip {
+  int w0 = -1;
+  int w1 = -1;
+
+  bool contains(int w) const { return w == w0 || w == w1; }
+};
 
 struct Path {
   PathKind kind = PathKind::kLineOfSight;
@@ -72,9 +83,8 @@ class RayTracer {
   double blocker_loss_db(Vec2 a, Vec2 b, int& crossings, double loss_scale) const;
 
   /// Sum of partition transmission losses along segment [a, b], skipping
-  /// the walls in `skip` (a leg's own reflecting wall touches the leg at
-  /// its endpoint and must not count as a crossing).
-  double transmission_loss_db(Vec2 a, Vec2 b, std::initializer_list<int> skip) const;
+  /// the walls in `skip`.
+  double transmission_loss_db(Vec2 a, Vec2 b, WallSkip skip) const;
 
   const Room* room_;  // non-owning; Room must outlive the tracer
 };

@@ -1,0 +1,226 @@
+// Geometry acceleration engine: a compiled, epoch-keyed room plan.
+//
+// RayTracer::trace re-derives every wall image, scans every blocker per
+// segment, and heap-allocates its result vector on each call — fine for
+// one link, ruinous for the 10^4-node cache refills the scale lane runs
+// (docs/SCALING.md). A RoomPlan compiles a Room snapshot once per
+// Room::epoch() into flat, cache-friendly tables:
+//
+//   - per-wall precomputed segments (direction/length cached) so the
+//     image-method mirror/intersect steps apply stored transforms,
+//   - SoA blocker storage (centers/radii/losses in flat arrays) behind a
+//     uniform-grid broad phase: a segment only exact-tests the discs
+//     registered in the cells it crosses, with an AABB reject first,
+//   - allocation-free tracing into a caller-owned PathList workspace
+//     (the DspWorkspace pattern from docs/DSP_FASTPATH.md),
+//   - batched tracing against a shared endpoint (the AP) whose per-wall
+//     and per-wall-pair images are hoisted into an ImageTable once per
+//     batch instead of once per node.
+//
+// Every path it produces is bit-identical to RayTracer::trace — same
+// paths, same order, same doubles (tests/channel/room_plan_test.cpp) —
+// so the sim layer's cached==uncached and thread-invariance guarantees
+// carry over unchanged. See docs/GEOMETRY.md for the contract and the
+// broad-phase conservativeness argument.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mmx/channel/ray_tracer.hpp"
+#include "mmx/channel/room.hpp"
+
+namespace mmx::channel {
+
+class RoomPlan;
+
+/// Caller-owned trace workspace: grown-once path storage plus the
+/// broad-phase scratch (candidate list, stamp array, image buffers).
+/// Reuse one PathList across traces — after the first few calls every
+/// trace_into/trace_batch_into is allocation-free. Appended paths stay
+/// valid until clear(); batch traces index them through the offsets
+/// array (see RoomPlan::trace_batch_into).
+class PathList {
+ public:
+  PathList() = default;
+
+  /// Pre-grow the path store (setup-time allocation; optional — traces
+  /// grow it on demand, amortized).
+  void reserve_paths(std::size_t n) { ensure_paths(n); }
+
+  void clear() { count_ = 0; }
+  std::size_t size() const { return count_; }
+  std::size_t path_capacity() const { return storage_.size(); }
+  std::span<const Path> paths() const { return {storage_.data(), count_}; }
+  /// Paths [begin, end) — the per-node window a batch trace reported.
+  std::span<const Path> slice(std::size_t begin, std::size_t end) const {
+    return {storage_.data() + begin, end - begin};
+  }
+
+ private:
+  friend class RoomPlan;
+
+  /// Next pre-grown path slot (never allocates; ensure_paths sizes the
+  /// store before any trace loop runs).
+  Path& commit() { return storage_[count_++]; }
+  void ensure_paths(std::size_t n);
+  void ensure_scratch(std::size_t images, std::size_t pair_images, std::size_t blockers);
+  void ensure_dual(std::size_t n);
+  std::uint32_t next_query();
+
+  std::vector<Path> storage_;
+  std::size_t count_ = 0;
+  /// Dual-trace staging: blocker-free paths buffered here during the
+  /// fused pass, then appended after the batch's blockers-applied block.
+  std::vector<Path> dual_buf_;
+  /// Single-trace image scratch (batch traces read a caller ImageTable).
+  std::vector<Vec2> wall_image_;
+  std::vector<Vec2> pair_image_;
+  /// Broad-phase scratch: grid-gathered candidate blocker indices, and a
+  /// per-blocker stamp (== query_) deduplicating multi-cell hits.
+  std::vector<std::uint32_t> cand_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t query_ = 0;
+};
+
+/// Per-wall and per-wall-pair images of one fixed endpoint, hoisted out
+/// of the per-node loop by trace_batch_into. Built by
+/// RoomPlan::build_images; valid only for the (plan epoch, rx, bounces)
+/// it was built for — the batch trace verifies all three.
+struct ImageTable {
+  Vec2 rx{};
+  std::uint64_t room_epoch = ~0ull;
+  int max_bounces = 0;
+  std::vector<Vec2> wall_image;  ///< mirror_w(rx), one per wall
+  std::vector<Vec2> pair_image;  ///< mirror_wi(mirror_wj(rx)), index wi * walls + wj
+};
+
+struct RoomPlanConfig {
+  /// Broad-phase grid cell size [m]; 0 = auto (room min dimension / 8,
+  /// floored at 0.5 m so a human blocker spans at most ~2x2 cells).
+  double grid_cell_m = 0.0;
+  /// Below this blocker count the grid is skipped for a flat SoA scan
+  /// with AABB rejects — walk-the-grid bookkeeping only pays for itself
+  /// once enough discs can be skipped.
+  std::size_t grid_min_blockers = 8;
+};
+
+class RoomPlan {
+ public:
+  RoomPlan() = default;
+  explicit RoomPlan(const Room& room, RoomPlanConfig cfg = {});
+
+  /// Recompile from `room`'s current walls/blockers. Call whenever
+  /// Room::epoch() moved past room_epoch(); cheap relative to even one
+  /// 10^4-node refill (O(walls + blockers + grid cells)).
+  void rebuild(const Room& room);
+
+  bool compiled() const { return room_epoch_ != ~0ull; }
+  /// Room::epoch() at the last rebuild (~0 = never compiled). The plan
+  /// snapshots geometry: using it after its source Room mutated returns
+  /// stale (pre-mutation) paths, exactly like a stale LinkCache entry.
+  std::uint64_t room_epoch() const { return room_epoch_; }
+
+  std::size_t wall_count() const { return walls_.size(); }
+  std::size_t blocker_count() const { return bx_.size(); }
+  /// Upper bound on paths a single trace can append (LoS + one per wall
+  /// + one per ordered wall pair when max_bounces >= 2).
+  std::size_t max_paths(int max_bounces) const;
+
+  bool grid_enabled() const { return grid_on_; }
+  int grid_cols() const { return grid_cols_; }
+  int grid_rows() const { return grid_rows_; }
+  double grid_cell_m() const { return cell_m_; }
+
+  /// Hoist the per-wall (and, for max_bounces >= 2, per-wall-pair)
+  /// images of `rx` into `out` for trace_batch_into.
+  void build_images(Vec2 rx, int max_bounces, ImageTable& out) const;
+
+  /// Bit-identical replacement for RayTracer::trace(tx, rx, ...):
+  /// appends the path set to `out` and returns the appended window.
+  std::span<const Path> trace_into(Vec2 tx, Vec2 rx, PathList& out,
+                                   double max_excess_loss_db = 60.0, int max_bounces = 1,
+                                   bool apply_blockers = true) const;
+
+  /// Batched traces against the shared endpoint `ap`: for each i,
+  /// appends the exact trace_into(nodes[i], ap, ...) path set, reusing
+  /// `images` (build_images(ap, ...)) across the whole batch. Fills
+  /// `offsets` (size nodes.size() + 1) so node i's paths are
+  /// out.slice(offsets[i], offsets[i+1]); returns the full appended
+  /// window. Mirrors are pure functions, so table lookups produce the
+  /// same bits as trace_into's inline image computation.
+  std::span<const Path> trace_batch_into(Vec2 ap, std::span<const Vec2> nodes,
+                                         const ImageTable& images, PathList& out,
+                                         std::span<std::uint32_t> offsets,
+                                         double max_excess_loss_db = 60.0, int max_bounces = 1,
+                                         bool apply_blockers = true) const;
+
+  /// Fused batch: ONE geometric traversal per node yields BOTH the
+  /// blockers-applied path set (gains) and the blocker-free set
+  /// (corridors) — the intersections, leg lengths, angles and
+  /// transmission terms are shared, only the two loss accumulations
+  /// differ, and each runs in the reference order, so both result sets
+  /// are bit-identical to separate trace_batch_into calls with
+  /// apply_blockers true / false. This is the cache-refill kernel: a
+  /// refresh needs exactly these two sets per node, and the corridor
+  /// pass was previously a full second traversal (docs/GEOMETRY.md).
+  /// Node i's windows: out.slice(offsets_on[i], offsets_on[i+1]) with
+  /// blockers, out.slice(offsets_off[i], offsets_off[i+1]) without (the
+  /// off windows follow every on window in storage). Both offset spans
+  /// need nodes.size() + 1 slots. Returns the full appended window.
+  std::span<const Path> trace_batch_dual_into(Vec2 ap, std::span<const Vec2> nodes,
+                                              const ImageTable& images, PathList& out,
+                                              std::span<std::uint32_t> offsets_on,
+                                              std::span<std::uint32_t> offsets_off,
+                                              double max_excess_loss_db = 60.0,
+                                              int max_bounces = 1) const;
+
+ private:
+  struct WallRec {
+    Segment seg;  ///< precomputed (cached direction/length)
+    double reflection_loss_db = 0.0;
+    double transmission_loss_db = 0.0;
+    bool blocks_transmission = false;
+  };
+
+  void trace_one(Vec2 tx, Vec2 rx, const Vec2* wall_images, const Vec2* pair_images,
+                 PathList& out, double max_excess_loss_db, int max_bounces,
+                 bool apply_blockers) const;
+  void trace_dual_one(Vec2 tx, Vec2 rx, const Vec2* wall_images, const Vec2* pair_images,
+                      PathList& out, std::size_t& off_count, double max_excess_loss_db,
+                      int max_bounces) const;
+  double blocker_loss_db(Vec2 a, Vec2 b, int& crossings, double loss_scale,
+                         PathList& ws) const;
+  double transmission_loss_db(Vec2 a, Vec2 b, WallSkip skip) const;
+  int clamp_col(double x) const;
+  int clamp_row(double y) const;
+
+  RoomPlanConfig cfg_{};
+  std::uint64_t room_epoch_ = ~0ull;
+  std::vector<WallRec> walls_;
+  /// Indices of transmission-blocking walls, ascending — preserves the
+  /// reference tracer's wall-order dB accumulation.
+  std::vector<std::uint32_t> trans_walls_;
+  /// SoA blockers (flat arrays scan without pulling Material strings or
+  /// struct padding through the cache).
+  std::vector<double> bx_;
+  std::vector<double> by_;
+  std::vector<double> br_;
+  std::vector<double> bloss_db_;
+  /// Uniform grid over the wall bounding box, CSR-packed: cell c holds
+  /// cell_items_[cell_start_[c] .. cell_start_[c+1]). Registration and
+  /// query both inflate by kGridSlackM, so float rounding can only add
+  /// candidates (false positives are filtered by the exact disc test;
+  /// false negatives would break bit-identity and cannot happen).
+  bool grid_on_ = false;
+  int grid_cols_ = 0;
+  int grid_rows_ = 0;
+  double cell_m_ = 0.0;
+  double grid_x0_ = 0.0;
+  double grid_y0_ = 0.0;
+  std::vector<std::uint32_t> cell_start_;
+  std::vector<std::uint32_t> cell_items_;
+};
+
+}  // namespace mmx::channel

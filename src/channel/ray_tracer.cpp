@@ -21,17 +21,12 @@ double RayTracer::blocker_loss_db(Vec2 a, Vec2 b, int& crossings, double loss_sc
   return loss;
 }
 
-double RayTracer::transmission_loss_db(Vec2 a, Vec2 b,
-                                       std::initializer_list<int> skip) const {
+double RayTracer::transmission_loss_db(Vec2 a, Vec2 b, WallSkip skip) const {
   double loss = 0.0;
   const auto& walls = room_->walls();
   for (std::size_t w = 0; w < walls.size(); ++w) {
     if (!walls[w].blocks_transmission) continue;
-    bool skipped = false;
-    for (int s : skip) {
-      if (static_cast<int>(w) == s) skipped = true;
-    }
-    if (skipped) continue;
+    if (skip.contains(static_cast<int>(w))) continue;
     if (walls[w].segment.intersect(a, b)) loss += walls[w].material.transmission_loss_db;
   }
   return loss;
@@ -63,7 +58,7 @@ std::vector<Path> RayTracer::trace(Vec2 tx, Vec2 rx, double max_excess_loss_db,
     p.arrival_rad = (tx - rx).angle();
     int crossings = 0;
     p.excess_loss_db = blockers(tx, rx, crossings, 1.0);
-    p.excess_loss_db += transmission_loss_db(tx, rx, {});
+    p.excess_loss_db += transmission_loss_db(tx, rx, WallSkip{});
     p.blocker_crossings = crossings;
     if (p.excess_loss_db <= max_excess_loss_db) paths.push_back(p);
   }
@@ -94,8 +89,8 @@ std::vector<Path> RayTracer::trace(Vec2 tx, Vec2 rx, double max_excess_loss_db,
     loss += blockers(tx, via, crossings, kReflectedBlockageFraction);
     loss += blockers(via, rx, crossings, kReflectedBlockageFraction);
     const int wall_id = static_cast<int>(w);
-    loss += transmission_loss_db(tx, via, {wall_id});
-    loss += transmission_loss_db(via, rx, {wall_id});
+    loss += transmission_loss_db(tx, via, WallSkip{wall_id});
+    loss += transmission_loss_db(via, rx, WallSkip{wall_id});
     p.excess_loss_db = loss;
     p.blocker_crossings = crossings;
     if (p.excess_loss_db <= max_excess_loss_db) paths.push_back(p);
@@ -140,9 +135,9 @@ std::vector<Path> RayTracer::trace(Vec2 tx, Vec2 rx, double max_excess_loss_db,
         loss += blockers(p2, rx, crossings, kReflectedBlockageFraction);
         const int wid = static_cast<int>(wi);
         const int wjd = static_cast<int>(wj);
-        loss += transmission_loss_db(tx, p1, {wid});
-        loss += transmission_loss_db(p1, p2, {wid, wjd});
-        loss += transmission_loss_db(p2, rx, {wjd});
+        loss += transmission_loss_db(tx, p1, WallSkip{wid});
+        loss += transmission_loss_db(p1, p2, WallSkip{wid, wjd});
+        loss += transmission_loss_db(p2, rx, WallSkip{wjd});
         p.excess_loss_db = loss;
         p.blocker_crossings = crossings;
         if (p.excess_loss_db <= max_excess_loss_db) paths.push_back(p);

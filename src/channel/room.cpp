@@ -28,16 +28,19 @@ Room::Room(double width_m, double height_m, Material wall_material)
   walls_.push_back({{b, c}, wall_material});
   walls_.push_back({{c, d}, wall_material});
   walls_.push_back({{d, a}, wall_material});
+  for (Wall& w : walls_) w.segment.precompute();
 }
 
 void Room::add_reflector(Segment segment, Material material) {
   if (segment.length() <= 0.0) throw std::invalid_argument("Room: zero-length reflector");
+  segment.precompute();
   walls_.push_back({segment, std::move(material), /*blocks_transmission=*/false});
   ++epoch_;
 }
 
 void Room::add_partition(Segment segment, Material material) {
   if (segment.length() <= 0.0) throw std::invalid_argument("Room: zero-length partition");
+  segment.precompute();
   walls_.push_back({segment, std::move(material), /*blocks_transmission=*/true});
   ++epoch_;
 }

@@ -1,0 +1,659 @@
+#include "mmx/channel/room_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mmx::channel {
+
+namespace {
+// Keep in sync with ray_tracer.cpp: reflected paths take half the dB body
+// loss (3-D elevation spread routes part of the Fresnel zone around a
+// standing blocker); LoS takes the full loss.
+constexpr double kReflectedBlockageFraction = 0.5;
+
+// Conservativeness margin for the broad phase, in metres. Registration
+// and query both inflate their AABBs/windows by this much, so the ~1e-13
+// rounding of the cell-interpolation arithmetic can only ever ADD cells
+// to the walk — a disc the exact test would hit is always among the
+// candidates, which is what keeps the fast path bit-identical.
+constexpr double kGridSlackM = 1e-9;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PathList
+
+void PathList::ensure_paths(std::size_t n) {
+  if (storage_.size() >= n) return;
+  storage_.resize(n);  // mmx-analyze: allow(hot-path-alloc) -- amortized workspace growth
+}
+
+void PathList::ensure_scratch(std::size_t images, std::size_t pair_images,
+                              std::size_t blockers) {
+  if (wall_image_.size() < images)
+    wall_image_.resize(images);  // mmx-analyze: allow(hot-path-alloc) -- amortized growth
+  if (pair_image_.size() < pair_images)
+    pair_image_.resize(pair_images);  // mmx-analyze: allow(hot-path-alloc) -- amortized growth
+  if (cand_.size() < blockers)
+    cand_.resize(blockers);  // mmx-analyze: allow(hot-path-alloc) -- amortized growth
+  // resize zero-fills the new stamps; 0 is never a live query id (see
+  // next_query), so grown entries are correctly "not seen this query".
+  if (stamp_.size() < blockers)
+    stamp_.resize(blockers);  // mmx-analyze: allow(hot-path-alloc) -- amortized growth
+}
+
+void PathList::ensure_dual(std::size_t n) {
+  if (dual_buf_.size() < n)
+    dual_buf_.resize(n);  // mmx-analyze: allow(hot-path-alloc) -- amortized workspace growth
+}
+
+std::uint32_t PathList::next_query() {
+  if (++query_ == 0) {
+    // Wrapped: old stamps could collide with re-issued ids; reset both.
+    std::fill(stamp_.begin(), stamp_.end(), 0u);
+    query_ = 1;
+  }
+  return query_;
+}
+
+// ---------------------------------------------------------------------------
+// RoomPlan compilation
+
+RoomPlan::RoomPlan(const Room& room, RoomPlanConfig cfg) : cfg_(cfg) { rebuild(room); }
+
+void RoomPlan::rebuild(const Room& room) {
+  room_epoch_ = room.epoch();
+
+  const auto& walls = room.walls();
+  walls_.clear();
+  trans_walls_.clear();
+  walls_.reserve(walls.size());  // mmx-analyze: allow(hot-path-alloc) -- once per epoch
+  for (std::size_t w = 0; w < walls.size(); ++w) {
+    WallRec rec;
+    rec.seg = walls[w].segment;
+    rec.seg.precompute();
+    rec.reflection_loss_db = walls[w].material.reflection_loss_db;
+    rec.transmission_loss_db = walls[w].material.transmission_loss_db;
+    rec.blocks_transmission = walls[w].blocks_transmission;
+    walls_.push_back(rec);  // mmx-analyze: allow(hot-path-alloc) -- once per epoch
+    if (rec.blocks_transmission)
+      trans_walls_.push_back(  // mmx-analyze: allow(hot-path-alloc) -- once per epoch
+          static_cast<std::uint32_t>(w));
+  }
+
+  const auto& blockers = room.blockers();
+  const std::size_t n = blockers.size();
+  bx_.resize(n);        // mmx-analyze: allow(hot-path-alloc) -- once per epoch
+  by_.resize(n);        // mmx-analyze: allow(hot-path-alloc) -- once per epoch
+  br_.resize(n);        // mmx-analyze: allow(hot-path-alloc) -- once per epoch
+  bloss_db_.resize(n);  // mmx-analyze: allow(hot-path-alloc) -- once per epoch
+  for (std::size_t i = 0; i < n; ++i) {
+    bx_[i] = blockers[i].center.x;
+    by_[i] = blockers[i].center.y;
+    br_[i] = blockers[i].radius;
+    bloss_db_[i] = blockers[i].loss_db;
+  }
+
+  // --- Broad-phase grid over the wall bounding box ----------------------
+  grid_on_ = false;
+  grid_cols_ = grid_rows_ = 0;
+  cell_m_ = 0.0;
+  cell_start_.clear();
+  cell_items_.clear();
+  if (n < cfg_.grid_min_blockers || walls_.empty()) return;
+
+  double minx = walls_[0].seg.a.x;
+  double maxx = minx;
+  double miny = walls_[0].seg.a.y;
+  double maxy = miny;
+  for (const WallRec& w : walls_) {
+    minx = std::min({minx, w.seg.a.x, w.seg.b.x});
+    maxx = std::max({maxx, w.seg.a.x, w.seg.b.x});
+    miny = std::min({miny, w.seg.a.y, w.seg.b.y});
+    maxy = std::max({maxy, w.seg.a.y, w.seg.b.y});
+  }
+  const double spanx = maxx - minx;
+  const double spany = maxy - miny;
+  if (spanx <= 0.0 || spany <= 0.0) return;  // degenerate (collinear walls): flat scan
+
+  double cell =
+      cfg_.grid_cell_m > 0.0 ? cfg_.grid_cell_m : std::max(0.5, std::min(spanx, spany) / 8.0);
+  // Bound the table at ~1M cells whatever the configured cell size.
+  cell = std::max({cell, spanx / 1024.0, spany / 1024.0});
+  grid_x0_ = minx;
+  grid_y0_ = miny;
+  cell_m_ = cell;
+  grid_cols_ = std::max(1, static_cast<int>(std::ceil(spanx / cell)));
+  grid_rows_ = std::max(1, static_cast<int>(std::ceil(spany / cell)));
+  const std::size_t cells =
+      static_cast<std::size_t>(grid_cols_) * static_cast<std::size_t>(grid_rows_);
+
+  // CSR pack: count, prefix-sum, fill. Discs register in every cell their
+  // slack-inflated AABB overlaps (clamped to the grid — out-of-range
+  // geometry lands in border cells, matching the clamped query walk).
+  cell_start_.assign(cells + 1, 0);  // mmx-analyze: allow(hot-path-alloc) -- once per epoch
+  const auto cell_rect = [&](std::size_t i, int& c0, int& c1, int& r0, int& r1) {
+    c0 = clamp_col(bx_[i] - br_[i] - kGridSlackM);
+    c1 = clamp_col(bx_[i] + br_[i] + kGridSlackM);
+    r0 = clamp_row(by_[i] - br_[i] - kGridSlackM);
+    r1 = clamp_row(by_[i] + br_[i] + kGridSlackM);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    int c0 = 0;
+    int c1 = 0;
+    int r0 = 0;
+    int r1 = 0;
+    cell_rect(i, c0, c1, r0, r1);
+    for (int r = r0; r <= r1; ++r)
+      for (int c = c0; c <= c1; ++c)
+        ++cell_start_[static_cast<std::size_t>(r) * static_cast<std::size_t>(grid_cols_) +
+                      static_cast<std::size_t>(c) + 1];
+  }
+  for (std::size_t c = 1; c <= cells; ++c) cell_start_[c] += cell_start_[c - 1];
+  cell_items_.resize(  // mmx-analyze: allow(hot-path-alloc) -- once per epoch
+      cell_start_[cells]);
+  std::vector<std::uint32_t> cursor(  // mmx-analyze: allow(hot-path-alloc) -- once per epoch
+      cell_start_.begin(), cell_start_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    int c0 = 0;
+    int c1 = 0;
+    int r0 = 0;
+    int r1 = 0;
+    cell_rect(i, c0, c1, r0, r1);
+    for (int r = r0; r <= r1; ++r)
+      for (int c = c0; c <= c1; ++c) {
+        const std::size_t cell_ix =
+            static_cast<std::size_t>(r) * static_cast<std::size_t>(grid_cols_) +
+            static_cast<std::size_t>(c);
+        cell_items_[cursor[cell_ix]++] = static_cast<std::uint32_t>(i);
+      }
+  }
+  grid_on_ = true;
+}
+
+int RoomPlan::clamp_col(double x) const {
+  const int c = static_cast<int>(std::floor((x - grid_x0_) / cell_m_));
+  return std::clamp(c, 0, grid_cols_ - 1);
+}
+
+int RoomPlan::clamp_row(double y) const {
+  const int r = static_cast<int>(std::floor((y - grid_y0_) / cell_m_));
+  return std::clamp(r, 0, grid_rows_ - 1);
+}
+
+std::size_t RoomPlan::max_paths(int max_bounces) const {
+  const std::size_t w = walls_.size();
+  return 1 + w + (max_bounces >= 2 && w > 1 ? w * (w - 1) : 0);
+}
+
+void RoomPlan::build_images(Vec2 rx, int max_bounces, ImageTable& out) const {
+  if (!compiled()) throw std::logic_error("RoomPlan: build_images before rebuild()");
+  const std::size_t w = walls_.size();
+  out.rx = rx;
+  out.room_epoch = room_epoch_;
+  out.max_bounces = max_bounces;
+  out.wall_image.resize(w);  // mmx-analyze: allow(hot-path-alloc) -- once per batch
+  for (std::size_t i = 0; i < w; ++i) out.wall_image[i] = walls_[i].seg.mirror(rx);
+  if (max_bounces >= 2) {
+    out.pair_image.resize(w * w);  // mmx-analyze: allow(hot-path-alloc) -- once per batch
+    for (std::size_t wi = 0; wi < w; ++wi)
+      for (std::size_t wj = 0; wj < w; ++wj) {
+        if (wi == wj) continue;
+        out.pair_image[wi * w + wj] = walls_[wi].seg.mirror(out.wall_image[wj]);
+      }
+  } else {
+    out.pair_image.clear();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+double RoomPlan::transmission_loss_db(Vec2 a, Vec2 b, WallSkip skip) const {
+  // trans_walls_ is ascending, so the dB sum accumulates in the exact
+  // wall order of RayTracer::transmission_loss_db.
+  double loss = 0.0;
+  for (const std::uint32_t w : trans_walls_) {
+    if (skip.contains(static_cast<int>(w))) continue;
+    if (walls_[w].seg.intersect(a, b)) loss += walls_[w].transmission_loss_db;
+  }
+  return loss;
+}
+
+double RoomPlan::blocker_loss_db(Vec2 a, Vec2 b, int& crossings, double loss_scale,
+                                 PathList& ws) const {
+  const std::size_t n = bx_.size();
+  if (n == 0) return 0.0;
+  const double minx = std::min(a.x, b.x) - kGridSlackM;
+  const double maxx = std::max(a.x, b.x) + kGridSlackM;
+  const double miny = std::min(a.y, b.y) - kGridSlackM;
+  const double maxy = std::max(a.y, b.y) + kGridSlackM;
+  double loss = 0.0;
+
+  if (!grid_on_) {
+    // Flat SoA scan: index order matches the reference loop; the AABB
+    // reject is sound because an exact hit implies the closest point on
+    // the segment lies inside the disc's AABB (so the boxes overlap).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (bx_[i] + br_[i] < minx || bx_[i] - br_[i] > maxx || by_[i] + br_[i] < miny ||
+          by_[i] - br_[i] > maxy)
+        continue;
+      if (segment_hits_disc(a, b, Vec2{bx_[i], by_[i]}, br_[i])) {
+        loss += bloss_db_[i] * loss_scale;
+        ++crossings;
+      }
+    }
+    return loss;
+  }
+
+  // Grid walk: per column of the segment's x-range, the linearly
+  // interpolated (t-clamped, slack-inflated) y-window picks the rows the
+  // segment can touch; stamps deduplicate discs spanning several cells.
+  const std::uint32_t q = ws.next_query();
+  std::size_t ncand = 0;
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const int c0 = clamp_col(minx);
+  const int c1 = clamp_col(maxx);
+  for (int c = c0; c <= c1; ++c) {
+    double t0 = 0.0;
+    double t1 = 1.0;
+    if (dx != 0.0) {
+      const double cx0 = grid_x0_ + cell_m_ * static_cast<double>(c);
+      double ta = (cx0 - kGridSlackM - a.x) / dx;
+      double tb = (cx0 + cell_m_ + kGridSlackM - a.x) / dx;
+      if (ta > tb) std::swap(ta, tb);
+      // Clamping to [0, 1] keeps edge columns covering any segment
+      // overhang beyond the grid (the walk itself is clamped too).
+      t0 = std::clamp(ta, 0.0, 1.0);
+      t1 = std::clamp(tb, 0.0, 1.0);
+    }
+    const double ya = a.y + dy * t0;
+    const double yb = a.y + dy * t1;
+    const int r0 = clamp_row(std::min(ya, yb) - kGridSlackM);
+    const int r1 = clamp_row(std::max(ya, yb) + kGridSlackM);
+    for (int r = r0; r <= r1; ++r) {
+      const std::size_t cell_ix = static_cast<std::size_t>(r) *
+                                      static_cast<std::size_t>(grid_cols_) +
+                                  static_cast<std::size_t>(c);
+      const std::uint32_t kend = cell_start_[cell_ix + 1];
+      for (std::uint32_t k = cell_start_[cell_ix]; k < kend; ++k) {
+        const std::uint32_t i = cell_items_[k];
+        if (ws.stamp_[i] == q) continue;
+        ws.stamp_[i] = q;
+        ws.cand_[ncand++] = i;
+      }
+    }
+  }
+
+  // Ascending blocker index: the dB accumulation (and crossing count)
+  // must run in the reference loop's order to produce the same bits.
+  for (std::size_t s = 1; s < ncand; ++s) {
+    const std::uint32_t v = ws.cand_[s];
+    std::size_t j = s;
+    while (j > 0 && ws.cand_[j - 1] > v) {
+      ws.cand_[j] = ws.cand_[j - 1];
+      --j;
+    }
+    ws.cand_[j] = v;
+  }
+  for (std::size_t s = 0; s < ncand; ++s) {
+    const std::uint32_t i = ws.cand_[s];
+    if (bx_[i] + br_[i] < minx || bx_[i] - br_[i] > maxx || by_[i] + br_[i] < miny ||
+        by_[i] - br_[i] > maxy)
+      continue;
+    if (segment_hits_disc(a, b, Vec2{bx_[i], by_[i]}, br_[i])) {
+      loss += bloss_db_[i] * loss_scale;
+      ++crossings;
+    }
+  }
+  return loss;
+}
+
+void RoomPlan::trace_one(Vec2 tx, Vec2 rx, const Vec2* wall_images, const Vec2* pair_images,
+                         PathList& out, double max_excess_loss_db, int max_bounces,
+                         bool apply_blockers) const {
+  // Mirrors RayTracer::trace statement-for-statement; only the image
+  // computation (tabulated), the blocker scan (broad-phased) and the
+  // path storage (workspace) differ — all bit-preserving substitutions.
+
+  // --- Line of sight ---------------------------------------------------
+  {
+    Path p;
+    p.kind = PathKind::kLineOfSight;
+    p.length_m = distance(tx, rx);
+    p.departure_rad = (rx - tx).angle();
+    p.arrival_rad = (tx - rx).angle();
+    int crossings = 0;
+    p.excess_loss_db = apply_blockers ? blocker_loss_db(tx, rx, crossings, 1.0, out) : 0.0;
+    p.excess_loss_db += transmission_loss_db(tx, rx, WallSkip{});
+    p.blocker_crossings = crossings;
+    if (p.excess_loss_db <= max_excess_loss_db) out.commit() = p;
+  }
+
+  // --- Single-bounce reflections (image method) ------------------------
+  const std::size_t nwalls = walls_.size();
+  for (std::size_t w = 0; w < nwalls; ++w) {
+    const WallRec& wall = walls_[w];
+    const Vec2 image = wall_images[w];
+    const auto hit = wall.seg.intersect(tx, image);
+    if (!hit) continue;
+    const Vec2 via = *hit;
+    const double leg1 = distance(tx, via);
+    const double leg2 = distance(via, rx);
+    if (leg1 < 1e-6 || leg2 < 1e-6) continue;
+
+    Path p;
+    p.kind = PathKind::kReflected;
+    p.length_m = leg1 + leg2;
+    p.departure_rad = (via - tx).angle();
+    p.arrival_rad = (via - rx).angle();
+    p.wall_index = static_cast<int>(w);
+    p.via = via;
+    int crossings = 0;
+    double loss = wall.reflection_loss_db;
+    loss += apply_blockers
+                ? blocker_loss_db(tx, via, crossings, kReflectedBlockageFraction, out)
+                : 0.0;
+    loss += apply_blockers
+                ? blocker_loss_db(via, rx, crossings, kReflectedBlockageFraction, out)
+                : 0.0;
+    const int wall_id = static_cast<int>(w);
+    loss += transmission_loss_db(tx, via, WallSkip{wall_id});
+    loss += transmission_loss_db(via, rx, WallSkip{wall_id});
+    p.excess_loss_db = loss;
+    p.blocker_crossings = crossings;
+    if (p.excess_loss_db <= max_excess_loss_db) out.commit() = p;
+  }
+
+  // --- Double bounces (image of image) ----------------------------------
+  if (max_bounces >= 2) {
+    for (std::size_t wi = 0; wi < nwalls; ++wi) {
+      for (std::size_t wj = 0; wj < nwalls; ++wj) {
+        if (wi == wj) continue;
+        const WallRec& first = walls_[wi];
+        const WallRec& second = walls_[wj];
+        const Vec2 image_j = wall_images[wj];
+        const Vec2 image_ji = pair_images[wi * nwalls + wj];
+        const auto hit1 = first.seg.intersect(tx, image_ji);
+        if (!hit1) continue;
+        const Vec2 p1 = *hit1;
+        const auto hit2 = second.seg.intersect(p1, image_j);
+        if (!hit2) continue;
+        const Vec2 p2 = *hit2;
+        const double leg1 = distance(tx, p1);
+        const double leg2 = distance(p1, p2);
+        const double leg3 = distance(p2, rx);
+        if (leg1 < 1e-6 || leg2 < 1e-6 || leg3 < 1e-6) continue;
+
+        Path p;
+        p.kind = PathKind::kDoubleReflected;
+        p.length_m = leg1 + leg2 + leg3;
+        p.departure_rad = (p1 - tx).angle();
+        p.arrival_rad = (p2 - rx).angle();
+        p.wall_index = static_cast<int>(wi);
+        p.wall_index2 = static_cast<int>(wj);
+        p.via = p1;
+        p.via2 = p2;
+        int crossings = 0;
+        double loss = first.reflection_loss_db + second.reflection_loss_db;
+        loss += apply_blockers
+                    ? blocker_loss_db(tx, p1, crossings, kReflectedBlockageFraction, out)
+                    : 0.0;
+        loss += apply_blockers
+                    ? blocker_loss_db(p1, p2, crossings, kReflectedBlockageFraction, out)
+                    : 0.0;
+        loss += apply_blockers
+                    ? blocker_loss_db(p2, rx, crossings, kReflectedBlockageFraction, out)
+                    : 0.0;
+        const int wid = static_cast<int>(wi);
+        const int wjd = static_cast<int>(wj);
+        loss += transmission_loss_db(tx, p1, WallSkip{wid});
+        loss += transmission_loss_db(p1, p2, WallSkip{wid, wjd});
+        loss += transmission_loss_db(p2, rx, WallSkip{wjd});
+        p.excess_loss_db = loss;
+        p.blocker_crossings = crossings;
+        if (p.excess_loss_db <= max_excess_loss_db) out.commit() = p;
+      }
+    }
+  }
+}
+
+void RoomPlan::trace_dual_one(Vec2 tx, Vec2 rx, const Vec2* wall_images,
+                              const Vec2* pair_images, PathList& out, std::size_t& off_count,
+                              double max_excess_loss_db, int max_bounces) const {
+  // One geometric pass, two loss accumulations. Every shared term
+  // (intersections, legs, angles, transmission dB) is computed once and
+  // fed to both sums; each sum adds its terms in the exact order of the
+  // reference's apply_blockers=true / =false runs ("+= 0.0" included —
+  // these losses are never -0.0 or NaN, so x += 0.0 preserves x's bits),
+  // keeping both outputs bit-identical to two trace_one passes.
+
+  // --- Line of sight ---------------------------------------------------
+  {
+    Path p;
+    p.kind = PathKind::kLineOfSight;
+    p.length_m = distance(tx, rx);
+    p.departure_rad = (rx - tx).angle();
+    p.arrival_rad = (tx - rx).angle();
+    int crossings = 0;
+    const double blocked = blocker_loss_db(tx, rx, crossings, 1.0, out);
+    const double trans = transmission_loss_db(tx, rx, WallSkip{});
+    double off = 0.0;
+    off += trans;
+    p.excess_loss_db = blocked;
+    p.excess_loss_db += trans;
+    p.blocker_crossings = crossings;
+    if (p.excess_loss_db <= max_excess_loss_db) out.commit() = p;
+    if (off <= max_excess_loss_db) {
+      Path q = p;
+      q.excess_loss_db = off;
+      q.blocker_crossings = 0;
+      out.dual_buf_[off_count++] = q;
+    }
+  }
+
+  // --- Single-bounce reflections (image method) ------------------------
+  const std::size_t nwalls = walls_.size();
+  for (std::size_t w = 0; w < nwalls; ++w) {
+    const WallRec& wall = walls_[w];
+    const Vec2 image = wall_images[w];
+    const auto hit = wall.seg.intersect(tx, image);
+    if (!hit) continue;
+    const Vec2 via = *hit;
+    const double leg1 = distance(tx, via);
+    const double leg2 = distance(via, rx);
+    if (leg1 < 1e-6 || leg2 < 1e-6) continue;
+
+    Path p;
+    p.kind = PathKind::kReflected;
+    p.length_m = leg1 + leg2;
+    p.departure_rad = (via - tx).angle();
+    p.arrival_rad = (via - rx).angle();
+    p.wall_index = static_cast<int>(w);
+    p.via = via;
+    int crossings = 0;
+    const double b1 = blocker_loss_db(tx, via, crossings, kReflectedBlockageFraction, out);
+    const double b2 = blocker_loss_db(via, rx, crossings, kReflectedBlockageFraction, out);
+    const int wall_id = static_cast<int>(w);
+    const double t1 = transmission_loss_db(tx, via, WallSkip{wall_id});
+    const double t2 = transmission_loss_db(via, rx, WallSkip{wall_id});
+    double loss = wall.reflection_loss_db;
+    double off = wall.reflection_loss_db;
+    loss += b1;
+    loss += b2;
+    off += 0.0;
+    off += 0.0;
+    loss += t1;
+    loss += t2;
+    off += t1;
+    off += t2;
+    p.excess_loss_db = loss;
+    p.blocker_crossings = crossings;
+    if (p.excess_loss_db <= max_excess_loss_db) out.commit() = p;
+    if (off <= max_excess_loss_db) {
+      Path q = p;
+      q.excess_loss_db = off;
+      q.blocker_crossings = 0;
+      out.dual_buf_[off_count++] = q;
+    }
+  }
+
+  // --- Double bounces (image of image) ----------------------------------
+  if (max_bounces >= 2) {
+    for (std::size_t wi = 0; wi < nwalls; ++wi) {
+      for (std::size_t wj = 0; wj < nwalls; ++wj) {
+        if (wi == wj) continue;
+        const WallRec& first = walls_[wi];
+        const WallRec& second = walls_[wj];
+        const Vec2 image_j = wall_images[wj];
+        const Vec2 image_ji = pair_images[wi * nwalls + wj];
+        const auto hit1 = first.seg.intersect(tx, image_ji);
+        if (!hit1) continue;
+        const Vec2 p1 = *hit1;
+        const auto hit2 = second.seg.intersect(p1, image_j);
+        if (!hit2) continue;
+        const Vec2 p2 = *hit2;
+        const double leg1 = distance(tx, p1);
+        const double leg2 = distance(p1, p2);
+        const double leg3 = distance(p2, rx);
+        if (leg1 < 1e-6 || leg2 < 1e-6 || leg3 < 1e-6) continue;
+
+        Path p;
+        p.kind = PathKind::kDoubleReflected;
+        p.length_m = leg1 + leg2 + leg3;
+        p.departure_rad = (p1 - tx).angle();
+        p.arrival_rad = (p2 - rx).angle();
+        p.wall_index = static_cast<int>(wi);
+        p.wall_index2 = static_cast<int>(wj);
+        p.via = p1;
+        p.via2 = p2;
+        int crossings = 0;
+        const double b1 = blocker_loss_db(tx, p1, crossings, kReflectedBlockageFraction, out);
+        const double b2 = blocker_loss_db(p1, p2, crossings, kReflectedBlockageFraction, out);
+        const double b3 = blocker_loss_db(p2, rx, crossings, kReflectedBlockageFraction, out);
+        const int wid = static_cast<int>(wi);
+        const int wjd = static_cast<int>(wj);
+        const double t1 = transmission_loss_db(tx, p1, WallSkip{wid});
+        const double t2 = transmission_loss_db(p1, p2, WallSkip{wid, wjd});
+        const double t3 = transmission_loss_db(p2, rx, WallSkip{wjd});
+        double loss = first.reflection_loss_db + second.reflection_loss_db;
+        double off = first.reflection_loss_db + second.reflection_loss_db;
+        loss += b1;
+        loss += b2;
+        loss += b3;
+        off += 0.0;
+        off += 0.0;
+        off += 0.0;
+        loss += t1;
+        loss += t2;
+        loss += t3;
+        off += t1;
+        off += t2;
+        off += t3;
+        p.excess_loss_db = loss;
+        p.blocker_crossings = crossings;
+        if (p.excess_loss_db <= max_excess_loss_db) out.commit() = p;
+        if (off <= max_excess_loss_db) {
+          Path q = p;
+          q.excess_loss_db = off;
+          q.blocker_crossings = 0;
+          out.dual_buf_[off_count++] = q;
+        }
+      }
+    }
+  }
+}
+
+std::span<const Path> RoomPlan::trace_into(Vec2 tx, Vec2 rx, PathList& out,
+                                           double max_excess_loss_db, int max_bounces,
+                                           bool apply_blockers) const {
+  if (!compiled()) throw std::logic_error("RoomPlan: trace_into before rebuild()");
+  if (max_bounces < 1 || max_bounces > 2)
+    throw std::invalid_argument("RoomPlan: max_bounces must be 1 or 2");
+  if (tx == rx) throw std::invalid_argument("RoomPlan: tx and rx coincide");
+
+  const std::size_t begin = out.size();
+  const std::size_t w = walls_.size();
+  out.ensure_paths(begin + max_paths(max_bounces));
+  out.ensure_scratch(w, max_bounces >= 2 ? w * w : 0, bx_.size());
+  for (std::size_t i = 0; i < w; ++i) out.wall_image_[i] = walls_[i].seg.mirror(rx);
+  if (max_bounces >= 2) {
+    for (std::size_t wi = 0; wi < w; ++wi)
+      for (std::size_t wj = 0; wj < w; ++wj) {
+        if (wi == wj) continue;
+        out.pair_image_[wi * w + wj] = walls_[wi].seg.mirror(out.wall_image_[wj]);
+      }
+  }
+  trace_one(tx, rx, out.wall_image_.data(), out.pair_image_.data(), out, max_excess_loss_db,
+            max_bounces, apply_blockers);
+  return out.slice(begin, out.size());
+}
+
+std::span<const Path> RoomPlan::trace_batch_into(Vec2 ap, std::span<const Vec2> nodes,
+                                                 const ImageTable& images, PathList& out,
+                                                 std::span<std::uint32_t> offsets,
+                                                 double max_excess_loss_db, int max_bounces,
+                                                 bool apply_blockers) const {
+  if (!compiled()) throw std::logic_error("RoomPlan: trace_batch_into before rebuild()");
+  if (max_bounces < 1 || max_bounces > 2)
+    throw std::invalid_argument("RoomPlan: max_bounces must be 1 or 2");
+  if (offsets.size() != nodes.size() + 1)
+    throw std::invalid_argument("RoomPlan: offsets must have nodes.size() + 1 slots");
+  if (images.room_epoch != room_epoch_ || !(images.rx == ap) ||
+      images.max_bounces < max_bounces)
+    throw std::invalid_argument("RoomPlan: ImageTable stale or built for another endpoint");
+
+  const std::size_t begin = out.size();
+  out.ensure_paths(begin + nodes.size() * max_paths(max_bounces));
+  out.ensure_scratch(0, 0, bx_.size());
+  offsets[0] = static_cast<std::uint32_t>(begin);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] == ap) throw std::invalid_argument("RoomPlan: tx and rx coincide");
+    trace_one(nodes[i], ap, images.wall_image.data(), images.pair_image.data(), out,
+              max_excess_loss_db, max_bounces, apply_blockers);
+    offsets[i + 1] = static_cast<std::uint32_t>(out.size());
+  }
+  return out.slice(begin, out.size());
+}
+
+std::span<const Path> RoomPlan::trace_batch_dual_into(Vec2 ap, std::span<const Vec2> nodes,
+                                                      const ImageTable& images, PathList& out,
+                                                      std::span<std::uint32_t> offsets_on,
+                                                      std::span<std::uint32_t> offsets_off,
+                                                      double max_excess_loss_db,
+                                                      int max_bounces) const {
+  if (!compiled()) throw std::logic_error("RoomPlan: trace_batch_dual_into before rebuild()");
+  if (max_bounces < 1 || max_bounces > 2)
+    throw std::invalid_argument("RoomPlan: max_bounces must be 1 or 2");
+  if (offsets_on.size() != nodes.size() + 1 || offsets_off.size() != nodes.size() + 1)
+    throw std::invalid_argument("RoomPlan: offsets must have nodes.size() + 1 slots");
+  if (images.room_epoch != room_epoch_ || !(images.rx == ap) ||
+      images.max_bounces < max_bounces)
+    throw std::invalid_argument("RoomPlan: ImageTable stale or built for another endpoint");
+
+  const std::size_t begin = out.size();
+  const std::size_t maxp = max_paths(max_bounces);
+  out.ensure_paths(begin + 2 * nodes.size() * maxp);
+  out.ensure_scratch(0, 0, bx_.size());
+  out.ensure_dual(nodes.size() * maxp);
+  std::size_t off_count = 0;
+  offsets_on[0] = static_cast<std::uint32_t>(begin);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] == ap) throw std::invalid_argument("RoomPlan: tx and rx coincide");
+    trace_dual_one(nodes[i], ap, images.wall_image.data(), images.pair_image.data(), out,
+                   off_count, max_excess_loss_db, max_bounces);
+    offsets_on[i + 1] = static_cast<std::uint32_t>(out.size());
+    offsets_off[i + 1] = static_cast<std::uint32_t>(off_count);  // cumulative; rebased below
+  }
+  // The staged blocker-free paths follow the whole blockers-applied
+  // block, so both window families index one contiguous storage.
+  const std::size_t off_base = out.size();
+  for (std::size_t k = 0; k < off_count; ++k) out.commit() = out.dual_buf_[k];
+  offsets_off[0] = static_cast<std::uint32_t>(off_base);
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    offsets_off[i + 1] += static_cast<std::uint32_t>(off_base);
+  return out.slice(begin, out.size());
+}
+
+}  // namespace mmx::channel

@@ -21,8 +21,25 @@ Vec2 unit_vector(double rad) { return {std::cos(rad), std::sin(rad)}; }
 
 double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
 
+void Segment::precompute() {
+  // distance(a, b) is hypot of the (sign-flipped) delta components, and
+  // hypot is symmetric under negation — so cached_length_m, and the
+  // direction derived by dividing through it, are bitwise identical to
+  // what normalized()/length() derive on demand.
+  const double len = distance(a, b);
+  if (len <= 0.0) {
+    cached_delta = Vec2{};
+    cached_dir = Vec2{};
+    cached_length_m = 0.0;
+    return;
+  }
+  cached_delta = b - a;
+  cached_dir = cached_delta / len;
+  cached_length_m = len;
+}
+
 Vec2 Segment::mirror(Vec2 p) const {
-  const Vec2 d = (b - a).normalized();
+  const Vec2 d = unit_dir();
   const Vec2 ap = p - a;
   // Project onto the line, then reflect across it.
   const Vec2 proj = a + d * ap.dot(d);
@@ -30,7 +47,7 @@ Vec2 Segment::mirror(Vec2 p) const {
 }
 
 std::optional<Vec2> Segment::intersect(Vec2 p, Vec2 q) const {
-  const Vec2 r = b - a;
+  const Vec2 r = delta();
   const Vec2 s = q - p;
   const double denom = r.cross(s);
   if (denom == 0.0) return std::nullopt;  // parallel or collinear

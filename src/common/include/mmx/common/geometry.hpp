@@ -41,9 +41,33 @@ Vec2 unit_vector(double rad);
 double distance(Vec2 a, Vec2 b);
 
 /// A wall / reflector: a finite line segment with a reflection loss.
+///
+/// Stays an aggregate (all members public, default member initializers
+/// only) so `Segment{a, b}` construction keeps working everywhere. The
+/// cached_* members are derived state filled in by precompute(): walls
+/// are static between Room epochs, so deriving direction and length once
+/// per geometry change instead of once per mirror()/intersect() call
+/// removes a hypot + two divides from every image-method step. Accessors
+/// fall back to on-the-fly derivation when precompute() was never called,
+/// and the cached values are bit-identical to the derived ones (same
+/// operations on the same operands), so callers cannot tell the
+/// difference except in speed.
 struct Segment {
   Vec2 a;
   Vec2 b;
+  Vec2 cached_delta{};          ///< b - a (valid once precomputed)
+  Vec2 cached_dir{};            ///< (b - a).normalized() (valid once precomputed)
+  double cached_length_m = 0.0; ///< |b - a|; 0 doubles as "not precomputed"
+
+  /// Derive and store delta / unit direction / length. No-op physics-wise:
+  /// every cached value is bitwise what the accessors would derive. Safe
+  /// on zero-length segments (leaves the cache empty; accessors fall back).
+  void precompute();
+  bool precomputed() const { return cached_length_m > 0.0; }
+
+  Vec2 delta() const { return precomputed() ? cached_delta : b - a; }
+  Vec2 unit_dir() const { return precomputed() ? cached_dir : (b - a).normalized(); }
+  double length() const { return precomputed() ? cached_length_m : distance(a, b); }
 
   /// Mirror a point across the infinite line through this segment.
   Vec2 mirror(Vec2 p) const;
@@ -51,8 +75,6 @@ struct Segment {
   /// Intersection of this segment with segment [p, q], if any.
   /// Collinear overlaps return nullopt (treated as grazing, no hit).
   std::optional<Vec2> intersect(Vec2 p, Vec2 q) const;
-
-  double length() const { return distance(a, b); }
 };
 
 /// True if segment [p, q] passes through a disc (centre c, radius r).

@@ -29,6 +29,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "mmx/channel/beam_channel.hpp"
@@ -119,6 +120,12 @@ class LinkCache {
   static std::vector<Corridor> corridors_for(const channel::Room& room, Vec2 node_position,
                                              Vec2 ap_position, double max_excess_loss_db,
                                              int max_bounces);
+
+  /// Corridors from an already-traced wall-only path set (the RoomPlan
+  /// batch path: trace with apply_blockers = false, then convert each
+  /// node's path window). corridors_for delegates here after tracing.
+  static std::vector<Corridor> corridors_from_paths(std::span<const channel::Path> paths,
+                                                    Vec2 node_position, Vec2 ap_position);
 
  private:
   struct DirtyDisc {

@@ -13,11 +13,13 @@
 
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "mmx/antenna/tma.hpp"
 #include "mmx/channel/beam_channel.hpp"
 #include "mmx/channel/room.hpp"
+#include "mmx/channel/room_plan.hpp"
 #include "mmx/common/units.hpp"
 #include "mmx/mac/init_protocol.hpp"
 #include "mmx/rf/vco.hpp"
@@ -159,11 +161,37 @@ class NetworkSimulator {
     bool present = false;
   };
 
+  /// Compiled trace state shared by every cached evaluation: the RoomPlan
+  /// (walls + blocker grid) plus the AP-endpoint ImageTable, both rebuilt
+  /// lazily when Room::epoch() moves. Cache fills trace through the plan
+  /// (bit-identical to the reference tracer); the *_uncached cross-check
+  /// paths keep re-tracing with RayTracer, so the existing
+  /// cached==uncached tests double as an end-to-end plan-vs-reference
+  /// equivalence check (docs/GEOMETRY.md).
+  struct TraceContext {
+    channel::RoomPlan plan;
+    channel::ImageTable ap_images;
+  };
+
+  struct RefillJob {
+    std::uint16_t id = 0;
+    channel::Pose pose;
+  };
+
   const NodeState& node(std::uint16_t id) const;
   void store_node(std::uint16_t id, NodeState state);
   channel::BeamGains compute_gains(const channel::Pose& pose) const;
+  /// Lazily recompile ctx_ against the current Room::epoch(). Not safe
+  /// during a parallel refresh — refresh_cache primes it serially and
+  /// hands workers the const reference.
+  const TraceContext& trace_context() const;
   LinkCache::Entry make_entry(const channel::Pose& pose,
                               const LinkCache::Entry* prior) const;
+  /// Batched refill of one job block: one trace_batch_into for the gains
+  /// (blockers applied) and one for the corridors of jobs that cannot
+  /// reuse a stale prior's, amortizing the AP image table per block.
+  std::vector<LinkCache::Entry> refill_block(const TraceContext& ctx,
+                                             std::span<const RefillJob> jobs) const;
   LinkCache::Entry& cache_entry(std::uint16_t id, const NodeState& n) const;
 
   channel::Room room_;
@@ -179,6 +207,7 @@ class NetworkSimulator {
   std::size_t num_nodes_ = 0;
   std::uint16_t next_id_ = 1;
   mutable LinkCache cache_;
+  mutable TraceContext ctx_;
   std::uint64_t refresh_gen_ = 0;  ///< refresh_cache() call count (trace span key)
 };
 

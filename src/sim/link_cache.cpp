@@ -154,6 +154,11 @@ std::vector<LinkCache::Corridor> LinkCache::corridors_for(const channel::Room& r
   const channel::RayTracer tracer(room);
   const auto paths = tracer.trace(node_position, ap_position, max_excess_loss_db, max_bounces,
                                   /*apply_blockers=*/false);
+  return corridors_from_paths(paths, node_position, ap_position);
+}
+
+std::vector<LinkCache::Corridor> LinkCache::corridors_from_paths(
+    std::span<const channel::Path> paths, Vec2 node_position, Vec2 ap_position) {
   std::vector<Corridor> out;
   out.reserve(paths.size());
   for (const channel::Path& p : paths) {

@@ -1,5 +1,6 @@
 #include "mmx/sim/network_sim.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -16,6 +17,18 @@ namespace {
 // so the cache's corridor set stays a superset of the real path set.
 constexpr double kTraceMaxExcessLossDb = 60.0;
 constexpr int kTraceMaxBounces = 1;
+
+// Nodes per refill batch: big enough to amortize the per-batch image
+// table and workspace reuse, small enough that the SweepRunner still
+// load-balances a 10^4-node refresh across workers.
+constexpr std::size_t kRefillBlock = 64;
+
+// Per-thread trace workspace: after warm-up every cached trace through
+// the RoomPlan is allocation-free (docs/GEOMETRY.md).
+channel::PathList& tls_path_list() {
+  thread_local channel::PathList ws;
+  return ws;
+}
 }  // namespace
 
 NetworkSimulator::NetworkSimulator(channel::Room room, channel::Pose ap_pose, SimConfig cfg)
@@ -124,19 +137,103 @@ channel::BeamGains NetworkSimulator::compute_gains(const channel::Pose& pose) co
                                      cfg_.freq_hz);
 }
 
+const NetworkSimulator::TraceContext& NetworkSimulator::trace_context() const {
+  if (!ctx_.plan.compiled() || ctx_.plan.room_epoch() != room_.epoch()) {
+    ctx_.plan.rebuild(room_);
+    ctx_.plan.build_images(ap_pose_.position, kTraceMaxBounces, ctx_.ap_images);
+  }
+  return ctx_;
+}
+
 LinkCache::Entry NetworkSimulator::make_entry(const channel::Pose& pose,
                                               const LinkCache::Entry* prior) const {
+  const TraceContext& ctx = trace_context();
+  channel::PathList& ws = tls_path_list();
+  ws.clear();
   LinkCache::Entry e;
   e.pose = pose;
-  e.gains = compute_gains(pose);
+  const auto paths = ctx.plan.trace_into(pose.position, ap_pose_.position, ws,
+                                         kTraceMaxExcessLossDb, kTraceMaxBounces,
+                                         /*apply_blockers=*/true);
+  // Consume the span before the next trace can grow the workspace.
+  e.gains =
+      channel::beam_gains_from_paths(paths, pose, beams_, ap_pose_, ap_antenna_, cfg_.freq_hz);
   // A stale same-pose entry keeps valid corridors (walls and pose decide
   // them, and both are unchanged) — reuse instead of re-tracing.
-  if (prior != nullptr && prior->pose == pose)
+  if (prior != nullptr && prior->pose == pose) {
     e.corridors = prior->corridors;
-  else
-    e.corridors = LinkCache::corridors_for(room_, pose.position, ap_pose_.position,
-                                           kTraceMaxExcessLossDb, kTraceMaxBounces);
+  } else {
+    const auto wall_only = ctx.plan.trace_into(pose.position, ap_pose_.position, ws,
+                                               kTraceMaxExcessLossDb, kTraceMaxBounces,
+                                               /*apply_blockers=*/false);
+    e.corridors = LinkCache::corridors_from_paths(wall_only, pose.position, ap_pose_.position);
+  }
   return e;
+}
+
+std::vector<LinkCache::Entry> NetworkSimulator::refill_block(
+    const TraceContext& ctx, std::span<const RefillJob> jobs) const {
+  channel::PathList& ws = tls_path_list();
+  thread_local std::vector<Vec2> txs;
+  thread_local std::vector<std::uint32_t> offs;
+  thread_local std::vector<std::uint32_t> wall_offs;
+  thread_local std::vector<std::size_t> need_corridors;  // job indices
+  thread_local std::vector<std::size_t> gains_only;      // job indices
+  ws.clear();
+  need_corridors.clear();
+  gains_only.clear();
+
+  // Partition: a stale same-pose prior keeps valid corridors (walls and
+  // pose decide them, and both are unchanged), so those jobs only need
+  // the gains trace; everyone else takes the fused dual trace that
+  // produces gains and corridors from one geometric pass per node.
+  std::vector<LinkCache::Entry> out(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    out[i].pose = jobs[i].pose;
+    // Concurrent reads of the cache are safe here: nothing mutates it
+    // until the runner has joined and store_refill commits.
+    const LinkCache::Entry* prior = cache_.find(jobs[i].id);
+    if (prior != nullptr && prior->pose == jobs[i].pose) {
+      out[i].corridors = prior->corridors;
+      gains_only.push_back(i);
+    } else {
+      need_corridors.push_back(i);
+    }
+  }
+
+  if (!need_corridors.empty()) {
+    txs.clear();
+    for (const std::size_t i : need_corridors) txs.push_back(jobs[i].pose.position);
+    offs.resize(txs.size() + 1);
+    wall_offs.resize(txs.size() + 1);
+    ctx.plan.trace_batch_dual_into(ap_pose_.position, txs, ctx.ap_images, ws, offs, wall_offs,
+                                   kTraceMaxExcessLossDb, kTraceMaxBounces);
+    for (std::size_t k = 0; k < need_corridors.size(); ++k) {
+      const std::size_t i = need_corridors[k];
+      out[i].gains =
+          channel::beam_gains_from_paths(ws.slice(offs[k], offs[k + 1]), jobs[i].pose, beams_,
+                                         ap_pose_, ap_antenna_, cfg_.freq_hz);
+      out[i].corridors = LinkCache::corridors_from_paths(
+          ws.slice(wall_offs[k], wall_offs[k + 1]), jobs[i].pose.position, ap_pose_.position);
+    }
+  }
+
+  if (!gains_only.empty()) {
+    txs.clear();
+    for (const std::size_t i : gains_only) txs.push_back(jobs[i].pose.position);
+    ws.clear();  // the dual pass's slices were consumed above
+    offs.resize(txs.size() + 1);
+    ctx.plan.trace_batch_into(ap_pose_.position, txs, ctx.ap_images, ws, offs,
+                              kTraceMaxExcessLossDb, kTraceMaxBounces,
+                              /*apply_blockers=*/true);
+    for (std::size_t k = 0; k < gains_only.size(); ++k) {
+      const std::size_t i = gains_only[k];
+      out[i].gains =
+          channel::beam_gains_from_paths(ws.slice(offs[k], offs[k + 1]), jobs[i].pose, beams_,
+                                         ap_pose_, ap_antenna_, cfg_.freq_hz);
+    }
+  }
+  return out;
 }
 
 LinkCache::Entry& NetworkSimulator::cache_entry(std::uint16_t id, const NodeState& n) const {
@@ -185,11 +282,7 @@ std::size_t NetworkSimulator::refresh_cache(std::size_t threads) {
   if (!cfg_.link_cache) return 0;
   MMX_OBS_SPAN("sim.refresh_cache", refresh_gen_++);
   cache_.reconcile(room_);
-  struct Job {
-    std::uint16_t id = 0;
-    channel::Pose pose;
-  };
-  std::vector<Job> stale;
+  std::vector<RefillJob> stale;
   for (std::size_t id = 0; id < nodes_.size(); ++id) {
     if (!nodes_[id].present) continue;
     const channel::Pose& pose = nodes_[id].state.pose;
@@ -198,21 +291,29 @@ std::size_t NetworkSimulator::refresh_cache(std::size_t threads) {
   }
   if (stale.empty()) return 0;
 
-  // Fan the refills over the sweep engine: each entry is a pure function
-  // of (pose, room), so any schedule commits identical bits; the runner's
-  // trial-order commit then makes the whole refresh order-independent.
+  // Compile the plan + AP image table once, serially: the parallel
+  // workers below only read it.
+  const TraceContext& ctx = trace_context();
+
+  // Fan block refills over the sweep engine: each entry is a pure
+  // function of (pose, room), so any schedule commits identical bits; the
+  // runner's trial-order commit then makes the whole refresh
+  // order-independent. Blocks (not single nodes) are the work unit so
+  // each worker amortizes the batched trace across kRefillBlock nodes.
   // trace_trials off: refills are sub-microsecond and this batch already
   // sits inside the sim.refresh_cache span above — per-item spans here
   // would dominate the observability budget on the scale lane.
-  SweepRunner runner(SweepConfig{
-      .trials = stale.size(), .threads = threads, .seed = 0, .trace_trials = false});
-  auto filled = runner.map(stale.size(), [&](std::size_t i, Rng& /*rng*/) {
-    // Concurrent reads of the cache map are safe here: nothing mutates it
-    // until the runner has joined and store_refill commits below.
-    return make_entry(stale[i].pose, cache_.find(stale[i].id));
+  const std::size_t blocks = (stale.size() + kRefillBlock - 1) / kRefillBlock;
+  SweepRunner runner(
+      SweepConfig{.trials = blocks, .threads = threads, .seed = 0, .trace_trials = false});
+  const std::span<const RefillJob> all(stale);
+  auto filled = runner.map(blocks, [&](std::size_t b, Rng& /*rng*/) {
+    const std::size_t lo = b * kRefillBlock;
+    return refill_block(ctx, all.subspan(lo, std::min(kRefillBlock, stale.size() - lo)));
   });
-  for (std::size_t i = 0; i < stale.size(); ++i)
-    cache_.store_refill(stale[i].id, std::move(filled.trials[i]));
+  std::size_t next = 0;
+  for (std::vector<LinkCache::Entry>& block : filled.trials)
+    for (LinkCache::Entry& e : block) cache_.store_refill(stale[next++].id, std::move(e));
   return stale.size();
 }
 

@@ -1,0 +1,338 @@
+// RoomPlan vs RayTracer: the fast path must be BIT-identical — same
+// paths, same order, same doubles — or the sim layer's cached==uncached
+// and thread-invariance guarantees silently rot (docs/GEOMETRY.md).
+#include "mmx/channel/room_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "mmx/channel/ray_tracer.hpp"
+#include "mmx/common/rng.hpp"
+
+namespace mmx::channel {
+namespace {
+
+::testing::AssertionResult paths_equal(std::span<const Path> ref, std::span<const Path> fast) {
+  if (ref.size() != fast.size())
+    return ::testing::AssertionFailure()
+           << "path count mismatch: ref " << ref.size() << " fast " << fast.size();
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const Path& a = ref[i];
+    const Path& b = fast[i];
+    if (a.kind != b.kind || a.length_m != b.length_m || a.departure_rad != b.departure_rad ||
+        a.arrival_rad != b.arrival_rad || a.excess_loss_db != b.excess_loss_db ||
+        a.blocker_crossings != b.blocker_crossings || a.wall_index != b.wall_index ||
+        a.wall_index2 != b.wall_index2 || !(a.via == b.via) || !(a.via2 == b.via2))
+      return ::testing::AssertionFailure()
+             << "path " << i << " differs: ref(kind=" << static_cast<int>(a.kind)
+             << " len=" << a.length_m << " loss=" << a.excess_loss_db
+             << " cross=" << a.blocker_crossings << " w=" << a.wall_index << "/" << a.wall_index2
+             << ") fast(kind=" << static_cast<int>(b.kind) << " len=" << b.length_m
+             << " loss=" << b.excess_loss_db << " cross=" << b.blocker_crossings
+             << " w=" << b.wall_index << "/" << b.wall_index2 << ")";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+Vec2 random_point(Rng& rng, double w, double h) {
+  return {rng.uniform(0.05, w - 0.05), rng.uniform(0.05, h - 0.05)};
+}
+
+Room random_room(Rng& rng, double& w, double& h) {
+  w = rng.uniform(3.0, 15.0);
+  h = rng.uniform(3.0, 12.0);
+  Room room(w, h);
+  const int reflectors = rng.uniform_int(0, 2);
+  for (int r = 0; r < reflectors; ++r) {
+    const Vec2 a = random_point(rng, w, h);
+    const Vec2 d = unit_vector(rng.uniform(0.0, 6.283)) * rng.uniform(0.3, 2.5);
+    room.add_reflector({a, a + d}, rng.chance(0.5) ? metal() : wood_furniture());
+  }
+  const int partitions = rng.uniform_int(0, 2);
+  for (int r = 0; r < partitions; ++r) {
+    const Vec2 a = random_point(rng, w, h);
+    const Vec2 d = unit_vector(rng.uniform(0.0, 6.283)) * rng.uniform(0.5, 4.0);
+    room.add_partition({a, a + d}, rng.chance(0.5) ? drywall() : glass());
+  }
+  const int blockers = rng.uniform_int(0, 6);
+  for (int b = 0; b < blockers; ++b)
+    room.add_blocker({random_point(rng, w, h), rng.uniform(0.1, 0.6), rng.uniform(5.0, 30.0)});
+  return room;
+}
+
+// The headline property test: ~12k random (room, endpoints, knobs)
+// draws, reference and plan compared field-by-field with exact floating
+// point equality. Half the cases force the grid on (grid_min_blockers =
+// 0, small cells) so the broad phase is exercised even at low blocker
+// counts; the other half run the default config (flat SoA scan below 8
+// blockers).
+TEST(RoomPlanProperty, BitIdenticalToReferenceTracer) {
+  constexpr int kCases = 12000;
+  PathList ws;
+  for (int c = 0; c < kCases; ++c) {
+    Rng rng = Rng::stream(0x700fULL, static_cast<std::uint64_t>(c));
+    double w = 0.0;
+    double h = 0.0;
+    const Room room = random_room(rng, w, h);
+    const RayTracer tracer(room);
+    RoomPlanConfig cfg;
+    if (c % 2 == 1) {
+      cfg.grid_min_blockers = 0;
+      cfg.grid_cell_m = rng.uniform(0.2, 1.5);
+    }
+    const RoomPlan plan(room, cfg);
+
+    const Vec2 tx = random_point(rng, w, h);
+    Vec2 rx = random_point(rng, w, h);
+    if (rx == tx) rx.x += 0.25;
+    const int max_bounces = rng.chance(0.35) ? 2 : 1;
+    const double max_excess_loss_db = rng.chance(0.2) ? rng.uniform(5.0, 40.0) : 60.0;
+    const bool apply_blockers = !rng.chance(0.25);
+
+    const auto ref = tracer.trace(tx, rx, max_excess_loss_db, max_bounces, apply_blockers);
+    ws.clear();
+    const auto fast = plan.trace_into(tx, rx, ws, max_excess_loss_db, max_bounces,
+                                      apply_blockers);
+    ASSERT_TRUE(paths_equal(ref, fast)) << "case " << c << " bounces " << max_bounces
+                                        << " blockers " << room.blockers().size()
+                                        << " grid " << plan.grid_enabled();
+  }
+}
+
+TEST(RoomPlanProperty, BatchMatchesSingleAndReference) {
+  Rng rng(0xba7c4);
+  double w = 0.0;
+  double h = 0.0;
+  Room room = random_room(rng, w, h);
+  while (room.blockers().size() < 8)
+    room.add_blocker({random_point(rng, w, h), rng.uniform(0.1, 0.5), 20.0});
+  const RayTracer tracer(room);
+  const RoomPlan plan(room);
+  ASSERT_TRUE(plan.grid_enabled());
+  const Vec2 ap = random_point(rng, w, h);
+
+  for (const int max_bounces : {1, 2}) {
+    for (const bool apply_blockers : {true, false}) {
+      ImageTable images;
+      plan.build_images(ap, max_bounces, images);
+      std::vector<Vec2> nodes;
+      for (int i = 0; i < 200; ++i) nodes.push_back(random_point(rng, w, h));
+
+      PathList ws;
+      std::vector<std::uint32_t> offsets(nodes.size() + 1);
+      const auto all = plan.trace_batch_into(ap, nodes, images, ws, offsets, 60.0, max_bounces,
+                                             apply_blockers);
+      EXPECT_EQ(all.size(), ws.size());
+      EXPECT_EQ(offsets.front(), 0u);
+      EXPECT_EQ(offsets.back(), ws.size());
+
+      PathList single;
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const auto ref = tracer.trace(nodes[i], ap, 60.0, max_bounces, apply_blockers);
+        ASSERT_TRUE(paths_equal(ref, ws.slice(offsets[i], offsets[i + 1])))
+            << "node " << i << " bounces " << max_bounces;
+        single.clear();
+        const auto one =
+            plan.trace_into(nodes[i], ap, single, 60.0, max_bounces, apply_blockers);
+        ASSERT_TRUE(paths_equal(one, ws.slice(offsets[i], offsets[i + 1]))) << "node " << i;
+      }
+    }
+  }
+}
+
+// The fused dual trace shares one geometric pass between the
+// blockers-applied and blocker-free results; both windows must still be
+// bit-identical to separate reference runs.
+TEST(RoomPlanProperty, DualBatchMatchesTwoReferencePasses) {
+  Rng rng(0xd0a1);
+  double w = 0.0;
+  double h = 0.0;
+  Room room = random_room(rng, w, h);
+  while (room.blockers().size() < 10)
+    room.add_blocker({random_point(rng, w, h), rng.uniform(0.1, 0.5), 22.0});
+  const RayTracer tracer(room);
+  const RoomPlan plan(room);
+  const Vec2 ap = random_point(rng, w, h);
+
+  for (const int max_bounces : {1, 2}) {
+    for (const double max_excess : {25.0, 60.0}) {
+      ImageTable images;
+      plan.build_images(ap, max_bounces, images);
+      std::vector<Vec2> nodes;
+      for (int i = 0; i < 150; ++i) nodes.push_back(random_point(rng, w, h));
+
+      PathList ws;
+      std::vector<std::uint32_t> on(nodes.size() + 1);
+      std::vector<std::uint32_t> off(nodes.size() + 1);
+      const auto all =
+          plan.trace_batch_dual_into(ap, nodes, images, ws, on, off, max_excess, max_bounces);
+      EXPECT_EQ(all.size(), ws.size());
+      EXPECT_EQ(off.back(), ws.size());
+      EXPECT_EQ(on.back(), off.front());  // off windows follow all on windows
+
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const auto ref_on = tracer.trace(nodes[i], ap, max_excess, max_bounces, true);
+        const auto ref_off = tracer.trace(nodes[i], ap, max_excess, max_bounces, false);
+        ASSERT_TRUE(paths_equal(ref_on, ws.slice(on[i], on[i + 1])))
+            << "gains node " << i << " bounces " << max_bounces;
+        ASSERT_TRUE(paths_equal(ref_off, ws.slice(off[i], off[i + 1])))
+            << "corridor node " << i << " bounces " << max_bounces;
+      }
+    }
+  }
+}
+
+// Grid edge cases the column-walk must survive: a segment running exactly
+// along a cell boundary, a disc spanning many cells, and a disc centred
+// on a grid line. The invariant is always the same — bit-identity with
+// the reference scan.
+TEST(RoomPlanGrid, SegmentAlongCellBoundary) {
+  Room room(8.0, 8.0);
+  for (int i = 0; i < 10; ++i)
+    room.add_blocker({{0.8 * (i + 1), 4.0}, 0.25, 15.0});  // centres on the y=4 line
+  const RayTracer tracer(room);
+  RoomPlanConfig cfg;
+  cfg.grid_cell_m = 1.0;  // y=4.0 is an exact cell boundary
+  cfg.grid_min_blockers = 0;
+  const RoomPlan plan(room, cfg);
+  ASSERT_TRUE(plan.grid_enabled());
+
+  PathList ws;
+  // Horizontal segment exactly on the boundary row.
+  auto ref = tracer.trace({0.5, 4.0}, {7.5, 4.0});
+  auto fast = plan.trace_into({0.5, 4.0}, {7.5, 4.0}, ws);
+  EXPECT_TRUE(paths_equal(ref, fast));
+  // Vertical segment on a column boundary.
+  ws.clear();
+  ref = tracer.trace({4.0, 0.5}, {4.0, 7.5});
+  fast = plan.trace_into({4.0, 0.5}, {4.0, 7.5}, ws);
+  EXPECT_TRUE(paths_equal(ref, fast));
+}
+
+TEST(RoomPlanGrid, BlockerSpanningManyCells) {
+  Room room(10.0, 10.0);
+  room.add_blocker({{5.0, 5.0}, 3.0, 25.0});  // 6 m disc across a 1 m grid
+  room.add_blocker({{1.0, 9.0}, 0.2, 10.0});
+  const RayTracer tracer(room);
+  RoomPlanConfig cfg;
+  cfg.grid_cell_m = 1.0;
+  cfg.grid_min_blockers = 0;
+  const RoomPlan plan(room, cfg);
+  ASSERT_TRUE(plan.grid_enabled());
+
+  Rng rng(77);
+  PathList ws;
+  for (int c = 0; c < 500; ++c) {
+    const Vec2 tx = random_point(rng, 10.0, 10.0);
+    Vec2 rx = random_point(rng, 10.0, 10.0);
+    if (rx == tx) rx.x += 0.25;
+    const auto ref = tracer.trace(tx, rx, 200.0, 2, true);
+    ws.clear();
+    const auto fast = plan.trace_into(tx, rx, ws, 200.0, 2, true);
+    ASSERT_TRUE(paths_equal(ref, fast)) << "case " << c;
+  }
+}
+
+TEST(RoomPlan, DegenerateZeroLengthWallsRejected) {
+  Room room(4.0, 4.0);
+  EXPECT_THROW(room.add_reflector({{1.0, 1.0}, {1.0, 1.0}}, metal()), std::invalid_argument);
+  EXPECT_THROW(room.add_partition({{2.0, 2.0}, {2.0, 2.0}}, drywall()), std::invalid_argument);
+  // The plan compiles the (still valid) room and matches the reference.
+  const RoomPlan plan(room);
+  const RayTracer tracer(room);
+  PathList ws;
+  EXPECT_TRUE(paths_equal(tracer.trace({1.0, 1.0}, {3.0, 3.0}),
+                          plan.trace_into({1.0, 1.0}, {3.0, 3.0}, ws)));
+}
+
+TEST(RoomPlan, ArgumentAndStalenessChecks) {
+  Room room(6.0, 4.0);
+  RoomPlan plan(room);
+  PathList ws;
+  EXPECT_THROW(plan.trace_into({1.0, 1.0}, {1.0, 1.0}, ws), std::invalid_argument);
+  EXPECT_THROW(plan.trace_into({1.0, 1.0}, {2.0, 2.0}, ws, 60.0, 3), std::invalid_argument);
+  EXPECT_THROW(plan.trace_into({1.0, 1.0}, {2.0, 2.0}, ws, 60.0, 0), std::invalid_argument);
+
+  const RoomPlan empty;
+  EXPECT_FALSE(empty.compiled());
+  EXPECT_THROW(empty.trace_into({1.0, 1.0}, {2.0, 2.0}, ws), std::logic_error);
+
+  ImageTable images;
+  plan.build_images({3.0, 2.0}, 1, images);
+  std::vector<Vec2> nodes{{1.0, 1.0}};
+  std::vector<std::uint32_t> offsets(2);
+  // Wrong endpoint for the table.
+  EXPECT_THROW(plan.trace_batch_into({3.0, 2.1}, nodes, images, ws, offsets),
+               std::invalid_argument);
+  // Table lacks the pair images a 2-bounce batch needs.
+  EXPECT_THROW(plan.trace_batch_into({3.0, 2.0}, nodes, images, ws, offsets, 60.0, 2),
+               std::invalid_argument);
+  // Wrong offsets size.
+  std::vector<std::uint32_t> bad(1);
+  EXPECT_THROW(plan.trace_batch_into({3.0, 2.0}, nodes, images, ws, bad),
+               std::invalid_argument);
+  // Stale table: the room mutated after build_images.
+  room.add_blocker(human_blocker({2.0, 2.0}));
+  plan.rebuild(room);
+  EXPECT_THROW(plan.trace_batch_into({3.0, 2.0}, nodes, images, ws, offsets),
+               std::invalid_argument);
+  // Rebuilt table works again.
+  plan.build_images({3.0, 2.0}, 1, images);
+  EXPECT_GT(plan.trace_batch_into({3.0, 2.0}, nodes, images, ws, offsets).size(), 0u);
+}
+
+TEST(RoomPlan, TracksRoomEpoch) {
+  Room room(6.0, 4.0);
+  RoomPlan plan(room);
+  EXPECT_EQ(plan.room_epoch(), room.epoch());
+  const std::size_t blk = room.add_blocker(human_blocker({3.0, 2.0}));
+  EXPECT_NE(plan.room_epoch(), room.epoch());
+  plan.rebuild(room);
+  EXPECT_EQ(plan.room_epoch(), room.epoch());
+  EXPECT_EQ(plan.blocker_count(), 1u);
+
+  // A rebuilt plan sees the moved blocker exactly like a fresh tracer.
+  room.move_blocker(blk, {1.5, 2.0});
+  plan.rebuild(room);
+  const RayTracer tracer(room);
+  PathList ws;
+  const auto ref = tracer.trace({1.0, 2.0}, {5.0, 2.0});
+  const auto fast = plan.trace_into({1.0, 2.0}, {5.0, 2.0}, ws);
+  EXPECT_TRUE(paths_equal(ref, fast));
+}
+
+// The workspace contract: appended slices stay addressable until
+// clear(), and once warmed up repeated traces stop growing storage (the
+// allocation-free steady state the scale lane depends on).
+TEST(PathList, SliceStabilityAndSteadyStateCapacity) {
+  Room room(12.0, 8.0);
+  room.add_blocker(human_blocker({4.0, 4.0}));
+  const RoomPlan plan(room);
+  const RayTracer tracer(room);
+  PathList ws;
+  plan.trace_into({1.0, 1.0}, {11.0, 7.0}, ws);
+  const std::size_t end1 = ws.size();
+  plan.trace_into({2.0, 5.0}, {11.0, 7.0}, ws);
+  // Growth during the second trace may move storage (returned spans are
+  // consumed-before-next-trace by contract), but the COMMITTED paths are
+  // preserved: both windows still hold exactly the reference results.
+  EXPECT_TRUE(paths_equal(tracer.trace({1.0, 1.0}, {11.0, 7.0}), ws.slice(0, end1)));
+  EXPECT_TRUE(paths_equal(tracer.trace({2.0, 5.0}, {11.0, 7.0}), ws.slice(end1, ws.size())));
+
+  ws.clear();
+  EXPECT_EQ(ws.size(), 0u);
+  plan.trace_into({1.0, 1.0}, {11.0, 7.0}, ws);
+  const std::size_t warm_capacity = ws.path_capacity();
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    ws.clear();
+    plan.trace_into(random_point(rng, 12.0, 8.0), {11.0, 7.0}, ws);
+    EXPECT_EQ(ws.path_capacity(), warm_capacity);  // no steady-state growth
+  }
+}
+
+}  // namespace
+}  // namespace mmx::channel

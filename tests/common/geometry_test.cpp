@@ -88,6 +88,43 @@ TEST(Geometry, SegmentHitsDisc) {
   EXPECT_FALSE(segment_hits_disc({0.0, 0.0}, {10.0, 0.0}, {-2.0, 0.0}, 0.3));
 }
 
+TEST(Segment, PrecomputeIsBitwiseTransparent) {
+  // Precompute caches exactly the values the accessors would derive, so
+  // mirror/intersect produce the SAME BITS with or without it — the
+  // invariant the RoomPlan fast path rests on.
+  const Segment cold{{0.3, -1.7}, {4.1, 2.9}};
+  Segment warm = cold;
+  warm.precompute();
+  EXPECT_FALSE(cold.precomputed());
+  EXPECT_TRUE(warm.precomputed());
+  EXPECT_EQ(cold.length(), warm.length());
+  EXPECT_EQ(cold.delta(), warm.delta());
+  EXPECT_EQ(cold.unit_dir(), warm.unit_dir());
+
+  const Vec2 probes[] = {{0.0, 0.0}, {-2.5, 3.5}, {1.0, 1.0}, {7.7, -0.2}};
+  for (const Vec2 p : probes) {
+    const Vec2 mc = cold.mirror(p);
+    const Vec2 mw = warm.mirror(p);
+    EXPECT_EQ(mc, mw);
+  }
+  for (const Vec2 p : probes) {
+    const auto hc = cold.intersect(p, {2.0, 0.5});
+    const auto hw = warm.intersect(p, {2.0, 0.5});
+    ASSERT_EQ(hc.has_value(), hw.has_value());
+    if (hc) {
+      EXPECT_EQ(*hc, *hw);
+    }
+  }
+}
+
+TEST(Segment, PrecomputeZeroLengthIsSafeNoOp) {
+  Segment s{{1.0, 1.0}, {1.0, 1.0}};
+  s.precompute();
+  EXPECT_FALSE(s.precomputed());
+  EXPECT_EQ(s.length(), 0.0);
+  EXPECT_EQ(s.delta(), (Vec2{0.0, 0.0}));
+}
+
 TEST(Geometry, PointSegmentDistance) {
   EXPECT_DOUBLE_EQ(point_segment_distance({0.0, 1.0}, {-1.0, 0.0}, {1.0, 0.0}), 1.0);
   // Beyond an endpoint: distance to the endpoint.

@@ -353,6 +353,30 @@ TEST(HotPathAlloc, HotFreeFunctionsCovered) {
   EXPECT_EQ(count_rule(f, "hot-path-alloc"), 1u);
 }
 
+TEST(HotPathAlloc, GeometryPlanClassesCoveredCtorExempt) {
+  const auto f = run_rules(
+      "RoomPlan::RoomPlan(const Room& r) { walls_.reserve(4); }\n"
+      "void RoomPlan::rebuild(const Room& r) { walls_.push_back(rec); }\n"
+      "void PathList::clear() { spare_.resize(8); }\n",
+      "src/channel/room_plan.cpp");
+  ASSERT_EQ(count_rule(f, "hot-path-alloc"), 2u);
+  EXPECT_EQ(f[0].line, 2u);  // ctor on line 1 is exempt
+  EXPECT_EQ(f[1].line, 3u);
+}
+
+TEST(HotPathAlloc, GeometryPlanSuppressionHonored) {
+  const auto f = run_rules(
+      "void PathList::ensure_paths(std::size_t n) {\n"
+      "  storage_.resize(n);  // mmx-analyze: allow(hot-path-alloc) -- amortized growth\n"
+      "}\n"
+      "std::span<const Path> RoomPlan::trace_into(Vec2 a, Vec2 b, PathList& out) {\n"
+      "  out.scratch.push_back(1);\n"
+      "}\n",
+      "src/channel/room_plan.cpp");
+  ASSERT_EQ(count_rule(f, "hot-path-alloc"), 1u);  // only the unsuppressed trace_into alloc
+  EXPECT_EQ(f[0].line, 5u);
+}
+
 // ---------------------------------------------------------------------------
 // determinism
 // ---------------------------------------------------------------------------

@@ -319,12 +319,13 @@ void check_trig_per_sample(const LexedFile& f, std::vector<Finding>& out) {
 
 namespace {
 
-// The zero-alloc fast-path surface (docs/DSP_FASTPATH.md): every *_into
-// kernel plus all methods of these classes. Constructors/destructors are
-// setup time and exempt.
+// The zero-alloc fast-path surface (docs/DSP_FASTPATH.md and
+// docs/GEOMETRY.md): every *_into kernel plus all methods of these
+// classes. Constructors/destructors are setup time and exempt.
 const std::set<std::string>& hot_classes() {
-  static const std::set<std::string> kHot = {"FftPlan", "Nco", "GoertzelBin", "GoertzelBank",
-                                             "FramePipeline"};
+  static const std::set<std::string> kHot = {"FftPlan",       "Nco",      "GoertzelBin",
+                                             "GoertzelBank",  "FramePipeline",
+                                             "RoomPlan",      "PathList"};
   return kHot;
 }
 
@@ -544,7 +545,8 @@ const std::vector<RuleInfo>& rule_table() {
       {"trig-per-sample", "no sin/cos inside loops of DSP kernel TUs; use the phasor fast path"},
       {"layering", "module include/link edges must follow the docs/ARCHITECTURE.md DAG"},
       {"hot-path-alloc",
-       "no heap allocation in *_into kernels or FftPlan/Nco/Goertzel*/FramePipeline methods"},
+       "no heap allocation in *_into kernels or FftPlan/Nco/Goertzel*/FramePipeline/RoomPlan/"
+       "PathList methods"},
       {"determinism",
        "no unordered iteration, pointer keys or address-derived values in src/sim and bench/"},
       {"suppression-reason", "every allow() suppression must carry a '-- <why>' reason"},
