@@ -33,11 +33,14 @@ int main(int argc, char** argv) {
   std::string nodes_arg = "10000";
   std::string cache_arg = "on";
   std::string faults_arg = "off";
+  std::string overload_arg = "off";
   const bench::Options opt = bench::parse_args(
       argc, argv, 128, 4242, "measurement rounds (0.0625 s apart)",
       {{"--nodes", "N   resident things (default 10000)", &nodes_arg},
        {"--cache", "on|off   evaluate links through the LinkCache (default on)", &cache_arg},
-       {"--faults", "on|off   inject the default fault storm (default off)", &faults_arg}});
+       {"--faults", "on|off   inject the default fault storm (default off)", &faults_arg},
+       {"--overload", "on|off   run the pinned 3x oversubscription lane "
+                      "(make_overload_config; ignores --nodes; default off)", &overload_arg}});
 
   char* end = nullptr;
   const unsigned long long nodes = std::strtoull(nodes_arg.c_str(), &end, 10);
@@ -54,17 +57,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "scale_churn: --faults expects on|off, got '%s'\n", faults_arg.c_str());
     return 2;
   }
+  if (overload_arg != "on" && overload_arg != "off") {
+    std::fprintf(stderr, "scale_churn: --overload expects on|off, got '%s'\n",
+                 overload_arg.c_str());
+    return 2;
+  }
   const bool faults_on = faults_arg == "on";
+  const bool overload_on = overload_arg == "on";
 
-  sim::ScaleConfig cfg = sim::make_scale_config(static_cast<std::size_t>(nodes));
+  sim::ScaleConfig cfg = overload_on ? sim::make_overload_config()
+                                     : sim::make_scale_config(static_cast<std::size_t>(nodes));
   cfg.use_cache = cache_arg == "on";
   cfg.refresh_threads = opt.sweep.threads;
   cfg.duration_s = cfg.measure_interval_s * static_cast<double>(opt.sweep.trials);
   cfg.join_window_s = std::min(cfg.join_window_s, cfg.duration_s);
   if (faults_on) cfg.faults = sim::make_fault_storm();
 
-  std::printf("=== Scale churn: %llu things, cache %s, faults %s ===\n", nodes,
-              cache_arg.c_str(), faults_arg.c_str());
+  std::printf("=== Scale churn: %zu things, cache %s, faults %s, overload %s ===\n", cfg.nodes,
+              cache_arg.c_str(), faults_arg.c_str(), overload_arg.c_str());
   const sim::ScaleScenario scenario(cfg);
   const sim::ScaleReport rep = scenario.run(opt.sweep.seed);
 
@@ -100,6 +110,24 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(rep.faults.rejoin_attempts),
                 static_cast<unsigned long long>(rep.faults.recoveries), mean_recovery_rounds);
   }
+  if (overload_on) {
+    std::printf("  overload: demoted %llu  shed %llu  promoted %llu  compactions %llu"
+                "  retunes %llu\n",
+                static_cast<unsigned long long>(rep.overload.demotions),
+                static_cast<unsigned long long>(rep.overload.shed_demotions),
+                static_cast<unsigned long long>(rep.overload.promotions),
+                static_cast<unsigned long long>(rep.overload.compactions),
+                static_cast<unsigned long long>(rep.overload.retunes));
+    std::printf("  admission: admitted %zu (%zu below request)  hinted denies %llu"
+                "  backoff retries %llu\n",
+                rep.overload.admitted, rep.overload.admitted_below_request,
+                static_cast<unsigned long long>(rep.overload.hinted_denies),
+                static_cast<unsigned long long>(rep.overload.backoff_retries));
+    std::printf("  rates: min %.0f bps (floor %.0f)  mean %.0f bps  invariant violations %llu\n",
+                rep.overload.min_admitted_rate_bps, cfg.sim.init.overload.min_rate_bps,
+                rep.overload.mean_admitted_rate_bps,
+                static_cast<unsigned long long>(rep.overload.invariant_violations));
+  }
 
   const double per_s = rep.measure_wall_s > 0.0
                            ? static_cast<double>(rep.link_evals) / rep.measure_wall_s
@@ -107,11 +135,15 @@ int main(int argc, char** argv) {
   const std::size_t threads = sim::SweepRunner(opt.sweep).threads();
   bench::report_timing_line(rep.link_evals, threads, rep.measure_wall_s, per_s);
 
-  bench::JsonReport report(faults_on ? "scale_churn_faults" : "scale_churn", opt);
+  const char* bench_name = overload_on ? (faults_on ? "scale_churn_overload_faults"
+                                                    : "scale_churn_overload")
+                                       : (faults_on ? "scale_churn_faults" : "scale_churn");
+  bench::JsonReport report(bench_name, opt);
   report.set_timing(rep.link_evals, threads, rep.measure_wall_s, per_s);
-  report.add_scalar("nodes", static_cast<double>(nodes));
+  report.add_scalar("nodes", static_cast<double>(cfg.nodes));
   report.add_scalar("cache_on", cfg.use_cache ? 1.0 : 0.0);
   report.add_scalar("faults_on", faults_on ? 1.0 : 0.0);
+  report.add_scalar("overload_on", overload_on ? 1.0 : 0.0);
   report.add_scalar("granted", static_cast<double>(rep.granted));
   report.add_scalar("denied", static_cast<double>(rep.denied));
   report.add_scalar("leaves", static_cast<double>(rep.leaves));
@@ -131,6 +163,23 @@ int main(int argc, char** argv) {
     report.add_scalar("fault_rejoins", static_cast<double>(rep.faults.rejoin_attempts));
     report.add_scalar("fault_recoveries", static_cast<double>(rep.faults.recoveries));
     report.add_scalar("mean_recovery_rounds", mean_recovery_rounds);
+  }
+  if (overload_on) {
+    report.add_scalar("ov_demotions", static_cast<double>(rep.overload.demotions));
+    report.add_scalar("ov_shed_demotions", static_cast<double>(rep.overload.shed_demotions));
+    report.add_scalar("ov_promotions", static_cast<double>(rep.overload.promotions));
+    report.add_scalar("ov_compactions", static_cast<double>(rep.overload.compactions));
+    report.add_scalar("ov_retunes", static_cast<double>(rep.overload.retunes));
+    report.add_scalar("ov_hinted_denies", static_cast<double>(rep.overload.hinted_denies));
+    report.add_scalar("ov_backoff_retries", static_cast<double>(rep.overload.backoff_retries));
+    report.add_scalar("ov_invariant_violations",
+                      static_cast<double>(rep.overload.invariant_violations));
+    report.add_scalar("ov_admitted", static_cast<double>(rep.overload.admitted));
+    report.add_scalar("ov_admitted_below_request",
+                      static_cast<double>(rep.overload.admitted_below_request));
+    report.add_scalar("ov_min_admitted_rate_bps", rep.overload.min_admitted_rate_bps);
+    report.add_scalar("ov_mean_admitted_rate_bps", rep.overload.mean_admitted_rate_bps);
+    report.add_scalar("ov_rate_floor_bps", cfg.sim.init.overload.min_rate_bps);
   }
   return report.write() ? 0 : 1;
 }

@@ -6,9 +6,22 @@
 // spatially (SDM groups separated by TMA harmonics). Each grant also
 // carries the two VCO tuning voltages realizing the node's ASK-FSK tone
 // pair inside its channel.
+//
+// Overload control (docs/ROBUSTNESS.md): with "billions of things" the
+// interesting regime is the one where demand exceeds the band. Instead
+// of a denial cliff the AP degrades gracefully — FDM, then SDM, then
+// spectrum compaction when fragmentation is the only obstacle, then
+// rate demotion down to a configured floor, then (optionally) shedding
+// bandwidth from lower-priority incumbents, and only then a deny that
+// carries an occupancy-derived backoff hint so the rejected population
+// desynchronizes. All of it is deterministic: the AP draws no
+// randomness, and every decision is a pure function of the request
+// sequence.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "mmx/mac/allocator.hpp"
@@ -29,6 +42,32 @@ struct HarmonicSlot {
 /// delay 0.0625): sin(theta_m) = 0.125 m for m in {-4..4}.
 std::vector<HarmonicSlot> default_sdm_slots();
 
+/// Graceful-degradation policy for oversubscribed joins. Disabled by
+/// default, which keeps InitProtocol byte-identical to the pre-overload
+/// admission path (first-fit, bare denies, no compaction).
+struct OverloadConfig {
+  bool enabled = false;
+  /// Rate floor for admission demotion: when the full demand cannot be
+  /// placed the AP walks a halving-rate ladder (the data rate is a
+  /// switch setting — paper §9.1) and grants the largest step whose
+  /// channel fits, stopping at this floor. 0 disables demotion.
+  double min_rate_bps = 0.0;
+  /// Best-fit gap selection while enabled (first-fit otherwise) — keeps
+  /// large gaps intact under churn.
+  bool best_fit = true;
+  /// Compact the band (slide grants down, re-tune holders) when
+  /// fragmentation alone blocks an otherwise admissible demand.
+  bool compaction = true;
+  /// Allow shrinking strictly-lower-priority incumbents to the rate
+  /// floor to admit a newcomer at its floor. Their spectrum is restored
+  /// by promote_demoted() when the band relaxes.
+  bool shedding = false;
+  /// Deny backoff hint at zero occupancy / zero pressure...
+  double hint_base_s = 0.125;
+  /// ...and its ceiling at full occupancy.
+  double hint_max_s = 4.0;
+};
+
 struct InitConfig {
   double spectral_efficiency = 0.8;  ///< bit/s/Hz of OTAM's ASK-FSK
   double guard_hz = 1e6;
@@ -46,6 +85,24 @@ struct InitConfig {
   /// this angle of its bearing (beyond it the harmonic's array gain at
   /// the node collapses).
   double max_harmonic_mismatch_rad = 0.07;
+  /// Graceful degradation under oversubscription; off by default.
+  OverloadConfig overload;
+};
+
+/// Overload-control accounting (all zero while the policy is disabled).
+struct OverloadStats {
+  std::uint64_t demotions = 0;       ///< newcomers admitted below their request
+  std::uint64_t shed_demotions = 0;  ///< incumbents shrunk to the floor
+  std::uint64_t promotions = 0;      ///< demoted grants grown back
+  std::uint64_t compactions = 0;     ///< compact passes that moved >= 1 channel
+  std::uint64_t retunes = 0;         ///< grant re-tunes issued (compaction + shed + promote)
+  std::uint64_t hinted_denies = 0;   ///< denies carrying a backoff hint
+  double hint_delay_sum_s = 0.0;     ///< sum of issued hints (mean = sum/hinted)
+  /// Post-mutation allocator invariant checks that failed (overlap,
+  /// guard or band-edge violation). Always 0; gated in CI.
+  std::uint64_t invariant_violations = 0;
+
+  bool operator==(const OverloadStats&) const = default;
 };
 
 /// Capped-exponential backoff for rejoin / re-grant attempts.
@@ -69,7 +126,10 @@ class RejoinBackoff {
   explicit RejoinBackoff(BackoffConfig cfg = {});
 
   /// Delay before the next attempt; advances the attempt counter.
-  double next_delay_s(Rng& rng);
+  /// `hint_s` is the AP's deny backoff hint (ChannelDeny::retry_after_s):
+  /// it floors the schedule delay before jitter — the AP has seen the
+  /// whole band's occupancy, the node has only its own attempt count.
+  double next_delay_s(Rng& rng, double hint_s = 0.0);
 
   /// A successful (re)grant resets the schedule.
   void reset() { attempt_ = 0; }
@@ -86,12 +146,15 @@ class InitProtocol {
  public:
   InitProtocol(FdmAllocator allocator, rf::Vco node_vco, InitConfig cfg = {});
 
-  /// Process one request: FDM first, SDM sharing when the band is full.
-  /// Returns a grant or a deny.
+  /// Process one request: FDM first, SDM sharing when the band is full,
+  /// then the overload ladder (compact -> demote -> shed -> deny+hint)
+  /// when enabled. Returns a grant or a deny.
   SideChannelMessage handle(const ChannelRequest& request);
 
-  /// Drain the AP side of a SideChannel: handle every pending request and
-  /// queue the responses back. Returns the number processed.
+  /// Drain the AP side of a SideChannel: handle every pending request,
+  /// queue the responses back, then deliver any re-tune notifications
+  /// compaction / shedding / promotion produced. Returns the number of
+  /// requests processed.
   std::size_t serve(SideChannel& channel, Rng& rng);
 
   /// All grants issued so far, keyed by node.
@@ -102,9 +165,31 @@ class InitProtocol {
 
   /// Renegotiate a node's rate (a camera switching quality tiers). The
   /// old channel is freed first so the allocator can reuse or grow it;
-  /// if the new demand cannot be met, the old grant is restored
-  /// (best-effort) and a deny is returned.
+  /// if the new demand cannot be met the node's previous grant is
+  /// reinstated exactly (same center, bandwidth, harmonic and VCO
+  /// voltages) and a deny is returned.
   SideChannelMessage modify_rate(std::uint16_t node_id, double new_rate_bps);
+
+  /// Slide every FDM grant down-band (FdmAllocator::compact), update the
+  /// affected grants/SDM groups and queue one re-tune grant per moved
+  /// holder. Returns the number of moved channels.
+  std::size_t compact_spectrum();
+
+  /// Grow demoted grants (admitted or shed below their requested rate)
+  /// back toward their request, lowest node id first. Returns the
+  /// re-issued grants; they are also queued as re-tune notifications.
+  std::vector<ChannelGrant> promote_demoted();
+
+  /// Re-tune notifications (updated grants) queued by compaction,
+  /// shedding and promotion since the last drain. serve() delivers them
+  /// over the side channel; embedders without one take them here.
+  std::vector<ChannelGrant> take_retunes();
+
+  /// The rate a node's current channel supports (bandwidth x spectral
+  /// efficiency); nullopt for unknown nodes.
+  std::optional<double> granted_rate_bps(std::uint16_t node_id) const;
+
+  const OverloadStats& overload_stats() const { return overload_stats_; }
 
   const FdmAllocator& allocator() const { return allocator_; }
 
@@ -117,7 +202,30 @@ class InitProtocol {
   };
 
   ChannelGrant make_grant(std::uint16_t node_id, const ChannelAllocation& ch, int harmonic) const;
+  /// FDM allocation + VCO coverage check; rolls back on failure.
+  std::optional<ChannelGrant> try_fdm(std::uint16_t node_id, double bandwidth_hz);
   SideChannelMessage try_sdm(const ChannelRequest& request);
+  /// The overload ladder: compaction, rate demotion, shedding, hinted
+  /// deny. Only called when cfg_.overload.enabled.
+  SideChannelMessage handle_overload(const ChannelRequest& request, double bandwidth_hz);
+  /// Halving-rate demotion ladder from `start_rate_bps` down to the
+  /// overload floor: admit at the largest step whose channel fits.
+  std::optional<ChannelGrant> admit_demoted(const ChannelRequest& request,
+                                            double start_rate_bps);
+  /// Shrink strictly-lower-priority incumbents to the floor until
+  /// `needed_hz` fits (after compaction); true if it does.
+  bool shed_for(const ChannelRequest& request, double needed_hz);
+  /// Occupancy- and pressure-derived deny hint (deterministic).
+  double deny_hint_s() const;
+  /// Move every grant and SDM group on `from` to `to` (same bandwidth),
+  /// queueing re-tune notifications.
+  void retune_channel(const ChannelAllocation& from, const ChannelAllocation& to);
+  /// Walk the allocator's map and count overlap/guard/band violations
+  /// into overload_stats_.invariant_violations. Called after the
+  /// mutating overload paths (compaction, shedding, promotion).
+  void verify_allocator_invariants();
+  /// True if `ch` backs an SDM group.
+  bool channel_shared(const ChannelAllocation& ch) const;
   /// Free harmonic slot steering closest to `bearing_rad`, within the
   /// mismatch tolerance; nullopt when none qualifies.
   std::optional<int> best_free_slot(const std::vector<int>& used, double bearing_rad) const;
@@ -128,6 +236,14 @@ class InitProtocol {
   std::map<std::uint16_t, ChannelGrant> grants_;
   std::map<std::uint16_t, double> holder_bearings_;
   std::vector<SharedChannel> shared_;
+  /// Requested rate and priority per grant holder (overload bookkeeping:
+  /// requested > granted marks a demoted node promote_demoted() grows).
+  std::map<std::uint16_t, double> requested_rate_bps_;
+  std::map<std::uint16_t, std::uint8_t> priority_;
+  std::vector<ChannelGrant> pending_retunes_;
+  OverloadStats overload_stats_;
+  /// Consecutive hinted denies since spectrum last freed (deny pressure).
+  std::uint64_t deny_streak_ = 0;
 };
 
 }  // namespace mmx::mac

@@ -27,6 +27,13 @@ class RateController {
   void on_success();
   void on_failure();
 
+  /// Re-bound the controller to a new grant ceiling (overload demotion
+  /// shrinks it, promotion raises it). The current rate is clamped into
+  /// the new [min, max]; AIMD state is otherwise preserved. The cap
+  /// never drops below min_rate_bps — a demotion floor at or under the
+  /// AIMD minimum pins the controller to min_rate_bps.
+  void set_max_rate_bps(double max_rate_bps);
+
   double rate_bps() const { return rate_; }
   int consecutive_failures() const { return fails_; }
   /// Multiplicative decreases taken so far. Aggregated onto the global

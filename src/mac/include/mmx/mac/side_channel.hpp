@@ -21,6 +21,11 @@ struct ChannelRequest {
   std::uint16_t node_id = 0;
   double rate_bps = 0.0;
   double bearing_rad = 0.0;  ///< AP-frame azimuth learned at registration
+  /// Admission priority (overload control, docs/ROBUSTNESS.md): under
+  /// oversubscription the AP may shrink grants of strictly
+  /// lower-priority incumbents to admit a newcomer at its rate floor.
+  /// Default 1; 0 marks background traffic that is always sheddable.
+  std::uint8_t priority = 1;
 };
 
 /// AP -> node: assigned channel + modulation parameters.
@@ -32,9 +37,16 @@ struct ChannelGrant {
   double vco_tune_v1 = 0.0;    ///< tuning voltage for bit-1 tone
 };
 
-/// AP -> node: request denied (no spectrum / no harmonic).
+/// AP -> node: request denied (no spectrum / no harmonic). Under
+/// overload control the deny carries an AP-computed backoff hint so an
+/// oversubscribed population desynchronizes its retries instead of
+/// storming the side channel in lockstep.
 struct ChannelDeny {
   std::uint16_t node_id = 0;
+  /// Suggested wait before retrying, derived from current band occupancy
+  /// and deny pressure (deterministic — the node adds its own jitter via
+  /// RejoinBackoff). 0 = no hint (legacy deny).
+  double retry_after_s = 0.0;
 };
 
 using SideChannelMessage = std::variant<ChannelRequest, ChannelGrant, ChannelDeny>;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+
+#include "mmx/obs/obs.hpp"
 
 namespace mmx::mac {
 
@@ -24,7 +27,7 @@ RejoinBackoff::RejoinBackoff(BackoffConfig cfg) : cfg_(cfg) {
     throw std::invalid_argument("RejoinBackoff: jitter_frac must be in [0, 1)");
 }
 
-double RejoinBackoff::next_delay_s(Rng& rng) {
+double RejoinBackoff::next_delay_s(Rng& rng, double hint_s) {
   double delay = cfg_.base_s;
   for (int i = 0; i < attempt_; ++i) {
     delay *= cfg_.factor;
@@ -34,6 +37,10 @@ double RejoinBackoff::next_delay_s(Rng& rng) {
     }
   }
   ++attempt_;
+  // The AP's deny hint floors the schedule: the AP has seen the whole
+  // band's occupancy, the node only its own attempt count. The hint may
+  // exceed cap_s — under heavy overload that is the point.
+  if (hint_s > delay) delay = hint_s;
   if (cfg_.jitter_frac > 0.0)
     delay *= rng.uniform(1.0 - cfg_.jitter_frac, 1.0 + cfg_.jitter_frac);
   return delay;
@@ -48,6 +55,13 @@ InitProtocol::InitProtocol(FdmAllocator allocator, rf::Vco node_vco, InitConfig 
   if (cfg_.sdm_capacity < 1)
     throw std::invalid_argument("InitProtocol: sdm_capacity must be >= 1");
   if (cfg_.sdm_slots.empty()) cfg_.sdm_slots = default_sdm_slots();
+  if (cfg_.overload.enabled) {
+    if (cfg_.overload.min_rate_bps < 0.0)
+      throw std::invalid_argument("InitProtocol: overload min_rate_bps must be >= 0");
+    if (cfg_.overload.hint_base_s <= 0.0 || cfg_.overload.hint_max_s < cfg_.overload.hint_base_s)
+      throw std::invalid_argument("InitProtocol: overload hint bounds invalid");
+    if (cfg_.overload.best_fit) allocator_.set_policy(AllocPolicy::kBestFit);
+  }
 }
 
 ChannelGrant InitProtocol::make_grant(std::uint16_t node_id, const ChannelAllocation& ch,
@@ -76,9 +90,256 @@ SideChannelMessage InitProtocol::handle(const ChannelRequest& request) {
     }
     ChannelGrant g = make_grant(request.node_id, *ch, 0);
     grants_[request.node_id] = g;
+    requested_rate_bps_[request.node_id] = request.rate_bps;
+    priority_[request.node_id] = request.priority;
     return g;
   }
-  return try_sdm(request);
+  const SideChannelMessage sdm = try_sdm(request);
+  if (std::get_if<ChannelGrant>(&sdm) || !cfg_.overload.enabled) return sdm;
+  return handle_overload(request, bw);
+}
+
+std::optional<ChannelGrant> InitProtocol::try_fdm(std::uint16_t node_id, double bandwidth_hz) {
+  const auto ch = allocator_.allocate(node_id, bandwidth_hz);
+  if (!ch) return std::nullopt;
+  if (!node_vco_.covers(ch->low_hz()) || !node_vco_.covers(ch->high_hz())) {
+    allocator_.release(node_id);
+    return std::nullopt;
+  }
+  ChannelGrant g = make_grant(node_id, *ch, 0);
+  grants_[node_id] = g;
+  return g;
+}
+
+SideChannelMessage InitProtocol::handle_overload(const ChannelRequest& request,
+                                                 double bandwidth_hz) {
+  const OverloadConfig& ov = cfg_.overload;
+  // (a) Fragmentation is the only obstacle to the full demand: compact
+  // the band and retry at the requested rate.
+  if (ov.compaction && allocator_.largest_gap_hz() < bandwidth_hz &&
+      allocator_.compacted_headroom_hz() >= bandwidth_hz) {
+    compact_spectrum();
+    if (const auto g = try_fdm(request.node_id, bandwidth_hz)) {
+      requested_rate_bps_[request.node_id] = request.rate_bps;
+      priority_[request.node_id] = request.priority;
+      return *g;
+    }
+  }
+  // (b) Rate demotion: walk the halving ladder below the request and
+  // admit at the largest step that fits. promote_demoted() grows the
+  // grant back later.
+  if (ov.min_rate_bps > 0.0 && request.rate_bps > ov.min_rate_bps) {
+    const double floor_bw = required_bandwidth_hz(ov.min_rate_bps, cfg_.spectral_efficiency);
+    if (ov.compaction && allocator_.largest_gap_hz() < floor_bw &&
+        allocator_.compacted_headroom_hz() >= floor_bw)
+      compact_spectrum();
+    if (const auto g = admit_demoted(request, request.rate_bps / 2.0)) return *g;
+  }
+  // (c) Shedding: shrink strictly-lower-priority incumbents to the floor
+  // so the newcomer fits at (at least) its own floor.
+  if (ov.shedding && ov.min_rate_bps > 0.0 && request.rate_bps >= ov.min_rate_bps) {
+    const double floor_bw = required_bandwidth_hz(ov.min_rate_bps, cfg_.spectral_efficiency);
+    if (shed_for(request, floor_bw)) {
+      if (const auto g = admit_demoted(request, request.rate_bps)) return *g;
+    }
+  }
+  // (d) Deny, with a deterministic backoff hint derived from occupancy
+  // and deny pressure (no AP-side randomness: the node adds its own
+  // jitter from its counter-derived stream via RejoinBackoff).
+  const double hint = deny_hint_s();
+  ++deny_streak_;
+  ++overload_stats_.hinted_denies;
+  overload_stats_.hint_delay_sum_s += hint;
+  const double band = allocator_.band_high_hz() - allocator_.band_low_hz();
+  MMX_OBS_GAUGE_SET("mac.spectrum.occupancy_pct",
+                    100.0 * (1.0 - allocator_.free_bandwidth_hz() / band));
+  MMX_OBS_GAUGE_SET("mac.admission.deny_pressure", deny_streak_);
+  MMX_OBS_COUNT("mac.overload.hinted_denies", 1);
+  return ChannelDeny{request.node_id, hint};
+}
+
+std::optional<ChannelGrant> InitProtocol::admit_demoted(const ChannelRequest& request,
+                                                        double start_rate_bps) {
+  const OverloadConfig& ov = cfg_.overload;
+  double rate = start_rate_bps;
+  while (true) {
+    if (rate < ov.min_rate_bps) rate = ov.min_rate_bps;
+    const double bw = required_bandwidth_hz(rate, cfg_.spectral_efficiency);
+    if (bw <= allocator_.largest_gap_hz()) {
+      if (const auto g = try_fdm(request.node_id, bw)) {
+        requested_rate_bps_[request.node_id] = request.rate_bps;
+        priority_[request.node_id] = request.priority;
+        if (rate < request.rate_bps) {
+          ++overload_stats_.demotions;
+          MMX_OBS_COUNT("mac.overload.demotions", 1);
+        }
+        return g;
+      }
+    }
+    if (rate <= ov.min_rate_bps) return std::nullopt;
+    rate /= 2.0;
+  }
+}
+
+double InitProtocol::deny_hint_s() const {
+  const OverloadConfig& ov = cfg_.overload;
+  const double band = allocator_.band_high_hz() - allocator_.band_low_hz();
+  const double occ =
+      band > 0.0 ? std::clamp(1.0 - allocator_.free_bandwidth_hz() / band, 0.0, 1.0) : 1.0;
+  // Quadratic in occupancy (gentle until the band is nearly full), plus a
+  // linear deny-pressure term so a storm spreads retries further apart
+  // the longer it lasts. Saturates at hint_max_s.
+  const double pressure = static_cast<double>(std::min<std::uint64_t>(deny_streak_, 32));
+  const double hint = ov.hint_base_s * (1.0 + 15.0 * occ * occ + 0.25 * pressure);
+  return std::min(ov.hint_max_s, hint);
+}
+
+bool InitProtocol::shed_for(const ChannelRequest& request, double needed_hz) {
+  const double floor_bw = needed_hz;
+  // Candidate victims: unshared FDM owners of strictly lower priority
+  // holding more than the floor. Deterministic order — priority
+  // ascending, node id breaking ties.
+  std::vector<std::pair<std::uint8_t, std::uint16_t>> victims;
+  double reclaimable = 0.0;
+  for (const auto& [id, ch] : allocator_.allocations()) {
+    if (!grants_.contains(id)) continue;
+    if (channel_shared(ch)) continue;  // a shared channel's width is the group's
+    const std::uint8_t prio = priority_.contains(id) ? priority_.at(id) : 1;
+    if (prio >= request.priority) continue;
+    if (ch.bandwidth_hz <= floor_bw + 1e-6) continue;
+    victims.push_back({prio, id});
+    reclaimable += ch.bandwidth_hz - floor_bw;
+  }
+  // Only shed when it is guaranteed to admit the newcomer (post-compact).
+  if (allocator_.compacted_headroom_hz() + reclaimable + 1e-9 < needed_hz) return false;
+  std::sort(victims.begin(), victims.end());
+  for (const auto& [prio, id] : victims) {
+    if (allocator_.compacted_headroom_hz() >= needed_hz) break;
+    const auto cur = allocator_.lookup(id);
+    if (!cur) continue;
+    allocator_.release(id);
+    auto shrunk = allocator_.allocate(id, floor_bw);
+    if (shrunk && (!node_vco_.covers(shrunk->low_hz()) || !node_vco_.covers(shrunk->high_hz()))) {
+      allocator_.release(id);
+      shrunk = std::nullopt;
+    }
+    if (!shrunk) {
+      allocator_.restore(id, *cur);
+      continue;
+    }
+    const ChannelGrant g = make_grant(id, *shrunk, 0);
+    grants_[id] = g;
+    pending_retunes_.push_back(g);
+    ++overload_stats_.shed_demotions;
+    ++overload_stats_.retunes;
+    MMX_OBS_COUNT("mac.overload.shed_demotions", 1);
+  }
+  if (cfg_.overload.compaction && allocator_.largest_gap_hz() < needed_hz &&
+      allocator_.compacted_headroom_hz() >= needed_hz)
+    compact_spectrum();
+  verify_allocator_invariants();
+  return allocator_.largest_gap_hz() >= needed_hz;
+}
+
+std::size_t InitProtocol::compact_spectrum() {
+  const std::vector<RetuneEvent> moved = allocator_.compact();
+  if (moved.empty()) return 0;
+  ++overload_stats_.compactions;
+  MMX_OBS_COUNT("mac.overload.compactions", 1);
+  for (const RetuneEvent& ev : moved) retune_channel(ev.from, ev.to);
+  verify_allocator_invariants();
+  return moved.size();
+}
+
+void InitProtocol::retune_channel(const ChannelAllocation& from, const ChannelAllocation& to) {
+  // Every grant on `from` moves — the allocator owner and any SDM group
+  // members sharing the channel keep their harmonics, only the tones move.
+  for (auto& [id, g] : grants_) {
+    if (g.channel == from) {
+      g = make_grant(id, to, g.sdm_harmonic);
+      pending_retunes_.push_back(g);
+      ++overload_stats_.retunes;
+    }
+  }
+  for (SharedChannel& sc : shared_)
+    if (sc.channel == from) sc.channel = to;
+}
+
+std::vector<ChannelGrant> InitProtocol::promote_demoted() {
+  std::vector<ChannelGrant> promoted;
+  if (!cfg_.overload.enabled) return promoted;
+  for (const auto& [id, want_rate] : requested_rate_bps_) {
+    const auto git = grants_.find(id);
+    if (git == grants_.end()) continue;
+    const ChannelAllocation cur = git->second.channel;
+    if (channel_shared(cur)) continue;  // group width is fixed by its members
+    const auto owned = allocator_.lookup(id);
+    if (!owned || !(*owned == cur)) continue;
+    const double want_bw = required_bandwidth_hz(want_rate, cfg_.spectral_efficiency);
+    if (cur.bandwidth_hz + 1e-6 >= want_bw) continue;  // not demoted
+    // Walk the halving ladder down from the requested rate and take the
+    // largest step that still beats the current width (the freed slot can
+    // merge with a neighbouring gap); put the original back untouched if
+    // nothing fits.
+    allocator_.release(id);
+    std::optional<ChannelAllocation> ch;
+    for (double rate = want_rate; ; rate /= 2.0) {
+      const double bw = required_bandwidth_hz(rate, cfg_.spectral_efficiency);
+      if (bw <= cur.bandwidth_hz + 1e-6) break;  // no longer a promotion
+      if (bw <= allocator_.largest_gap_hz()) {
+        ch = allocator_.allocate(id, bw);
+        break;
+      }
+    }
+    if (ch && (!node_vco_.covers(ch->low_hz()) || !node_vco_.covers(ch->high_hz()))) {
+      allocator_.release(id);
+      ch = std::nullopt;
+    }
+    if (!ch) {
+      allocator_.restore(id, cur);
+      continue;
+    }
+    const ChannelGrant g = make_grant(id, *ch, git->second.sdm_harmonic);
+    git->second = g;
+    pending_retunes_.push_back(g);
+    promoted.push_back(g);
+    ++overload_stats_.promotions;
+    ++overload_stats_.retunes;
+    MMX_OBS_COUNT("mac.overload.promotions", 1);
+  }
+  if (!promoted.empty()) verify_allocator_invariants();
+  return promoted;
+}
+
+std::vector<ChannelGrant> InitProtocol::take_retunes() {
+  return std::exchange(pending_retunes_, {});
+}
+
+std::optional<double> InitProtocol::granted_rate_bps(std::uint16_t node_id) const {
+  const auto it = grants_.find(node_id);
+  if (it == grants_.end()) return std::nullopt;
+  return it->second.channel.bandwidth_hz * cfg_.spectral_efficiency;
+}
+
+void InitProtocol::verify_allocator_invariants() {
+  std::vector<ChannelAllocation> used;
+  used.reserve(allocator_.allocations().size());
+  for (const auto& [id, ch] : allocator_.allocations()) used.push_back(ch);
+  std::sort(used.begin(), used.end(),
+            [](const auto& a, const auto& b) { return a.low_hz() < b.low_hz(); });
+  constexpr double kEps = 1e-6;
+  for (std::size_t i = 0; i < used.size(); ++i) {
+    if (used[i].low_hz() < allocator_.band_low_hz() - kEps ||
+        used[i].high_hz() > allocator_.band_high_hz() + kEps)
+      ++overload_stats_.invariant_violations;
+    if (i > 0 && used[i].low_hz() + kEps < used[i - 1].high_hz() + allocator_.guard_hz())
+      ++overload_stats_.invariant_violations;
+  }
+}
+
+bool InitProtocol::channel_shared(const ChannelAllocation& ch) const {
+  return std::any_of(shared_.begin(), shared_.end(),
+                     [&](const SharedChannel& sc) { return sc.channel == ch; });
 }
 
 std::optional<int> InitProtocol::best_free_slot(const std::vector<int>& used,
@@ -120,6 +381,8 @@ SideChannelMessage InitProtocol::try_sdm(const ChannelRequest& request) {
     sc.harmonics.push_back(*slot);
     ChannelGrant g = make_grant(request.node_id, sc.channel, *slot);
     grants_[request.node_id] = g;
+    requested_rate_bps_[request.node_id] = request.rate_bps;
+    priority_[request.node_id] = request.priority;
     return g;
   }
 
@@ -129,10 +392,7 @@ SideChannelMessage InitProtocol::try_sdm(const ChannelRequest& request) {
   for (const auto& [holder, ch] : allocator_.allocations()) {
     if (ch.bandwidth_hz + 1e-6 < bw) continue;
     if (!grants_.contains(holder)) continue;
-    const bool already_shared =
-        std::any_of(shared_.begin(), shared_.end(),
-                    [&](const SharedChannel& sc) { return sc.channel == ch; });
-    if (already_shared) continue;
+    if (channel_shared(ch)) continue;
     const double holder_bearing =
         holder_bearings_.contains(holder) ? holder_bearings_.at(holder) : 0.0;
     if (std::abs(holder_bearing - request.bearing_rad) < cfg_.min_bearing_separation_rad)
@@ -152,6 +412,8 @@ SideChannelMessage InitProtocol::try_sdm(const ChannelRequest& request) {
     grants_[holder] = make_grant(holder, ch, *holder_slot);
     ChannelGrant g = make_grant(request.node_id, ch, *new_slot);
     grants_[request.node_id] = g;
+    requested_rate_bps_[request.node_id] = request.rate_bps;
+    priority_[request.node_id] = request.priority;
     return g;
   }
   return ChannelDeny{request.node_id};
@@ -161,15 +423,63 @@ SideChannelMessage InitProtocol::modify_rate(std::uint16_t node_id, double new_r
   if (!grants_.contains(node_id)) return ChannelDeny{node_id};
   const double bearing =
       holder_bearings_.contains(node_id) ? holder_bearings_.at(node_id) : 0.0;
-  const double old_rate =
-      grants_.at(node_id).channel.bandwidth_hz * cfg_.spectral_efficiency;
+  // Snapshot everything needed to reinstate the node exactly on failure:
+  // the grant (channel, harmonic, VCO voltages), the allocator entry, the
+  // original requested rate/priority, and SDM membership.
+  const ChannelGrant old_grant = grants_.at(node_id);
+  const std::optional<ChannelAllocation> owned = allocator_.lookup(node_id);
+  const double old_requested =
+      requested_rate_bps_.contains(node_id)
+          ? requested_rate_bps_.at(node_id)
+          : old_grant.channel.bandwidth_hz * cfg_.spectral_efficiency;
+  const std::uint8_t prio = priority_.contains(node_id) ? priority_.at(node_id) : 1;
+  bool was_member = false;
+  for (const SharedChannel& sc : shared_)
+    if (std::find(sc.members.begin(), sc.members.end(), node_id) != sc.members.end())
+      was_member = true;
+
   release(node_id);
-  const auto reply = handle(ChannelRequest{node_id, new_rate_bps, bearing});
+  const auto reply = handle(ChannelRequest{node_id, new_rate_bps, bearing, prio});
   if (std::get_if<ChannelGrant>(&reply)) return reply;
-  // Could not satisfy the new demand: put the node back on its old rate
-  // (the spectrum we just freed is still the largest fit for it).
-  const auto restore = handle(ChannelRequest{node_id, old_rate, bearing});
-  (void)restore;  // best effort; the caller still sees the deny
+
+  // Could not satisfy the new demand: reinstate the previous grant
+  // exactly instead of re-running admission on the old rate (which could
+  // land the node elsewhere in the band).
+  auto reinstate_books = [&] {
+    holder_bearings_[node_id] = bearing;
+    requested_rate_bps_[node_id] = old_requested;
+    priority_[node_id] = prio;
+  };
+  // If the old channel still backs a live shared group (ownership moved
+  // to a surviving member on release), rejoin it as a member.
+  const auto group = std::find_if(shared_.begin(), shared_.end(), [&](const SharedChannel& sc) {
+    return sc.channel == old_grant.channel;
+  });
+  if (was_member && group != shared_.end()) {
+    group->members.push_back(node_id);
+    group->bearings.push_back(bearing);
+    group->harmonics.push_back(old_grant.sdm_harmonic);
+    grants_[node_id] = old_grant;
+    reinstate_books();
+    return ChannelDeny{node_id};
+  }
+  if (owned && !allocator_.restore(node_id, *owned)) {
+    // The freed spot was consumed during the failed attempt (possible
+    // only when overload compaction ran). Keep the node's rate by
+    // placing the same width wherever it fits now.
+    if (const auto ch = allocator_.allocate(node_id, old_grant.channel.bandwidth_hz)) {
+      const ChannelGrant g = make_grant(node_id, *ch, old_grant.sdm_harmonic);
+      grants_[node_id] = g;
+      pending_retunes_.push_back(g);
+      ++overload_stats_.retunes;
+      reinstate_books();
+    }
+    return ChannelDeny{node_id};  // spectrum gone entirely: the node must rejoin
+  }
+  grants_[node_id] = old_grant;
+  reinstate_books();
+  if (was_member)
+    shared_.push_back({old_grant.channel, {node_id}, {bearing}, {old_grant.sdm_harmonic}});
   return ChannelDeny{node_id};
 }
 
@@ -181,10 +491,34 @@ std::size_t InitProtocol::serve(SideChannel& channel, Rng& rng) {
       ++n;
     }
   }
+  // Deliver re-tune notifications (compaction / shedding / promotion).
+  // Empty unless overload control ran, so legacy serve loops are
+  // draw-for-draw identical.
+  for (const ChannelGrant& g : take_retunes()) channel.ap_to_node(g, rng);
   return n;
 }
 
 bool InitProtocol::release(std::uint16_t node_id) {
+  // SDM ownership succession (overload mode): when the allocator owner
+  // of a shared channel leaves, hand the spectrum to the lowest-id
+  // surviving member instead of freeing it under the group. The legacy
+  // path keeps the historical (buggy, but golden-pinned) free.
+  if (cfg_.overload.enabled) {
+    if (const auto owned = allocator_.lookup(node_id)) {
+      for (const SharedChannel& sc : shared_) {
+        if (!(sc.channel == *owned)) continue;
+        std::uint16_t successor = 0;
+        bool found = false;
+        for (std::uint16_t m : sc.members)
+          if (m != node_id && (!found || m < successor)) {
+            successor = m;
+            found = true;
+          }
+        if (found) allocator_.transfer(node_id, successor);
+        break;
+      }
+    }
+  }
   const bool had = grants_.erase(node_id) > 0;
   allocator_.release(node_id);
   holder_bearings_.erase(node_id);
@@ -199,6 +533,10 @@ bool InitProtocol::release(std::uint16_t node_id) {
     }
   }
   std::erase_if(shared_, [](const SharedChannel& sc) { return sc.members.empty(); });
+  requested_rate_bps_.erase(node_id);
+  priority_.erase(node_id);
+  // Freed spectrum relieves deny pressure.
+  if (had) deny_streak_ = 0;
   return had;
 }
 

@@ -19,6 +19,11 @@ RateController::RateController(double initial_rate_bps, RateControlConfig cfg)
     throw std::invalid_argument("RateController: initial rate outside [min, max]");
 }
 
+void RateController::set_max_rate_bps(double max_rate_bps) {
+  cfg_.max_rate_bps = std::max(cfg_.min_rate_bps, max_rate_bps);
+  rate_ = std::clamp(rate_, cfg_.min_rate_bps, cfg_.max_rate_bps);
+}
+
 void RateController::on_success() {
   fails_ = 0;
   rate_ = std::min(cfg_.max_rate_bps, rate_ + cfg_.recovery_step_bps);

@@ -14,6 +14,7 @@
 #include <map>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "mmx/antenna/tma.hpp"
@@ -62,6 +63,34 @@ class NetworkSimulator {
   /// Register a node: runs the §7a initialization (FDM, then SDM).
   /// Returns the node id, or nullopt if the AP denied the request.
   std::optional<std::uint16_t> add_node(const channel::Pose& pose, double rate_bps);
+
+  /// Outcome of an admission attempt (the overload-aware add_node).
+  struct Admission {
+    std::optional<std::uint16_t> id;  ///< granted node id; nullopt = denied
+    /// AP backoff hint on deny (ChannelDeny::retry_after_s); 0 = none.
+    double retry_after_s = 0.0;
+    /// Rate the granted channel supports — under overload demotion this
+    /// can be below the requested rate (never below the configured floor).
+    double granted_rate_bps = 0.0;
+  };
+
+  /// add_node with the full admission verdict: the deny backoff hint and
+  /// the (possibly demoted) granted rate. `priority` feeds overload
+  /// shedding; 1 matches add_node exactly.
+  Admission admit(const channel::Pose& pose, double rate_bps, std::uint8_t priority = 1);
+
+  /// Grow demoted grants back toward their requested rate (overload mode;
+  /// see InitProtocol::promote_demoted). Returns (node id, new rate) per
+  /// promoted grant; re-tune notifications queue for drain_retunes().
+  std::vector<std::pair<std::uint16_t, double>> promote_demoted();
+
+  /// Drain queued re-tune notifications (compaction, shedding, promotion)
+  /// and sync the stored node grants. The caller applies the new rate
+  /// bounds to its per-node controllers.
+  std::vector<mac::ChannelGrant> drain_retunes();
+
+  /// AP-side init protocol (grants, allocator, overload stats).
+  const mac::InitProtocol& init() const { return init_; }
 
   /// Register a node at the link layer WITHOUT requesting spectrum — an
   /// unassociated "thing" the AP still tracks (gains/link/bearing work;

@@ -56,6 +56,15 @@ struct ScaleConfig {
   /// default, which keeps the scenario byte-identical to the fault-free
   /// code path; `make_fault_storm()` is the pinned robustness-lane storm.
   FaultConfig faults{};
+  /// Overload-lane scenario knobs, active only while
+  /// `sim.init.overload.enabled` is set (the single master switch — with
+  /// it off the scenario is byte-identical to the pre-overload path).
+  /// Every Nth thing (by join index) requests priority 2 so shedding has
+  /// someone to shed for; 0 = everyone priority 1.
+  std::size_t high_priority_period = 0;
+  /// Promote demoted grants back toward their request every this many
+  /// measurement rounds; 0 disables promotion passes.
+  std::uint64_t promote_every_rounds = 4;
   SimConfig sim{};
 };
 
@@ -63,6 +72,36 @@ struct ScaleConfig {
 /// paper's §10 scaling direction; the ISM band grants O(100) channels,
 /// V-band grants O(10^4)) with a VCO spec covering it and a tight guard.
 ScaleConfig make_scale_config(std::size_t nodes = 10000);
+
+/// Pinned oversubscription lane (docs/ROBUSTNESS.md): a 70 MHz V-band
+/// slice whose full-rate capacity is ~80 channels, loaded with
+/// `oversubscription` times that many things (default 3x), overload
+/// control on (best-fit, compaction, demotion to a rate floor of a
+/// quarter of the demand, shedding with a priority-2 slice), deny hints
+/// feeding each thing's RejoinBackoff. Composable with make_fault_storm()
+/// via `.faults`.
+ScaleConfig make_overload_config(double oversubscription = 3.0);
+
+/// Overload-lane accounting (all zero while overload control is off).
+/// Deterministic simulated quantities: every field participates in
+/// ScaleReport::operator== and the bit-identity contract.
+struct OverloadLaneReport {
+  std::uint64_t demotions = 0;        ///< newcomers admitted below request
+  std::uint64_t shed_demotions = 0;   ///< incumbents shrunk for a newcomer
+  std::uint64_t promotions = 0;       ///< demoted grants grown back
+  std::uint64_t compactions = 0;      ///< band compaction passes
+  std::uint64_t retunes = 0;          ///< re-tune notifications issued
+  std::uint64_t hinted_denies = 0;    ///< denies carrying a backoff hint
+  double hint_delay_sum_s = 0.0;      ///< sum of issued hints
+  std::uint64_t backoff_retries = 0;  ///< hint/backoff-timer rejoin attempts
+  std::uint64_t invariant_violations = 0;  ///< allocator invariant failures (must be 0)
+  std::size_t admitted = 0;                ///< associated things at end of run
+  std::size_t admitted_below_request = 0;  ///< granted < requested at end
+  double min_admitted_rate_bps = 0.0;      ///< floor of the admitted-rate distribution
+  double mean_admitted_rate_bps = 0.0;
+
+  bool operator==(const OverloadLaneReport&) const = default;
+};
 
 struct ScaleReport {
   std::size_t joins = 0;            ///< join attempts (incl. power-cycle rejoins)
@@ -77,6 +116,7 @@ struct ScaleReport {
   LinkCacheStats cache{};           ///< end-of-run cache counters
   mac::ArqStats arq{};              ///< aggregated over all nodes
   FaultStats faults{};              ///< injected faults + recovery accounting
+  OverloadLaneReport overload{};    ///< overload-control accounting
   double mean_snr_db = 0.0;
   double mean_joint_ber = 0.0;
   double mean_rate_bps = 0.0;       ///< AIMD rate, averaged over final states

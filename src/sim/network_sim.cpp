@@ -49,17 +49,44 @@ NetworkSimulator::NetworkSimulator(channel::Room room, channel::Pose ap_pose, Si
 
 std::optional<std::uint16_t> NetworkSimulator::add_node(const channel::Pose& pose,
                                                         double rate_bps) {
+  return admit(pose, rate_bps).id;
+}
+
+NetworkSimulator::Admission NetworkSimulator::admit(const channel::Pose& pose,
+                                                    double rate_bps, std::uint8_t priority) {
   if (!room_.contains(pose.position))
     throw std::invalid_argument("NetworkSimulator: node outside the room");
   const std::uint16_t id = next_id_++;
   // Bearing at registration: AP-frame azimuth of the direct path.
   const double bearing =
       wrap_angle((pose.position - ap_pose_.position).angle() - ap_pose_.orientation_rad);
-  const auto reply = init_.handle(mac::ChannelRequest{id, rate_bps, bearing});
-  const auto* grant = std::get_if<mac::ChannelGrant>(&reply);
-  if (!grant) return std::nullopt;
-  store_node(id, NodeState{pose, *grant, /*associated=*/true});
-  return id;
+  const auto reply = init_.handle(mac::ChannelRequest{id, rate_bps, bearing, priority});
+  if (const auto* grant = std::get_if<mac::ChannelGrant>(&reply)) {
+    store_node(id, NodeState{pose, *grant, /*associated=*/true});
+    return Admission{id, 0.0,
+                     grant->channel.bandwidth_hz * cfg_.init.spectral_efficiency};
+  }
+  const auto* deny = std::get_if<mac::ChannelDeny>(&reply);
+  return Admission{std::nullopt, deny != nullptr ? deny->retry_after_s : 0.0, 0.0};
+}
+
+std::vector<std::pair<std::uint16_t, double>> NetworkSimulator::promote_demoted() {
+  std::vector<std::pair<std::uint16_t, double>> out;
+  for (const mac::ChannelGrant& g : init_.promote_demoted()) {
+    if (g.node_id < nodes_.size() && nodes_[g.node_id].present)
+      nodes_[g.node_id].state.grant = g;
+    out.emplace_back(g.node_id,
+                     g.channel.bandwidth_hz * cfg_.init.spectral_efficiency);
+  }
+  return out;
+}
+
+std::vector<mac::ChannelGrant> NetworkSimulator::drain_retunes() {
+  std::vector<mac::ChannelGrant> retunes = init_.take_retunes();
+  for (const mac::ChannelGrant& g : retunes)
+    if (g.node_id < nodes_.size() && nodes_[g.node_id].present)
+      nodes_[g.node_id].state.grant = g;
+  return retunes;
 }
 
 std::uint16_t NetworkSimulator::add_tracked_node(const channel::Pose& pose) {

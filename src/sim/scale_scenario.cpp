@@ -33,13 +33,43 @@ ScaleConfig make_scale_config(std::size_t nodes) {
   return cfg;
 }
 
+ScaleConfig make_overload_config(double oversubscription) {
+  if (oversubscription <= 0.0)
+    throw std::invalid_argument("make_overload_config: oversubscription must be > 0");
+  ScaleConfig cfg = make_scale_config(1);
+  // A 70 MHz V-band slice: ~80 full-rate (0.5 Mb/s -> 625 kHz + guard)
+  // channels. Population = oversubscription x that capacity, so at the
+  // default 3x two thirds of the demand cannot be served at full rate.
+  cfg.sim.band_low_hz = 57.0e9;
+  cfg.sim.band_high_hz = 57.07e9;
+  const double per_node_hz =
+      cfg.node_rate_bps / cfg.sim.init.spectral_efficiency + cfg.sim.init.guard_hz;
+  const double capacity =
+      (cfg.sim.band_high_hz - cfg.sim.band_low_hz) / per_node_hz;
+  cfg.nodes = static_cast<std::size_t>(std::llround(oversubscription * capacity));
+  // Short, churn-heavy timeline: leaves punch holes the admission ladder
+  // must reuse, which is what drives demotion and compaction.
+  cfg.duration_s = 2.0;
+  cfg.join_window_s = 0.5;
+  cfg.churn_interval_s = 0.25;
+  cfg.measure_interval_s = 0.0625;
+  cfg.move_fraction = 0.01;
+  cfg.leave_fraction = 0.03;
+  cfg.sim.init.overload.enabled = true;
+  cfg.sim.init.overload.min_rate_bps = cfg.node_rate_bps / 4.0;  // 125 kb/s floor
+  cfg.sim.init.overload.shedding = true;
+  cfg.high_priority_period = 7;  // every 7th thing joins at priority 2
+  cfg.promote_every_rounds = 4;
+  return cfg;
+}
+
 bool ScaleReport::operator==(const ScaleReport& o) const {
   return joins == o.joins && granted == o.granted && denied == o.denied &&
          leaves == o.leaves && moves == o.moves && blocker_updates == o.blocker_updates &&
          measure_rounds == o.measure_rounds && link_evals == o.link_evals &&
          arq.transmissions == o.arq.transmissions && arq.delivered == o.arq.delivered &&
          arq.gave_up == o.arq.gave_up && arq.duplicate_acks == o.arq.duplicate_acks &&
-         faults == o.faults &&
+         faults == o.faults && overload == o.overload &&
          mean_snr_db == o.mean_snr_db && mean_joint_ber == o.mean_joint_ber &&
          mean_rate_bps == o.mean_rate_bps && delivery_ratio == o.delivery_ratio;
   // Cache traffic (cache_refills, cache.*) and measure_wall_s are
@@ -79,6 +109,9 @@ struct Thing {
   std::uint64_t next_tx_round = 0;
   int giveup_streak = 0;  ///< consecutive ARQ give-ups (escalation trigger)
   EventQueue::EventId rejoin_timer = EventQueue::kInvalidEvent;
+  /// Latest AP deny backoff hint (overload mode): consumed by the next
+  /// schedule_rejoin, which floors the backoff schedule with it.
+  double hint_s = 0.0;
 };
 
 }  // namespace
@@ -92,6 +125,10 @@ ScaleScenario::ScaleScenario(ScaleConfig cfg) : cfg_(std::move(cfg)) {
 ScaleReport ScaleScenario::run(std::uint64_t seed) const {
   const ScaleConfig& c = cfg_;
   const FaultConfig& fc = c.faults;
+  // Master switch for the overload lane. Everything below that touches
+  // draws, counters or timers is gated on it, so with it off the run is
+  // byte-identical to the pre-overload scenario.
+  const mac::OverloadConfig& ov = c.sim.init.overload;
   const double margin_m = 0.5;  // keep poses off the walls
 
   channel::Room room(c.room_width_m, c.room_height_m);
@@ -159,30 +196,50 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
     t.associated = false;
   };
 
+  // Admission priority: every Nth thing (by join index) asks at priority
+  // 2 so overload shedding has beneficiaries. Index-derived — no draws.
+  const auto priority_of = [&](std::size_t idx) -> std::uint8_t {
+    return (ov.enabled && c.high_priority_period > 0 && idx % c.high_priority_period == 0)
+               ? std::uint8_t{2}
+               : std::uint8_t{1};
+  };
+
   // Register `thing` (fresh join or power-cycle rejoin) at `pose`:
   // channel request first, resident-but-unassociated fallback on deny.
   const auto register_thing = [&](Thing& thing, std::size_t idx, const channel::Pose& pose) {
     ++rep.joins;
     MMX_OBS_COUNT("scale.joins", 1);
     thing.pose = pose;
-    if (const auto id = sim.add_node(pose, c.node_rate_bps)) {
-      thing.id = *id;
+    const NetworkSimulator::Admission adm =
+        sim.admit(pose, c.node_rate_bps, priority_of(idx));
+    if (adm.id) {
+      thing.id = *adm.id;
       thing.associated = true;
       ++rep.granted;
       MMX_OBS_COUNT("scale.granted", 1);
+      if (ov.enabled) {
+        thing.hint_s = 0.0;
+        // A demoted admission caps the AIMD controller at the granted
+        // rate; retunes/promotions move the cap later.
+        thing.rate.set_max_rate_bps(adm.granted_rate_bps);
+      }
     } else {
       thing.id = sim.add_tracked_node(pose);
       thing.associated = false;
       ++rep.denied;
       MMX_OBS_COUNT("scale.denied", 1);
+      if (ov.enabled) thing.hint_s = adm.retry_after_s;
     }
     thing.resident = true;
-    if (!fc.enabled) return;
+    if (!fc.enabled && !ov.enabled) return;
     if (thing.id >= id_to_thing.size()) id_to_thing.resize(thing.id + 1u, 0);
     id_to_thing[thing.id] = static_cast<std::uint32_t>(idx) + 1;
-    sim.note_activity(thing.id, q.now());
+    if (fc.enabled) sim.note_activity(thing.id, q.now());
     if (thing.associated) {
-      record_recovery(thing);
+      if (fc.enabled)
+        record_recovery(thing);
+      else
+        thing.backoff.reset();
       // Another path (churn retry, reaper rejoin) may have re-granted us
       // while a backoff timer was pending — retire it.
       if (thing.rejoin_timer != EventQueue::kInvalidEvent) {
@@ -199,7 +256,10 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
   const auto schedule_rejoin = [&](std::size_t idx) {
     Thing& t = things[idx];
     if (t.rejoin_timer != EventQueue::kInvalidEvent) return;  // already pending
-    const double delay_s = t.backoff.next_delay_s(t.rng);
+    // Overload mode: the AP's deny hint floors the backoff schedule (the
+    // thing still jitters it from its own stream). 0 with overload off.
+    const double hint_s = std::exchange(t.hint_s, 0.0);
+    const double delay_s = t.backoff.next_delay_s(t.rng, hint_s);
     t.rejoin_timer = q.schedule_in(delay_s, [&, idx] { attempt_rejoin(idx); });
   };
   attempt_rejoin = [&](std::size_t idx) {
@@ -208,6 +268,7 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
     // Stale timer: powered off again, or re-granted through another path.
     if (t.down || t.associated) return;
     ++rep.faults.rejoin_attempts;
+    if (ov.enabled) ++rep.overload.backoff_retries;
     if (t.resident) unregister(t);  // shed the tracked residency first
     register_thing(t, idx, t.pose);
     if (!t.associated) schedule_rejoin(idx);  // denied: back off harder
@@ -231,6 +292,9 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
       things.emplace_back(thing_rng, c.node_rate_bps, rc, arq_cfg, backoff_cfg);
       Thing& thing = things.back();
       register_thing(thing, things.size() - 1, random_pose(thing.rng));
+      // Overload mode: a denied joiner retries on its hint-floored
+      // backoff timer instead of waiting for the churn retry scan.
+      if (ov.enabled && !thing.associated) schedule_rejoin(things.size() - 1);
     });
   }
 
@@ -338,24 +402,35 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
             churn_rng.uniform_int(0, static_cast<int>(things.size()) - 1));
         Thing& thing = things[victim];
         if (fc.enabled && (thing.down || !thing.resident)) continue;  // already dark
-        if (fc.enabled) unregister(thing); else sim.remove_node(thing.id);
+        if (fc.enabled) {
+          unregister(thing);
+        } else {
+          // Overload mode maps ids to things; retire the dead id's slot.
+          if (thing.id < id_to_thing.size()) id_to_thing[thing.id] = 0;
+          sim.remove_node(thing.id);
+        }
         ++rep.leaves;
         MMX_OBS_COUNT("scale.leaves", 1);
         register_thing(thing, victim, random_pose(thing.rng));  // power-cycle: rejoin
+        if (ov.enabled && !thing.associated) schedule_rejoin(victim);
       }
 
-      // Denied things retry as departures free spectrum (round-robin scan).
-      std::size_t retries = n_leave;
-      for (std::size_t scanned = 0; retries > 0 && scanned < things.size(); ++scanned) {
-        const std::size_t ti = retry_cursor++ % things.size();
-        Thing& thing = things[ti];
-        if (thing.associated) continue;
-        if (fc.enabled && (thing.down || !thing.resident)) continue;
-        const channel::Pose pose = sim.node_pose(thing.id);
-        if (fc.enabled) unregister(thing); else sim.remove_node(thing.id);
-        register_thing(thing, ti, pose);
-        --retries;
-        MMX_OBS_COUNT("scale.retries", 1);
+      // Denied things retry as departures free spectrum. With overload
+      // control every deny armed a hint-floored backoff timer, so the
+      // round-robin scan would double-retry — it runs only without it.
+      if (!ov.enabled) {
+        std::size_t retries = n_leave;
+        for (std::size_t scanned = 0; retries > 0 && scanned < things.size(); ++scanned) {
+          const std::size_t ti = retry_cursor++ % things.size();
+          Thing& thing = things[ti];
+          if (thing.associated) continue;
+          if (fc.enabled && (thing.down || !thing.resident)) continue;
+          const channel::Pose pose = sim.node_pose(thing.id);
+          if (fc.enabled) unregister(thing); else sim.remove_node(thing.id);
+          register_thing(thing, ti, pose);
+          --retries;
+          MMX_OBS_COUNT("scale.retries", 1);
+        }
       }
     });
   }
@@ -389,6 +464,29 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
           }
           if (!t.down) schedule_rejoin(slot - 1);
         }
+      }
+
+      if (ov.enabled) {
+        // Promotion pass: grow demoted grants back as spectrum frees.
+        if (c.promote_every_rounds > 0 &&
+            rep.measure_rounds % c.promote_every_rounds == 0)
+          sim.promote_demoted();
+        // Apply re-tunes (compaction slides, shed shrinks, promotions) to
+        // the affected things' AIMD caps. Serial, id-ordered per the
+        // retune queue — deterministic at any refresh_threads.
+        for (const mac::ChannelGrant& g : sim.drain_retunes()) {
+          const std::uint32_t slot =
+              g.node_id < id_to_thing.size() ? id_to_thing[g.node_id] : 0;
+          if (slot != 0)
+            things[slot - 1].rate.set_max_rate_bps(
+                g.channel.bandwidth_hz * c.sim.init.spectral_efficiency);
+        }
+        const double band_hz = c.sim.band_high_hz - c.sim.band_low_hz;
+        MMX_OBS_GAUGE_SET(
+            "scale.overload.occupancy_pct",
+            100.0 * (1.0 - sim.init().allocator().free_bandwidth_hz() / band_hz));
+        MMX_OBS_GAUGE_SET("scale.overload.fragmentation_pct",
+                          100.0 * sim.init().allocator().fragmentation());
       }
 
       rep.cache_refills += sim.refresh_cache(c.refresh_threads);
@@ -499,6 +597,36 @@ ScaleReport ScaleScenario::run(std::uint64_t seed) const {
     rep.mean_joint_ber = ber_sum / static_cast<double>(rep.link_evals);
   }
   if (rate_count > 0) rep.mean_rate_bps = rate_sum_bps / static_cast<double>(rate_count);
+  if (ov.enabled) {
+    const mac::OverloadStats& os = sim.init().overload_stats();
+    rep.overload.demotions = os.demotions;
+    rep.overload.shed_demotions = os.shed_demotions;
+    rep.overload.promotions = os.promotions;
+    rep.overload.compactions = os.compactions;
+    rep.overload.retunes = os.retunes;
+    rep.overload.hinted_denies = os.hinted_denies;
+    rep.overload.hint_delay_sum_s = os.hint_delay_sum_s;
+    rep.overload.invariant_violations = os.invariant_violations;
+    // Admitted-vs-floor rate distribution over the final population.
+    double min_rate_bps = 0.0;
+    double admitted_rate_sum = 0.0;
+    for (const Thing& thing : things) {
+      if (!thing.associated) continue;
+      const auto granted = sim.init().granted_rate_bps(thing.id);
+      if (!granted) continue;
+      ++rep.overload.admitted;
+      admitted_rate_sum += *granted;
+      if (rep.overload.admitted == 1 || *granted < min_rate_bps) min_rate_bps = *granted;
+      if (*granted < c.node_rate_bps * (1.0 - 1e-9)) ++rep.overload.admitted_below_request;
+    }
+    if (rep.overload.admitted > 0) {
+      rep.overload.min_admitted_rate_bps = min_rate_bps;
+      rep.overload.mean_admitted_rate_bps =
+          admitted_rate_sum / static_cast<double>(rep.overload.admitted);
+    }
+    MMX_OBS_GAUGE_SET("scale.overload.admitted", rep.overload.admitted);
+    MMX_OBS_COUNT("scale.overload.backoff_retries", rep.overload.backoff_retries);
+  }
   const std::uint64_t resolved = rep.arq.delivered + rep.arq.gave_up;
   if (resolved > 0)
     rep.delivery_ratio = static_cast<double>(rep.arq.delivered) / static_cast<double>(resolved);

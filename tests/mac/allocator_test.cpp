@@ -161,6 +161,155 @@ TEST(FdmAllocator, RandomAllocReleaseStressNeverOverlaps) {
   }
 }
 
+// Full allocator-state audit, run after every mutation in the fuzz test:
+// every channel in band, guards respected between neighbours, the books
+// balanced, and the derived gauges (largest_gap, fragmentation,
+// compacted_headroom) mutually consistent.
+void ExpectAllocatorInvariants(const FdmAllocator& a) {
+  const double band = a.band_high_hz() - a.band_low_hz();
+  double used = 0.0;
+  std::vector<ChannelAllocation> chans;
+  for (const auto& [id, ch] : a.allocations()) {
+    ASSERT_GT(ch.bandwidth_hz, 0.0);
+    ASSERT_GE(ch.low_hz(), a.band_low_hz() - 1e-3);
+    ASSERT_LE(ch.high_hz(), a.band_high_hz() + 1e-3);
+    used += ch.bandwidth_hz;
+    chans.push_back(ch);
+  }
+  std::sort(chans.begin(), chans.end(),
+            [](const auto& x, const auto& y) { return x.low_hz() < y.low_hz(); });
+  for (std::size_t i = 1; i < chans.size(); ++i) {
+    ASSERT_GE(chans[i].low_hz(), chans[i - 1].high_hz() + a.guard_hz() - 1e-3)
+        << "guard violated between neighbours " << i - 1 << " and " << i;
+  }
+  ASSERT_NEAR(a.free_bandwidth_hz(), band - used, 1.0);
+  const double frag = a.fragmentation();
+  ASSERT_GE(frag, 0.0);
+  ASSERT_LE(frag, 1.0);
+  if (chans.empty()) {
+    ASSERT_NEAR(a.largest_gap_hz(), band, 1e-3);
+    ASSERT_DOUBLE_EQ(frag, 0.0);
+  }
+  ASSERT_LE(a.largest_gap_hz(), a.free_bandwidth_hz() + 1e-3);
+  // Compaction can only help: the coalesced top-of-band gap admits at
+  // least as wide a channel as the widest usable gap right now.
+  ASSERT_LE(a.largest_gap_hz(), a.compacted_headroom_hz() + 1e-3);
+}
+
+TEST(FdmAllocatorFuzz, HundredThousandOpsHoldInvariants) {
+  // 100k random allocate/release/compact/restore/transfer operations with
+  // the full invariant audit after every step, under both placement
+  // policies. Catches free-list accounting drift, guard violations and
+  // compact() corruption that targeted tests miss.
+  Rng rng(0xa110c);
+  FdmAllocator a(kIsmLowHz, kIsmHighHz, 1e6, AllocPolicy::kBestFit);
+  std::vector<std::uint16_t> held;
+  std::uint16_t next_id = 0;
+  std::size_t compactions = 0;
+  for (int step = 0; step < 100000; ++step) {
+    const double roll = rng.uniform(0.0, 1.0);
+    if (held.empty() || roll < 0.50) {
+      const double bw = rng.uniform(0.5e6, 60e6);
+      const std::uint16_t id = next_id++;
+      const auto ch = a.allocate(id, bw);
+      if (ch) {
+        held.push_back(id);
+        ASSERT_NEAR(ch->bandwidth_hz, bw, 1e-9);
+      } else {
+        // A refusal must be honest: no usable gap fits the demand.
+        ASSERT_LT(a.largest_gap_hz(), bw);
+      }
+    } else if (roll < 0.80) {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(held.size()) - 1));
+      ASSERT_TRUE(a.release(held[pick]));
+      held.erase(held.begin() + static_cast<long>(pick));
+    } else if (roll < 0.88) {
+      const std::vector<RetuneEvent> moved = a.compact();
+      ++compactions;
+      for (const RetuneEvent& ev : moved) {
+        ASSERT_NEAR(ev.from.bandwidth_hz, ev.to.bandwidth_hz, 1e-9);
+        ASSERT_LT(ev.to.center_hz, ev.from.center_hz);  // always down-band
+        ASSERT_EQ(a.lookup(ev.node_id), ev.to);
+      }
+      // All free spectrum now sits in the single top-of-band gap.
+      ASSERT_NEAR(a.largest_gap_hz(), a.compacted_headroom_hz(), 1e-3);
+    } else if (roll < 0.94) {
+      // Release + exact restore must round-trip (the modify_rate deny path).
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(held.size()) - 1));
+      const ChannelAllocation ch = *a.lookup(held[pick]);
+      ASSERT_TRUE(a.release(held[pick]));
+      ASSERT_TRUE(a.restore(held[pick], ch));
+      ASSERT_EQ(*a.lookup(held[pick]), ch);
+    } else {
+      // Ownership hand-off (SDM succession) keeps the spectrum in place.
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(held.size()) - 1));
+      const ChannelAllocation ch = *a.lookup(held[pick]);
+      const std::uint16_t heir = next_id++;
+      ASSERT_TRUE(a.transfer(held[pick], heir));
+      ASSERT_FALSE(a.lookup(held[pick]).has_value());
+      ASSERT_EQ(*a.lookup(heir), ch);
+      held[pick] = heir;
+    }
+    if (step == 50000) a.set_policy(AllocPolicy::kFirstFit);
+    ASSERT_NO_FATAL_FAILURE(ExpectAllocatorInvariants(a));
+  }
+  EXPECT_GT(compactions, 0u);
+  EXPECT_GT(held.size(), 0u);
+}
+
+TEST(FdmAllocator, BestFitPicksTightestGap) {
+  FdmAllocator a(0.0, 100.0, 0.0, AllocPolicy::kBestFit);
+  ASSERT_TRUE(a.allocate(1, 10.0));   // [0,10]
+  ASSERT_TRUE(a.allocate(2, 30.0));   // [10,40]
+  ASSERT_TRUE(a.allocate(3, 12.0));   // [40,52]
+  ASSERT_TRUE(a.allocate(4, 20.0));   // [52,72]
+  a.release(2);                       // 30-wide hole at [10,40]; tail [72,100] is 28
+  const auto ch = a.allocate(5, 18.0);
+  ASSERT_TRUE(ch.has_value());
+  // First-fit would take the 30-wide hole at [10,40]; best-fit takes the
+  // tighter 28-wide tail.
+  EXPECT_NEAR(ch->low_hz(), 72.0, 1e-9);
+}
+
+TEST(FdmAllocator, CompactSlidesDownBandAndCoalesces) {
+  FdmAllocator a(0.0, 100.0, 2.0);
+  ASSERT_TRUE(a.allocate(1, 10.0));
+  ASSERT_TRUE(a.allocate(2, 10.0));
+  ASSERT_TRUE(a.allocate(3, 10.0));
+  ASSERT_TRUE(a.release(2));
+  const auto moved = a.compact();
+  ASSERT_EQ(moved.size(), 1u);  // only node 3 moves (1 already at the edge)
+  EXPECT_EQ(moved[0].node_id, 3);
+  EXPECT_NEAR(a.lookup(3)->low_hz(), 12.0, 1e-9);  // 10 + guard
+  // One coalesced top gap: [22, 100] minus the guard for a newcomer.
+  EXPECT_NEAR(a.largest_gap_hz(), 76.0, 1e-9);
+  // Idempotent: a second pass moves nothing.
+  EXPECT_TRUE(a.compact().empty());
+}
+
+TEST(FdmAllocator, FragmentationGauge) {
+  FdmAllocator a(0.0, 100.0, 0.0);
+  EXPECT_DOUBLE_EQ(a.fragmentation(), 0.0);  // empty band
+  a.allocate(1, 30.0);
+  a.allocate(2, 30.0);
+  a.allocate(3, 40.0);
+  EXPECT_DOUBLE_EQ(a.fragmentation(), 0.0);  // full band
+  a.release(2);
+  // Free 30 in one hole, contiguous: no fragmentation.
+  EXPECT_NEAR(a.fragmentation(), 0.0, 1e-12);
+  a.release(1);
+  // Free 60 in one hole [0,60]: still contiguous.
+  EXPECT_NEAR(a.fragmentation(), 0.0, 1e-12);
+  ASSERT_TRUE(a.allocate(4, 25.0));  // splits the hole: [25,60] remains
+  EXPECT_NEAR(a.fragmentation(), 0.0, 1e-12);  // single gap again
+  ASSERT_TRUE(a.allocate(5, 10.0));  // [25,35]; gap [35,60] = 25
+  a.release(4);                      // gaps [0,25] and [35,60]: 50 free, widest 25
+  EXPECT_NEAR(a.fragmentation(), 0.5, 1e-12);
+}
+
 class RateMixSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(RateMixSweep, MixedRatesPack) {

@@ -167,6 +167,30 @@ TEST(InitProtocol, ModifyRateDenyRestoresOldGrant) {
   EXPECT_NEAR(p.grants().at(1).channel.bandwidth_hz, 12.5e6, 1.0);
 }
 
+TEST(InitProtocol, ModifyRateDenyRestoresGrantBitExact) {
+  // The deny path must reinstate the previous grant EXACTLY — same
+  // center, bandwidth, harmonic and VCO voltages — not merely an
+  // equivalent-width channel somewhere else. Node 2 sits mid-band
+  // between two neighbours so the restore has to land back in its hole.
+  InitProtocol p = make_protocol();
+  p.handle(ChannelRequest{1, 40e6, 0.0});
+  p.handle(ChannelRequest{2, 40e6, 0.8});
+  p.handle(ChannelRequest{3, 40e6, 1.6});
+  const ChannelGrant before = p.grants().at(2);
+  const auto msg = p.modify_rate(2, 190e6);  // 237.5 MHz: cannot fit
+  EXPECT_NE(std::get_if<ChannelDeny>(&msg), nullptr);
+  ASSERT_TRUE(p.grants().contains(2));
+  const ChannelGrant& after = p.grants().at(2);
+  EXPECT_DOUBLE_EQ(after.channel.center_hz, before.channel.center_hz);
+  EXPECT_DOUBLE_EQ(after.channel.bandwidth_hz, before.channel.bandwidth_hz);
+  EXPECT_EQ(after.sdm_harmonic, before.sdm_harmonic);
+  EXPECT_DOUBLE_EQ(after.vco_tune_v0, before.vco_tune_v0);
+  EXPECT_DOUBLE_EQ(after.vco_tune_v1, before.vco_tune_v1);
+  // The allocator's books agree with the restored grant.
+  ASSERT_TRUE(p.allocator().lookup(2).has_value());
+  EXPECT_EQ(*p.allocator().lookup(2), before.channel);
+}
+
 TEST(InitProtocol, ModifyUnknownNodeDenied) {
   InitProtocol p = make_protocol();
   const auto msg = p.modify_rate(42, 1e6);
@@ -182,6 +206,161 @@ TEST(InitProtocol, BadConfigThrows) {
   bad2.sdm_capacity = 0;
   EXPECT_THROW(InitProtocol(FdmAllocator(kIsmLowHz, kIsmHighHz), rf::Vco{}, bad2),
                std::invalid_argument);
+}
+
+// ---- Overload control (docs/ROBUSTNESS.md) ----------------------------
+//
+// A bearing of 1.2 rad sits > 0.07 rad from every default TMA slot
+// direction, so SDM never qualifies and a full band goes straight to the
+// overload ladder.
+constexpr double kNoSdmBearing = 1.2;
+
+InitProtocol make_overloaded(InitConfig cfg) {
+  return InitProtocol(FdmAllocator(kIsmLowHz, kIsmHighHz, 1e6), rf::Vco{}, cfg);
+}
+
+TEST(InitProtocolOverload, DisabledKeepsLegacyBehavior) {
+  // OverloadConfig knobs other than `enabled` must be inert: first-fit
+  // placement, bare denies (no hint), zero stats.
+  InitConfig cfg;
+  cfg.overload.min_rate_bps = 1e6;
+  cfg.overload.shedding = true;  // enabled stays false
+  InitProtocol p = make_overloaded(cfg);
+  EXPECT_EQ(p.allocator().policy(), AllocPolicy::kFirstFit);
+  p.handle(ChannelRequest{1, 160e6, kNoSdmBearing});
+  const auto msg = p.handle(ChannelRequest{2, 160e6, kNoSdmBearing});
+  const auto* d = std::get_if<ChannelDeny>(&msg);
+  ASSERT_NE(d, nullptr);
+  EXPECT_DOUBLE_EQ(d->retry_after_s, 0.0);
+  EXPECT_EQ(p.overload_stats(), OverloadStats{});
+}
+
+TEST(InitProtocolOverload, DemotionLadderHalvesUntilItFits) {
+  // 200 MHz of the 250 MHz band taken; a 100 MHz demand walks the
+  // halving ladder (100 -> 50 -> 25 MHz) and lands at a quarter of its
+  // request — above the 10 Mbps floor.
+  InitConfig cfg;
+  cfg.overload.enabled = true;
+  cfg.overload.min_rate_bps = 10e6;
+  InitProtocol p = make_overloaded(cfg);
+  EXPECT_EQ(p.allocator().policy(), AllocPolicy::kBestFit);
+  p.handle(ChannelRequest{1, 160e6, kNoSdmBearing});  // 200 MHz
+  const auto msg = p.handle(ChannelRequest{2, 80e6, kNoSdmBearing});
+  const auto* g = std::get_if<ChannelGrant>(&msg);
+  ASSERT_NE(g, nullptr);
+  EXPECT_NEAR(g->channel.bandwidth_hz, 25e6, 1.0);  // 20 Mbps = request/4
+  EXPECT_EQ(p.overload_stats().demotions, 1u);
+  ASSERT_TRUE(p.granted_rate_bps(2).has_value());
+  EXPECT_NEAR(*p.granted_rate_bps(2), 20e6, 1.0);
+  EXPECT_GE(*p.granted_rate_bps(2), cfg.overload.min_rate_bps);
+}
+
+TEST(InitProtocolOverload, DemotionStopsAtFloor) {
+  // Nothing fits even at the floor -> deny, never a below-floor grant.
+  InitConfig cfg;
+  cfg.overload.enabled = true;
+  cfg.overload.min_rate_bps = 40e6;  // floor channel: 50 MHz
+  InitProtocol p = make_overloaded(cfg);
+  p.handle(ChannelRequest{1, 170e6, kNoSdmBearing});  // 212.5 MHz
+  const auto msg = p.handle(ChannelRequest{2, 80e6, kNoSdmBearing});
+  EXPECT_NE(std::get_if<ChannelDeny>(&msg), nullptr);
+  EXPECT_EQ(p.overload_stats().demotions, 0u);
+}
+
+TEST(InitProtocolOverload, DenyHintGrowsWithPressureAndResets) {
+  InitConfig cfg;
+  cfg.overload.enabled = true;  // no demotion floor: straight to deny
+  InitProtocol p = make_overloaded(cfg);
+  p.handle(ChannelRequest{1, 160e6, kNoSdmBearing});
+  std::vector<double> hints;
+  for (std::uint16_t id = 2; id < 6; ++id) {
+    const auto msg = p.handle(ChannelRequest{id, 160e6, kNoSdmBearing});
+    const auto* d = std::get_if<ChannelDeny>(&msg);
+    ASSERT_NE(d, nullptr);
+    hints.push_back(d->retry_after_s);
+  }
+  // Every hint positive and bounded; the deny streak pushes them up.
+  for (const double h : hints) {
+    EXPECT_GT(h, 0.0);
+    EXPECT_LE(h, cfg.overload.hint_max_s);
+  }
+  EXPECT_GT(hints.back(), hints.front());
+  EXPECT_EQ(p.overload_stats().hinted_denies, 4u);
+  // Freed spectrum resets the pressure: the next hint drops back down.
+  ASSERT_TRUE(p.release(1));
+  p.handle(ChannelRequest{10, 160e6, kNoSdmBearing});  // takes the band again
+  const auto msg = p.handle(ChannelRequest{11, 160e6, kNoSdmBearing});
+  const auto* d = std::get_if<ChannelDeny>(&msg);
+  ASSERT_NE(d, nullptr);
+  EXPECT_LE(d->retry_after_s, hints.back());
+}
+
+TEST(InitProtocolOverload, CompactionAdmitsFragmentedDemand) {
+  // Four 50 MHz channels, the second released: 50 MHz mid-band hole plus
+  // a 46 MHz usable tail. A 60 MHz demand fits neither gap but fits the
+  // compacted band -> the AP slides everything down and grants full rate.
+  InitConfig cfg;
+  cfg.overload.enabled = true;
+  cfg.overload.min_rate_bps = 10e6;
+  InitProtocol p = make_overloaded(cfg);
+  for (std::uint16_t id = 1; id <= 4; ++id) {
+    const auto msg = p.handle(ChannelRequest{id, 40e6, kNoSdmBearing});
+    ASSERT_NE(std::get_if<ChannelGrant>(&msg), nullptr);
+  }
+  ASSERT_TRUE(p.release(2));
+  const auto msg = p.handle(ChannelRequest{5, 48e6, kNoSdmBearing});
+  const auto* g = std::get_if<ChannelGrant>(&msg);
+  ASSERT_NE(g, nullptr);
+  EXPECT_NEAR(g->channel.bandwidth_hz, 60e6, 1.0);  // full rate, not demoted
+  EXPECT_EQ(p.overload_stats().demotions, 0u);
+  EXPECT_GE(p.overload_stats().compactions, 1u);
+  EXPECT_EQ(p.overload_stats().invariant_violations, 0u);
+  // Moved holders got queued re-tune grants with in-channel VCO voltages.
+  const std::vector<ChannelGrant> retunes = p.take_retunes();
+  ASSERT_FALSE(retunes.empty());
+  rf::Vco vco;
+  for (const ChannelGrant& rt : retunes) {
+    EXPECT_EQ(p.grants().at(rt.node_id).channel, rt.channel);
+    EXPECT_GE(vco.frequency_hz(rt.vco_tune_v0), rt.channel.low_hz() - 1.0);
+    EXPECT_LE(vco.frequency_hz(rt.vco_tune_v1), rt.channel.high_hz() + 1.0);
+  }
+  EXPECT_TRUE(p.take_retunes().empty());  // drained
+}
+
+TEST(InitProtocolOverload, SheddingReclaimsFromLowerPriorityThenPromotes) {
+  InitConfig cfg;
+  cfg.overload.enabled = true;
+  cfg.overload.min_rate_bps = 20e6;  // floor channel: 25 MHz
+  cfg.overload.shedding = true;
+  InitProtocol p = make_overloaded(cfg);
+  // Two priority-1 incumbents leave < 25 MHz free.
+  p.handle(ChannelRequest{1, 100e6, kNoSdmBearing, 1});  // 125 MHz
+  p.handle(ChannelRequest{2, 96e6, kNoSdmBearing, 1});   // 120 MHz
+  ASSERT_LT(p.allocator().largest_gap_hz(), 25e6);
+  // A priority-2 newcomer forces a shed of the cheapest victim.
+  const auto msg = p.handle(ChannelRequest{3, 100e6, kNoSdmBearing, 2});
+  const auto* g = std::get_if<ChannelGrant>(&msg);
+  ASSERT_NE(g, nullptr);
+  EXPECT_GE(p.overload_stats().shed_demotions, 1u);
+  EXPECT_EQ(p.overload_stats().invariant_violations, 0u);
+  // Nobody — shed incumbents included — sits below the floor.
+  for (const auto& [id, grant] : p.grants()) {
+    ASSERT_TRUE(p.granted_rate_bps(id).has_value());
+    EXPECT_GE(*p.granted_rate_bps(id), cfg.overload.min_rate_bps - 1.0);
+  }
+  // Equal-priority requests never shed: a second priority-2 demand that
+  // cannot fit is denied, not fed the first one's spectrum.
+  const auto msg2 = p.handle(ChannelRequest{4, 100e6, kNoSdmBearing, 2});
+  if (const auto* g2 = std::get_if<ChannelGrant>(&msg2)) {
+    EXPECT_GE(g2->channel.bandwidth_hz * 0.8, cfg.overload.min_rate_bps - 1.0);
+  }
+  // When the band relaxes, promotion grows the shed grants back.
+  ASSERT_TRUE(p.release(3));
+  p.take_retunes();
+  const std::vector<ChannelGrant> promoted = p.promote_demoted();
+  EXPECT_FALSE(promoted.empty());
+  EXPECT_GE(p.overload_stats().promotions, 1u);
+  EXPECT_EQ(p.overload_stats().invariant_violations, 0u);
 }
 
 TEST(RejoinBackoff, NoJitterFollowsCappedDoubling) {
@@ -224,6 +403,19 @@ TEST(RejoinBackoff, ResetRestartsTheSchedule) {
   bo.reset();  // a successful re-grant forgives the history
   EXPECT_EQ(bo.attempt(), 0);
   EXPECT_DOUBLE_EQ(bo.next_delay_s(rng), 0.1);
+}
+
+TEST(RejoinBackoff, DenyHintFloorsTheDelay) {
+  RejoinBackoff bo(BackoffConfig{.base_s = 0.1, .factor = 2.0, .cap_s = 2.0,
+                                 .jitter_frac = 0.0});
+  Rng rng(1);
+  // First attempt would be 0.1 s; a 0.9 s AP hint overrides it.
+  EXPECT_DOUBLE_EQ(bo.next_delay_s(rng, 0.9), 0.9);
+  // Once the schedule exceeds the hint the schedule wins (0.2 -> 0.4...).
+  EXPECT_DOUBLE_EQ(bo.next_delay_s(rng, 0.15), 0.2);
+  // No hint: plain schedule (and the default argument keeps legacy
+  // call sites draw-for-draw identical).
+  EXPECT_DOUBLE_EQ(bo.next_delay_s(rng), 0.4);
 }
 
 TEST(RejoinBackoff, BadConfigThrows) {

@@ -409,6 +409,41 @@ TEST(Determinism, CleanConstructsAndScope) {
 }
 
 // ---------------------------------------------------------------------------
+// mac-rng
+// ---------------------------------------------------------------------------
+
+TEST(MacRng, FlagsOwnedAndConstructedRng) {
+  EXPECT_EQ(count_rule(run_rules("Rng rng_(42);", "src/mac/init_protocol.cpp"), "mac-rng"), 1u);
+  EXPECT_EQ(count_rule(run_rules("auto r = Rng::stream(seed, 3);", "src/mac/arq.cpp"),
+                       "mac-rng"),
+            1u);
+  EXPECT_EQ(count_rule(run_rules("Rng* rng = nullptr;", "src/mac/include/mmx/mac/a.hpp"),
+                       "mac-rng"),
+            1u);
+  // Macro bodies are scanned too.
+  EXPECT_EQ(count_rule(run_rules("#define MAKE_RNG() \\\n  Rng(7)\n", "src/mac/a.cpp"),
+                       "mac-rng"),
+            1u);
+}
+
+TEST(MacRng, CallerSuppliedReferencesAndScope) {
+  EXPECT_EQ(count_rule(run_rules("double next_delay_s(Rng& rng, double hint_s);",
+                                 "src/mac/include/mmx/mac/init_protocol.hpp"),
+                       "mac-rng"),
+            0u);
+  EXPECT_EQ(count_rule(run_rules("void serve(SideChannel& ch, const Rng& rng);",
+                                 "src/mac/side_channel.cpp"),
+                       "mac-rng"),
+            0u);
+  // Commented-out construction never fires.
+  EXPECT_EQ(count_rule(run_rules("// Rng rng(42);\nint x;\n", "src/mac/a.cpp"), "mac-rng"), 0u);
+  // Outside src/mac the scenario layer may build streams freely.
+  EXPECT_EQ(count_rule(run_rules("Rng rng = Rng::stream(seed, 2 + i);", "src/sim/a.cpp"),
+                       "mac-rng"),
+            0u);
+}
+
+// ---------------------------------------------------------------------------
 // layering
 // ---------------------------------------------------------------------------
 

@@ -68,6 +68,7 @@ FileClass classify(const std::string& rel) {
   c.dsp_kernel_tu = starts_with(rel, "src/dsp/") && has_ext(rel, {".cpp", ".cc"});
   c.alloc_scope = c.in_src;
   c.det_scope = starts_with(rel, "src/sim/") || starts_with(rel, "bench/");
+  c.mac_scope = starts_with(rel, "src/mac/");
   c.units_impl =
       rel == "src/common/include/mmx/common/units.hpp" || rel == "src/common/units.cpp";
   c.rng_impl = rel == "src/common/include/mmx/common/rng.hpp";
@@ -520,6 +521,39 @@ void check_determinism(const LexedFile& f, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// mac-rng
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// The MAC layer draws no randomness of its own: every admission, deny
+// hint and backoff schedule is a pure function of the request sequence,
+// which is what keeps scale reports bit-identical at any thread count
+// (docs/ROBUSTNESS.md). The only sanctioned shape is a caller-supplied
+// reference — `Rng&` — whose counter-derived stream the scenario layer
+// built. Construction (`Rng r`, `Rng(...)`, `Rng::stream(...)`) or
+// pointer forms inside src/mac/ mean the MAC grew its own entropy
+// source, and the determinism contract is one merge away from breaking.
+void mac_rng_scan(const std::vector<Token>& t, const std::string& rel,
+                  std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].is_id("Rng")) continue;
+    if (next_is_punct(t, i, "&")) continue;  // caller-supplied reference
+    out.push_back({"mac-rng", rel, t[i].line, "Rng",
+                   "mmx::mac must not own or construct an Rng: AP-side decisions are pure "
+                   "functions of the request sequence; take a caller-supplied 'Rng&' whose "
+                   "counter-derived stream the scenario layer built"});
+  }
+}
+
+}  // namespace
+
+void check_mac_rng(const LexedFile& f, std::vector<Finding>& out) {
+  mac_rng_scan(f.tokens, f.rel, out);
+  mac_rng_scan(f.pp_tokens, f.rel, out);
+}
+
+// ---------------------------------------------------------------------------
 // Dispatch + rule table
 // ---------------------------------------------------------------------------
 
@@ -531,6 +565,7 @@ void run_file_rules(const LexedFile& f, const FileClass& cls, std::vector<Findin
   if (cls.dsp_kernel_tu) check_trig_per_sample(f, out);
   if (cls.alloc_scope) check_hot_path_alloc(f, out);
   if (cls.det_scope) check_determinism(f, out);
+  if (cls.mac_scope) check_mac_rng(f, out);
 }
 
 const std::vector<RuleInfo>& rule_table() {
@@ -549,6 +584,8 @@ const std::vector<RuleInfo>& rule_table() {
        "PathList methods"},
       {"determinism",
        "no unordered iteration, pointer keys or address-derived values in src/sim and bench/"},
+      {"mac-rng",
+       "src/mac draws no randomness of its own: Rng appears only as a caller-supplied Rng&"},
       {"suppression-reason", "every allow() suppression must carry a '-- <why>' reason"},
       {"baseline-reason", "every baseline entry must carry a '-- <why>' reason"},
       {"stale-baseline", "baseline entries that no longer match any finding must be removed"},

@@ -31,6 +31,7 @@ struct FileClass {
   bool dsp_kernel_tu = false;  // src/dsp/*.{cpp,cc}: trig-per-sample scope
   bool alloc_scope = false;    // src/: hot-path-alloc scope
   bool det_scope = false;      // src/sim/ or bench/: determinism scope
+  bool mac_scope = false;      // src/mac/: mac-rng scope
   bool units_impl = false;     // units.{hpp,cpp}: owns dB arithmetic
   bool rng_impl = false;       // rng.hpp: owns the raw engine
 };
@@ -46,6 +47,7 @@ void check_db_arith(const LexedFile& f, bool strict_pow10, std::vector<Finding>&
 void check_trig_per_sample(const LexedFile& f, std::vector<Finding>& out);
 void check_hot_path_alloc(const LexedFile& f, std::vector<Finding>& out);
 void check_determinism(const LexedFile& f, std::vector<Finding>& out);
+void check_mac_rng(const LexedFile& f, std::vector<Finding>& out);
 
 /// Apply every per-file rule family the classification selects.
 void run_file_rules(const LexedFile& f, const FileClass& cls, std::vector<Finding>& out);

@@ -1,15 +1,26 @@
-// resilience_gate — CI's fault-storm delivery floor.
+// resilience_gate — CI's robustness floors for the scale lanes.
 //
-// Reads the JSON report from the fault arm of the scale bench
-// (`bench_scale_churn --faults on`) and fails if the delivery ratio fell
-// under the committed floor, or if the recovery machinery went quiet (a
-// storm that injects faults but records no recoveries means the rejoin /
-// reap paths silently stopped working — exactly the regression this gate
-// exists to catch). Always prints the numbers — and appends a markdown
-// summary to $GITHUB_STEP_SUMMARY when set — so the perf lane leaves an
-// advisory comment whether or not the gate trips.
+// Default mode reads the JSON report from the fault arm of the scale
+// bench (`bench_scale_churn --faults on`) and fails if the delivery
+// ratio fell under the committed floor, or if the recovery machinery
+// went quiet (a storm that injects faults but records no recoveries
+// means the rejoin / reap paths silently stopped working — exactly the
+// regression this gate exists to catch).
+//
+// --overload mode reads the oversubscription arm (`bench_scale_churn
+// --overload on`) and enforces the graceful-degradation floors from
+// docs/ROBUSTNESS.md: admitted-population delivery, at least one
+// spectrum compaction (the fragmentation path must stay live), zero
+// allocator invariant violations, and no grant below the configured
+// rate floor.
+//
+// Always prints the numbers — and appends a markdown summary to
+// $GITHUB_STEP_SUMMARY when set — so the perf lane leaves an advisory
+// comment whether or not the gate trips.
 //
 // usage: resilience_gate FAULTS.json [--min-delivery X] [--min-recoveries N]
+//        resilience_gate OVERLOAD.json --overload [--min-delivery X]
+//                        [--min-compactions N]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +31,11 @@
 #include "report_json.hpp"
 
 namespace {
+
+constexpr char kUsage[] =
+    "usage: resilience_gate FAULTS.json [--min-delivery X] [--min-recoveries N]\n"
+    "       resilience_gate OVERLOAD.json --overload [--min-delivery X] "
+    "[--min-compactions N]\n";
 
 void append_step_summary(const mmx::tools::Report& rep, double delivery, double recoveries,
                          double mean_recovery_rounds, double min_delivery, bool pass) {
@@ -36,30 +52,113 @@ void append_step_summary(const mmx::tools::Report& rep, double delivery, double 
   out << line;
 }
 
+void append_overload_summary(const mmx::tools::Report& rep, double delivery, double min_delivery,
+                             double compactions, double violations, double min_rate,
+                             double floor, bool pass) {
+  const char* path = std::getenv("GITHUB_STEP_SUMMARY");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;
+  out << "### Overload gate — " << rep.bench << (pass ? " ✅\n\n" : " ❌\n\n");
+  out << "| delivery | floor | compactions | invariant violations | min rate [bps] | "
+         "rate floor [bps] |\n";
+  out << "|---|---|---|---|---|---|\n";
+  char line[200];
+  std::snprintf(line, sizeof(line), "| %.4f | %.4f | %.0f | %.0f | %.0f | %.0f |\n", delivery,
+                min_delivery, compactions, violations, min_rate, floor);
+  out << line;
+}
+
+int run_overload_gate(const char* report_path, double min_delivery, double min_compactions) {
+  mmx::tools::Report rep;
+  if (!mmx::tools::load_report("resilience_gate", report_path, rep)) return 2;
+
+  std::ifstream in(report_path);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  double delivery = 0.0;
+  double overload_on = 0.0;
+  double compactions = 0.0;
+  double violations = 0.0;
+  double admitted = 0.0;
+  double min_rate = 0.0;
+  double floor = 0.0;
+  if (!mmx::tools::find_number(text, "delivery_ratio", delivery) ||
+      !mmx::tools::find_number(text, "overload_on", overload_on) ||
+      !mmx::tools::find_number(text, "ov_compactions", compactions) ||
+      !mmx::tools::find_number(text, "ov_invariant_violations", violations) ||
+      !mmx::tools::find_number(text, "ov_admitted", admitted) ||
+      !mmx::tools::find_number(text, "ov_min_admitted_rate_bps", min_rate) ||
+      !mmx::tools::find_number(text, "ov_rate_floor_bps", floor)) {
+    std::fprintf(stderr, "resilience_gate: %s is not an overload-arm scale report\n",
+                 report_path);
+    return 2;
+  }
+  if (overload_on != 1.0) {
+    std::fprintf(stderr, "resilience_gate: %s was produced with overload off\n", report_path);
+    return 2;
+  }
+
+  const bool delivery_ok = delivery >= min_delivery;
+  const bool compaction_ok = compactions >= min_compactions;
+  const bool invariants_ok = violations == 0.0;
+  const bool floor_ok = admitted > 0.0 && min_rate >= floor - 1.0;
+  const bool pass = delivery_ok && compaction_ok && invariants_ok && floor_ok;
+  std::printf("resilience_gate (overload): %s\n", rep.bench.c_str());
+  std::printf("  delivery ratio: %.4f (floor: %.4f) -> %s\n", delivery, min_delivery,
+              delivery_ok ? "PASS" : "FAIL");
+  std::printf("  compactions: %.0f (floor: %.0f) -> %s\n", compactions, min_compactions,
+              compaction_ok ? "PASS" : "FAIL");
+  std::printf("  allocator invariant violations: %.0f -> %s\n", violations,
+              invariants_ok ? "PASS" : "FAIL");
+  std::printf("  min admitted rate: %.0f bps (configured floor: %.0f, admitted: %.0f) -> %s\n",
+              min_rate, floor, admitted, floor_ok ? "PASS" : "FAIL");
+  append_overload_summary(rep, delivery, min_delivery, compactions, violations, min_rate,
+                          floor, pass);
+  if (!delivery_ok)
+    std::printf("::error::overload-lane delivery ratio %.4f fell under the %.4f floor\n",
+                delivery, min_delivery);
+  if (!compaction_ok)
+    std::printf("::error::overload lane recorded %.0f compactions (floor %.0f) — the "
+                "fragmentation path may be dead\n", compactions, min_compactions);
+  if (!invariants_ok)
+    std::printf("::error::allocator invariant violations: %.0f (must be 0)\n", violations);
+  if (!floor_ok)
+    std::printf("::error::min admitted rate %.0f bps under the configured %.0f bps floor\n",
+                min_rate, floor);
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  double min_delivery = 0.5;
+  bool overload_mode = false;
+  double min_delivery = -1.0;  // resolved per mode below
   double min_recoveries = 1.0;
+  double min_compactions = 1.0;
   const char* report_path = nullptr;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--min-delivery") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--overload") == 0) {
+      overload_mode = true;
+    } else if (std::strcmp(argv[i], "--min-delivery") == 0 && i + 1 < argc) {
       min_delivery = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--min-recoveries") == 0 && i + 1 < argc) {
       min_recoveries = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--min-compactions") == 0 && i + 1 < argc) {
+      min_compactions = std::strtod(argv[++i], nullptr);
     } else if (report_path == nullptr) {
       report_path = argv[i];
     } else {
-      std::fprintf(stderr,
-                   "usage: resilience_gate FAULTS.json [--min-delivery X] [--min-recoveries N]\n");
+      std::fputs(kUsage, stderr);
       return 2;
     }
   }
   if (report_path == nullptr) {
-    std::fprintf(stderr,
-                 "usage: resilience_gate FAULTS.json [--min-delivery X] [--min-recoveries N]\n");
+    std::fputs(kUsage, stderr);
     return 2;
   }
+  if (min_delivery < 0.0) min_delivery = overload_mode ? 0.80 : 0.5;
+  if (overload_mode) return run_overload_gate(report_path, min_delivery, min_compactions);
 
   mmx::tools::Report rep;
   if (!mmx::tools::load_report("resilience_gate", report_path, rep)) return 2;
